@@ -1,0 +1,150 @@
+//! E2 (Criterion half) — microbenchmarks of the real DSP kernels.
+//!
+//! Statistical timing of the individual pipeline stages: FFT across the
+//! LTE grid ladder, turbo decode across block sizes and iteration counts,
+//! QAM soft demodulation per modulation order, CRC and scrambling
+//! throughput, and the full uplink subframe at three PRB allocations.
+//! Criterion's reports land in `target/criterion/`.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion, Throughput};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use pran_phy::kernels::crc::{Crc, CRC24A};
+use pran_phy::kernels::fft::{Complex, Fft, FftDirection};
+use pran_phy::kernels::modulation::{demodulate_llr, modulate};
+use pran_phy::kernels::scrambler::GoldSequence;
+use pran_phy::kernels::turbo::{turbo_decode, turbo_encode, QppInterleaver, SoftCodeword};
+use pran_phy::mcs::Modulation;
+use pran_phy::pipeline::{run_uplink_subframe, PipelineConfig};
+use pran_phy::Mcs;
+
+fn bench_fft(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fft_forward");
+    for &size in &[128usize, 512, 1024, 2048] {
+        let fft = Fft::new(size);
+        let input: Vec<Complex> = (0..size)
+            .map(|i| Complex::new((i as f64 * 0.7).sin(), (i as f64 * 0.3).cos()))
+            .collect();
+        group.throughput(Throughput::Elements(size as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, _| {
+            b.iter_batched(
+                || input.clone(),
+                |mut buf| fft.process(&mut buf, FftDirection::Forward),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_turbo_decode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("turbo_decode");
+    group.sample_size(20);
+    for &k in &[256usize, 1024, 4096] {
+        let msg: Vec<u8> = (0..k).map(|i| ((i * 31) % 2) as u8).collect();
+        let cw = turbo_encode(&msg);
+        let il = QppInterleaver::for_block_size(k).unwrap();
+        let soft = SoftCodeword::from_codeword(&cw, 2.0);
+        group.throughput(Throughput::Elements(k as u64));
+        group.bench_with_input(BenchmarkId::new("5_iters", k), &k, |b, _| {
+            b.iter(|| turbo_decode(&soft, &il, 5))
+        });
+    }
+    // Iteration scaling at fixed K.
+    let k = 1024;
+    let msg: Vec<u8> = (0..k).map(|i| ((i * 17) % 2) as u8).collect();
+    let cw = turbo_encode(&msg);
+    let il = QppInterleaver::for_block_size(k).unwrap();
+    // Noisy input so early-exit does not collapse the iteration count.
+    let mut rng = SmallRng::seed_from_u64(5);
+    let noisy = SoftCodeword {
+        systematic: cw
+            .systematic
+            .iter()
+            .map(|&b| (if b == 0 { 1.0 } else { -1.0 }) + rng.gen_range(-0.9..0.9))
+            .collect(),
+        parity1: cw
+            .parity1
+            .iter()
+            .map(|&b| (if b == 0 { 1.0 } else { -1.0 }) + rng.gen_range(-0.9..0.9))
+            .collect(),
+        parity2: cw
+            .parity2
+            .iter()
+            .map(|&b| (if b == 0 { 1.0 } else { -1.0 }) + rng.gen_range(-0.9..0.9))
+            .collect(),
+        systematic2_tail: [1.0, 1.0, 1.0],
+    };
+    for &iters in &[1usize, 3, 8] {
+        group.bench_with_input(BenchmarkId::new("iters_k1024", iters), &iters, |b, _| {
+            b.iter(|| turbo_decode(&noisy, &il, iters))
+        });
+    }
+    group.finish();
+}
+
+fn bench_modulation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("qam");
+    let mut rng = SmallRng::seed_from_u64(1);
+    for m in [Modulation::Qpsk, Modulation::Qam16, Modulation::Qam64] {
+        let qm = m.bits_per_symbol() as usize;
+        let bits: Vec<u8> = (0..qm * 1200).map(|_| rng.gen_range(0..2u8)).collect();
+        let symbols = modulate(&bits, m);
+        group.throughput(Throughput::Elements(symbols.len() as u64));
+        group.bench_function(BenchmarkId::new("modulate", m.to_string()), |b| {
+            b.iter(|| modulate(&bits, m))
+        });
+        group.bench_function(BenchmarkId::new("demod_llr", m.to_string()), |b| {
+            b.iter(|| demodulate_llr(&symbols, m, 0.01))
+        });
+    }
+    group.finish();
+}
+
+fn bench_crc_and_scrambler(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bit_kernels");
+    let data: Vec<u8> = (0..9422).map(|i| (i % 251) as u8).collect(); // ~75 kbit TB
+    let crc = Crc::new(CRC24A);
+    group.throughput(Throughput::Bytes(data.len() as u64));
+    group.bench_function("crc24a_75kbit", |b| b.iter(|| crc.compute(&data)));
+    let mut bits = vec![0u8; 75_376];
+    group.bench_function("gold_scramble_75kbit", |b| {
+        b.iter(|| {
+            let mut g = GoldSequence::new(0x5EED);
+            g.scramble_in_place(&mut bits);
+        })
+    });
+    group.finish();
+}
+
+fn bench_full_subframe(c: &mut Criterion) {
+    let mut group = c.benchmark_group("uplink_subframe");
+    group.sample_size(10);
+    let cfg = PipelineConfig {
+        decoder_iterations: 5,
+        noise_sigma: 0.04,
+        ..PipelineConfig::default()
+    };
+    for &prbs in &[25u32, 50, 100] {
+        group.bench_with_input(BenchmarkId::new("mcs16", prbs), &prbs, |b, &prbs| {
+            let mut rng = SmallRng::seed_from_u64(9);
+            b.iter(|| {
+                let run = run_uplink_subframe(prbs, Mcs::new(16), &cfg, &mut rng);
+                assert!(run.crc_ok);
+                run
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fft,
+    bench_turbo_decode,
+    bench_modulation,
+    bench_crc_and_scrambler,
+    bench_full_subframe
+);
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! E5 (Criterion half) — placement solver timing.
+//!
+//! Statistical timing of the heuristics (microseconds) and the exact
+//! branch-and-bound (milliseconds to seconds) across instance sizes, plus
+//! the raw simplex on the placement LP relaxation. This is the quantified
+//! basis for the ≥98 % solve-time reduction reported in E5's table.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use pran_ilp::{solve_lp, BnbConfig};
+use pran_sched::placement::dimensioning::GopsConverter;
+use pran_sched::placement::heuristics::{place, Heuristic};
+use pran_sched::placement::{ilp, PlacementInstance};
+use pran_sched::realtime::workload::{generate as gen_tasks, TaskSetConfig};
+use pran_sched::realtime::{simulate, Policy};
+use pran_traces::{generate, TraceConfig};
+
+fn instance(cells: usize, seed: u64) -> PlacementInstance {
+    let mut cfg = TraceConfig::default_day(cells, seed);
+    cfg.step_seconds = 3600.0;
+    let trace = generate(&cfg);
+    let conv = GopsConverter::default_eval();
+    let demands: Vec<f64> = trace.samples[20].iter().map(|&u| conv.gops(u)).collect();
+    PlacementInstance::uniform(&demands, cells, 400.0)
+}
+
+fn bench_heuristics(c: &mut Criterion) {
+    let mut group = c.benchmark_group("placement_heuristics");
+    for &cells in &[10usize, 50, 200] {
+        let inst = instance(cells, cells as u64);
+        for h in Heuristic::all() {
+            group.bench_with_input(
+                BenchmarkId::new(h.label(), cells),
+                &inst,
+                |b, inst| b.iter(|| place(inst, h)),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_exact(c: &mut Criterion) {
+    let mut group = c.benchmark_group("placement_exact");
+    group.sample_size(10);
+    let cfg = BnbConfig {
+        max_nodes: 5_000,
+        time_limit: std::time::Duration::from_secs(5),
+        ..BnbConfig::default()
+    };
+    for &cells in &[6usize, 8, 10] {
+        let inst = instance(cells, 100 + cells as u64);
+        group.bench_with_input(BenchmarkId::new("bnb", cells), &inst, |b, inst| {
+            b.iter(|| ilp::solve(inst, &cfg))
+        });
+        // The LP relaxation alone (one simplex solve).
+        let (model, _, _) = ilp::build_model(&inst);
+        group.bench_with_input(BenchmarkId::new("lp_relaxation", cells), &model, |b, m| {
+            b.iter(|| solve_lp(m))
+        });
+    }
+    group.finish();
+}
+
+fn bench_rt_scheduler(c: &mut Criterion) {
+    // The per-epoch real-time simulation itself must be cheap enough to
+    // sweep; time one 200-TTI, 12-cell, 4-core simulation per policy.
+    let mut group = c.benchmark_group("rt_scheduler_sim");
+    let set = gen_tasks(&TaskSetConfig::default_eval(12, 200, 4, 0.85));
+    for policy in Policy::all() {
+        group.bench_function(policy.label(), |b| {
+            b.iter(|| simulate(&set.tasks, 4, policy))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_heuristics, bench_exact, bench_rt_scheduler);
+criterion_main!(benches);

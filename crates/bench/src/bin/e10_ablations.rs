@@ -1,0 +1,160 @@
+//! E10 (extension) — ablations of the design choices DESIGN.md calls out.
+//!
+//! Four knobs, each isolated:
+//!  1. ILP symmetry breaking (y-ordering rows on uniform pools);
+//!  2. ILP warm start (FFD incumbent seeding);
+//!  3. per-cell fronthaul spread (what separates EDF from FIFO);
+//!  4. incremental repack vs full re-solve (placement churn).
+
+use std::time::Duration;
+
+use bench::{fmt_duration, save_json, Table};
+use pran_ilp::BnbConfig;
+use pran_sched::placement::dimensioning::GopsConverter;
+use pran_sched::placement::heuristics::{place, Heuristic};
+use pran_sched::placement::ilp::{solve_with, SolveOptions};
+use pran_sched::placement::migration::{diff, incremental_repack};
+use pran_sched::placement::PlacementInstance;
+use pran_sched::realtime::workload::{generate as gen_tasks, TaskSetConfig};
+use pran_sched::realtime::{simulate, Policy};
+use pran_traces::{generate, TraceConfig};
+
+fn instance(cells: usize, seed: u64, step: usize) -> PlacementInstance {
+    let mut cfg = TraceConfig::default_day(cells, seed);
+    cfg.step_seconds = 3600.0;
+    let trace = generate(&cfg);
+    let conv = GopsConverter::default_eval();
+    let demands: Vec<f64> = trace.samples[step].iter().map(|&u| conv.gops(u)).collect();
+    PlacementInstance::uniform(&demands, cells, 400.0)
+}
+
+fn main() {
+    println!("E10: ablations\n");
+    let mut json = serde_json::Map::new();
+
+    // ---- 1+2: ILP accelerations ----
+    println!("== ILP accelerations (10-cell peak instance, 10k-node cap) ==");
+    let inst = instance(10, 4242, 20);
+    let cfg = BnbConfig {
+        max_nodes: 10_000,
+        time_limit: Duration::from_secs(10),
+        ..BnbConfig::default()
+    };
+    let mut t = Table::new(&["symmetry", "warm start", "nodes", "time", "servers", "proved optimal"]);
+    let mut rows = Vec::new();
+    for &(sym, warm) in &[(true, true), (true, false), (false, true), (false, false)] {
+        let r = solve_with(&inst, &cfg, SolveOptions { symmetry_breaking: sym, warm_start: warm });
+        let servers = r
+            .placement
+            .as_ref()
+            .map(|p| inst.servers_used(p).to_string())
+            .unwrap_or_else(|| "-".into());
+        t.row(&[
+            sym.to_string(),
+            warm.to_string(),
+            r.nodes.to_string(),
+            fmt_duration(r.elapsed),
+            servers.clone(),
+            r.optimal.to_string(),
+        ]);
+        rows.push(serde_json::json!({
+            "symmetry": sym, "warm_start": warm, "nodes": r.nodes,
+            "time_us": r.elapsed.as_micros() as u64,
+            "servers": servers, "optimal": r.optimal,
+        }));
+    }
+    t.print();
+    json.insert("ilp_accelerations".into(), serde_json::json!(rows));
+
+    // ---- 3: fronthaul spread vs scheduler separation ----
+    println!("\n== fronthaul spread (per-cell deadline heterogeneity) ==");
+    let mut t = Table::new(&["spread", "util", "EDF misses", "FIFO misses", "FIFO-EDF gap"]);
+    let mut rows = Vec::new();
+    for &spread_us in &[0u64, 300] {
+        for &util in &[0.95f64, 1.0] {
+            let mut cfg = TaskSetConfig::default_eval(12, 300, 4, util);
+            cfg.fronthaul_spread = Duration::from_micros(spread_us);
+            cfg.seed = 0xAB1;
+            let set = gen_tasks(&cfg);
+            let edf = simulate(&set.tasks, 4, Policy::GlobalEdf).miss_ratio();
+            let fifo = simulate(&set.tasks, 4, Policy::GlobalFifo).miss_ratio();
+            t.row(&[
+                format!("{spread_us}µs"),
+                format!("{util:.2}"),
+                format!("{:.2}%", edf * 100.0),
+                format!("{:.2}%", fifo * 100.0),
+                format!("{:+.2}pp", (fifo - edf) * 100.0),
+            ]);
+            rows.push(serde_json::json!({
+                "spread_us": spread_us, "util": util, "edf": edf, "fifo": fifo,
+            }));
+        }
+    }
+    t.print();
+    println!("(with zero spread every task shares one relative deadline, so EDF");
+    println!(" degenerates to FIFO — heterogeneous fronthaul is what EDF exploits)");
+    json.insert("fronthaul_spread".into(), serde_json::json!(rows));
+
+    // ---- 4: incremental repack vs full re-solve ----
+    println!("\n== placement churn: incremental repack vs full FFD re-solve ==");
+    let mut cfg = TraceConfig::default_day(20, 77);
+    cfg.step_seconds = 900.0;
+    let trace = generate(&cfg);
+    let conv = GopsConverter::default_eval();
+    let mk_inst = |step: usize| {
+        let demands: Vec<f64> =
+            trace.samples[step].iter().map(|&u| conv.gops(u) * 1.1).collect();
+        PlacementInstance::uniform(&demands, 20, 400.0)
+    };
+    let mut inc_placement = place(&mk_inst(0), Heuristic::FirstFitDecreasing).placement;
+    let mut full_prev = inc_placement.clone();
+    let mut inc_moves = 0usize;
+    let mut full_moves = 0usize;
+    let mut inc_servers = 0usize;
+    let mut full_servers = 0usize;
+    let steps = trace.num_steps();
+    for step in 1..steps {
+        let inst = mk_inst(step);
+        let (next, plan) = incremental_repack(&inst, &inc_placement);
+        inc_moves += plan.len();
+        inc_servers += inst.servers_used(&next);
+        inc_placement = next;
+
+        let full = place(&inst, Heuristic::FirstFitDecreasing).placement;
+        full_moves += diff(&full_prev, &full).len();
+        full_servers += inst.servers_used(&full);
+        full_prev = full;
+    }
+    let mut t = Table::new(&["strategy", "moves/epoch", "mean servers"]);
+    let inc_rate = inc_moves as f64 / (steps - 1) as f64;
+    let full_rate = full_moves as f64 / (steps - 1) as f64;
+    t.row(&[
+        "incremental repack".to_string(),
+        format!("{inc_rate:.2}"),
+        format!("{:.2}", inc_servers as f64 / (steps - 1) as f64),
+    ]);
+    t.row(&[
+        "full FFD re-solve".to_string(),
+        format!("{full_rate:.2}"),
+        format!("{:.2}", full_servers as f64 / (steps - 1) as f64),
+    ]);
+    t.print();
+    println!(
+        "(re-solving churns {:.0}× more cells; the incremental path pays ~{:.1}\n\
+         extra servers of fragmentation for that stability — headroom the\n\
+         consolidation app reclaims when it matters)",
+        full_rate / inc_rate.max(1e-9),
+        (inc_servers as f64 - full_servers as f64) / (steps - 1) as f64
+    );
+    json.insert(
+        "repack_vs_resolve".into(),
+        serde_json::json!({
+            "incremental_moves_per_epoch": inc_rate,
+            "full_moves_per_epoch": full_rate,
+            "incremental_mean_servers": inc_servers as f64 / (steps - 1) as f64,
+            "full_mean_servers": full_servers as f64 / (steps - 1) as f64,
+        }),
+    );
+
+    save_json("e10_ablations", &serde_json::Value::Object(json));
+}

@@ -1,0 +1,95 @@
+//! E12 (extension) — admission maximization under overload: exact vs greedy.
+//!
+//! The calibration band's literal claim, transplanted to PRAN's compute
+//! pool: when demand exceeds the pool, choose which cells to serve. The
+//! exact solver (warm-started branch & bound over the admission ILP) is
+//! compared with the weight-density greedy across overload factors;
+//! expected shape: the greedy stays within a few percent of optimal
+//! admitted weight (paper analog: ≤ ~6 %) at a tiny fraction of the solve
+//! time (analog: ~98 % reduction).
+
+use std::time::{Duration, Instant};
+
+use bench::{fmt_duration, save_json, Table};
+use pran_sched::placement::admission::{admit_exact, admit_greedy, AdmissionRequest};
+use pran_sched::placement::dimensioning::GopsConverter;
+use pran_traces::{generate, TraceConfig};
+
+fn main() {
+    let servers = 4;
+    let capacity = 400.0;
+    println!(
+        "E12: admission under overload ({servers} × {capacity} GOPS pool)\n"
+    );
+
+    let mut t = Table::new(&[
+        "overload", "cells", "exact wt", "greedy wt", "gap", "exact time", "greedy time",
+        "time cut",
+    ]);
+    let mut json_rows = Vec::new();
+
+    for &(cells, label) in &[(14usize, "1.1×"), (18, "1.4×"), (24, "1.9×"), (32, "2.5×")] {
+        // Demands from the trace generator's evening peak; weights mix two
+        // priority classes (the eMBB/mMTC flavour: some cells carry
+        // premium traffic).
+        let mut cfg = TraceConfig::default_day(cells, 5_000 + cells as u64);
+        cfg.step_seconds = 3600.0;
+        let trace = generate(&cfg);
+        let conv = GopsConverter::default_eval();
+        let requests: Vec<AdmissionRequest> = trace.samples[20]
+            .iter()
+            .enumerate()
+            .map(|(id, &u)| AdmissionRequest {
+                id,
+                gops: conv.gops(u),
+                weight: if id % 3 == 0 { 2.0 } else { 1.0 },
+            })
+            .collect();
+        let offered: f64 = requests.iter().map(|r| r.gops).sum();
+
+        let t0 = Instant::now();
+        let greedy = admit_greedy(&requests, servers, capacity);
+        let greedy_time = t0.elapsed().max(Duration::from_nanos(100));
+
+        let t0 = Instant::now();
+        let exact = admit_exact(&requests, servers, capacity, Duration::from_secs(15));
+        let exact_time = t0.elapsed();
+
+        let gap = (exact.weight - greedy.weight) / exact.weight.max(1e-9);
+        let cut = 1.0 - greedy_time.as_secs_f64() / exact_time.as_secs_f64();
+        t.row(&[
+            format!("{label} ({:.0} GOPS)", offered),
+            format!("{}/{cells} vs {}/{cells}", exact.count(), greedy.count()),
+            format!("{:.1}{}", exact.weight, if exact.optimal { "" } else { "*" }),
+            format!("{:.1}", greedy.weight),
+            format!("{:.1}%", gap * 100.0),
+            fmt_duration(exact_time),
+            fmt_duration(greedy_time),
+            format!("{:.2}%", cut * 100.0),
+        ]);
+        json_rows.push(serde_json::json!({
+            "cells": cells,
+            "offered_gops": offered,
+            "exact_weight": exact.weight,
+            "exact_optimal": exact.optimal,
+            "greedy_weight": greedy.weight,
+            "gap": gap,
+            "exact_time_us": exact_time.as_micros() as u64,
+            "greedy_time_us": greedy_time.as_micros() as u64,
+        }));
+    }
+    t.print();
+    println!("(* = limits hit; best incumbent reported)");
+
+    let worst = json_rows
+        .iter()
+        .map(|r| r["gap"].as_f64().unwrap())
+        .fold(0.0f64, f64::max);
+    println!(
+        "\nshape check: worst greedy gap {:.1}% (calibration band analog: ≤ ~6%);\n\
+         greedy runs orders of magnitude faster — the two-timescale trade again.",
+        worst * 100.0
+    );
+
+    save_json("e12_admission", &serde_json::json!({ "rows": json_rows }));
+}

@@ -1,0 +1,124 @@
+//! E2 / Fig 2 — measured per-subframe processing time vs PRBs and MCS.
+//!
+//! Runs the *real* kernel pipeline (FFT → channel est → equalize → demod →
+//! turbo decode → CRC) and reports wall-clock per stage. Reproduced shapes:
+//! processing time grows ~linearly in allocated PRBs, steps up with MCS
+//! (more bits → more decode), and turbo decoding is the dominant stage.
+//!
+//! Absolute numbers are this machine's (unoptimized reference kernels, one
+//! core); the paper's testbed numbers differ by a constant factor — see
+//! DESIGN.md's substitution table.
+
+use bench::{fmt_duration, save_json, Table};
+use pran_phy::compute::Stage;
+use pran_phy::frame::Bandwidth;
+use pran_phy::mcs::Mcs;
+use pran_phy::pipeline::{run_uplink_subframe, PipelineConfig};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn main() {
+    let cfg = PipelineConfig {
+        bandwidth: Bandwidth::Mhz20,
+        code_block_bits: 1024,
+        decoder_iterations: 5,
+        noise_sigma: 0.04,
+        c_init: 0xE2,
+    };
+    let mut rng = SmallRng::seed_from_u64(2);
+    let reps = 3;
+
+    println!("E2: measured uplink subframe processing time (this machine)\n");
+
+    // --- sweep PRBs at fixed MCS 16 ---
+    println!("== time vs PRBs (MCS 16) ==");
+    let mut t = Table::new(&["PRBs", "total", "fft", "chest", "equalize", "demod", "decode", "crc", "decode share", "ok"]);
+    let mut json_prbs = Vec::new();
+    for prbs in [10u32, 25, 50, 75, 100] {
+        let mut total = std::time::Duration::ZERO;
+        let mut per_stage = std::collections::HashMap::new();
+        let mut ok = true;
+        for _ in 0..reps {
+            let run = run_uplink_subframe(prbs, Mcs::new(16), &cfg, &mut rng);
+            ok &= run.crc_ok;
+            total += run.total();
+            for s in [Stage::Fft, Stage::ChannelEstimation, Stage::Equalization, Stage::Demodulation, Stage::TurboDecode, Stage::CrcCheck] {
+                *per_stage.entry(s.label()).or_insert(std::time::Duration::ZERO) += run.stage(s);
+            }
+        }
+        let total = total / reps;
+        let avg = |l: &str| per_stage[l] / reps;
+        let decode_share = avg("decode").as_secs_f64() / total.as_secs_f64();
+        t.row(&[
+            prbs.to_string(),
+            fmt_duration(total),
+            fmt_duration(avg("fft")),
+            fmt_duration(avg("chest")),
+            fmt_duration(avg("equalize")),
+            fmt_duration(avg("demod")),
+            fmt_duration(avg("decode")),
+            fmt_duration(avg("crc")),
+            format!("{:.0}%", decode_share * 100.0),
+            ok.to_string(),
+        ]);
+        json_prbs.push(serde_json::json!({
+            "prbs": prbs,
+            "total_us": total.as_micros() as u64,
+            "decode_us": avg("decode").as_micros() as u64,
+            "decode_share": decode_share,
+            "crc_ok": ok,
+        }));
+    }
+    t.print();
+
+    // --- sweep MCS at fixed 50 PRBs ---
+    println!("\n== time vs MCS (50 PRB) ==");
+    let mut t = Table::new(&["MCS", "modulation", "info bits", "total", "decode", "decode share", "ok"]);
+    let mut json_mcs = Vec::new();
+    for idx in [4u8, 10, 16, 22, 28] {
+        let mut total = std::time::Duration::ZERO;
+        let mut decode = std::time::Duration::ZERO;
+        let mut info = 0usize;
+        let mut ok = true;
+        for _ in 0..reps {
+            let run = run_uplink_subframe(50, Mcs::new(idx), &cfg, &mut rng);
+            ok &= run.crc_ok;
+            total += run.total();
+            decode += run.stage(Stage::TurboDecode);
+            info = run.info_bits;
+        }
+        let total = total / reps;
+        let decode = decode / reps;
+        t.row(&[
+            idx.to_string(),
+            Mcs::new(idx).modulation().to_string(),
+            info.to_string(),
+            fmt_duration(total),
+            fmt_duration(decode),
+            format!("{:.0}%", decode.as_secs_f64() / total.as_secs_f64() * 100.0),
+            ok.to_string(),
+        ]);
+        json_mcs.push(serde_json::json!({
+            "mcs": idx,
+            "info_bits": info,
+            "total_us": total.as_micros() as u64,
+            "decode_us": decode.as_micros() as u64,
+            "crc_ok": ok,
+        }));
+    }
+    t.print();
+
+    // Linearity check (the paper's modeling assumption).
+    let t10 = json_prbs[0]["total_us"].as_u64().unwrap() as f64;
+    let t100 = json_prbs[4]["total_us"].as_u64().unwrap() as f64;
+    println!(
+        "\nlinearity: 10→100 PRB scales total by {:.1}× (model predicts ≈10× for \
+         bit-dominated pipelines; FFT's full-band floor keeps it below 10×)",
+        t100 / t10
+    );
+
+    save_json(
+        "e2_proc_time",
+        &serde_json::json!({ "vs_prbs": json_prbs, "vs_mcs": json_mcs }),
+    );
+}

@@ -1,0 +1,72 @@
+//! E6 / Fig 6 — deadline-miss ratio vs pool utilization per scheduler.
+//!
+//! The real-time feasibility leg: per-TTI subframe tasks with the 2 ms
+//! HARQ compute budget, scheduled on a multicore pool. Reproduced shapes:
+//! global EDF sustains near-full utilization before missing; global FIFO
+//! degrades a little earlier; statically partitioned cores (the
+//! distributed-RAN stand-in) fall off far sooner because per-cell skew
+//! cannot be absorbed.
+
+use bench::{save_json, Table};
+use pran_sched::realtime::workload::{generate, TaskSetConfig};
+use pran_sched::realtime::{simulate, Policy};
+
+fn main() {
+    let cells = 12;
+    let ttis = 400;
+    let cores = 4;
+    println!(
+        "E6: deadline misses vs utilization ({cells} cells, {cores} cores, {ttis} TTIs, 2 ms budget)\n"
+    );
+
+    let mut headers = vec!["target util".to_string(), "achieved".to_string()];
+    headers.extend(Policy::all().iter().map(|p| p.label().to_string()));
+    let mut t = Table::new(&headers);
+    let mut json_rows = Vec::new();
+    for &util in &[0.5f64, 0.6, 0.7, 0.8, 0.85, 0.9, 0.95, 1.0, 1.05] {
+        let mut cfg = TaskSetConfig::default_eval(cells, ttis, cores, util);
+        cfg.seed = 0xE6 + (util * 100.0) as u64;
+        let set = generate(&cfg);
+        let mut row = vec![format!("{util:.2}"), format!("{:.2}", set.utilization)];
+        let mut misses = serde_json::Map::new();
+        for policy in Policy::all() {
+            let out = simulate(&set.tasks, cores, policy);
+            row.push(format!("{:.2}%", out.miss_ratio() * 100.0));
+            misses.insert(
+                policy.label().to_string(),
+                serde_json::json!(out.miss_ratio()),
+            );
+        }
+        t.row(&row);
+        json_rows.push(serde_json::json!({
+            "target_utilization": util,
+            "achieved_utilization": set.utilization,
+            "miss_ratio": misses,
+        }));
+    }
+    t.print();
+
+    // Where does each policy first exceed 1 % misses?
+    println!("\n== 1% miss-ratio knee ==");
+    let mut knees = serde_json::Map::new();
+    for policy in Policy::all() {
+        let knee = json_rows.iter().find_map(|r| {
+            let m = r["miss_ratio"][policy.label()].as_f64().unwrap();
+            (m > 0.01).then(|| r["target_utilization"].as_f64().unwrap())
+        });
+        match knee {
+            Some(u) => println!("  {:>12}: misses >1% from utilization {u:.2}", policy.label()),
+            None => println!("  {:>12}: never exceeds 1% in this sweep", policy.label()),
+        }
+        knees.insert(policy.label().to_string(), serde_json::json!(knee));
+    }
+    println!(
+        "\nshape check: EDF knee ≥ FIFO knee > partitioned knee — pooling the\n\
+         cores (global scheduling) is what lets the pool run hot safely."
+    );
+
+    save_json(
+        "e6_deadlines",
+        &serde_json::json!({ "sweep": json_rows, "knees": knees }),
+    );
+}

@@ -1,0 +1,131 @@
+//! E8 / Fig 8 — failover and adaptation.
+//!
+//! Reproduces the fast-failover claim: when a server dies, the displaced
+//! cells are back in service after detection + replan + migration — tens of
+//! milliseconds — provided the pool holds spare capacity. The sweep varies
+//! the detection timeout (the dominant term) and the spare-capacity margin
+//! (which decides whether failover degrades into admission control), and
+//! reports migration churn under normal drift as the adaptation baseline.
+
+use std::time::Duration;
+
+use bench::{fmt_duration, save_json, Table};
+use pran_sim::{FailureSpec, PoolConfig, PoolSimulator};
+use pran_traces::{generate, TraceConfig};
+
+fn day_trace(cells: usize, seed: u64) -> pran_traces::Trace {
+    let mut cfg = TraceConfig::default_day(cells, seed);
+    cfg.duration_seconds = 8.0 * 3600.0;
+    cfg.step_seconds = 120.0;
+    generate(&cfg)
+}
+
+fn main() {
+    println!("E8: failover outage and adaptation churn\n");
+
+    // --- detection-delay sweep ---
+    println!("== per-cell outage vs detection timeout (ample pool) ==");
+    let mut t = Table::new(&["detection", "replan", "migration", "outage/cell", "replaced"]);
+    let mut json_detect = Vec::new();
+    for &detect_ms in &[5u64, 20, 50, 100, 200] {
+        let mut cfg = PoolConfig::default_eval(12);
+        cfg.detection_delay = Duration::from_millis(detect_ms);
+        cfg.epoch_steps = 10;
+        let mut sim = PoolSimulator::new(day_trace(20, 8), cfg.clone());
+        sim.inject_failure(FailureSpec {
+            server: 1,
+            at: Duration::from_secs(4 * 3600),
+            recover_after: None,
+        });
+        let report = sim.run();
+        let f = report.failovers.first().expect("failure handled");
+        t.row(&[
+            format!("{detect_ms}ms"),
+            fmt_duration(cfg.replan_overhead),
+            fmt_duration(cfg.migration_time_per_cell),
+            fmt_duration(f.outage),
+            format!("{}/{}", f.replaced, f.displaced),
+        ]);
+        json_detect.push(serde_json::json!({
+            "detection_ms": detect_ms,
+            "outage_ms": f.outage.as_millis() as u64,
+            "displaced": f.displaced,
+            "replaced": f.replaced,
+        }));
+    }
+    t.print();
+    println!("(outage = detection + replan + migration; detection dominates)");
+
+    // --- spare-capacity sweep ---
+    println!("\n== failover quality vs pool spare capacity ==");
+    let mut t = Table::new(&["pool size", "replaced/displaced", "tasks lost", "miss ratio"]);
+    let mut json_spare = Vec::new();
+    for &servers in &[3usize, 4, 5, 8] {
+        let mut cfg = PoolConfig::default_eval(servers);
+        cfg.epoch_steps = 10;
+        let mut sim = PoolSimulator::new(day_trace(20, 8), cfg);
+        // Fail during the 07:00 commute ramp, when the pool is busiest.
+        sim.inject_failure(FailureSpec {
+            server: 1,
+            at: Duration::from_secs(7 * 3600),
+            recover_after: None,
+        });
+        let report = sim.run();
+        let f = report.failovers.first().expect("failure handled");
+        t.row(&[
+            servers.to_string(),
+            format!("{}/{}", f.replaced, f.displaced),
+            report.metrics.tasks_lost.to_string(),
+            format!("{:.3}%", report.metrics.miss_ratio() * 100.0),
+        ]);
+        json_spare.push(serde_json::json!({
+            "servers": servers,
+            "displaced": f.displaced,
+            "replaced": f.replaced,
+            "tasks_lost": report.metrics.tasks_lost,
+            "miss_ratio": report.metrics.miss_ratio(),
+        }));
+    }
+    t.print();
+    println!("(a thin pool turns failover into partial admission loss)");
+
+    // --- adaptation churn under normal drift (no failures) ---
+    println!("\n== adaptation: migration churn over a normal day ==");
+    let mut t = Table::new(&["epoch len", "epochs", "migrations", "churn/epoch/cell"]);
+    let mut json_churn = Vec::new();
+    for &epoch_steps in &[5usize, 10, 30] {
+        let mut cfg = PoolConfig::default_eval(12);
+        cfg.epoch_steps = epoch_steps;
+        let mut sim = PoolSimulator::new(day_trace(20, 9), cfg);
+        let report = sim.run();
+        let m = &report.metrics;
+        let churn = m.migrations as f64 / m.epochs as f64 / 20.0;
+        t.row(&[
+            format!("{} min", epoch_steps * 2),
+            m.epochs.to_string(),
+            m.migrations.to_string(),
+            format!("{churn:.3}"),
+        ]);
+        json_churn.push(serde_json::json!({
+            "epoch_minutes": epoch_steps * 2,
+            "epochs": m.epochs,
+            "migrations": m.migrations,
+            "churn_per_epoch_per_cell": churn,
+        }));
+    }
+    t.print();
+    println!(
+        "\nshape check: outage is tens of ms and linear in the detection timeout;\n\
+         re-placement succeeds fully while spare capacity exists; steady-state\n\
+         churn stays ≪ 1 move/cell/epoch (incremental repack, not re-solve)."
+    );
+
+    save_json(
+        "e8_failover",
+        &serde_json::json!({
+            "detection_sweep": json_detect,
+            "spare_capacity_sweep": json_spare,
+            "adaptation_churn": json_churn,
+        }),
+    );
+}

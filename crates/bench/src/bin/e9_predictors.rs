@@ -1,0 +1,112 @@
+//! E9 (extension) — load predictors feeding the placement layer.
+//!
+//! The epoch placement sizes servers from *predicted* demand, so the
+//! predictor choice trades server count against under-provisioning events.
+//! This experiment scores EWMA, Holt's linear and sliding-window-max on
+//! per-cell trace series, then quantifies the downstream effect:
+//! provisioned GOPS headroom vs the fraction of steps where actual demand
+//! exceeded the provisioned level.
+
+use bench::{save_json, Table};
+use pran_sched::placement::dimensioning::GopsConverter;
+use pran_sched::predict::{evaluate, Ewma, HoltLinear, Predictor, SlidingMax};
+use pran_traces::{generate, TraceConfig};
+
+fn main() {
+    let mut cfg = TraceConfig::default_day(30, 909);
+    cfg.step_seconds = 300.0;
+    let trace = generate(&cfg);
+    let conv = GopsConverter::default_eval();
+
+    println!("E9: one-step-ahead load prediction over 30 cells × 24 h (5-min steps)\n");
+
+    // Score each predictor averaged over all cells.
+    println!("== per-cell prediction scores (GOPS series) ==");
+    let mut t = Table::new(&["predictor", "MAE (GOPS)", "under-rate", "over-margin"]);
+    let mut json_scores = Vec::new();
+    type Mk = Box<dyn Fn() -> Box<dyn Predictor>>;
+    let makers: Vec<(&str, Mk)> = vec![
+        ("ewma(0.3)", Box::new(|| Box::new(Ewma::new(0.3)))),
+        ("ewma(0.7)", Box::new(|| Box::new(Ewma::new(0.7)))),
+        ("holt(0.5,0.3)", Box::new(|| Box::new(HoltLinear::new(0.5, 0.3)))),
+        ("sliding-max(6)", Box::new(|| Box::new(SlidingMax::new(6)))),
+        ("sliding-max(24)", Box::new(|| Box::new(SlidingMax::new(24)))),
+    ];
+    for (name, mk) in &makers {
+        let mut mae = 0.0;
+        let mut under = 0.0;
+        let mut over = 0.0;
+        for c in 0..trace.num_cells() {
+            let series: Vec<f64> = trace.cell_series(c).iter().map(|&u| conv.gops(u)).collect();
+            let mut p = mk();
+            let score = evaluate(p.as_mut(), &series);
+            mae += score.mae;
+            under += score.under_rate;
+            over += score.over_margin;
+        }
+        let n = trace.num_cells() as f64;
+        t.row(&[
+            name.to_string(),
+            format!("{:.1}", mae / n),
+            format!("{:.1}%", under / n * 100.0),
+            format!("{:.1}%", over / n * 100.0),
+        ]);
+        json_scores.push(serde_json::json!({
+            "predictor": name,
+            "mae_gops": mae / n,
+            "under_rate": under / n,
+            "over_margin": over / n,
+        }));
+    }
+    t.print();
+    println!("(under-rate = steps where prediction fell short — each one risks a");
+    println!(" deadline-miss burst; over-margin = wasted headroom on safe steps)");
+
+    // Downstream: provisioning with predictor × headroom.
+    println!("\n== provisioned-GOPS vs shortfall (aggregate, sliding-max(6)) ==");
+    let mut t = Table::new(&["headroom", "mean provisioned/actual", "shortfall steps"]);
+    let mut json_headroom = Vec::new();
+    let agg: Vec<f64> = trace
+        .samples
+        .iter()
+        .map(|row| row.iter().map(|&u| conv.gops(u)).sum())
+        .collect();
+    for &headroom in &[1.0f64, 1.05, 1.1, 1.2, 1.4] {
+        let mut p = SlidingMax::new(6);
+        let mut provisioned_sum = 0.0;
+        let mut actual_sum = 0.0;
+        let mut shortfalls = 0usize;
+        for (i, &actual) in agg.iter().enumerate() {
+            if i > 0 {
+                let prov = p.predict() * headroom;
+                provisioned_sum += prov;
+                actual_sum += actual;
+                if prov < actual {
+                    shortfalls += 1;
+                }
+            }
+            p.observe(actual);
+        }
+        t.row(&[
+            format!("{headroom:.2}"),
+            format!("{:.3}", provisioned_sum / actual_sum),
+            format!("{}/{}", shortfalls, agg.len() - 1),
+        ]);
+        json_headroom.push(serde_json::json!({
+            "headroom": headroom,
+            "provision_ratio": provisioned_sum / actual_sum,
+            "shortfall_steps": shortfalls,
+        }));
+    }
+    t.print();
+    println!(
+        "\nshape check: the envelope predictor + ~10% headroom eliminates nearly\n\
+         all shortfalls at ~15-25% over-provisioning — the operating point the\n\
+         controller's default configuration encodes."
+    );
+
+    save_json(
+        "e9_predictors",
+        &serde_json::json!({ "scores": json_scores, "headroom": json_headroom }),
+    );
+}

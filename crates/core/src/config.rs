@@ -1,0 +1,84 @@
+//! System configuration: radio, pool and fronthaul parameters.
+
+use std::time::Duration;
+
+use pran_phy::frame::{AntennaConfig, Bandwidth};
+use pran_phy::mcs::Mcs;
+use pran_sched::realtime::Policy;
+use serde::{Deserialize, Serialize};
+
+/// Shape of the server pool.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PoolSpec {
+    /// Number of servers.
+    pub servers: usize,
+    /// Capacity per server in GOPS.
+    pub capacity_gops: f64,
+    /// Cores per server.
+    pub cores: usize,
+    /// Relative cost of powering one server.
+    pub server_cost: f64,
+}
+
+impl PoolSpec {
+    /// Core capacity in GOPS.
+    pub fn core_gops(&self) -> f64 {
+        self.capacity_gops / self.cores as f64
+    }
+}
+
+/// Full system configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SystemConfig {
+    /// Carrier bandwidth of every cell.
+    pub bandwidth: Bandwidth,
+    /// Antenna configuration of every cell.
+    pub antennas: AntennaConfig,
+    /// Traffic-weighted average MCS assumed for dimensioning.
+    pub mcs: Mcs,
+    /// The server pool.
+    pub pool: PoolSpec,
+    /// Real-time scheduling policy within servers.
+    pub scheduler: Policy,
+    /// Placement epoch length.
+    pub epoch: Duration,
+    /// Demand headroom multiplier used when placing.
+    pub headroom: f64,
+}
+
+impl SystemConfig {
+    /// Evaluation defaults: 20 MHz / 4×2 cells, 400-GOPS 8-core servers,
+    /// global EDF, 1-minute epochs, 10 % headroom.
+    pub fn default_eval(servers: usize) -> Self {
+        SystemConfig {
+            bandwidth: Bandwidth::Mhz20,
+            antennas: AntennaConfig::pran_default(),
+            mcs: Mcs::new(20),
+            pool: PoolSpec { servers, capacity_gops: 400.0, cores: 8, server_cost: 1.0 },
+            scheduler: Policy::GlobalEdf,
+            epoch: Duration::from_secs(60),
+            headroom: 1.1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_consistent() {
+        let c = SystemConfig::default_eval(8);
+        assert_eq!(c.pool.servers, 8);
+        assert!((c.pool.core_gops() - 50.0).abs() < 1e-12);
+        assert!(c.headroom >= 1.0);
+    }
+
+    #[test]
+    fn config_serializes() {
+        let c = SystemConfig::default_eval(4);
+        let json = serde_json::to_string(&c).unwrap();
+        let back: SystemConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, c);
+    }
+}

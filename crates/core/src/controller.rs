@@ -1,0 +1,874 @@
+//! The PRAN controller: logically centralized state + the action loop.
+//!
+//! The controller owns the authoritative view of cells, servers and the
+//! current placement. Telemetry flows in via [`Controller::report_load`];
+//! once per epoch [`Controller::run_epoch`] refreshes predictions, repacks
+//! cells incrementally onto live servers and then gives every installed
+//! [`ControlApp`] a chance to act. Failures do **not** trigger automatic
+//! re-placement — recovering displaced cells is itself a control app
+//! ([`crate::apps::FailoverApp`]), which is the paper's programmability
+//! point: policy lives above the API, not inside the controller.
+
+use std::collections::VecDeque;
+use std::time::Duration;
+
+use pran_phy::compute::{CellWorkload, ComputeModel};
+use pran_phy::frame::Direction;
+use pran_sched::placement::migration::incremental_repack;
+use pran_sched::placement::{CellDemand, Placement, PlacementInstance, ServerSpec};
+
+use pran_fronthaul::topology::Topology;
+use serde::{Deserialize, Serialize};
+
+use crate::api::{Action, ActionError, CellView, ControlApp, PoolEvent, PoolView, ServerView};
+use crate::config::SystemConfig;
+
+/// Sliding window length (reports) for per-cell demand prediction.
+const PREDICT_WINDOW: usize = 8;
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct CellState {
+    active: bool,
+    utilization: f64,
+    history: VecDeque<f64>,
+    prb_cap: Option<u32>,
+}
+
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+struct ServerState {
+    alive: bool,
+    drained: bool,
+}
+
+/// Counters the controller maintains across its lifetime.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ControllerStats {
+    /// Placement epochs executed.
+    pub epochs: u64,
+    /// Cells migrated (epochs + actions).
+    pub migrations: u64,
+    /// App actions applied.
+    pub actions_applied: u64,
+    /// App actions rejected by validation.
+    pub actions_rejected: u64,
+    /// Server failures handled.
+    pub failovers: u64,
+}
+
+/// Per-epoch summary returned by [`Controller::run_epoch`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct EpochReport {
+    /// Epoch sequence number (1-based).
+    pub epoch: u64,
+    /// Cells moved by the placement pass.
+    pub migrations: usize,
+    /// Servers in use after the pass.
+    pub servers_used: usize,
+    /// Cells left unplaced (overload).
+    pub unplaced: usize,
+    /// App actions applied this epoch.
+    pub actions_applied: usize,
+    /// App actions rejected this epoch.
+    pub actions_rejected: usize,
+}
+
+/// Report of a server failure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FailureReport {
+    /// The failed server.
+    pub server: usize,
+    /// Cells that lost their server.
+    pub displaced: Vec<usize>,
+    /// Cells re-placed by apps in direct response.
+    pub replaced: usize,
+}
+
+/// Reachability and per-server specs derived from a bound [`Topology`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct TopologyBinding {
+    /// `allowed[cell][server]` from fronthaul latency budgets.
+    allowed: Vec<Vec<bool>>,
+    /// `(capacity_gops, cost)` per server, in global order.
+    specs: Vec<(f64, f64)>,
+}
+
+/// One audit-log entry: when, what happened, how many app actions were
+/// applied/rejected in response.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AuditEntry {
+    /// Controller clock when the event fired.
+    pub at: Duration,
+    /// The event.
+    pub event: PoolEvent,
+    /// App actions applied in direct response.
+    pub actions_applied: usize,
+    /// App actions rejected in direct response.
+    pub actions_rejected: usize,
+}
+
+/// Ring-buffer capacity of the audit log.
+const AUDIT_CAPACITY: usize = 1024;
+
+/// The logically centralized PRAN control plane.
+pub struct Controller {
+    config: SystemConfig,
+    model: ComputeModel,
+    cells: Vec<CellState>,
+    servers: Vec<ServerState>,
+    placement: Placement,
+    apps: Vec<Box<dyn ControlApp>>,
+    stats: ControllerStats,
+    now: Duration,
+    topology: Option<TopologyBinding>,
+    audit: VecDeque<AuditEntry>,
+}
+
+impl Controller {
+    /// Build a controller over an empty cell set.
+    pub fn new(config: SystemConfig) -> Self {
+        let servers = vec![ServerState { alive: true, drained: false }; config.pool.servers];
+        Controller {
+            config,
+            model: ComputeModel::calibrated(),
+            cells: Vec::new(),
+            servers,
+            placement: Placement::empty(0),
+            apps: Vec::new(),
+            stats: ControllerStats::default(),
+            now: Duration::ZERO,
+            topology: None,
+            audit: VecDeque::new(),
+        }
+    }
+
+    /// Bind a multi-site [`Topology`]: placement will honour fronthaul
+    /// reachability (cells only land on sites within the latency budget
+    /// for `service_time` of per-subframe compute) and per-site server
+    /// capacities/costs.
+    ///
+    /// Returns an error when the topology's server count disagrees with
+    /// the pool configuration.
+    pub fn bind_topology(
+        &mut self,
+        topology: &Topology,
+        service_time: Duration,
+    ) -> Result<(), ActionError> {
+        if topology.total_servers() != self.config.pool.servers {
+            return Err(ActionError::NoSuchServer(topology.total_servers()));
+        }
+        self.topology = Some(TopologyBinding {
+            allowed: topology.allowed_matrix(service_time),
+            specs: topology.server_specs(),
+        });
+        Ok(())
+    }
+
+    /// Capacity of one server in GOPS (topology-aware).
+    fn server_capacity(&self, server: usize) -> f64 {
+        self.topology
+            .as_ref()
+            .map(|t| t.specs[server].0)
+            .unwrap_or(self.config.pool.capacity_gops)
+    }
+
+    /// Cost weight of one server (topology-aware).
+    fn server_cost(&self, server: usize) -> f64 {
+        self.topology
+            .as_ref()
+            .map(|t| t.specs[server].1)
+            .unwrap_or(self.config.pool.server_cost)
+    }
+
+    /// Fronthaul reachability of a (cell, server) pair.
+    fn reachable(&self, cell: usize, server: usize) -> bool {
+        match &self.topology {
+            Some(t) => t.allowed.get(cell).map(|row| row[server]).unwrap_or(false),
+            None => true,
+        }
+    }
+
+    /// Install a control application (runs in installation order).
+    pub fn install_app(&mut self, app: Box<dyn ControlApp>) {
+        self.apps.push(app);
+    }
+
+    /// Register a new cell; returns its id.
+    pub fn register_cell(&mut self) -> usize {
+        let id = self.cells.len();
+        self.cells.push(CellState {
+            active: true,
+            utilization: 0.0,
+            history: VecDeque::with_capacity(PREDICT_WINDOW),
+            prb_cap: None,
+        });
+        self.placement.assignment.push(None);
+        self.dispatch_event(PoolEvent::CellRegistered(id));
+        id
+    }
+
+    /// Remove a cell from the system.
+    pub fn deregister_cell(&mut self, cell: usize) -> Result<(), ActionError> {
+        let state = self.cells.get_mut(cell).ok_or(ActionError::NoSuchCell(cell))?;
+        state.active = false;
+        self.placement.assignment[cell] = None;
+        self.dispatch_event(PoolEvent::CellDeregistered(cell));
+        Ok(())
+    }
+
+    /// Ingest a utilization report (PRB fraction in `[0, 1]`).
+    pub fn report_load(&mut self, cell: usize, utilization: f64) -> Result<(), ActionError> {
+        let state = self.cells.get_mut(cell).ok_or(ActionError::NoSuchCell(cell))?;
+        let u = utilization.clamp(0.0, 1.0);
+        state.utilization = u;
+        if state.history.len() == PREDICT_WINDOW {
+            state.history.pop_front();
+        }
+        state.history.push_back(u);
+        Ok(())
+    }
+
+    /// Effective utilization after the PRB cap.
+    fn capped_utilization(&self, cell: usize, u: f64) -> f64 {
+        match self.cells[cell].prb_cap {
+            Some(cap) => u.min(f64::from(cap) / f64::from(self.config.bandwidth.prbs())),
+            None => u,
+        }
+    }
+
+    /// Predicted GOPS demand of a cell (sliding-window max × headroom).
+    pub fn predicted_gops(&self, cell: usize) -> f64 {
+        let state = &self.cells[cell];
+        if !state.active {
+            return 0.0;
+        }
+        let peak = state
+            .history
+            .iter()
+            .copied()
+            .fold(state.utilization, f64::max);
+        let u = self.capped_utilization(cell, peak);
+        self.cell_gops(u) * self.config.headroom
+    }
+
+    /// UL+DL GOPS at a utilization under the configured radio parameters.
+    fn cell_gops(&self, utilization: f64) -> f64 {
+        Direction::both()
+            .iter()
+            .map(|&direction| {
+                let w = CellWorkload {
+                    bandwidth: self.config.bandwidth,
+                    antennas: self.config.antennas,
+                    prbs_used: 0,
+                    mcs: self.config.mcs,
+                    direction,
+                }
+                .at_utilization(utilization);
+                self.model.cell_gops(&w)
+            })
+            .sum()
+    }
+
+    fn placement_instance(&self) -> PlacementInstance {
+        let cells: Vec<CellDemand> = (0..self.cells.len())
+            .map(|c| CellDemand { id: c, gops: self.predicted_gops(c) })
+            .collect();
+        let servers: Vec<ServerSpec> = (0..self.servers.len())
+            .map(|id| ServerSpec {
+                id,
+                capacity_gops: self.server_capacity(id),
+                cost: self.server_cost(id),
+            })
+            .collect();
+        let allowed = (0..self.cells.len())
+            .map(|c| {
+                (0..self.servers.len())
+                    .map(|s| {
+                        self.cells[c].active
+                            && self.servers[s].alive
+                            && !self.servers[s].drained
+                            && self.reachable(c, s)
+                    })
+                    .collect()
+            })
+            .collect();
+        PlacementInstance { cells, servers, allowed }
+    }
+
+    /// Current placement (cell → server).
+    pub fn placement(&self) -> &Placement {
+        &self.placement
+    }
+
+    /// Lifetime statistics.
+    pub fn stats(&self) -> ControllerStats {
+        self.stats
+    }
+
+    /// Snapshot for apps and operators.
+    pub fn view(&self) -> PoolView {
+        let instance_loads = {
+            let mut loads = vec![0.0f64; self.servers.len()];
+            let mut counts = vec![0usize; self.servers.len()];
+            for c in 0..self.cells.len() {
+                if let Some(s) = self.placement.assignment[c] {
+                    loads[s] += self.predicted_gops(c);
+                    counts[s] += 1;
+                }
+            }
+            (loads, counts)
+        };
+        PoolView {
+            now: self.now,
+            cells: (0..self.cells.len())
+                .map(|c| CellView {
+                    id: c,
+                    server: self.placement.assignment[c],
+                    utilization: self.cells[c].utilization,
+                    predicted_gops: self.predicted_gops(c),
+                    prb_cap: self.cells[c].prb_cap,
+                })
+                .collect(),
+            servers: (0..self.servers.len())
+                .map(|s| ServerView {
+                    id: s,
+                    alive: self.servers[s].alive,
+                    capacity_gops: self.server_capacity(s),
+                    load_gops: instance_loads.0[s],
+                    cells: instance_loads.1[s],
+                })
+                .collect(),
+        }
+    }
+
+    /// Execute one placement epoch at time `now`.
+    pub fn run_epoch(&mut self, now: Duration) -> EpochReport {
+        self.now = now;
+        let instance = self.placement_instance();
+        let (new_placement, plan) = incremental_repack(&instance, &self.placement);
+        self.placement = new_placement;
+        self.stats.epochs += 1;
+        self.stats.migrations += plan.len() as u64;
+        let unplaced = (0..self.cells.len())
+            .filter(|&c| self.cells[c].active && self.placement.assignment[c].is_none())
+            .count();
+        let servers_used = instance.servers_used(&self.placement);
+
+        // Apps act on the post-placement view.
+        let (applied, rejected) = self.run_apps_epoch();
+        let epoch = self.stats.epochs;
+        self.dispatch_event(PoolEvent::EpochCompleted { epoch, migrations: plan.len() });
+
+        EpochReport {
+            epoch,
+            migrations: plan.len(),
+            servers_used,
+            unplaced,
+            actions_applied: applied,
+            actions_rejected: rejected,
+        }
+    }
+
+    fn run_apps_epoch(&mut self) -> (usize, usize) {
+        let view = self.view();
+        let mut actions = Vec::new();
+        for app in &mut self.apps {
+            actions.extend(app.on_epoch(&view));
+        }
+        self.apply_actions(&actions)
+    }
+
+    fn dispatch_event(&mut self, event: PoolEvent) {
+        let (applied, rejected) = if self.apps.is_empty() {
+            (0, 0)
+        } else {
+            let view = self.view();
+            let mut actions = Vec::new();
+            let mut apps = std::mem::take(&mut self.apps);
+            for app in &mut apps {
+                actions.extend(app.on_event(&event, &view));
+            }
+            self.apps = apps;
+            self.apply_actions(&actions)
+        };
+        if self.audit.len() == AUDIT_CAPACITY {
+            self.audit.pop_front();
+        }
+        self.audit.push_back(AuditEntry {
+            at: self.now,
+            event,
+            actions_applied: applied,
+            actions_rejected: rejected,
+        });
+    }
+
+    /// The audit log: the most recent [`PoolEvent`]s (bounded ring buffer)
+    /// with the app responses they triggered — the operator's answer to
+    /// "what did the control plane do and when".
+    pub fn audit_log(&self) -> impl Iterator<Item = &AuditEntry> {
+        self.audit.iter()
+    }
+
+    fn apply_actions(&mut self, actions: &[Action]) -> (usize, usize) {
+        let mut applied = 0;
+        let mut rejected = 0;
+        for &a in actions {
+            match self.apply_action(a) {
+                Ok(()) => applied += 1,
+                Err(_) => rejected += 1,
+            }
+        }
+        self.stats.actions_applied += applied as u64;
+        self.stats.actions_rejected += rejected as u64;
+        (applied, rejected)
+    }
+
+    /// Validate and apply one action.
+    pub fn apply_action(&mut self, action: Action) -> Result<(), ActionError> {
+        match action {
+            Action::Migrate { cell, to } => {
+                if cell >= self.cells.len() || !self.cells[cell].active {
+                    return Err(ActionError::NoSuchCell(cell));
+                }
+                if to >= self.servers.len() {
+                    return Err(ActionError::NoSuchServer(to));
+                }
+                if !self.servers[to].alive || self.servers[to].drained {
+                    return Err(ActionError::ServerDown(to));
+                }
+                if !self.reachable(cell, to) {
+                    return Err(ActionError::ServerDown(to)); // out of fronthaul reach
+                }
+                // Capacity check at predicted demand.
+                let mut load = 0.0;
+                for c in 0..self.cells.len() {
+                    if c != cell && self.placement.assignment[c] == Some(to) {
+                        load += self.predicted_gops(c);
+                    }
+                }
+                if load + self.predicted_gops(cell) > self.server_capacity(to) + 1e-9 {
+                    return Err(ActionError::WouldOverload { server: to });
+                }
+                if self.placement.assignment[cell] != Some(to) {
+                    self.placement.assignment[cell] = Some(to);
+                    self.stats.migrations += 1;
+                }
+                Ok(())
+            }
+            Action::CapPrbs { cell, prbs } => {
+                if cell >= self.cells.len() || !self.cells[cell].active {
+                    return Err(ActionError::NoSuchCell(cell));
+                }
+                if prbs > self.config.bandwidth.prbs() {
+                    return Err(ActionError::BadPrbCap { prbs });
+                }
+                self.cells[cell].prb_cap = Some(prbs);
+                Ok(())
+            }
+            Action::UncapPrbs { cell } => {
+                if cell >= self.cells.len() || !self.cells[cell].active {
+                    return Err(ActionError::NoSuchCell(cell));
+                }
+                self.cells[cell].prb_cap = None;
+                Ok(())
+            }
+            Action::Drain { server } => {
+                if server >= self.servers.len() {
+                    return Err(ActionError::NoSuchServer(server));
+                }
+                self.servers[server].drained = true;
+                // Displace its cells; the next epoch (or an app) re-places.
+                for c in 0..self.cells.len() {
+                    if self.placement.assignment[c] == Some(server) {
+                        self.placement.assignment[c] = None;
+                    }
+                }
+                Ok(())
+            }
+            Action::Activate { server } => {
+                if server >= self.servers.len() {
+                    return Err(ActionError::NoSuchServer(server));
+                }
+                self.servers[server].drained = false;
+                Ok(())
+            }
+        }
+    }
+
+    /// Report a server failure at time `now`.
+    ///
+    /// The controller marks state and notifies apps; *re-placement is app
+    /// policy* (install [`crate::apps::FailoverApp`] for the standard
+    /// behaviour).
+    pub fn server_failed(&mut self, server: usize, now: Duration) -> Result<FailureReport, ActionError> {
+        if server >= self.servers.len() {
+            return Err(ActionError::NoSuchServer(server));
+        }
+        self.now = now;
+        self.servers[server].alive = false;
+        let displaced: Vec<usize> = (0..self.cells.len())
+            .filter(|&c| self.placement.assignment[c] == Some(server))
+            .collect();
+        for &c in &displaced {
+            self.placement.assignment[c] = None;
+        }
+        self.stats.failovers += 1;
+        self.dispatch_event(PoolEvent::ServerFailed(server));
+        let replaced = displaced
+            .iter()
+            .filter(|&&c| self.placement.assignment[c].is_some())
+            .count();
+        Ok(FailureReport { server, displaced, replaced })
+    }
+
+    /// Report a server recovery.
+    pub fn server_recovered(&mut self, server: usize, now: Duration) -> Result<(), ActionError> {
+        if server >= self.servers.len() {
+            return Err(ActionError::NoSuchServer(server));
+        }
+        self.now = now;
+        self.servers[server].alive = true;
+        self.dispatch_event(PoolEvent::ServerRecovered(server));
+        Ok(())
+    }
+
+    /// The system configuration.
+    pub fn config(&self) -> &SystemConfig {
+        &self.config
+    }
+
+    /// Capture the controller's durable state.
+    ///
+    /// The snapshot covers everything needed to restart the control plane
+    /// on another machine (PRAN's controller-failover story): config,
+    /// cell/server state, the placement, counters and the clock. Apps are
+    /// code, not state — the caller re-installs them after
+    /// [`Controller::restore`].
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot {
+            config: self.config.clone(),
+            cells: self.cells.clone(),
+            servers: self.servers.clone(),
+            placement: self.placement.assignment.clone(),
+            stats: self.stats,
+            now: self.now,
+            topology: self.topology.clone(),
+        }
+    }
+
+    /// Rebuild a controller from a snapshot.
+    ///
+    /// # Panics
+    /// Panics if the snapshot is internally inconsistent (placement length
+    /// vs cell count, server indices out of range) — snapshots come from
+    /// [`Controller::snapshot`] or its serialized form, so inconsistency
+    /// means corruption.
+    pub fn restore(snapshot: Snapshot) -> Self {
+        assert_eq!(
+            snapshot.placement.len(),
+            snapshot.cells.len(),
+            "snapshot placement/cell mismatch"
+        );
+        assert_eq!(
+            snapshot.servers.len(),
+            snapshot.config.pool.servers,
+            "snapshot server-count mismatch"
+        );
+        for a in snapshot.placement.iter().flatten() {
+            assert!(*a < snapshot.servers.len(), "snapshot server index out of range");
+        }
+        Controller {
+            config: snapshot.config,
+            model: ComputeModel::calibrated(),
+            cells: snapshot.cells,
+            servers: snapshot.servers,
+            placement: Placement { assignment: snapshot.placement },
+            apps: Vec::new(),
+            stats: snapshot.stats,
+            now: snapshot.now,
+            topology: snapshot.topology,
+            audit: VecDeque::new(),
+        }
+    }
+}
+
+/// Serializable controller state (see [`Controller::snapshot`]).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Snapshot {
+    /// System configuration at capture time.
+    pub config: SystemConfig,
+    cells: Vec<CellState>,
+    servers: Vec<ServerState>,
+    placement: Vec<Option<usize>>,
+    /// Lifetime counters at capture time.
+    pub stats: ControllerStats,
+    /// Controller clock at capture time.
+    pub now: Duration,
+    topology: Option<TopologyBinding>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn controller(cells: usize, servers: usize) -> Controller {
+        let mut c = Controller::new(SystemConfig::default_eval(servers));
+        for i in 0..cells {
+            assert_eq!(c.register_cell(), i);
+        }
+        c
+    }
+
+    #[test]
+    fn epoch_places_all_cells() {
+        let mut c = controller(6, 8);
+        for i in 0..6 {
+            c.report_load(i, 0.5).unwrap();
+        }
+        let r = c.run_epoch(Duration::from_secs(60));
+        assert_eq!(r.unplaced, 0);
+        assert!(r.servers_used >= 1);
+        assert_eq!(r.migrations, 6, "first epoch places everyone");
+        // Second epoch with same loads: no churn.
+        let r2 = c.run_epoch(Duration::from_secs(120));
+        assert_eq!(r2.migrations, 0);
+    }
+
+    #[test]
+    fn report_load_validates_cell() {
+        let mut c = controller(1, 2);
+        assert!(c.report_load(0, 0.3).is_ok());
+        assert_eq!(c.report_load(9, 0.3), Err(ActionError::NoSuchCell(9)));
+    }
+
+    #[test]
+    fn prediction_uses_window_max() {
+        let mut c = controller(1, 2);
+        c.report_load(0, 0.9).unwrap();
+        c.report_load(0, 0.1).unwrap();
+        let high = c.predicted_gops(0);
+        // Prediction reflects the recent 0.9 peak, not just the last 0.1.
+        let mut c2 = controller(1, 2);
+        c2.report_load(0, 0.1).unwrap();
+        assert!(high > c2.predicted_gops(0) * 1.5);
+    }
+
+    #[test]
+    fn prb_cap_reduces_prediction() {
+        let mut c = controller(1, 2);
+        c.report_load(0, 1.0).unwrap();
+        let uncapped = c.predicted_gops(0);
+        c.apply_action(Action::CapPrbs { cell: 0, prbs: 25 }).unwrap();
+        let capped = c.predicted_gops(0);
+        assert!(capped < uncapped * 0.6, "{capped} vs {uncapped}");
+        c.apply_action(Action::UncapPrbs { cell: 0 }).unwrap();
+        assert_eq!(c.predicted_gops(0), uncapped);
+    }
+
+    #[test]
+    fn migrate_action_validated() {
+        let mut c = controller(2, 2);
+        for i in 0..2 {
+            c.report_load(i, 0.5).unwrap();
+        }
+        c.run_epoch(Duration::from_secs(1));
+        assert_eq!(
+            c.apply_action(Action::Migrate { cell: 0, to: 99 }),
+            Err(ActionError::NoSuchServer(99))
+        );
+        assert_eq!(
+            c.apply_action(Action::Migrate { cell: 99, to: 0 }),
+            Err(ActionError::NoSuchCell(99))
+        );
+        assert!(c.apply_action(Action::Migrate { cell: 0, to: 1 }).is_ok());
+        assert_eq!(c.placement().assignment[0], Some(1));
+    }
+
+    #[test]
+    fn migrate_rejected_when_overloading() {
+        let mut c = controller(3, 3);
+        for i in 0..3 {
+            c.report_load(i, 1.0).unwrap();
+        }
+        c.run_epoch(Duration::from_secs(1));
+        // Full-load cells ≈ 300+ GOPS predicted; two can't share 400 GOPS.
+        let target = c.placement().assignment[1].unwrap();
+        let err = c.apply_action(Action::Migrate { cell: 0, to: target });
+        assert_eq!(err, Err(ActionError::WouldOverload { server: target }));
+    }
+
+    #[test]
+    fn failure_without_apps_leaves_cells_unplaced() {
+        let mut c = controller(4, 4);
+        for i in 0..4 {
+            c.report_load(i, 0.6).unwrap();
+        }
+        c.run_epoch(Duration::from_secs(1));
+        let victim = c.placement().assignment[0].unwrap();
+        let report = c.server_failed(victim, Duration::from_secs(2)).unwrap();
+        assert!(!report.displaced.is_empty());
+        assert_eq!(report.replaced, 0, "no failover app installed");
+        // The next epoch repairs.
+        let r = c.run_epoch(Duration::from_secs(60));
+        assert_eq!(r.unplaced, 0);
+    }
+
+    #[test]
+    fn drain_displaces_and_next_epoch_avoids_server() {
+        let mut c = controller(2, 3);
+        for i in 0..2 {
+            c.report_load(i, 0.4).unwrap();
+        }
+        c.run_epoch(Duration::from_secs(1));
+        let s = c.placement().assignment[0].unwrap();
+        c.apply_action(Action::Drain { server: s }).unwrap();
+        assert_ne!(c.placement().assignment[0], Some(s));
+        let r = c.run_epoch(Duration::from_secs(60));
+        assert_eq!(r.unplaced, 0);
+        assert_ne!(c.placement().assignment[0], Some(s), "drained server avoided");
+        // Reactivation makes it eligible again.
+        c.apply_action(Action::Activate { server: s }).unwrap();
+    }
+
+    #[test]
+    fn deregistered_cells_drop_out() {
+        let mut c = controller(3, 3);
+        for i in 0..3 {
+            c.report_load(i, 0.5).unwrap();
+        }
+        c.run_epoch(Duration::from_secs(1));
+        c.deregister_cell(1).unwrap();
+        let r = c.run_epoch(Duration::from_secs(60));
+        assert_eq!(r.unplaced, 0);
+        assert_eq!(c.placement().assignment[1], None);
+        assert_eq!(c.predicted_gops(1), 0.0);
+    }
+
+    #[test]
+    fn view_reflects_state() {
+        let mut c = controller(2, 2);
+        c.report_load(0, 0.7).unwrap();
+        c.report_load(1, 0.2).unwrap();
+        c.run_epoch(Duration::from_secs(5));
+        let v = c.view();
+        assert_eq!(v.cells.len(), 2);
+        assert_eq!(v.servers.len(), 2);
+        assert_eq!(v.now, Duration::from_secs(5));
+        assert!(v.cells[0].server.is_some());
+        assert!((v.cells[0].utilization - 0.7).abs() < 1e-12);
+        let total_cells: usize = v.servers.iter().map(|s| s.cells).sum();
+        assert_eq!(total_cells, 2);
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut c = controller(2, 2);
+        c.report_load(0, 0.5).unwrap();
+        c.report_load(1, 0.5).unwrap();
+        c.run_epoch(Duration::from_secs(1));
+        c.run_epoch(Duration::from_secs(2));
+        let s = c.stats();
+        assert_eq!(s.epochs, 2);
+        assert!(s.migrations >= 2);
+    }
+}
+
+#[cfg(test)]
+mod snapshot_tests {
+    use super::*;
+    use crate::apps::FailoverApp;
+
+    fn populated() -> Controller {
+        let mut c = Controller::new(SystemConfig::default_eval(4));
+        for i in 0..6 {
+            c.register_cell();
+            c.report_load(i, 0.3 + 0.1 * i as f64).unwrap();
+        }
+        c.apply_action(Action::CapPrbs { cell: 2, prbs: 25 }).unwrap();
+        c.run_epoch(Duration::from_secs(60));
+        c.server_failed(0, Duration::from_secs(61)).unwrap();
+        c
+    }
+
+    #[test]
+    fn snapshot_roundtrip_preserves_view() {
+        let original = populated();
+        let json = serde_json::to_string(&original.snapshot()).unwrap();
+        let restored = Controller::restore(serde_json::from_str(&json).unwrap());
+        assert_eq!(restored.view(), original.view());
+        assert_eq!(restored.stats(), original.stats());
+        assert_eq!(restored.placement(), original.placement());
+    }
+
+    #[test]
+    fn restored_controller_continues_operating() {
+        let original = populated();
+        let mut restored = Controller::restore(original.snapshot());
+        restored.install_app(Box::new(FailoverApp::new()));
+        // The restored controller knows server 0 is dead and places
+        // everyone on the survivors.
+        for i in 0..6 {
+            restored.report_load(i, 0.4).unwrap();
+        }
+        let report = restored.run_epoch(Duration::from_secs(120));
+        assert_eq!(report.unplaced, 0);
+        assert!(restored
+            .placement()
+            .assignment
+            .iter()
+            .all(|a| *a != Some(0)));
+        // PRB cap survived the restart.
+        assert_eq!(restored.view().cells[2].prb_cap, Some(25));
+    }
+
+    #[test]
+    #[should_panic(expected = "server-count mismatch")]
+    fn corrupt_snapshot_rejected() {
+        let c = populated();
+        let mut snap = c.snapshot();
+        snap.config.pool.servers = 99;
+        Controller::restore(snap);
+    }
+}
+
+#[cfg(test)]
+mod audit_tests {
+    use super::*;
+    use crate::apps::FailoverApp;
+
+    #[test]
+    fn audit_records_events_in_order() {
+        let mut c = Controller::new(SystemConfig::default_eval(3));
+        c.install_app(Box::new(FailoverApp::new()));
+        let a = c.register_cell();
+        c.report_load(a, 0.5).unwrap();
+        c.run_epoch(Duration::from_secs(60));
+        c.server_failed(c.placement().assignment[a].unwrap(), Duration::from_secs(61))
+            .unwrap();
+        let log: Vec<&AuditEntry> = c.audit_log().collect();
+        assert!(log.len() >= 3, "register + epoch + failure");
+        assert!(matches!(log[0].event, PoolEvent::CellRegistered(0)));
+        assert!(log
+            .iter()
+            .any(|e| matches!(e.event, PoolEvent::ServerFailed(_))));
+        // The failover app's response is visible on the failure entry.
+        let failure = log
+            .iter()
+            .find(|e| matches!(e.event, PoolEvent::ServerFailed(_)))
+            .unwrap();
+        assert_eq!(failure.actions_applied, 1, "one migrate from the app");
+        // Times are monotone.
+        for w in log.windows(2) {
+            assert!(w[0].at <= w[1].at);
+        }
+    }
+
+    #[test]
+    fn audit_is_bounded() {
+        let mut c = Controller::new(SystemConfig::default_eval(2));
+        for _ in 0..1100 {
+            let id = c.register_cell();
+            c.deregister_cell(id).unwrap();
+        }
+        assert_eq!(c.audit_log().count(), AUDIT_CAPACITY);
+    }
+}

@@ -1,0 +1,166 @@
+//! Latency budgeting for the fronthaul segment.
+//!
+//! A cell can only be served from a pool site if fronthaul transport leaves
+//! enough of the HARQ budget for compute. This module prices the one-way
+//! latency of a path (propagation over fiber, serialization at the link
+//! rate, per-hop switching) and derives the remaining compute budget —
+//! the constraint the placement ILP enforces per (cell, server) pair.
+
+use pran_phy::frame::HARQ_DEADLINE;
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+
+/// Speed of light in fiber, m/s (≈ 2/3 c).
+pub const FIBER_SPEED_M_S: f64 = 2.0e8;
+
+/// A fronthaul path from a front-end to a pool site.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FronthaulPath {
+    /// Fiber route length in meters.
+    pub fiber_m: f64,
+    /// Link rate in bit/s (for serialization delay).
+    pub link_rate_bps: f64,
+    /// Store-and-forward switch hops.
+    pub switch_hops: u32,
+    /// Per-hop switching latency.
+    pub per_hop: Duration,
+}
+
+impl FronthaulPath {
+    /// A direct dark-fiber path with 10 GbE framing and two switches.
+    pub fn metro(fiber_m: f64) -> Self {
+        FronthaulPath {
+            fiber_m,
+            link_rate_bps: 10e9,
+            switch_hops: 2,
+            per_hop: Duration::from_micros(5),
+        }
+    }
+
+    /// Propagation delay over the fiber route.
+    pub fn propagation(&self) -> Duration {
+        Duration::from_secs_f64(self.fiber_m / FIBER_SPEED_M_S)
+    }
+
+    /// Serialization delay of a burst of `bytes` at the link rate.
+    pub fn serialization(&self, bytes: usize) -> Duration {
+        Duration::from_secs_f64(bytes as f64 * 8.0 / self.link_rate_bps)
+    }
+
+    /// Total switching delay.
+    pub fn switching(&self) -> Duration {
+        self.per_hop * self.switch_hops
+    }
+
+    /// One-way latency for a burst of `bytes`.
+    pub fn one_way(&self, bytes: usize) -> Duration {
+        self.propagation() + self.serialization(bytes) + self.switching()
+    }
+
+    /// Compute budget left per subframe after fronthaul transport, given
+    /// the burst size per TTI in each direction. `None` when the HARQ
+    /// budget is already blown by transport alone.
+    ///
+    /// The uplink subframe must travel in, be processed, and the resulting
+    /// ACK/grant must travel back: `budget = HARQ − 2 × one_way`.
+    pub fn compute_budget(&self, bytes_per_tti: usize) -> Option<Duration> {
+        let transport = self.one_way(bytes_per_tti) * 2;
+        HARQ_DEADLINE.checked_sub(transport)
+    }
+
+    /// Whether a pool at the end of this path can serve a cell whose
+    /// subframe processing takes `service_time`.
+    pub fn feasible(&self, bytes_per_tti: usize, service_time: Duration) -> bool {
+        self.compute_budget(bytes_per_tti)
+            .is_some_and(|budget| service_time <= budget)
+    }
+
+    /// Maximum fiber distance at which `budget` remains after transport of
+    /// `bytes_per_tti` (ignoring the path's current `fiber_m`).
+    pub fn max_distance_for_budget(&self, bytes_per_tti: usize, budget: Duration) -> f64 {
+        let fixed = (self.serialization(bytes_per_tti) + self.switching()) * 2;
+        let Some(available) = HARQ_DEADLINE.checked_sub(budget) else {
+            return 0.0;
+        };
+        let Some(for_propagation) = available.checked_sub(fixed) else {
+            return 0.0;
+        };
+        // Two-way propagation consumes the remainder.
+        for_propagation.as_secs_f64() / 2.0 * FIBER_SPEED_M_S
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn propagation_math() {
+        let p = FronthaulPath::metro(20_000.0);
+        // 20 km at 2e8 m/s = 100 µs.
+        assert_eq!(p.propagation(), Duration::from_micros(100));
+    }
+
+    #[test]
+    fn serialization_math() {
+        let p = FronthaulPath::metro(1000.0);
+        // 12500 bytes = 100 kbit at 10 Gb/s = 10 µs.
+        assert_eq!(p.serialization(12_500), Duration::from_micros(10));
+    }
+
+    #[test]
+    fn one_way_composition() {
+        let p = FronthaulPath::metro(20_000.0);
+        let total = p.one_way(12_500);
+        assert_eq!(
+            total,
+            p.propagation() + p.serialization(12_500) + p.switching()
+        );
+        assert_eq!(p.switching(), Duration::from_micros(10));
+    }
+
+    #[test]
+    fn nearby_pool_leaves_most_of_harq_budget() {
+        let p = FronthaulPath::metro(5_000.0);
+        let budget = p.compute_budget(10_000).unwrap();
+        assert!(budget > Duration::from_micros(2_800), "budget {budget:?}");
+    }
+
+    #[test]
+    fn distant_pool_infeasible() {
+        // 400 km → 2 ms one-way propagation → 4 ms round trip > HARQ 3 ms.
+        let p = FronthaulPath::metro(400_000.0);
+        assert_eq!(p.compute_budget(10_000), None);
+        assert!(!p.feasible(10_000, Duration::from_micros(1)));
+    }
+
+    #[test]
+    fn feasibility_threshold() {
+        let p = FronthaulPath::metro(50_000.0); // 250 µs one-way prop
+        let budget = p.compute_budget(12_500).unwrap();
+        assert!(p.feasible(12_500, budget));
+        assert!(!p.feasible(12_500, budget + Duration::from_nanos(1)));
+    }
+
+    #[test]
+    fn max_distance_inverse_of_budget() {
+        let p = FronthaulPath::metro(0.0);
+        let budget = Duration::from_millis(2);
+        let d = p.max_distance_for_budget(12_500, budget);
+        // Plug back in: at that distance, the budget should be achievable.
+        let check = FronthaulPath { fiber_m: d, ..p };
+        let got = check.compute_budget(12_500).unwrap();
+        assert!(
+            (got.as_secs_f64() - budget.as_secs_f64()).abs() < 1e-6,
+            "{got:?} vs {budget:?}"
+        );
+        // ~(3ms − 2ms − 20µs − 20µs)/2 × 2e8 ≈ 96 km.
+        assert!((90_000.0..100_000.0).contains(&d), "distance {d}");
+    }
+
+    #[test]
+    fn impossible_budget_gives_zero_distance() {
+        let p = FronthaulPath::metro(0.0);
+        assert_eq!(p.max_distance_for_budget(12_500, Duration::from_millis(10)), 0.0);
+    }
+}

@@ -1,0 +1,314 @@
+//! Fault injection for fronthaul links (smoltcp-style).
+//!
+//! Wraps a frame stream with configurable loss, corruption, reordering
+//! jitter and a token-bucket rate limit, so integration tests and examples
+//! can demonstrate the system's response to adverse transport conditions
+//! deterministically (seeded RNG).
+
+use bytes::{Bytes, BytesMut};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::VecDeque;
+use std::time::Duration;
+
+/// Fault-injection configuration. All probabilities in `[0, 1]`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultConfig {
+    /// Probability of dropping a frame outright.
+    pub drop_prob: f64,
+    /// Probability of flipping one random bit in a frame.
+    pub corrupt_prob: f64,
+    /// Extra queueing jitter added per frame, uniform in `[0, max_jitter]`.
+    pub max_jitter: Duration,
+    /// Token-bucket capacity in frames (0 disables rate limiting).
+    pub bucket_capacity: u32,
+    /// Tokens refilled per [`FaultInjector::tick`].
+    pub refill_per_tick: u32,
+}
+
+impl FaultConfig {
+    /// A clean link: no faults.
+    pub fn clean() -> Self {
+        FaultConfig {
+            drop_prob: 0.0,
+            corrupt_prob: 0.0,
+            max_jitter: Duration::ZERO,
+            bucket_capacity: 0,
+            refill_per_tick: 0,
+        }
+    }
+
+    /// The smoltcp-README starting point: 15 % drop, 15 % corruption.
+    pub fn adverse() -> Self {
+        FaultConfig {
+            drop_prob: 0.15,
+            corrupt_prob: 0.15,
+            max_jitter: Duration::from_micros(50),
+            bucket_capacity: 0,
+            refill_per_tick: 0,
+        }
+    }
+}
+
+/// What the injector did with one frame.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Outcome {
+    /// Frame delivered (possibly corrupted) after the given extra delay.
+    Delivered {
+        /// The (possibly corrupted) frame bytes.
+        data: Bytes,
+        /// Additional queueing jitter to apply.
+        extra_delay: Duration,
+        /// Whether a bit was flipped.
+        corrupted: bool,
+    },
+    /// Frame randomly dropped.
+    Dropped,
+    /// Frame rejected by the rate limiter.
+    RateLimited,
+}
+
+/// Statistics kept by the injector.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Frames offered to the link.
+    pub offered: u64,
+    /// Frames that came out the other side.
+    pub delivered: u64,
+    /// Frames randomly dropped.
+    pub dropped: u64,
+    /// Frames delivered with a flipped bit.
+    pub corrupted: u64,
+    /// Frames rejected by the rate limiter.
+    pub rate_limited: u64,
+}
+
+/// A deterministic fault-injecting link.
+#[derive(Debug)]
+pub struct FaultInjector {
+    config: FaultConfig,
+    rng: SmallRng,
+    tokens: u32,
+    stats: FaultStats,
+}
+
+impl FaultInjector {
+    /// Build with an explicit seed — all behaviour is reproducible.
+    pub fn new(config: FaultConfig, seed: u64) -> Self {
+        FaultInjector {
+            config,
+            rng: SmallRng::seed_from_u64(seed),
+            tokens: config.bucket_capacity,
+            stats: FaultStats::default(),
+        }
+    }
+
+    /// Refill the token bucket (call once per simulated tick).
+    pub fn tick(&mut self) {
+        if self.config.bucket_capacity > 0 {
+            self.tokens =
+                (self.tokens + self.config.refill_per_tick).min(self.config.bucket_capacity);
+        }
+    }
+
+    /// Pass one frame through the faulty link.
+    pub fn offer(&mut self, data: Bytes) -> Outcome {
+        self.stats.offered += 1;
+        if self.config.bucket_capacity > 0 {
+            if self.tokens == 0 {
+                self.stats.rate_limited += 1;
+                return Outcome::RateLimited;
+            }
+            self.tokens -= 1;
+        }
+        if self.rng.gen::<f64>() < self.config.drop_prob {
+            self.stats.dropped += 1;
+            return Outcome::Dropped;
+        }
+        let mut corrupted = false;
+        let data = if !data.is_empty() && self.rng.gen::<f64>() < self.config.corrupt_prob {
+            corrupted = true;
+            self.stats.corrupted += 1;
+            let mut m = BytesMut::from(&data[..]);
+            let byte = self.rng.gen_range(0..m.len());
+            let bit = self.rng.gen_range(0..8u8);
+            m[byte] ^= 1 << bit;
+            m.freeze()
+        } else {
+            data
+        };
+        let extra_delay = if self.config.max_jitter > Duration::ZERO {
+            self.config.max_jitter.mul_f64(self.rng.gen::<f64>())
+        } else {
+            Duration::ZERO
+        };
+        self.stats.delivered += 1;
+        Outcome::Delivered { data, extra_delay, corrupted }
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> FaultStats {
+        self.stats
+    }
+}
+
+/// A reorder buffer that releases frames in delay order — used with the
+/// injector's jitter to exercise out-of-order delivery.
+#[derive(Debug, Default)]
+pub struct JitterQueue {
+    queue: VecDeque<(Duration, Bytes)>,
+}
+
+impl JitterQueue {
+    /// Empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Insert a frame due at `due`.
+    pub fn push(&mut self, due: Duration, data: Bytes) {
+        let pos = self.queue.partition_point(|(d, _)| *d <= due);
+        self.queue.insert(pos, (due, data));
+    }
+
+    /// Pop every frame due at or before `now`.
+    pub fn release(&mut self, now: Duration) -> Vec<Bytes> {
+        let mut out = Vec::new();
+        while let Some((due, _)) = self.queue.front() {
+            if *due <= now {
+                out.push(self.queue.pop_front().expect("front exists").1);
+            } else {
+                break;
+            }
+        }
+        out
+    }
+
+    /// Frames still queued.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_link_delivers_everything_unchanged() {
+        let mut inj = FaultInjector::new(FaultConfig::clean(), 1);
+        for i in 0..100u8 {
+            let data = Bytes::copy_from_slice(&[i; 16]);
+            match inj.offer(data.clone()) {
+                Outcome::Delivered { data: got, extra_delay, corrupted } => {
+                    assert_eq!(got, data);
+                    assert_eq!(extra_delay, Duration::ZERO);
+                    assert!(!corrupted);
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        assert_eq!(inj.stats().delivered, 100);
+    }
+
+    #[test]
+    fn drop_rate_approximates_config() {
+        let cfg = FaultConfig { drop_prob: 0.3, ..FaultConfig::clean() };
+        let mut inj = FaultInjector::new(cfg, 2);
+        for _ in 0..10_000 {
+            inj.offer(Bytes::from_static(b"x"));
+        }
+        let rate = inj.stats().dropped as f64 / 10_000.0;
+        assert!((rate - 0.3).abs() < 0.03, "drop rate {rate}");
+    }
+
+    #[test]
+    fn corruption_flips_exactly_one_bit() {
+        let cfg = FaultConfig { corrupt_prob: 1.0, ..FaultConfig::clean() };
+        let mut inj = FaultInjector::new(cfg, 3);
+        let original = Bytes::copy_from_slice(&[0u8; 64]);
+        match inj.offer(original.clone()) {
+            Outcome::Delivered { data, corrupted, .. } => {
+                assert!(corrupted);
+                let flipped: u32 =
+                    data.iter().zip(original.iter()).map(|(a, b)| (a ^ b).count_ones()).sum();
+                assert_eq!(flipped, 1);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let cfg = FaultConfig::adverse();
+        let run = |seed| {
+            let mut inj = FaultInjector::new(cfg, seed);
+            (0..200)
+                .map(|_| matches!(inj.offer(Bytes::from_static(b"abc")), Outcome::Dropped))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+    }
+
+    #[test]
+    fn rate_limiter_enforces_bucket() {
+        let cfg = FaultConfig {
+            bucket_capacity: 4,
+            refill_per_tick: 2,
+            ..FaultConfig::clean()
+        };
+        let mut inj = FaultInjector::new(cfg, 4);
+        let mut delivered = 0;
+        for _ in 0..10 {
+            if matches!(inj.offer(Bytes::from_static(b"x")), Outcome::Delivered { .. }) {
+                delivered += 1;
+            }
+        }
+        assert_eq!(delivered, 4, "initial bucket only");
+        inj.tick();
+        let mut after = 0;
+        for _ in 0..10 {
+            if matches!(inj.offer(Bytes::from_static(b"x")), Outcome::Delivered { .. }) {
+                after += 1;
+            }
+        }
+        assert_eq!(after, 2, "one refill's worth");
+        assert_eq!(inj.stats().rate_limited, 14);
+    }
+
+    #[test]
+    fn jitter_queue_orders_by_due_time() {
+        let mut q = JitterQueue::new();
+        q.push(Duration::from_micros(30), Bytes::from_static(b"c"));
+        q.push(Duration::from_micros(10), Bytes::from_static(b"a"));
+        q.push(Duration::from_micros(20), Bytes::from_static(b"b"));
+        assert_eq!(q.len(), 3);
+        let early = q.release(Duration::from_micros(20));
+        assert_eq!(early, vec![Bytes::from_static(b"a"), Bytes::from_static(b"b")]);
+        assert_eq!(q.len(), 1);
+        let late = q.release(Duration::from_millis(1));
+        assert_eq!(late, vec![Bytes::from_static(b"c")]);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn jitter_bounded_by_config() {
+        let cfg = FaultConfig {
+            max_jitter: Duration::from_micros(100),
+            ..FaultConfig::clean()
+        };
+        let mut inj = FaultInjector::new(cfg, 5);
+        for _ in 0..1000 {
+            if let Outcome::Delivered { extra_delay, .. } = inj.offer(Bytes::from_static(b"x"))
+            {
+                assert!(extra_delay <= Duration::from_micros(100));
+            }
+        }
+    }
+}

@@ -1,0 +1,197 @@
+//! Linearization helpers for products of decision variables.
+//!
+//! ILP formulations of placement problems routinely contain bilinear terms
+//! (e.g. "cell c is on server s AND server s is powered"). These helpers
+//! apply the classic Fortet reformulation for binary×binary products and the
+//! big-M variant for binary×continuous products, so models stay linear and
+//! solvable by [`crate::branch_bound`].
+
+use crate::model::{Cmp, LinExpr, Model, VarId, VarKind};
+
+/// Add `z = x · y` for binary `x`, `y` via the Fortet constraints
+/// `z ≤ x`, `z ≤ y`, `z ≥ x + y − 1`. Returns the new binary `z`.
+///
+/// # Panics
+/// Panics if `x` or `y` is not binary — products of general variables need
+/// [`product_binary_continuous`] or a piecewise approach.
+pub fn product_binary(model: &mut Model, x: VarId, y: VarId, name: impl Into<String>) -> VarId {
+    assert_eq!(model.var(x).kind, VarKind::Binary, "x must be binary");
+    assert_eq!(model.var(y).kind, VarKind::Binary, "y must be binary");
+    let name = name.into();
+    let z = model.binary(name.clone());
+    model.add_constraint(format!("{name}_le_x"), LinExpr::from(z) - x, Cmp::Le, 0.0);
+    model.add_constraint(format!("{name}_le_y"), LinExpr::from(z) - y, Cmp::Le, 0.0);
+    model.add_constraint(
+        format!("{name}_ge_sum"),
+        LinExpr::from(z) - x - y,
+        Cmp::Ge,
+        -1.0,
+    );
+    z
+}
+
+/// Add `z = Πᵢ xᵢ` for binary `xᵢ` (logical AND of all of them).
+///
+/// Uses `z ≤ xᵢ ∀i` and `z ≥ Σxᵢ − (n−1)`. Returns `z`.
+///
+/// # Panics
+/// Panics if `vars` is empty or any variable is not binary.
+pub fn and_all(model: &mut Model, vars: &[VarId], name: impl Into<String>) -> VarId {
+    assert!(!vars.is_empty(), "and_all needs at least one variable");
+    for &v in vars {
+        assert_eq!(model.var(v).kind, VarKind::Binary, "all inputs must be binary");
+    }
+    let name = name.into();
+    let z = model.binary(name.clone());
+    for (i, &v) in vars.iter().enumerate() {
+        model.add_constraint(format!("{name}_le_{i}"), LinExpr::from(z) - v, Cmp::Le, 0.0);
+    }
+    let mut sum = LinExpr::from(z);
+    for &v in vars {
+        sum = sum - v;
+    }
+    model.add_constraint(
+        format!("{name}_ge_sum"),
+        sum,
+        Cmp::Ge,
+        -((vars.len() - 1) as f64),
+    );
+    z
+}
+
+/// Add `z = x · y` for binary `x` and continuous `y ∈ [0, U]` (big-M with
+/// `M = U`):
+///
+/// `z ≤ U·x`, `z ≤ y`, `z ≥ y − U·(1−x)`, `z ≥ 0`. Returns continuous `z`.
+///
+/// # Panics
+/// Panics if `x` is not binary, or `y`'s lower bound is negative, or `y` has
+/// no finite upper bound (the big-M needs one).
+pub fn product_binary_continuous(
+    model: &mut Model,
+    x: VarId,
+    y: VarId,
+    name: impl Into<String>,
+) -> VarId {
+    assert_eq!(model.var(x).kind, VarKind::Binary, "x must be binary");
+    let (y_lo, y_hi) = (model.var(y).lower, model.var(y).upper);
+    assert!(y_lo >= 0.0, "y must be nonnegative");
+    assert!(y_hi.is_finite(), "y needs a finite upper bound for big-M");
+    let name = name.into();
+    let z = model.continuous(name.clone(), 0.0, y_hi);
+    model.add_constraint(
+        format!("{name}_le_ux"),
+        LinExpr::from(z) - LinExpr::term(x, y_hi),
+        Cmp::Le,
+        0.0,
+    );
+    model.add_constraint(format!("{name}_le_y"), LinExpr::from(z) - y, Cmp::Le, 0.0);
+    model.add_constraint(
+        format!("{name}_ge"),
+        LinExpr::from(z) - y - LinExpr::term(x, y_hi),
+        Cmp::Ge,
+        -y_hi,
+    );
+    z
+}
+
+/// Add an indicator linking `y > 0 ⇒ x = 1` for continuous `y ∈ [0, U]` and
+/// binary `x`: the single constraint `y ≤ U·x`.
+pub fn indicator_upper(model: &mut Model, x: VarId, y: VarId, name: impl Into<String>) {
+    let y_hi = model.var(y).upper;
+    assert!(y_hi.is_finite(), "y needs a finite upper bound");
+    model.add_constraint(
+        name,
+        LinExpr::from(y) - LinExpr::term(x, y_hi),
+        Cmp::Le,
+        0.0,
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::branch_bound::{solve_ilp_default, IlpStatus};
+    use crate::model::{Model, Sense};
+
+    /// Exhaustively check z == x*y over all binary assignments by fixing
+    /// x and y with constraints and asking the solver for z.
+    #[test]
+    fn product_binary_truth_table() {
+        for (xv, yv) in [(0.0, 0.0), (0.0, 1.0), (1.0, 0.0), (1.0, 1.0)] {
+            let mut m = Model::new("t");
+            let x = m.binary("x");
+            let y = m.binary("y");
+            let z = product_binary(&mut m, x, y, "z");
+            m.add_constraint("fix_x", LinExpr::from(x), Cmp::Eq, xv);
+            m.add_constraint("fix_y", LinExpr::from(y), Cmp::Eq, yv);
+            // Either direction of optimization must give the same z value —
+            // that is what makes the linearization exact.
+            for sense in [Sense::Minimize, Sense::Maximize] {
+                m.set_objective(sense, LinExpr::from(z));
+                let r = solve_ilp_default(&m);
+                assert_eq!(r.status, IlpStatus::Optimal);
+                assert_eq!(r.solution.unwrap().value(z).round(), xv * yv);
+            }
+        }
+    }
+
+    #[test]
+    fn and_all_three_variables() {
+        for bits in 0u8..8 {
+            let vals = [(bits & 1) as f64, ((bits >> 1) & 1) as f64, ((bits >> 2) & 1) as f64];
+            let mut m = Model::new("t");
+            let vars: Vec<_> = (0..3).map(|i| m.binary(format!("x{i}"))).collect();
+            let z = and_all(&mut m, &vars, "z");
+            for (i, (&v, &val)) in vars.iter().zip(vals.iter()).enumerate() {
+                m.add_constraint(format!("fix{i}"), LinExpr::from(v), Cmp::Eq, val);
+            }
+            for sense in [Sense::Minimize, Sense::Maximize] {
+                m.set_objective(sense, LinExpr::from(z));
+                let r = solve_ilp_default(&m);
+                let expect = vals.iter().product::<f64>();
+                assert_eq!(r.solution.unwrap().value(z).round(), expect);
+            }
+        }
+    }
+
+    #[test]
+    fn product_binary_continuous_both_branches() {
+        for xv in [0.0, 1.0] {
+            let mut m = Model::new("t");
+            let x = m.binary("x");
+            let y = m.continuous("y", 0.0, 7.5);
+            let z = product_binary_continuous(&mut m, x, y, "z");
+            m.add_constraint("fix_x", LinExpr::from(x), Cmp::Eq, xv);
+            m.add_constraint("fix_y", LinExpr::from(y), Cmp::Eq, 3.25);
+            for sense in [Sense::Minimize, Sense::Maximize] {
+                m.set_objective(sense, LinExpr::from(z));
+                let r = solve_ilp_default(&m);
+                let got = r.solution.unwrap().value(z);
+                assert!((got - xv * 3.25).abs() < 1e-6, "x={xv}: z={got}");
+            }
+        }
+    }
+
+    #[test]
+    fn indicator_forces_binary_on() {
+        let mut m = Model::new("t");
+        let x = m.binary("x");
+        let y = m.continuous("y", 0.0, 10.0);
+        indicator_upper(&mut m, x, y, "link");
+        m.add_constraint("fix_y", LinExpr::from(y), Cmp::Ge, 0.5);
+        // Minimizing x still requires x = 1 because y > 0.
+        m.set_objective(Sense::Minimize, LinExpr::from(x));
+        let r = solve_ilp_default(&m);
+        assert_eq!(r.solution.unwrap().value(x).round(), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be binary")]
+    fn product_rejects_continuous_inputs() {
+        let mut m = Model::new("t");
+        let x = m.continuous("x", 0.0, 1.0);
+        let y = m.binary("y");
+        product_binary(&mut m, x, y, "z");
+    }
+}

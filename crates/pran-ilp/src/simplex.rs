@@ -1,0 +1,663 @@
+//! Dense two-phase primal simplex for the LP relaxation of a [`Model`].
+//!
+//! The implementation favours robustness over speed, in the spirit of the
+//! instance sizes PRAN's placement problems produce (tens of cells × tens of
+//! servers): a dense tableau, Dantzig pricing with a Bland's-rule fallback to
+//! guarantee termination under degeneracy, and explicit artificial-variable
+//! phase 1. General variable bounds are handled by substitution:
+//!
+//! * `l ≤ x ≤ u` with finite `l` → column `x' = x − l ≥ 0` plus an upper-bound
+//!   row when `u` is finite;
+//! * `x ≤ u` with `l = −∞` → negated column `x' = u − x ≥ 0`;
+//! * free `x` → split `x = x⁺ − x⁻`.
+
+use crate::model::{Cmp, Model, Sense, Solution};
+
+/// Termination status of an LP solve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LpStatus {
+    /// An optimal basic feasible solution was found.
+    Optimal,
+    /// The constraint set admits no feasible point.
+    Infeasible,
+    /// The objective is unbounded in the optimization direction.
+    Unbounded,
+    /// The iteration cap was hit (should not happen with Bland's rule; kept
+    /// as a defensive terminal state rather than a panic).
+    IterationLimit,
+}
+
+/// Result of [`solve_lp`].
+#[derive(Debug, Clone)]
+pub struct LpResult {
+    /// Terminal status.
+    pub status: LpStatus,
+    /// Present iff `status == Optimal`.
+    pub solution: Option<Solution>,
+    /// Simplex pivots performed across both phases.
+    pub iterations: usize,
+}
+
+impl LpResult {
+    fn terminal(status: LpStatus, iterations: usize) -> Self {
+        LpResult { status, solution: None, iterations }
+    }
+}
+
+/// How an original model variable maps onto tableau columns.
+#[derive(Debug, Clone, Copy)]
+enum ColMap {
+    /// `x = offset + col`, `col ≥ 0`.
+    Shifted { col: usize, offset: f64 },
+    /// `x = offset − col`, `col ≥ 0` (used when only an upper bound exists).
+    Negated { col: usize, offset: f64 },
+    /// `x = pos − neg`, both ≥ 0 (free variable).
+    Free { pos: usize, neg: usize },
+}
+
+const PIVOT_EPS: f64 = 1e-9;
+const FEAS_TOL: f64 = 1e-7;
+
+/// A row of the standard-form system `A·x = b`, `b ≥ 0`.
+struct Row {
+    coeffs: Vec<f64>,
+    rhs: f64,
+    cmp: Cmp,
+}
+
+struct Tableau {
+    /// `rows × (total_cols + 1)`; last column is the RHS.
+    a: Vec<Vec<f64>>,
+    /// Basic column per row.
+    basis: Vec<usize>,
+    /// Columns `[0, num_structural)` are structural.
+    num_structural: usize,
+    /// Columns `[num_structural, artificial_start)` are slacks/surplus.
+    artificial_start: usize,
+    total_cols: usize,
+}
+
+impl Tableau {
+    fn rhs(&self, row: usize) -> f64 {
+        self.a[row][self.total_cols]
+    }
+
+    fn pivot(&mut self, row: usize, col: usize) {
+        let piv = self.a[row][col];
+        debug_assert!(piv.abs() > PIVOT_EPS, "pivot on a (near-)zero element");
+        let inv = 1.0 / piv;
+        for v in self.a[row].iter_mut() {
+            *v *= inv;
+        }
+        let pivot_row = self.a[row].clone();
+        for (r, arow) in self.a.iter_mut().enumerate() {
+            if r == row {
+                continue;
+            }
+            let factor = arow[col];
+            if factor.abs() <= PIVOT_EPS {
+                arow[col] = 0.0;
+                continue;
+            }
+            for (v, pv) in arow.iter_mut().zip(pivot_row.iter()) {
+                *v -= factor * pv;
+            }
+            arow[col] = 0.0;
+        }
+        self.basis[row] = col;
+    }
+}
+
+/// Solve the LP relaxation of `model` (integrality is ignored).
+pub fn solve_lp(model: &Model) -> LpResult {
+    Simplex::build(model).map_or_else(
+        |status| LpResult::terminal(status, 0),
+        |mut s| s.run(),
+    )
+}
+
+struct Simplex<'m> {
+    model: &'m Model,
+    col_map: Vec<ColMap>,
+    tab: Tableau,
+    /// Objective coefficients over structural columns (minimization form).
+    /// (The constant picked up by bound substitutions is not tracked: the
+    /// final objective is re-evaluated on the original model.)
+    obj: Vec<f64>,
+    iterations: usize,
+}
+
+impl<'m> Simplex<'m> {
+    /// Translate the model into a standard-form tableau.
+    ///
+    /// Returns `Err(Infeasible)` for trivially empty variable domains.
+    fn build(model: &'m Model) -> Result<Self, LpStatus> {
+        let mut col_map = Vec::with_capacity(model.num_vars());
+        let mut num_structural = 0usize;
+        // Upper-bound rows to add for doubly-bounded variables.
+        let mut bound_rows: Vec<(usize, f64)> = Vec::new();
+
+        for v in model.vars() {
+            if v.lower > v.upper {
+                return Err(LpStatus::Infeasible);
+            }
+            let map = if v.lower.is_finite() {
+                let col = num_structural;
+                num_structural += 1;
+                if v.upper.is_finite() {
+                    bound_rows.push((col, v.upper - v.lower));
+                }
+                ColMap::Shifted { col, offset: v.lower }
+            } else if v.upper.is_finite() {
+                let col = num_structural;
+                num_structural += 1;
+                ColMap::Negated { col, offset: v.upper }
+            } else {
+                let pos = num_structural;
+                let neg = num_structural + 1;
+                num_structural += 2;
+                ColMap::Free { pos, neg }
+            };
+            col_map.push(map);
+        }
+
+        // Transform constraints into rows over structural columns.
+        let mut rows: Vec<Row> = Vec::with_capacity(model.num_constraints() + bound_rows.len());
+        for c in model.constraints() {
+            let mut coeffs = vec![0.0; num_structural];
+            let mut rhs = c.rhs;
+            for &(var, a) in c.expr.terms() {
+                match col_map[var.index()] {
+                    ColMap::Shifted { col, offset } => {
+                        coeffs[col] += a;
+                        rhs -= a * offset;
+                    }
+                    ColMap::Negated { col, offset } => {
+                        coeffs[col] -= a;
+                        rhs -= a * offset;
+                    }
+                    ColMap::Free { pos, neg } => {
+                        coeffs[pos] += a;
+                        coeffs[neg] -= a;
+                    }
+                }
+            }
+            rows.push(Row { coeffs, rhs, cmp: c.cmp });
+        }
+        for (col, ub) in bound_rows {
+            let mut coeffs = vec![0.0; num_structural];
+            coeffs[col] = 1.0;
+            rows.push(Row { coeffs, rhs: ub, cmp: Cmp::Le });
+        }
+
+        // Normalize to rhs ≥ 0.
+        for row in &mut rows {
+            if row.rhs < 0.0 {
+                for v in &mut row.coeffs {
+                    *v = -*v;
+                }
+                row.rhs = -row.rhs;
+                row.cmp = match row.cmp {
+                    Cmp::Le => Cmp::Ge,
+                    Cmp::Ge => Cmp::Le,
+                    Cmp::Eq => Cmp::Eq,
+                };
+            }
+        }
+
+        // Count auxiliary columns.
+        let num_slack = rows.iter().filter(|r| r.cmp != Cmp::Eq).count();
+        let num_artificial = rows.iter().filter(|r| r.cmp != Cmp::Le).count();
+        let artificial_start = num_structural + num_slack;
+        let total_cols = artificial_start + num_artificial;
+
+        let m = rows.len();
+        let mut a = vec![vec![0.0; total_cols + 1]; m];
+        let mut basis = vec![usize::MAX; m];
+        let mut next_slack = num_structural;
+        let mut next_art = artificial_start;
+        for (i, row) in rows.iter().enumerate() {
+            a[i][..num_structural].copy_from_slice(&row.coeffs);
+            a[i][total_cols] = row.rhs;
+            match row.cmp {
+                Cmp::Le => {
+                    a[i][next_slack] = 1.0;
+                    basis[i] = next_slack;
+                    next_slack += 1;
+                }
+                Cmp::Ge => {
+                    a[i][next_slack] = -1.0;
+                    next_slack += 1;
+                    a[i][next_art] = 1.0;
+                    basis[i] = next_art;
+                    next_art += 1;
+                }
+                Cmp::Eq => {
+                    a[i][next_art] = 1.0;
+                    basis[i] = next_art;
+                    next_art += 1;
+                }
+            }
+        }
+
+        // Minimization objective over structural columns.
+        let (sign, objective) = match model.sense() {
+            Sense::Minimize => (1.0, model.objective().clone()),
+            Sense::Maximize => (-1.0, model.objective().clone()),
+        };
+        let mut obj = vec![0.0; num_structural];
+        // Constant objective terms (including those picked up by the bound
+        // substitutions) are ignored here: the reported objective is
+        // re-evaluated on the original model after extraction.
+        for &(var, c) in objective.terms() {
+            let c = sign * c;
+            match col_map[var.index()] {
+                ColMap::Shifted { col, .. } => obj[col] += c,
+                ColMap::Negated { col, .. } => obj[col] -= c,
+                ColMap::Free { pos, neg } => {
+                    obj[pos] += c;
+                    obj[neg] -= c;
+                }
+            }
+        }
+
+        Ok(Simplex {
+            model,
+            col_map,
+            tab: Tableau { a, basis, num_structural, artificial_start, total_cols },
+            obj,
+            iterations: 0,
+        })
+    }
+
+    fn run(&mut self) -> LpResult {
+        // Phase 1: minimize the sum of artificials, if any exist.
+        if self.tab.artificial_start < self.tab.total_cols {
+            let mut cost = vec![0.0; self.tab.total_cols + 1];
+            cost[self.tab.artificial_start..self.tab.total_cols].fill(1.0);
+            self.price_out(&mut cost);
+            match self.iterate(&mut cost, /*allow_artificials=*/ true) {
+                IterOutcome::Done => {}
+                IterOutcome::Unbounded => {
+                    // Phase-1 objective is bounded below by 0; an "unbounded"
+                    // report here means numerical trouble. Treat as limit.
+                    return LpResult::terminal(LpStatus::IterationLimit, self.iterations);
+                }
+                IterOutcome::Limit => {
+                    return LpResult::terminal(LpStatus::IterationLimit, self.iterations)
+                }
+            }
+            // cost[total_cols] holds -objective after pricing out.
+            let phase1_obj = -cost[self.tab.total_cols];
+            if phase1_obj > FEAS_TOL {
+                return LpResult::terminal(LpStatus::Infeasible, self.iterations);
+            }
+            self.evict_artificials();
+        }
+
+        // Phase 2: original objective.
+        let mut cost = vec![0.0; self.tab.total_cols + 1];
+        cost[..self.tab.num_structural].copy_from_slice(&self.obj);
+        self.price_out(&mut cost);
+        match self.iterate(&mut cost, /*allow_artificials=*/ false) {
+            IterOutcome::Done => {}
+            IterOutcome::Unbounded => {
+                return LpResult::terminal(LpStatus::Unbounded, self.iterations)
+            }
+            IterOutcome::Limit => {
+                return LpResult::terminal(LpStatus::IterationLimit, self.iterations)
+            }
+        }
+
+        // Extract structural values and map back to model variables.
+        let mut structural = vec![0.0; self.tab.num_structural];
+        for (row, &b) in self.tab.basis.iter().enumerate() {
+            if b < self.tab.num_structural {
+                structural[b] = self.tab.rhs(row);
+            }
+        }
+        let mut values = vec![0.0; self.model.num_vars()];
+        for (i, map) in self.col_map.iter().enumerate() {
+            values[i] = match *map {
+                ColMap::Shifted { col, offset } => offset + structural[col],
+                ColMap::Negated { col, offset } => offset - structural[col],
+                ColMap::Free { pos, neg } => structural[pos] - structural[neg],
+            };
+        }
+        let objective = self.model.eval_objective(&values);
+        LpResult {
+            status: LpStatus::Optimal,
+            solution: Some(Solution { values, objective }),
+            iterations: self.iterations,
+        }
+    }
+
+    /// Subtract basic rows from the cost row so reduced costs of basic
+    /// columns become zero ("pricing out").
+    fn price_out(&self, cost: &mut [f64]) {
+        for (row, &b) in self.tab.basis.iter().enumerate() {
+            let cb = cost[b];
+            if cb.abs() <= PIVOT_EPS {
+                continue;
+            }
+            for (cv, av) in cost.iter_mut().zip(self.tab.a[row].iter()) {
+                *cv -= cb * av;
+            }
+            cost[b] = 0.0;
+        }
+    }
+
+    /// Run simplex pivots until optimality/unboundedness on the given cost
+    /// row. Switches from Dantzig to Bland pricing after a pivot budget to
+    /// guarantee termination under degeneracy.
+    #[allow(clippy::needless_range_loop)] // cost-row scans over column ranges
+    fn iterate(&mut self, cost: &mut [f64], allow_artificials: bool) -> IterOutcome {
+        let n_cols = if allow_artificials {
+            self.tab.total_cols
+        } else {
+            self.tab.artificial_start
+        };
+        let dantzig_budget = 2_000 + 40 * (self.tab.a.len() + n_cols);
+        let hard_limit = 10 * dantzig_budget + 100_000;
+        let mut local_iters = 0usize;
+        loop {
+            let bland = local_iters > dantzig_budget;
+            if local_iters > hard_limit {
+                return IterOutcome::Limit;
+            }
+
+            // Entering column.
+            let mut entering = None;
+            if bland {
+                for col in 0..n_cols {
+                    if cost[col] < -FEAS_TOL {
+                        entering = Some(col);
+                        break;
+                    }
+                }
+            } else {
+                let mut best = -FEAS_TOL;
+                for col in 0..n_cols {
+                    if cost[col] < best {
+                        best = cost[col];
+                        entering = Some(col);
+                    }
+                }
+            }
+            let Some(col) = entering else {
+                return IterOutcome::Done;
+            };
+
+            // Ratio test; ties resolved toward the smallest basic column
+            // index (lexicographic flavour, helps against cycling).
+            let mut leave: Option<(usize, f64)> = None;
+            for row in 0..self.tab.a.len() {
+                let a = self.tab.a[row][col];
+                if a > PIVOT_EPS {
+                    let ratio = self.tab.rhs(row) / a;
+                    match leave {
+                        None => leave = Some((row, ratio)),
+                        Some((lrow, lratio)) => {
+                            if ratio < lratio - PIVOT_EPS
+                                || ((ratio - lratio).abs() <= PIVOT_EPS
+                                    && self.tab.basis[row] < self.tab.basis[lrow])
+                            {
+                                leave = Some((row, ratio));
+                            }
+                        }
+                    }
+                }
+            }
+            let Some((row, _)) = leave else {
+                return IterOutcome::Unbounded;
+            };
+
+            // Pivot, updating the cost row alongside the tableau.
+            let piv = self.tab.a[row][col];
+            let factor = cost[col] / piv;
+            if factor.abs() > 0.0 {
+                let arow = self.tab.a[row].clone();
+                for (cv, av) in cost.iter_mut().zip(arow.iter()) {
+                    *cv -= factor * av;
+                }
+                cost[col] = 0.0;
+            }
+            self.tab.pivot(row, col);
+            self.iterations += 1;
+            local_iters += 1;
+        }
+    }
+
+    /// After phase 1, force remaining (degenerate, value-0) artificial
+    /// variables out of the basis; rows where that is impossible are
+    /// redundant and get dropped.
+    fn evict_artificials(&mut self) {
+        let mut row = 0;
+        while row < self.tab.a.len() {
+            if self.tab.basis[row] >= self.tab.artificial_start {
+                let pivot_col = (0..self.tab.artificial_start)
+                    .find(|&c| self.tab.a[row][c].abs() > 1e-7);
+                match pivot_col {
+                    Some(col) => {
+                        self.tab.pivot(row, col);
+                        self.iterations += 1;
+                    }
+                    None => {
+                        // Redundant constraint: every real column is zero.
+                        self.tab.a.swap_remove(row);
+                        self.tab.basis.swap_remove(row);
+                        continue; // re-examine the row swapped into place
+                    }
+                }
+            }
+            row += 1;
+        }
+    }
+}
+
+enum IterOutcome {
+    Done,
+    Unbounded,
+    Limit,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Cmp, LinExpr, Model, Sense};
+
+    fn assert_close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-6, "expected {b}, got {a}");
+    }
+
+    #[test]
+    fn textbook_max_problem() {
+        // max 3x + 5y s.t. x<=4, 2y<=12, 3x+2y<=18 → x=2, y=6, obj=36.
+        let mut m = Model::new("wyndor");
+        let x = m.continuous("x", 0.0, f64::INFINITY);
+        let y = m.continuous("y", 0.0, f64::INFINITY);
+        m.add_constraint("c1", LinExpr::from(x), Cmp::Le, 4.0);
+        m.add_constraint("c2", LinExpr::term(y, 2.0), Cmp::Le, 12.0);
+        m.add_constraint("c3", LinExpr::term(x, 3.0) + LinExpr::term(y, 2.0), Cmp::Le, 18.0);
+        m.set_objective(Sense::Maximize, LinExpr::term(x, 3.0) + LinExpr::term(y, 5.0));
+        let r = solve_lp(&m);
+        assert_eq!(r.status, LpStatus::Optimal);
+        let s = r.solution.unwrap();
+        assert_close(s.objective, 36.0);
+        assert_close(s.value(x), 2.0);
+        assert_close(s.value(y), 6.0);
+    }
+
+    #[test]
+    fn minimization_with_ge_rows_needs_phase1() {
+        // min 2x + 3y s.t. x + y >= 10, x >= 2 → x=10? No: y free to 0,
+        // cheaper to use x? cost x =2 < 3 → x=10,y=0? but x>=2 ok. obj=20.
+        let mut m = Model::new("t");
+        let x = m.continuous("x", 0.0, f64::INFINITY);
+        let y = m.continuous("y", 0.0, f64::INFINITY);
+        m.add_constraint("sum", LinExpr::from(x) + y, Cmp::Ge, 10.0);
+        m.add_constraint("xmin", LinExpr::from(x), Cmp::Ge, 2.0);
+        m.set_objective(Sense::Minimize, LinExpr::term(x, 2.0) + LinExpr::term(y, 3.0));
+        let r = solve_lp(&m);
+        assert_eq!(r.status, LpStatus::Optimal);
+        assert_close(r.solution.unwrap().objective, 20.0);
+    }
+
+    #[test]
+    fn equality_constraints() {
+        // min x + y s.t. x + 2y == 4, x - y == 1 → x=2, y=1, obj=3.
+        let mut m = Model::new("t");
+        let x = m.continuous("x", 0.0, f64::INFINITY);
+        let y = m.continuous("y", 0.0, f64::INFINITY);
+        m.add_constraint("a", LinExpr::from(x) + LinExpr::term(y, 2.0), Cmp::Eq, 4.0);
+        m.add_constraint("b", LinExpr::from(x) - y, Cmp::Eq, 1.0);
+        m.set_objective(Sense::Minimize, LinExpr::from(x) + y);
+        let r = solve_lp(&m);
+        let s = r.solution.unwrap();
+        assert_close(s.value(x), 2.0);
+        assert_close(s.value(y), 1.0);
+    }
+
+    #[test]
+    fn detects_infeasible() {
+        let mut m = Model::new("t");
+        let x = m.continuous("x", 0.0, 1.0);
+        m.add_constraint("c", LinExpr::from(x), Cmp::Ge, 2.0);
+        assert_eq!(solve_lp(&m).status, LpStatus::Infeasible);
+    }
+
+    #[test]
+    fn detects_unbounded() {
+        let mut m = Model::new("t");
+        let x = m.continuous("x", 0.0, f64::INFINITY);
+        m.set_objective(Sense::Maximize, LinExpr::from(x));
+        assert_eq!(solve_lp(&m).status, LpStatus::Unbounded);
+    }
+
+    #[test]
+    fn respects_variable_upper_bounds() {
+        let mut m = Model::new("t");
+        let x = m.continuous("x", 0.0, 3.5);
+        m.set_objective(Sense::Maximize, LinExpr::from(x));
+        let r = solve_lp(&m);
+        assert_close(r.solution.unwrap().objective, 3.5);
+    }
+
+    #[test]
+    fn shifted_lower_bounds() {
+        // min x+y with x in [2,10], y in [-3, 5], x+y >= 1 → x=2, y=-3? sum
+        // -1 < 1 violates; so optimum x=2,y=-1 (sum 1) obj=1... cheaper to
+        // raise y (cost equal) → any point on x+y=1 with x>=2, y>=-3; obj 1.
+        let mut m = Model::new("t");
+        let x = m.continuous("x", 2.0, 10.0);
+        let y = m.continuous("y", -3.0, 5.0);
+        m.add_constraint("c", LinExpr::from(x) + y, Cmp::Ge, 1.0);
+        m.set_objective(Sense::Minimize, LinExpr::from(x) + y);
+        let r = solve_lp(&m);
+        assert_eq!(r.status, LpStatus::Optimal);
+        assert_close(r.solution.unwrap().objective, 1.0);
+    }
+
+    #[test]
+    fn negative_lower_bound_reached() {
+        let mut m = Model::new("t");
+        let y = m.continuous("y", -3.0, 5.0);
+        m.set_objective(Sense::Minimize, LinExpr::from(y));
+        let r = solve_lp(&m);
+        assert_close(r.solution.unwrap().objective, -3.0);
+    }
+
+    #[test]
+    fn free_variable_split() {
+        // min |no| — just: min x s.t. x >= -7.5 with x free via constraint.
+        let mut m = Model::new("t");
+        let x = m.continuous("x", f64::NEG_INFINITY, f64::INFINITY);
+        m.add_constraint("c", LinExpr::from(x), Cmp::Ge, -7.5);
+        m.set_objective(Sense::Minimize, LinExpr::from(x));
+        let r = solve_lp(&m);
+        assert_close(r.solution.unwrap().value(x), -7.5);
+    }
+
+    #[test]
+    fn upper_bound_only_variable() {
+        let mut m = Model::new("t");
+        let x = m.continuous("x", f64::NEG_INFINITY, 4.0);
+        m.set_objective(Sense::Maximize, LinExpr::from(x));
+        let r = solve_lp(&m);
+        assert_close(r.solution.unwrap().value(x), 4.0);
+    }
+
+    #[test]
+    fn degenerate_problem_terminates() {
+        // Klee-Minty-flavoured degenerate system; mostly checks no cycling.
+        let mut m = Model::new("degen");
+        let n = 6;
+        let xs: Vec<_> = (0..n)
+            .map(|i| m.continuous(format!("x{i}"), 0.0, f64::INFINITY))
+            .collect();
+        for i in 0..n {
+            let mut e = LinExpr::new();
+            for (j, &xj) in xs.iter().enumerate().take(i) {
+                e.add_term(xj, 2.0f64.powi((i - j) as i32 + 1));
+            }
+            e.add_term(xs[i], 1.0);
+            m.add_constraint(format!("c{i}"), e, Cmp::Le, 5.0f64.powi(i as i32 + 1));
+        }
+        let mut obj = LinExpr::new();
+        for (j, &xj) in xs.iter().enumerate() {
+            obj.add_term(xj, 2.0f64.powi((n - 1 - j) as i32));
+        }
+        m.set_objective(Sense::Maximize, obj);
+        let r = solve_lp(&m);
+        assert_eq!(r.status, LpStatus::Optimal);
+        // Known optimum of Klee-Minty: 5^n.
+        assert_close(r.solution.unwrap().objective, 5.0f64.powi(n as i32));
+    }
+
+    #[test]
+    fn redundant_equality_rows_are_dropped() {
+        // x + y == 2 stated twice; still solvable.
+        let mut m = Model::new("t");
+        let x = m.continuous("x", 0.0, f64::INFINITY);
+        let y = m.continuous("y", 0.0, f64::INFINITY);
+        m.add_constraint("a", LinExpr::from(x) + y, Cmp::Eq, 2.0);
+        m.add_constraint("b", LinExpr::from(x) + y, Cmp::Eq, 2.0);
+        m.set_objective(Sense::Maximize, LinExpr::from(x));
+        let r = solve_lp(&m);
+        assert_eq!(r.status, LpStatus::Optimal);
+        assert_close(r.solution.unwrap().value(x), 2.0);
+    }
+
+    #[test]
+    fn solution_is_feasible_for_model() {
+        let mut m = Model::new("t");
+        let x = m.continuous("x", 0.0, 10.0);
+        let y = m.continuous("y", 0.0, 10.0);
+        m.add_constraint("c1", LinExpr::from(x) + LinExpr::term(y, 3.0), Cmp::Le, 12.0);
+        m.add_constraint("c2", LinExpr::term(x, 2.0) + y, Cmp::Ge, 3.0);
+        m.set_objective(Sense::Maximize, LinExpr::from(x) + y);
+        let r = solve_lp(&m);
+        let s = r.solution.unwrap();
+        assert!(m.is_feasible(&s.values, 1e-6));
+    }
+
+    #[test]
+    fn negative_rhs_rows_normalized() {
+        // -x <= -3  ⇔  x >= 3.
+        let mut m = Model::new("t");
+        let x = m.continuous("x", 0.0, 10.0);
+        m.add_constraint("c", LinExpr::term(x, -1.0), Cmp::Le, -3.0);
+        m.set_objective(Sense::Minimize, LinExpr::from(x));
+        let r = solve_lp(&m);
+        assert_close(r.solution.unwrap().value(x), 3.0);
+    }
+
+    #[test]
+    fn objective_constant_carried_through() {
+        let mut m = Model::new("t");
+        let x = m.continuous("x", 0.0, 2.0);
+        m.set_objective(Sense::Maximize, LinExpr::from(x) + 100.0);
+        let r = solve_lp(&m);
+        assert_close(r.solution.unwrap().objective, 102.0);
+    }
+}

@@ -1,0 +1,202 @@
+//! Transport-block CRC kernels (LTE CRC24A/CRC24B and CRC16).
+//!
+//! Bit-exact implementations of the 3GPP 36.212 generator polynomials,
+//! operating on byte slices MSB-first. A table-driven fast path backs the
+//! microbenchmarks; the bitwise reference implementation backs the tests.
+
+/// CRC generator descriptor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrcSpec {
+    /// Polynomial without the leading term, MSB-aligned within `width` bits.
+    pub poly: u32,
+    /// CRC width in bits (16 or 24 here).
+    pub width: u32,
+}
+
+/// CRC24A — attached to LTE transport blocks (36.212 §5.1.1).
+/// g(D) = D²⁴+D²³+D¹⁸+D¹⁷+D¹⁴+D¹¹+D¹⁰+D⁷+D⁶+D⁵+D⁴+D³+D+1.
+pub const CRC24A: CrcSpec = CrcSpec { poly: 0x864CFB, width: 24 };
+
+/// CRC24B — attached to code blocks after segmentation (36.212 §5.1.1).
+/// g(D) = D²⁴+D²³+D⁶+D⁵+D+1.
+pub const CRC24B: CrcSpec = CrcSpec { poly: 0x800063, width: 24 };
+
+/// CRC16 — attached to small transport blocks.
+/// g(D) = D¹⁶+D¹²+D⁵+1 (CCITT).
+pub const CRC16: CrcSpec = CrcSpec { poly: 0x1021, width: 16 };
+
+impl CrcSpec {
+    /// Bitwise reference computation (zero initial value, no reflection, no
+    /// final XOR — the 3GPP convention).
+    pub fn compute_bitwise(&self, data: &[u8]) -> u32 {
+        let mask = (1u64 << self.width) - 1;
+        let top = 1u64 << (self.width - 1);
+        let mut crc: u64 = 0;
+        for &byte in data {
+            for bit in (0..8).rev() {
+                let inbit = u64::from((byte >> bit) & 1);
+                let fb = ((crc >> (self.width - 1)) & 1) ^ inbit;
+                crc = (crc << 1) & mask;
+                if fb == 1 {
+                    crc ^= u64::from(self.poly);
+                }
+                let _ = top;
+            }
+        }
+        crc as u32
+    }
+
+    /// Build the 256-entry lookup table for byte-at-a-time computation.
+    pub fn table(&self) -> [u32; 256] {
+        let mut table = [0u32; 256];
+        let mask: u64 = (1u64 << self.width) - 1;
+        for (i, entry) in table.iter_mut().enumerate() {
+            let mut crc = (i as u64) << (self.width - 8);
+            for _ in 0..8 {
+                let fb = (crc >> (self.width - 1)) & 1;
+                crc = (crc << 1) & mask;
+                if fb == 1 {
+                    crc ^= u64::from(self.poly);
+                }
+            }
+            *entry = crc as u32;
+        }
+        table
+    }
+
+    /// Table-driven computation (equivalent to [`Self::compute_bitwise`]).
+    pub fn compute_tabular(&self, data: &[u8], table: &[u32; 256]) -> u32 {
+        let mask = ((1u64 << self.width) - 1) as u32;
+        let mut crc: u32 = 0;
+        for &byte in data {
+            let idx = ((crc >> (self.width - 8)) as u8) ^ byte;
+            crc = ((crc << 8) & mask) ^ table[idx as usize];
+        }
+        crc
+    }
+}
+
+/// A reusable CRC engine holding its lookup table.
+#[derive(Debug, Clone)]
+pub struct Crc {
+    spec: CrcSpec,
+    table: Box<[u32; 256]>,
+}
+
+impl Crc {
+    /// Build an engine for a spec.
+    pub fn new(spec: CrcSpec) -> Self {
+        Crc { spec, table: Box::new(spec.table()) }
+    }
+
+    /// Compute the CRC of a payload.
+    pub fn compute(&self, data: &[u8]) -> u32 {
+        self.spec.compute_tabular(data, &self.table)
+    }
+
+    /// Append the CRC to a payload (big-endian, `width/8` bytes).
+    pub fn attach(&self, data: &mut Vec<u8>) {
+        let crc = self.compute(data);
+        let bytes = self.spec.width / 8;
+        for i in (0..bytes).rev() {
+            data.push(((crc >> (8 * i)) & 0xFF) as u8);
+        }
+    }
+
+    /// Verify a payload with an attached CRC; returns the payload slice on
+    /// success.
+    pub fn check<'a>(&self, data: &'a [u8]) -> Option<&'a [u8]> {
+        let bytes = (self.spec.width / 8) as usize;
+        if data.len() < bytes {
+            return None;
+        }
+        let (payload, trailer) = data.split_at(data.len() - bytes);
+        let mut expect = 0u32;
+        for &b in trailer {
+            expect = (expect << 8) | u32::from(b);
+        }
+        (self.compute(payload) == expect).then_some(payload)
+    }
+
+    /// Width in bits.
+    pub fn width(&self) -> u32 {
+        self.spec.width
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tabular_matches_bitwise() {
+        let data: Vec<u8> = (0..255u8).collect();
+        for spec in [CRC24A, CRC24B, CRC16] {
+            let t = spec.table();
+            assert_eq!(spec.compute_bitwise(&data), spec.compute_tabular(&data, &t));
+        }
+    }
+
+    #[test]
+    fn crc24a_known_vector() {
+        // All-zero payload has CRC 0 under the 3GPP convention.
+        assert_eq!(CRC24A.compute_bitwise(&[0u8; 8]), 0);
+        // A nonzero payload must not.
+        assert_ne!(CRC24A.compute_bitwise(&[1u8, 2, 3, 4]), 0);
+    }
+
+    #[test]
+    fn attach_then_check_roundtrip() {
+        let crc = Crc::new(CRC24A);
+        let mut data = b"pran transport block".to_vec();
+        let original = data.clone();
+        crc.attach(&mut data);
+        assert_eq!(data.len(), original.len() + 3);
+        assert_eq!(crc.check(&data).expect("valid CRC"), &original[..]);
+    }
+
+    #[test]
+    fn single_bit_corruption_detected() {
+        let crc = Crc::new(CRC24A);
+        let mut data = vec![0x5A; 64];
+        crc.attach(&mut data);
+        // Flip every bit position in turn; CRC must catch each.
+        for byte in 0..data.len() {
+            for bit in 0..8 {
+                let mut corrupted = data.clone();
+                corrupted[byte] ^= 1 << bit;
+                assert!(
+                    crc.check(&corrupted).is_none(),
+                    "missed flip at {byte}:{bit}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn burst_corruption_detected() {
+        let crc = Crc::new(CRC24B);
+        let mut data = vec![0xC3; 100];
+        crc.attach(&mut data);
+        let mut corrupted = data.clone();
+        corrupted[10] ^= 0xFF;
+        corrupted[11] ^= 0xFF;
+        assert!(crc.check(&corrupted).is_none());
+    }
+
+    #[test]
+    fn short_buffer_rejected() {
+        let crc = Crc::new(CRC24A);
+        assert!(crc.check(&[0x12, 0x34]).is_none());
+    }
+
+    #[test]
+    fn crc16_width() {
+        let crc = Crc::new(CRC16);
+        assert_eq!(crc.width(), 16);
+        let mut data = vec![7u8; 10];
+        crc.attach(&mut data);
+        assert_eq!(data.len(), 12);
+        assert!(crc.check(&data).is_some());
+    }
+}

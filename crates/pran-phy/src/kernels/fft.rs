@@ -1,0 +1,287 @@
+//! Radix-2 FFT kernel for OFDM (de)modulation.
+//!
+//! Iterative in-place Cooley–Tukey over a minimal complex type. LTE grids
+//! use power-of-two FFT sizes except 1536 (15 MHz); that size is handled by
+//! Bluestein-free zero-padding to 2048 in callers — the simulator only
+//! prices the kernel, and the benches sweep the power-of-two ladder.
+
+use std::f64::consts::PI;
+use std::ops::{Add, Mul, Sub};
+
+/// A complex sample. Minimal on purpose: only what the kernels need.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex {
+    /// The additive identity.
+    pub const ZERO: Complex = Complex { re: 0.0, im: 0.0 };
+
+    /// Construct from parts.
+    pub fn new(re: f64, im: f64) -> Self {
+        Complex { re, im }
+    }
+
+    /// `e^{iθ}`.
+    pub fn cis(theta: f64) -> Self {
+        Complex { re: theta.cos(), im: theta.sin() }
+    }
+
+    /// Squared magnitude.
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Magnitude.
+    pub fn abs(self) -> f64 {
+        self.norm_sqr().sqrt()
+    }
+
+    /// Complex conjugate.
+    pub fn conj(self) -> Self {
+        Complex { re: self.re, im: -self.im }
+    }
+
+    /// Scale by a real factor.
+    pub fn scale(self, k: f64) -> Self {
+        Complex { re: self.re * k, im: self.im * k }
+    }
+}
+
+impl Add for Complex {
+    type Output = Complex;
+    fn add(self, o: Complex) -> Complex {
+        Complex { re: self.re + o.re, im: self.im + o.im }
+    }
+}
+
+impl Sub for Complex {
+    type Output = Complex;
+    fn sub(self, o: Complex) -> Complex {
+        Complex { re: self.re - o.re, im: self.im - o.im }
+    }
+}
+
+impl Mul for Complex {
+    type Output = Complex;
+    fn mul(self, o: Complex) -> Complex {
+        Complex {
+            re: self.re * o.re - self.im * o.im,
+            im: self.re * o.im + self.im * o.re,
+        }
+    }
+}
+
+/// FFT direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FftDirection {
+    /// Time → frequency.
+    Forward,
+    /// Frequency → time (1/N normalized).
+    Inverse,
+}
+
+/// A planned FFT of fixed power-of-two size (twiddles precomputed).
+#[derive(Debug, Clone)]
+pub struct Fft {
+    size: usize,
+    /// Twiddle factors for the forward transform, `e^{-2πik/N}` for
+    /// `k < N/2`.
+    twiddles: Vec<Complex>,
+}
+
+impl Fft {
+    /// Plan an FFT.
+    ///
+    /// # Panics
+    /// Panics unless `size` is a power of two ≥ 2.
+    pub fn new(size: usize) -> Self {
+        assert!(size >= 2 && size.is_power_of_two(), "FFT size must be a power of two ≥ 2");
+        let twiddles = (0..size / 2)
+            .map(|k| Complex::cis(-2.0 * PI * k as f64 / size as f64))
+            .collect();
+        Fft { size, twiddles }
+    }
+
+    /// Planned size.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// In-place transform. The inverse applies the conventional `1/N`
+    /// normalization so `inverse(forward(x)) == x`.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != size`.
+    pub fn process(&self, data: &mut [Complex], direction: FftDirection) {
+        assert_eq!(data.len(), self.size, "buffer length must equal FFT size");
+        // Bit-reversal permutation.
+        let bits = self.size.trailing_zeros();
+        for i in 0..self.size {
+            let j = i.reverse_bits() >> (usize::BITS - bits);
+            if i < j {
+                data.swap(i, j);
+            }
+        }
+        // Butterflies.
+        let mut len = 2;
+        while len <= self.size {
+            let half = len / 2;
+            let step = self.size / len;
+            for start in (0..self.size).step_by(len) {
+                for k in 0..half {
+                    let tw = match direction {
+                        FftDirection::Forward => self.twiddles[k * step],
+                        FftDirection::Inverse => self.twiddles[k * step].conj(),
+                    };
+                    let a = data[start + k];
+                    let b = data[start + k + half] * tw;
+                    data[start + k] = a + b;
+                    data[start + k + half] = a - b;
+                }
+            }
+            len <<= 1;
+        }
+        if direction == FftDirection::Inverse {
+            let inv = 1.0 / self.size as f64;
+            for v in data.iter_mut() {
+                *v = v.scale(inv);
+            }
+        }
+    }
+
+    /// Convenience: forward transform of a borrowed buffer into a new Vec.
+    pub fn forward(&self, input: &[Complex]) -> Vec<Complex> {
+        let mut buf = input.to_vec();
+        self.process(&mut buf, FftDirection::Forward);
+        buf
+    }
+
+    /// Convenience: inverse transform of a borrowed buffer into a new Vec.
+    pub fn inverse(&self, input: &[Complex]) -> Vec<Complex> {
+        let mut buf = input.to_vec();
+        self.process(&mut buf, FftDirection::Inverse);
+        buf
+    }
+}
+
+/// One OFDM symbol demodulation: strip nothing, just transform the
+/// time-domain samples of each antenna to frequency domain. Returns the
+/// per-antenna grids. (Cyclic-prefix handling happens upstream in the
+/// fronthaul framer.)
+pub fn ofdm_demodulate(fft: &Fft, antennas: &[Vec<Complex>]) -> Vec<Vec<Complex>> {
+    antennas.iter().map(|samples| fft.forward(samples)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: Complex, b: Complex, tol: f64) {
+        assert!(
+            (a.re - b.re).abs() < tol && (a.im - b.im).abs() < tol,
+            "{a:?} != {b:?}"
+        );
+    }
+
+    #[test]
+    fn impulse_has_flat_spectrum() {
+        let fft = Fft::new(8);
+        let mut data = vec![Complex::ZERO; 8];
+        data[0] = Complex::new(1.0, 0.0);
+        fft.process(&mut data, FftDirection::Forward);
+        for v in &data {
+            assert_close(*v, Complex::new(1.0, 0.0), 1e-12);
+        }
+    }
+
+    #[test]
+    fn single_tone_lands_on_one_bin() {
+        let n = 64;
+        let fft = Fft::new(n);
+        let k = 5;
+        let mut data: Vec<Complex> = (0..n)
+            .map(|t| Complex::cis(2.0 * PI * (k * t) as f64 / n as f64))
+            .collect();
+        fft.process(&mut data, FftDirection::Forward);
+        for (i, v) in data.iter().enumerate() {
+            if i == k {
+                assert!((v.abs() - n as f64).abs() < 1e-9);
+            } else {
+                assert!(v.abs() < 1e-9, "leakage at bin {i}: {}", v.abs());
+            }
+        }
+    }
+
+    #[test]
+    fn forward_inverse_roundtrip() {
+        let n = 256;
+        let fft = Fft::new(n);
+        let original: Vec<Complex> = (0..n)
+            .map(|i| Complex::new((i as f64 * 0.37).sin(), (i as f64 * 0.11).cos()))
+            .collect();
+        let restored = fft.inverse(&fft.forward(&original));
+        for (a, b) in original.iter().zip(restored.iter()) {
+            assert_close(*a, *b, 1e-10);
+        }
+    }
+
+    #[test]
+    fn parseval_energy_conserved() {
+        let n = 128;
+        let fft = Fft::new(n);
+        let x: Vec<Complex> = (0..n)
+            .map(|i| Complex::new((i as f64).sin(), (i as f64 * 2.0).cos() * 0.5))
+            .collect();
+        let time_energy: f64 = x.iter().map(|v| v.norm_sqr()).sum();
+        let spec = fft.forward(&x);
+        let freq_energy: f64 = spec.iter().map(|v| v.norm_sqr()).sum::<f64>() / n as f64;
+        assert!((time_energy - freq_energy).abs() / time_energy < 1e-12);
+    }
+
+    #[test]
+    fn linearity() {
+        let n = 32;
+        let fft = Fft::new(n);
+        let a: Vec<Complex> = (0..n).map(|i| Complex::new(i as f64, 0.0)).collect();
+        let b: Vec<Complex> = (0..n).map(|i| Complex::new(0.0, (n - i) as f64)).collect();
+        let sum: Vec<Complex> = a.iter().zip(&b).map(|(x, y)| *x + *y).collect();
+        let fa = fft.forward(&a);
+        let fb = fft.forward(&b);
+        let fsum = fft.forward(&sum);
+        for i in 0..n {
+            assert_close(fsum[i], fa[i] + fb[i], 1e-9);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_rejected() {
+        Fft::new(48);
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer length")]
+    fn wrong_buffer_length_rejected() {
+        let fft = Fft::new(16);
+        let mut data = vec![Complex::ZERO; 8];
+        fft.process(&mut data, FftDirection::Forward);
+    }
+
+    #[test]
+    fn ofdm_demodulate_per_antenna() {
+        let fft = Fft::new(16);
+        let ant0 = vec![Complex::new(1.0, 0.0); 16];
+        let ant1 = vec![Complex::ZERO; 16];
+        let grids = ofdm_demodulate(&fft, &[ant0, ant1]);
+        assert_eq!(grids.len(), 2);
+        // DC bin of constant signal = N; everything else 0.
+        assert!((grids[0][0].abs() - 16.0).abs() < 1e-9);
+        assert!(grids[0][1].abs() < 1e-9);
+        assert!(grids[1].iter().all(|v| v.abs() < 1e-12));
+    }
+}

@@ -1,0 +1,277 @@
+//! 2×2 MIMO detection: zero-forcing and MMSE equalization.
+//!
+//! The compute model prices spatial-multiplexing detection with an `A²`
+//! term; this kernel is the real thing for the 2-layer case the evaluation
+//! uses — per-subcarrier complex 2×2 channel inversion (ZF) or regularized
+//! inversion (MMSE), the matrix work that makes multi-antenna uplink
+//! processing expensive.
+
+use crate::kernels::fft::Complex;
+
+/// A complex 2×2 matrix in row-major order.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Matrix2 {
+    /// Entries `[[a, b], [c, d]]`.
+    pub m: [[Complex; 2]; 2],
+}
+
+impl Matrix2 {
+    /// Identity.
+    pub fn identity() -> Self {
+        Matrix2 {
+            m: [
+                [Complex::new(1.0, 0.0), Complex::ZERO],
+                [Complex::ZERO, Complex::new(1.0, 0.0)],
+            ],
+        }
+    }
+
+    /// Determinant.
+    pub fn det(&self) -> Complex {
+        self.m[0][0] * self.m[1][1] - self.m[0][1] * self.m[1][0]
+    }
+
+    /// Conjugate transpose.
+    pub fn hermitian(&self) -> Matrix2 {
+        Matrix2 {
+            m: [
+                [self.m[0][0].conj(), self.m[1][0].conj()],
+                [self.m[0][1].conj(), self.m[1][1].conj()],
+            ],
+        }
+    }
+
+    /// Matrix product.
+    pub fn mul(&self, other: &Matrix2) -> Matrix2 {
+        let mut out = [[Complex::ZERO; 2]; 2];
+        for (i, row) in out.iter_mut().enumerate() {
+            for (j, cell) in row.iter_mut().enumerate() {
+                *cell = self.m[i][0] * other.m[0][j] + self.m[i][1] * other.m[1][j];
+            }
+        }
+        Matrix2 { m: out }
+    }
+
+    /// Matrix–vector product.
+    pub fn mul_vec(&self, v: [Complex; 2]) -> [Complex; 2] {
+        [
+            self.m[0][0] * v[0] + self.m[0][1] * v[1],
+            self.m[1][0] * v[0] + self.m[1][1] * v[1],
+        ]
+    }
+
+    /// Add `sigma2` to the diagonal (regularization).
+    pub fn add_diag(&self, sigma2: f64) -> Matrix2 {
+        let mut out = *self;
+        out.m[0][0] = out.m[0][0] + Complex::new(sigma2, 0.0);
+        out.m[1][1] = out.m[1][1] + Complex::new(sigma2, 0.0);
+        out
+    }
+
+    /// Inverse; `None` when the determinant magnitude is below `1e-12`.
+    pub fn inverse(&self) -> Option<Matrix2> {
+        let det = self.det();
+        let d2 = det.norm_sqr();
+        if d2 < 1e-24 {
+            return None;
+        }
+        let inv_det = det.conj().scale(1.0 / d2);
+        Some(Matrix2 {
+            m: [
+                [self.m[1][1] * inv_det, (self.m[0][1] * inv_det).scale(-1.0)],
+                [(self.m[1][0] * inv_det).scale(-1.0), self.m[0][0] * inv_det],
+            ],
+        })
+    }
+}
+
+/// Detection algorithm.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Detector {
+    /// Zero-forcing: `x̂ = H⁻¹ y`. Exact without noise, amplifies it badly
+    /// on ill-conditioned channels.
+    ZeroForcing,
+    /// MMSE: `x̂ = (Hᴴ H + σ²I)⁻¹ Hᴴ y`. Trades a small bias for bounded
+    /// noise enhancement.
+    Mmse,
+}
+
+/// Detect a 2-layer transmission over one subcarrier.
+///
+/// Returns `None` when the channel is singular (ZF only; MMSE is always
+/// invertible for `sigma2 > 0`).
+pub fn detect(
+    h: &Matrix2,
+    y: [Complex; 2],
+    sigma2: f64,
+    detector: Detector,
+) -> Option<[Complex; 2]> {
+    match detector {
+        Detector::ZeroForcing => Some(h.inverse()?.mul_vec(y)),
+        Detector::Mmse => {
+            let hh = h.hermitian();
+            let gram = hh.mul(h).add_diag(sigma2.max(1e-12));
+            let w = gram.inverse()?.mul(&hh);
+            Some(w.mul_vec(y))
+        }
+    }
+}
+
+/// Detect a whole grid: `h[sc]`, `y[sc]` per subcarrier. Singular ZF
+/// subcarriers come back as `None` entries.
+pub fn detect_grid(
+    h: &[Matrix2],
+    y: &[[Complex; 2]],
+    sigma2: f64,
+    detector: Detector,
+) -> Vec<Option<[Complex; 2]>> {
+    assert_eq!(h.len(), y.len(), "grid length mismatch");
+    h.iter()
+        .zip(y.iter())
+        .map(|(hc, &yc)| detect(hc, yc, sigma2, detector))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn rand_channel(rng: &mut SmallRng) -> Matrix2 {
+        let mut e = || Complex::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0));
+        Matrix2 { m: [[e(), e()], [e(), e()]] }
+    }
+
+    fn close(a: Complex, b: Complex, tol: f64) -> bool {
+        (a - b).norm_sqr().sqrt() < tol
+    }
+
+    #[test]
+    fn inverse_roundtrip() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..50 {
+            let h = rand_channel(&mut rng);
+            if let Some(inv) = h.inverse() {
+                let id = h.mul(&inv);
+                assert!(close(id.m[0][0], Complex::new(1.0, 0.0), 1e-9));
+                assert!(close(id.m[1][1], Complex::new(1.0, 0.0), 1e-9));
+                assert!(close(id.m[0][1], Complex::ZERO, 1e-9));
+                assert!(close(id.m[1][0], Complex::ZERO, 1e-9));
+            }
+        }
+    }
+
+    #[test]
+    fn singular_matrix_rejected() {
+        let h = Matrix2 {
+            m: [
+                [Complex::new(1.0, 0.0), Complex::new(2.0, 0.0)],
+                [Complex::new(2.0, 0.0), Complex::new(4.0, 0.0)],
+            ],
+        };
+        assert!(h.inverse().is_none());
+        assert!(detect(&h, [Complex::ZERO; 2], 0.0, Detector::ZeroForcing).is_none());
+        // MMSE regularization makes it invertible.
+        assert!(detect(&h, [Complex::ZERO; 2], 0.1, Detector::Mmse).is_some());
+    }
+
+    #[test]
+    fn zf_recovers_exactly_without_noise() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        for _ in 0..50 {
+            let h = rand_channel(&mut rng);
+            if h.det().norm_sqr() < 1e-3 {
+                continue; // skip near-singular draws
+            }
+            let x = [
+                Complex::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)),
+                Complex::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)),
+            ];
+            let y = h.mul_vec(x);
+            let xh = detect(&h, y, 0.0, Detector::ZeroForcing).expect("invertible");
+            assert!(close(xh[0], x[0], 1e-9) && close(xh[1], x[1], 1e-9));
+        }
+    }
+
+    #[test]
+    fn mmse_approaches_zf_at_high_snr() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let h = rand_channel(&mut rng);
+        let x = [Complex::new(0.7, -0.2), Complex::new(-0.4, 0.9)];
+        let y = h.mul_vec(x);
+        let zf = detect(&h, y, 0.0, Detector::ZeroForcing).unwrap();
+        let mmse = detect(&h, y, 1e-9, Detector::Mmse).unwrap();
+        assert!(close(zf[0], mmse[0], 1e-4) && close(zf[1], mmse[1], 1e-4));
+    }
+
+    #[test]
+    fn mmse_beats_zf_on_ill_conditioned_channels_with_noise() {
+        // Nearly rank-1 channel: ZF blows up the noise, MMSE contains it.
+        let mut rng = SmallRng::seed_from_u64(4);
+        let eps = 0.05;
+        let h = Matrix2 {
+            m: [
+                [Complex::new(1.0, 0.0), Complex::new(1.0, 0.0)],
+                [Complex::new(1.0, 0.0), Complex::new(1.0 + eps, 0.0)],
+            ],
+        };
+        let sigma = 0.05;
+        let mut err = |detector: Detector| -> f64 {
+            let mut total = 0.0;
+            for _ in 0..300 {
+                let x = [
+                    Complex::new(if rng.gen::<bool>() { 0.707 } else { -0.707 }, 0.0),
+                    Complex::new(if rng.gen::<bool>() { 0.707 } else { -0.707 }, 0.0),
+                ];
+                let mut y = h.mul_vec(x);
+                for v in y.iter_mut() {
+                    v.re += sigma * (rng.gen::<f64>() - 0.5) * 3.46;
+                    v.im += sigma * (rng.gen::<f64>() - 0.5) * 3.46;
+                }
+                let xh = detect(&h, y, sigma * sigma, detector).unwrap();
+                total += (xh[0] - x[0]).norm_sqr() + (xh[1] - x[1]).norm_sqr();
+            }
+            total
+        };
+        let zf_err = err(Detector::ZeroForcing);
+        let mmse_err = err(Detector::Mmse);
+        assert!(
+            mmse_err < zf_err * 0.8,
+            "MMSE {mmse_err:.2} should clearly beat ZF {zf_err:.2}"
+        );
+    }
+
+    #[test]
+    fn grid_detection_shape() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let n = 24;
+        let hs: Vec<Matrix2> = (0..n).map(|_| rand_channel(&mut rng)).collect();
+        let xs: Vec<[Complex; 2]> = (0..n)
+            .map(|_| {
+                [
+                    Complex::new(rng.gen_range(-1.0..1.0), 0.0),
+                    Complex::new(rng.gen_range(-1.0..1.0), 0.0),
+                ]
+            })
+            .collect();
+        let ys: Vec<[Complex; 2]> = hs.iter().zip(&xs).map(|(h, &x)| h.mul_vec(x)).collect();
+        let out = detect_grid(&hs, &ys, 1e-9, Detector::Mmse);
+        assert_eq!(out.len(), n);
+        for (got, want) in out.iter().zip(&xs) {
+            let got = got.expect("MMSE always solves");
+            assert!(close(got[0], want[0], 1e-3) && close(got[1], want[1], 1e-3));
+        }
+    }
+
+    #[test]
+    fn hermitian_property() {
+        let mut rng = SmallRng::seed_from_u64(6);
+        let h = rand_channel(&mut rng);
+        let g = h.hermitian().mul(&h);
+        // Gram matrix is Hermitian with real diagonal.
+        assert!(g.m[0][0].im.abs() < 1e-12);
+        assert!(g.m[1][1].im.abs() < 1e-12);
+        assert!(close(g.m[0][1], g.m[1][0].conj(), 1e-12));
+    }
+}

@@ -1,0 +1,215 @@
+//! QAM symbol mapping and soft demodulation (LLR extraction).
+//!
+//! Gray-mapped QPSK/16-QAM/64-QAM per 36.211, unit average symbol energy.
+//! The demodulator produces max-log LLRs — the input format the turbo
+//! decoder consumes — and is exact for QPSK (where max-log equals true MAP
+//! per bit up to scaling).
+
+use crate::kernels::fft::Complex;
+use crate::mcs::Modulation;
+
+/// Per-axis Gray levels for 16-QAM (36.211 mapping), scaled by 1/√10.
+const LEVELS_16: [f64; 2] = [1.0, 3.0];
+/// Per-axis Gray levels for 64-QAM, scaled by 1/√42.
+const LEVELS_64: [f64; 4] = [3.0, 1.0, 5.0, 7.0];
+
+fn axis_16(bits: (u8, u8)) -> f64 {
+    // (b0,b2) → I axis per 36.211 Table 7.1.3-1: value from second bit,
+    // sign from first (0 → +).
+    let mag = LEVELS_16[bits.1 as usize];
+    let sign = if bits.0 == 0 { 1.0 } else { -1.0 };
+    sign * mag / 10f64.sqrt()
+}
+
+fn axis_64(bits: (u8, u8, u8)) -> f64 {
+    // (b0,b2,b4) → axis per 36.211 Table 7.1.4-1.
+    let idx = ((bits.1 << 1) | bits.2) as usize;
+    let mag = LEVELS_64[idx];
+    let sign = if bits.0 == 0 { 1.0 } else { -1.0 };
+    sign * mag / 42f64.sqrt()
+}
+
+/// Map a bit slice onto constellation symbols.
+///
+/// Bits are consumed `Qm` at a time; a final partial group is zero-padded.
+pub fn modulate(bits: &[u8], modulation: Modulation) -> Vec<Complex> {
+    let qm = modulation.bits_per_symbol() as usize;
+    bits.chunks(qm)
+        .map(|chunk| {
+            let mut b = [0u8; 6];
+            for (i, &bit) in chunk.iter().enumerate() {
+                b[i] = bit & 1;
+            }
+            match modulation {
+                Modulation::Qpsk => {
+                    let s = 2f64.sqrt().recip();
+                    Complex::new(
+                        if b[0] == 0 { s } else { -s },
+                        if b[1] == 0 { s } else { -s },
+                    )
+                }
+                Modulation::Qam16 => {
+                    Complex::new(axis_16((b[0], b[2])), axis_16((b[1], b[3])))
+                }
+                Modulation::Qam64 => {
+                    Complex::new(axis_64((b[0], b[2], b[4])), axis_64((b[1], b[3], b[5])))
+                }
+            }
+        })
+        .collect()
+}
+
+/// Max-log LLR soft demodulation.
+///
+/// For each received symbol, emits `Qm` LLRs with the convention
+/// `LLR > 0 ⇔ bit 0 more likely`. `noise_var` is the per-component complex
+/// noise variance (σ² of `re` + σ² of `im`).
+pub fn demodulate_llr(symbols: &[Complex], modulation: Modulation, noise_var: f64) -> Vec<f64> {
+    let noise_var = noise_var.max(1e-12);
+    let constellation = full_constellation(modulation);
+    let qm = modulation.bits_per_symbol() as usize;
+    let mut llrs = Vec::with_capacity(symbols.len() * qm);
+    for &y in symbols {
+        for bit in 0..qm {
+            let mut best0 = f64::INFINITY;
+            let mut best1 = f64::INFINITY;
+            for (labels, point) in &constellation {
+                let d = (y - *point).norm_sqr();
+                if (labels >> bit) & 1 == 0 {
+                    best0 = best0.min(d);
+                } else {
+                    best1 = best1.min(d);
+                }
+            }
+            llrs.push((best1 - best0) / noise_var);
+        }
+    }
+    llrs
+}
+
+/// Hard decisions from LLRs (`LLR > 0 → 0`).
+pub fn hard_decide(llrs: &[f64]) -> Vec<u8> {
+    llrs.iter().map(|&l| u8::from(l < 0.0)).collect()
+}
+
+/// Enumerate the full constellation with bit labels. The label's bit `i`
+/// holds the `i`-th modulated bit of the group.
+fn full_constellation(modulation: Modulation) -> Vec<(u8, Complex)> {
+    let qm = modulation.bits_per_symbol() as usize;
+    (0..1u16 << qm)
+        .map(|label| {
+            let bits: Vec<u8> = (0..qm).map(|i| ((label >> i) & 1) as u8).collect();
+            let sym = modulate(&bits, modulation)[0];
+            (label as u8, sym)
+        })
+        .collect()
+}
+
+/// Average energy of a constellation (should be 1 for all mappings).
+pub fn average_energy(modulation: Modulation) -> f64 {
+    let c = full_constellation(modulation);
+    c.iter().map(|(_, p)| p.norm_sqr()).sum::<f64>() / c.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn unit_average_energy_all_constellations() {
+        for m in [Modulation::Qpsk, Modulation::Qam16, Modulation::Qam64] {
+            let e = average_energy(m);
+            assert!((e - 1.0).abs() < 1e-12, "{m}: energy {e}");
+        }
+    }
+
+    #[test]
+    fn constellation_points_distinct() {
+        for m in [Modulation::Qpsk, Modulation::Qam16, Modulation::Qam64] {
+            let c = full_constellation(m);
+            for i in 0..c.len() {
+                for j in i + 1..c.len() {
+                    assert!(
+                        (c[i].1 - c[j].1).norm_sqr() > 1e-6,
+                        "{m}: duplicate points {i},{j}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn noiseless_roundtrip_all_modulations() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        for m in [Modulation::Qpsk, Modulation::Qam16, Modulation::Qam64] {
+            let qm = m.bits_per_symbol() as usize;
+            let bits: Vec<u8> = (0..qm * 100).map(|_| rng.gen_range(0..2u8)).collect();
+            let syms = modulate(&bits, m);
+            let llrs = demodulate_llr(&syms, m, 1e-6);
+            let decided = hard_decide(&llrs);
+            assert_eq!(decided, bits, "{m} roundtrip failed");
+        }
+    }
+
+    #[test]
+    fn qpsk_known_points() {
+        let s = 2f64.sqrt().recip();
+        let p00 = modulate(&[0, 0], Modulation::Qpsk)[0];
+        assert!((p00.re - s).abs() < 1e-12 && (p00.im - s).abs() < 1e-12);
+        let p11 = modulate(&[1, 1], Modulation::Qpsk)[0];
+        assert!((p11.re + s).abs() < 1e-12 && (p11.im + s).abs() < 1e-12);
+    }
+
+    #[test]
+    fn llr_magnitude_grows_with_snr() {
+        let bits = [0u8, 1, 1, 0];
+        let syms = modulate(&bits, Modulation::Qpsk);
+        let low = demodulate_llr(&syms, Modulation::Qpsk, 1.0);
+        let high = demodulate_llr(&syms, Modulation::Qpsk, 0.01);
+        for (l, h) in low.iter().zip(high.iter()) {
+            assert!(h.abs() > l.abs());
+            // Signs agree.
+            assert_eq!(l.signum(), h.signum());
+        }
+    }
+
+    #[test]
+    fn moderate_noise_mostly_correct_qpsk() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        let n = 4000;
+        let bits: Vec<u8> = (0..2 * n).map(|_| rng.gen_range(0..2u8)).collect();
+        let mut syms = modulate(&bits, Modulation::Qpsk);
+        let sigma: f64 = 0.2; // per-axis std dev → Es/N0 ≈ 11 dB
+        for s in &mut syms {
+            let mut g = || {
+                let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+                let u2: f64 = rng.gen_range(0.0..1.0);
+                (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+            };
+            let (n1, n2) = (g(), g());
+            s.re += sigma * n1;
+            s.im += sigma * n2;
+        }
+        let decided = hard_decide(&demodulate_llr(&syms, Modulation::Qpsk, 2.0 * sigma * sigma));
+        let errors = decided.iter().zip(&bits).filter(|(a, b)| a != b).count();
+        let ber = errors as f64 / bits.len() as f64;
+        assert!(ber < 0.01, "BER {ber} too high at 11 dB");
+    }
+
+    #[test]
+    fn partial_symbol_group_padded() {
+        // 5 bits into 16QAM → 2 symbols (pad to 8 bits).
+        let syms = modulate(&[1, 0, 1, 1, 0], Modulation::Qam16);
+        assert_eq!(syms.len(), 2);
+    }
+
+    #[test]
+    fn llr_count_matches_qm() {
+        let syms = modulate(&[0; 12], Modulation::Qam64);
+        assert_eq!(syms.len(), 2);
+        let llrs = demodulate_llr(&syms, Modulation::Qam64, 0.1);
+        assert_eq!(llrs.len(), 12);
+    }
+}

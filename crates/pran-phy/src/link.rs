@@ -1,0 +1,266 @@
+//! Wireless link budget: path loss, SINR and link adaptation.
+//!
+//! A deliberately classical model — distance-dependent path loss with
+//! optional log-normal shadowing, thermal noise over the allocated PRBs, and
+//! Shannon-with-implementation-gap link adaptation mapped onto the MCS
+//! table. PRAN's compute load depends on the *distribution* of MCS across
+//! users, which this module produces from UE geometry.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::frame::SUBCARRIERS_PER_PRB;
+use crate::frame::SUBCARRIER_SPACING_HZ;
+use crate::mcs::{Cqi, Mcs};
+
+/// Bandwidth of one PRB in Hz.
+pub const PRB_BANDWIDTH_HZ: f64 = SUBCARRIERS_PER_PRB as f64 * SUBCARRIER_SPACING_HZ;
+
+/// Thermal noise density at 290 K, dBm/Hz.
+pub const THERMAL_NOISE_DBM_HZ: f64 = -174.0;
+
+/// Distance-dependent path-loss models.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum PathLossModel {
+    /// 3GPP urban macro: `PL(dB) = 128.1 + 37.6·log10(d_km)`.
+    UrbanMacro,
+    /// 3GPP urban micro: `PL(dB) = 140.7 + 36.7·log10(d_km)`.
+    UrbanMicro,
+    /// Free space at 2 GHz: `PL(dB) = 98.46 + 20·log10(d_km)`.
+    FreeSpace2Ghz,
+    /// Fixed-exponent log-distance model with 1 km intercept.
+    LogDistance {
+        /// Loss in dB at 1 km.
+        intercept_db: f64,
+        /// Path-loss exponent (×10 dB per decade).
+        exponent: f64,
+    },
+}
+
+impl PathLossModel {
+    /// Path loss in dB at the given distance (clamped below at 10 m to keep
+    /// the log finite near the mast).
+    pub fn loss_db(self, distance_m: f64) -> f64 {
+        let d_km = (distance_m.max(10.0)) / 1000.0;
+        match self {
+            PathLossModel::UrbanMacro => 128.1 + 37.6 * d_km.log10(),
+            PathLossModel::UrbanMicro => 140.7 + 36.7 * d_km.log10(),
+            PathLossModel::FreeSpace2Ghz => 98.46 + 20.0 * d_km.log10(),
+            PathLossModel::LogDistance { intercept_db, exponent } => {
+                intercept_db + 10.0 * exponent * d_km.log10()
+            }
+        }
+    }
+}
+
+/// Radio-link parameters of a cell/UE pair.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinkBudget {
+    /// Transmit power in dBm (total, spread across the whole carrier).
+    pub tx_power_dbm: f64,
+    /// Number of PRBs the transmit power is divided over.
+    pub carrier_prbs: u32,
+    /// Receiver noise figure in dB.
+    pub noise_figure_db: f64,
+    /// Path-loss model.
+    pub path_loss: PathLossModel,
+    /// Log-normal shadowing standard deviation in dB (0 disables).
+    pub shadowing_sigma_db: f64,
+    /// Interference margin in dB subtracted from SINR (inter-cell).
+    pub interference_margin_db: f64,
+    /// Shannon implementation gap in dB (SNR penalty of a real modem).
+    pub implementation_gap_db: f64,
+    /// Cap on spectral efficiency (bits/RE) regardless of SINR.
+    pub max_efficiency: f64,
+}
+
+impl LinkBudget {
+    /// The macro-cell defaults used throughout the evaluation: 46 dBm over
+    /// 100 PRBs, 7 dB UE noise figure, urban-macro path loss, 3 dB gap.
+    pub fn macro_cell() -> Self {
+        LinkBudget {
+            tx_power_dbm: 46.0,
+            carrier_prbs: 100,
+            noise_figure_db: 7.0,
+            path_loss: PathLossModel::UrbanMacro,
+            shadowing_sigma_db: 8.0,
+            interference_margin_db: 3.0,
+            implementation_gap_db: 3.0,
+            max_efficiency: 5.7,
+        }
+    }
+
+    /// Per-PRB transmit power in dBm.
+    pub fn tx_power_per_prb_dbm(&self) -> f64 {
+        self.tx_power_dbm - 10.0 * f64::from(self.carrier_prbs).log10()
+    }
+
+    /// Noise power over one PRB in dBm.
+    pub fn noise_per_prb_dbm(&self) -> f64 {
+        THERMAL_NOISE_DBM_HZ + 10.0 * PRB_BANDWIDTH_HZ.log10() + self.noise_figure_db
+    }
+
+    /// Mean SINR (dB) at a distance, without shadowing.
+    pub fn mean_sinr_db(&self, distance_m: f64) -> f64 {
+        self.tx_power_per_prb_dbm()
+            - self.path_loss.loss_db(distance_m)
+            - self.noise_per_prb_dbm()
+            - self.interference_margin_db
+    }
+
+    /// SINR (dB) with a shadowing sample drawn from `rng`.
+    pub fn sinr_db<R: Rng + ?Sized>(&self, distance_m: f64, rng: &mut R) -> f64 {
+        let shadow = if self.shadowing_sigma_db > 0.0 {
+            // Box-Muller: one standard normal sample.
+            let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+            let u2: f64 = rng.gen_range(0.0..1.0);
+            (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+        } else {
+            0.0
+        };
+        self.mean_sinr_db(distance_m) + shadow * self.shadowing_sigma_db
+    }
+
+    /// Shannon-with-gap spectral efficiency (bits/RE) at an SINR.
+    pub fn spectral_efficiency(&self, sinr_db: f64) -> f64 {
+        let gap = 10f64.powf(self.implementation_gap_db / 10.0);
+        let sinr = 10f64.powf(sinr_db / 10.0);
+        (1.0 + sinr / gap).log2().min(self.max_efficiency)
+    }
+
+    /// Link adaptation: pick the best MCS supportable at an SINR.
+    ///
+    /// Returns `None` when even MCS 0 cannot be sustained (UE out of range).
+    pub fn adapt_mcs(&self, sinr_db: f64) -> Option<Mcs> {
+        Mcs::from_efficiency(self.spectral_efficiency(sinr_db))
+    }
+
+    /// CQI a UE would report at an SINR.
+    pub fn report_cqi(&self, sinr_db: f64) -> Cqi {
+        Cqi::from_efficiency(self.spectral_efficiency(sinr_db))
+    }
+
+    /// Per-PRB achievable rate (bit/s) at an SINR, through the MCS grid.
+    pub fn prb_rate_bps(&self, sinr_db: f64) -> f64 {
+        self.adapt_mcs(sinr_db)
+            .map(|m| m.bits_per_prb() * 1000.0)
+            .unwrap_or(0.0)
+    }
+
+    /// PRBs required to carry `rate_bps` at an SINR (∞-safe: `None` when the
+    /// link supports no MCS).
+    pub fn required_prbs(&self, rate_bps: f64, sinr_db: f64) -> Option<u32> {
+        let per_prb = self.prb_rate_bps(sinr_db);
+        if per_prb <= 0.0 {
+            return None;
+        }
+        Some((rate_bps / per_prb).ceil() as u32)
+    }
+}
+
+impl Default for LinkBudget {
+    fn default() -> Self {
+        Self::macro_cell()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn path_loss_increases_with_distance() {
+        for model in [
+            PathLossModel::UrbanMacro,
+            PathLossModel::UrbanMicro,
+            PathLossModel::FreeSpace2Ghz,
+            PathLossModel::LogDistance { intercept_db: 120.0, exponent: 3.5 },
+        ] {
+            let mut prev = f64::NEG_INFINITY;
+            for d in [50.0, 100.0, 300.0, 1000.0, 3000.0] {
+                let pl = model.loss_db(d);
+                assert!(pl > prev, "{model:?} not monotone at {d} m");
+                prev = pl;
+            }
+        }
+    }
+
+    #[test]
+    fn urban_macro_reference_point() {
+        // At 1 km the UMa model gives exactly its intercept.
+        assert!((PathLossModel::UrbanMacro.loss_db(1000.0) - 128.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn near_field_clamped() {
+        // Below 10 m the loss stops shrinking.
+        let m = PathLossModel::UrbanMacro;
+        assert_eq!(m.loss_db(1.0), m.loss_db(10.0));
+    }
+
+    #[test]
+    fn sinr_declines_with_distance_and_supports_cell_edge() {
+        let lb = LinkBudget::macro_cell();
+        let near = lb.mean_sinr_db(100.0);
+        let far = lb.mean_sinr_db(1500.0);
+        assert!(near > far);
+        // Near users should get high-order MCS, cell-edge users low-order.
+        let near_mcs = lb.adapt_mcs(near).expect("near UE in coverage");
+        assert!(near_mcs.index() >= 20, "near MCS too low: {near_mcs}");
+        let far_mcs = lb.adapt_mcs(far).expect("edge UE in coverage");
+        assert!(far_mcs.index() <= 15, "edge MCS too high: {far_mcs}");
+    }
+
+    #[test]
+    fn out_of_range_ue_gets_no_mcs() {
+        let lb = LinkBudget::macro_cell();
+        assert_eq!(lb.adapt_mcs(-20.0), None);
+        assert_eq!(lb.required_prbs(1e6, -20.0), None);
+    }
+
+    #[test]
+    fn spectral_efficiency_capped() {
+        let lb = LinkBudget::macro_cell();
+        assert!(lb.spectral_efficiency(60.0) <= lb.max_efficiency);
+        assert!(lb.spectral_efficiency(-30.0) > 0.0);
+    }
+
+    #[test]
+    fn required_prbs_scale_with_rate() {
+        let lb = LinkBudget::macro_cell();
+        let sinr = 15.0;
+        let one = lb.required_prbs(1e6, sinr).unwrap();
+        let ten = lb.required_prbs(10e6, sinr).unwrap();
+        assert!(ten >= 9 * one, "10 Mb/s needs ~10× the PRBs of 1 Mb/s");
+    }
+
+    #[test]
+    fn shadowing_adds_variance_but_not_bias() {
+        let mut lb = LinkBudget::macro_cell();
+        lb.shadowing_sigma_db = 8.0;
+        let mut rng = SmallRng::seed_from_u64(7);
+        let d = 500.0;
+        let n = 4000;
+        let samples: Vec<f64> = (0..n).map(|_| lb.sinr_db(d, &mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - lb.mean_sinr_db(d)).abs() < 0.5, "biased shadowing: {mean}");
+        assert!((var.sqrt() - 8.0).abs() < 0.5, "sigma off: {}", var.sqrt());
+    }
+
+    #[test]
+    fn zero_sigma_is_deterministic() {
+        let mut lb = LinkBudget::macro_cell();
+        lb.shadowing_sigma_db = 0.0;
+        let mut rng = SmallRng::seed_from_u64(1);
+        assert_eq!(lb.sinr_db(700.0, &mut rng), lb.mean_sinr_db(700.0));
+    }
+
+    #[test]
+    fn cqi_report_tracks_sinr() {
+        let lb = LinkBudget::macro_cell();
+        assert!(lb.report_cqi(30.0).index() > lb.report_cqi(0.0).index());
+    }
+}

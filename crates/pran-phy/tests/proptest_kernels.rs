@@ -1,0 +1,158 @@
+//! Property tests over the DSP kernels: round-trip identities and
+//! integrity invariants that must hold for arbitrary payloads.
+
+use proptest::prelude::*;
+
+use pran_phy::kernels::crc::{Crc, CRC24A, CRC24B};
+use pran_phy::kernels::fft::{Complex, Fft};
+use pran_phy::kernels::modulation::{demodulate_llr, hard_decide, modulate};
+use pran_phy::kernels::rate_match::{combine, rate_match_rv, rate_recover_rv};
+use pran_phy::kernels::scrambler::scramble;
+use pran_phy::kernels::turbo::{turbo_decode, turbo_encode, QppInterleaver, SoftCodeword};
+use pran_phy::mcs::Modulation;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// CRC attach → check succeeds; any single corruption is caught.
+    #[test]
+    fn crc_roundtrip_and_detection(
+        payload in proptest::collection::vec(any::<u8>(), 1..200),
+        flip_byte_frac in 0.0f64..1.0,
+        flip_bit in 0u8..8,
+    ) {
+        for spec in [CRC24A, CRC24B] {
+            let crc = Crc::new(spec);
+            let mut framed = payload.clone();
+            crc.attach(&mut framed);
+            prop_assert_eq!(crc.check(&framed), Some(&payload[..]));
+            let mut corrupted = framed.clone();
+            let idx = ((framed.len() - 1) as f64 * flip_byte_frac) as usize;
+            corrupted[idx] ^= 1 << flip_bit;
+            prop_assert!(crc.check(&corrupted).is_none());
+        }
+    }
+
+    /// FFT forward→inverse is the identity for arbitrary signals.
+    #[test]
+    fn fft_roundtrip(
+        log_n in 3u32..10,
+        seed in proptest::collection::vec(-10.0f64..10.0, 16),
+    ) {
+        let n = 1usize << log_n;
+        let fft = Fft::new(n);
+        let x: Vec<Complex> = (0..n)
+            .map(|i| {
+                let a = seed[i % seed.len()];
+                let b = seed[(i * 7 + 3) % seed.len()];
+                Complex::new(a, b)
+            })
+            .collect();
+        let back = fft.inverse(&fft.forward(&x));
+        for (a, b) in x.iter().zip(back.iter()) {
+            prop_assert!((a.re - b.re).abs() < 1e-8 && (a.im - b.im).abs() < 1e-8);
+        }
+    }
+
+    /// Modulate → noiseless LLR demod → hard decision is the identity for
+    /// every constellation and any bit stream.
+    #[test]
+    fn modulation_roundtrip(
+        bits in proptest::collection::vec(0u8..2, 6..600),
+        m_idx in 0usize..3,
+    ) {
+        let m = [Modulation::Qpsk, Modulation::Qam16, Modulation::Qam64][m_idx];
+        let qm = m.bits_per_symbol() as usize;
+        let usable = (bits.len() / qm) * qm;
+        prop_assume!(usable > 0);
+        let bits = &bits[..usable];
+        let decided = hard_decide(&demodulate_llr(&modulate(bits, m), m, 1e-6));
+        prop_assert_eq!(&decided[..], bits);
+    }
+
+    /// Scrambling is a seed-keyed involution that never fixes every bit of
+    /// a long-enough buffer.
+    #[test]
+    fn scrambler_involution(
+        bits in proptest::collection::vec(0u8..2, 64..512),
+        seed in 1u32..0x7FFF_FFFF,
+    ) {
+        let once = scramble(&bits, seed);
+        prop_assert_eq!(scramble(&once, seed), bits.clone());
+        prop_assert_ne!(once, bits, "a 64+ bit buffer never scrambles to itself");
+    }
+
+    /// Turbo encode → perfect-channel decode is exact for every supported
+    /// block size and any message.
+    #[test]
+    fn turbo_noiseless_roundtrip(
+        size_idx in 0usize..4,
+        fill_seed in any::<u64>(),
+    ) {
+        let k = [40usize, 64, 128, 256][size_idx];
+        let msg: Vec<u8> = (0..k)
+            .map(|i| (((fill_seed >> (i % 64)) & 1) as u8) ^ ((i / 64) as u8 & 1))
+            .collect();
+        let cw = turbo_encode(&msg);
+        let il = QppInterleaver::for_block_size(k).unwrap();
+        let soft = SoftCodeword::from_codeword(&cw, 4.0);
+        let out = turbo_decode(&soft, &il, 6);
+        prop_assert_eq!(out.bits, msg);
+    }
+
+    /// Any (e, rv) rate-match/recover pair reproduces exactly the selected
+    /// window positions and leaves the rest at zero.
+    #[test]
+    fn rate_match_rv_window_consistency(
+        e_frac in 0.2f64..2.0,
+        rv in 0u8..4,
+    ) {
+        let k = 64;
+        let msg: Vec<u8> = (0..k).map(|i| (i % 2) as u8).collect();
+        let cw = turbo_encode(&msg);
+        let total = cw.total_bits();
+        let e = ((total as f64 * e_frac) as usize).max(1);
+        let coded = rate_match_rv(&cw, e, rv);
+        prop_assert_eq!(coded.len(), e);
+        let llrs: Vec<f64> = coded.iter().map(|&b| if b == 0 { 1.0 } else { -1.0 }).collect();
+        let soft = rate_recover_rv(&llrs, k, rv);
+        // Total accumulated magnitude equals the number of received bits.
+        let mass: f64 = soft.systematic.iter().map(|l| l.abs()).sum::<f64>()
+            + soft.parity1.iter().map(|l| l.abs()).sum::<f64>()
+            + soft.parity2.iter().map(|l| l.abs()).sum::<f64>()
+            + soft.systematic2_tail.iter().map(|l| l.abs()).sum::<f64>();
+        prop_assert!((mass - e as f64).abs() < 1e-9, "mass {mass} vs e {e}");
+        // And every nonzero position agrees in sign with the true bit.
+        let check = |bits: &[u8], llrs: &[f64]| -> bool {
+            bits.iter().zip(llrs).all(|(&b, &l)| l == 0.0 || (l > 0.0) == (b == 0))
+        };
+        prop_assert!(check(&cw.systematic, &soft.systematic));
+        prop_assert!(check(&cw.parity1, &soft.parity1));
+        prop_assert!(check(&cw.parity2, &soft.parity2));
+    }
+
+    /// Combining two disjoint-RV recoveries covers at least as much of the
+    /// buffer as either alone, and never contradicts the codeword.
+    #[test]
+    fn combining_is_monotone(e_frac in 0.3f64..0.9) {
+        let k = 64;
+        let msg: Vec<u8> = (0..k).map(|i| ((i * 5) % 2) as u8).collect();
+        let cw = turbo_encode(&msg);
+        let e = (cw.total_bits() as f64 * e_frac) as usize;
+        let mk = |rv: u8| {
+            let coded = rate_match_rv(&cw, e, rv);
+            let llrs: Vec<f64> =
+                coded.iter().map(|&b| if b == 0 { 1.0 } else { -1.0 }).collect();
+            rate_recover_rv(&llrs, k, rv)
+        };
+        let a = mk(0);
+        let b = mk(2);
+        let both = combine(&a, &b);
+        let coverage = |s: &SoftCodeword| {
+            s.systematic.iter().filter(|&&l| l != 0.0).count()
+                + s.parity1.iter().filter(|&&l| l != 0.0).count()
+                + s.parity2.iter().filter(|&&l| l != 0.0).count()
+        };
+        prop_assert!(coverage(&both) >= coverage(&a).max(coverage(&b)));
+    }
+}

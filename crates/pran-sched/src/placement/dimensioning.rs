@@ -1,0 +1,193 @@
+//! Pool dimensioning: how many servers does a deployment need?
+//!
+//! The statistical-multiplexing experiment (E4) compares two provisioning
+//! strategies over a load trace:
+//!
+//! * **dedicated** — each cell gets its own hardware sized for *its own
+//!   peak* (the classic distributed RAN);
+//! * **pooled** — one shared pool sized so that at *every* time step the
+//!   aggregate demand packs into the servers (PRAN).
+//!
+//! The gap between the two is the multiplexing gain in server units.
+
+use pran_phy::compute::ComputeModel;
+use pran_phy::frame::{AntennaConfig, Bandwidth};
+use pran_phy::mcs::Mcs;
+use pran_traces::Trace;
+
+use super::heuristics::{place, Heuristic};
+use super::PlacementInstance;
+
+/// Converts trace utilization into GOPS via the compute model at a fixed
+/// radio configuration.
+#[derive(Debug, Clone)]
+pub struct GopsConverter {
+    /// The compute-cost model.
+    pub model: ComputeModel,
+    /// Carrier bandwidth of every cell.
+    pub bandwidth: Bandwidth,
+    /// Antenna configuration of every cell.
+    pub antennas: AntennaConfig,
+    /// Average MCS assumed for the load (traffic-weighted).
+    pub mcs: Mcs,
+}
+
+impl GopsConverter {
+    /// The evaluation default: 20 MHz, 4×2, MCS 20.
+    pub fn default_eval() -> Self {
+        GopsConverter {
+            model: ComputeModel::calibrated(),
+            bandwidth: Bandwidth::Mhz20,
+            antennas: AntennaConfig::pran_default(),
+            mcs: Mcs::new(20),
+        }
+    }
+
+    /// GOPS (UL + DL) for one cell at a PRB utilization.
+    pub fn gops(&self, utilization: f64) -> f64 {
+        self.model
+            .cell_gops_bidirectional(self.bandwidth, self.antennas, utilization, self.mcs)
+    }
+
+    /// Convert a whole trace row.
+    pub fn row_gops(&self, row: &[f64]) -> Vec<f64> {
+        row.iter().map(|&u| self.gops(u)).collect()
+    }
+}
+
+/// Result of dimensioning one strategy over a trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dimensioning {
+    /// Servers required.
+    pub servers: usize,
+    /// Peak aggregate GOPS observed.
+    pub peak_gops: f64,
+}
+
+/// Dedicated provisioning: each cell gets dedicated servers sized for its
+/// own peak.
+pub fn dedicated_servers(trace: &Trace, conv: &GopsConverter, capacity_gops: f64) -> Dimensioning {
+    assert!(capacity_gops > 0.0);
+    let mut servers = 0usize;
+    let mut peak_total = 0.0;
+    for c in 0..trace.num_cells() {
+        let peak_gops = conv.gops(trace.cell_peak(c));
+        servers += (peak_gops / capacity_gops).ceil().max(1.0) as usize;
+        peak_total += peak_gops;
+    }
+    Dimensioning { servers, peak_gops: peak_total }
+}
+
+/// Pooled provisioning: the number of servers that suffices to pack every
+/// time step (computed by FFD per step, taking the maximum over time).
+///
+/// FFD is within 11/9·OPT+1 of optimal packing, so the reported pool size
+/// is a *sufficient* size under the same heuristic the controller runs.
+pub fn pooled_servers(trace: &Trace, conv: &GopsConverter, capacity_gops: f64) -> Dimensioning {
+    assert!(capacity_gops > 0.0);
+    let mut max_servers = 0usize;
+    let mut peak_agg = 0.0f64;
+    for row in &trace.samples {
+        let gops = conv.row_gops(row);
+        let agg: f64 = gops.iter().sum();
+        peak_agg = peak_agg.max(agg);
+        // Enough uniform servers to hold everything in the worst case.
+        let upper = gops.len().max((agg / capacity_gops).ceil() as usize + 1);
+        let inst = PlacementInstance::uniform(&gops, upper, capacity_gops);
+        let r = place(&inst, Heuristic::FirstFitDecreasing);
+        debug_assert!(r.complete(), "pool sizing must always fit");
+        max_servers = max_servers.max(inst.servers_used(&r.placement));
+    }
+    Dimensioning { servers: max_servers, peak_gops: peak_agg }
+}
+
+/// Saving of pooling vs dedicated, in `[0, 1)`.
+pub fn pooling_saving(dedicated: &Dimensioning, pooled: &Dimensioning) -> f64 {
+    if dedicated.servers == 0 {
+        return 0.0;
+    }
+    1.0 - pooled.servers as f64 / dedicated.servers as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pran_traces::{generate, TraceConfig};
+
+    fn day_trace(cells: usize, seed: u64) -> Trace {
+        let mut cfg = TraceConfig::default_day(cells, seed);
+        cfg.step_seconds = 600.0; // 10-min steps keep tests fast
+        generate(&cfg)
+    }
+
+    #[test]
+    fn gops_converter_monotone() {
+        let conv = GopsConverter::default_eval();
+        assert!(conv.gops(0.9) > conv.gops(0.3));
+        assert!(conv.gops(0.0) > 0.0, "idle cells still burn FFT+control");
+    }
+
+    #[test]
+    fn pooled_needs_fewer_servers_than_dedicated() {
+        let trace = day_trace(40, 9);
+        let conv = GopsConverter::default_eval();
+        let cap = 400.0;
+        let ded = dedicated_servers(&trace, &conv, cap);
+        let pool = pooled_servers(&trace, &conv, cap);
+        assert!(
+            pool.servers < ded.servers,
+            "pooling must save servers: {} vs {}",
+            pool.servers,
+            ded.servers
+        );
+        let saving = pooling_saving(&ded, &pool);
+        assert!(saving > 0.1, "saving {saving} too small");
+        assert!(saving < 0.9, "saving {saving} implausible");
+    }
+
+    #[test]
+    fn dedicated_at_least_one_server_per_cell() {
+        let trace = day_trace(10, 2);
+        let conv = GopsConverter::default_eval();
+        let ded = dedicated_servers(&trace, &conv, 1e9);
+        assert_eq!(ded.servers, 10);
+    }
+
+    #[test]
+    fn pooled_bounded_below_by_aggregate() {
+        let trace = day_trace(20, 3);
+        let conv = GopsConverter::default_eval();
+        let cap = 500.0;
+        let pool = pooled_servers(&trace, &conv, cap);
+        let lb = (pool.peak_gops / cap).ceil() as usize;
+        assert!(pool.servers >= lb);
+        // FFD guarantee.
+        assert!(pool.servers as f64 <= 11.0 / 9.0 * lb as f64 + 1.0);
+    }
+
+    #[test]
+    fn saving_grows_with_pool_size() {
+        // More cells → better multiplexing (law of large numbers), at
+        // least between a tiny and a large pool.
+        let conv = GopsConverter::default_eval();
+        let cap = 400.0;
+        let small = {
+            let t = day_trace(6, 4);
+            pooling_saving(
+                &dedicated_servers(&t, &conv, cap),
+                &pooled_servers(&t, &conv, cap),
+            )
+        };
+        let large = {
+            let t = day_trace(80, 4);
+            pooling_saving(
+                &dedicated_servers(&t, &conv, cap),
+                &pooled_servers(&t, &conv, cap),
+            )
+        };
+        assert!(
+            large >= small - 0.05,
+            "saving should not shrink with scale: small {small}, large {large}"
+        );
+    }
+}

@@ -1,0 +1,245 @@
+//! Fast placement heuristics: the per-epoch production path.
+//!
+//! Classic decreasing-order packing with fronthaul filtering. These run in
+//! microseconds where the ILP takes seconds — the trade PRAN's control
+//! plane makes at the fast timescale — at the cost of occasionally opening
+//! an extra server (E5 measures how often).
+
+use super::{Placement, PlacementInstance};
+
+/// Which packing rule to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Heuristic {
+    /// First-fit decreasing: first open server with room.
+    FirstFitDecreasing,
+    /// Best-fit decreasing: open server leaving the least residual room.
+    BestFitDecreasing,
+    /// Worst-fit decreasing: open server leaving the most residual room
+    /// (spreads load; useful before expected growth).
+    WorstFitDecreasing,
+}
+
+impl Heuristic {
+    /// All heuristics.
+    pub fn all() -> [Heuristic; 3] {
+        [
+            Heuristic::FirstFitDecreasing,
+            Heuristic::BestFitDecreasing,
+            Heuristic::WorstFitDecreasing,
+        ]
+    }
+
+    /// Short label for tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            Heuristic::FirstFitDecreasing => "FFD",
+            Heuristic::BestFitDecreasing => "BFD",
+            Heuristic::WorstFitDecreasing => "WFD",
+        }
+    }
+}
+
+/// Result of a heuristic placement attempt.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HeuristicResult {
+    /// The (possibly partial) placement produced.
+    pub placement: Placement,
+    /// Cells that could not be placed anywhere (overload).
+    pub unplaced: Vec<usize>,
+}
+
+impl HeuristicResult {
+    /// True if every cell found a server.
+    pub fn complete(&self) -> bool {
+        self.unplaced.is_empty()
+    }
+}
+
+/// Pack cells onto servers with the chosen heuristic.
+///
+/// Cells are considered in decreasing demand order. Servers are preferred
+/// in increasing cost order (cheapest first) among already-used ones per
+/// the heuristic's rule; a new server is opened (cheapest first) only when
+/// no used server fits.
+pub fn place(instance: &PlacementInstance, heuristic: Heuristic) -> HeuristicResult {
+    let mut order: Vec<usize> = (0..instance.cells.len()).collect();
+    order.sort_by(|&a, &b| {
+        instance.cells[b]
+            .gops
+            .partial_cmp(&instance.cells[a].gops)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+
+    let mut residual: Vec<f64> = instance.servers.iter().map(|s| s.capacity_gops).collect();
+    let mut used = vec![false; instance.servers.len()];
+    let mut assignment = vec![None; instance.cells.len()];
+    let mut unplaced = Vec::new();
+
+    // Server opening order: cheapest, then largest.
+    let mut open_order: Vec<usize> = (0..instance.servers.len()).collect();
+    open_order.sort_by(|&a, &b| {
+        let sa = &instance.servers[a];
+        let sb = &instance.servers[b];
+        sa.cost
+            .partial_cmp(&sb.cost)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(
+                sb.capacity_gops
+                    .partial_cmp(&sa.capacity_gops)
+                    .unwrap_or(std::cmp::Ordering::Equal),
+            )
+    });
+
+    for &cell in &order {
+        let need = instance.cells[cell].gops;
+        let fits = |s: usize, residual: &[f64]| {
+            instance.is_allowed(cell, s) && residual[s] + 1e-9 >= need
+        };
+
+        // Candidate among used servers, per rule.
+        let candidate = match heuristic {
+            Heuristic::FirstFitDecreasing => open_order
+                .iter()
+                .copied()
+                .find(|&s| used[s] && fits(s, &residual)),
+            Heuristic::BestFitDecreasing => open_order
+                .iter()
+                .copied()
+                .filter(|&s| used[s] && fits(s, &residual))
+                .min_by(|&a, &b| {
+                    (residual[a] - need)
+                        .partial_cmp(&(residual[b] - need))
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                }),
+            // Worst-fit considers the whole pool (an untouched server has
+            // maximal residual), so it spreads load rather than packing.
+            Heuristic::WorstFitDecreasing => open_order
+                .iter()
+                .copied()
+                .filter(|&s| fits(s, &residual))
+                .max_by(|&a, &b| {
+                    residual[a]
+                        .partial_cmp(&residual[b])
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                }),
+        };
+
+        // Fall back to opening a new server.
+        let target = candidate.or_else(|| {
+            open_order
+                .iter()
+                .copied()
+                .find(|&s| !used[s] && fits(s, &residual))
+        });
+
+        match target {
+            Some(s) => {
+                residual[s] -= need;
+                used[s] = true;
+                assignment[cell] = Some(s);
+            }
+            None => unplaced.push(cell),
+        }
+    }
+
+    HeuristicResult { placement: Placement { assignment }, unplaced }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ffd_packs_classic_example() {
+        // Demands 7,6,3,2,2 into capacity 10 → FFD: [7,3],[6,2,2] = 2 bins.
+        let inst = PlacementInstance::uniform(&[7.0, 6.0, 3.0, 2.0, 2.0], 5, 10.0);
+        let r = place(&inst, Heuristic::FirstFitDecreasing);
+        assert!(r.complete());
+        assert!(inst.validate(&r.placement).is_ok());
+        assert_eq!(inst.servers_used(&r.placement), 2);
+    }
+
+    #[test]
+    fn all_heuristics_produce_valid_placements() {
+        let demands: Vec<f64> = (0..30).map(|i| 10.0 + (i as f64 * 7.3) % 50.0).collect();
+        let inst = PlacementInstance::uniform(&demands, 30, 100.0);
+        for h in Heuristic::all() {
+            let r = place(&inst, h);
+            assert!(r.complete(), "{} left cells unplaced", h.label());
+            assert!(inst.validate(&r.placement).is_ok(), "{} invalid", h.label());
+        }
+        // FFD/BFD guarantee: ≤ 11/9·OPT + 1; check against the L1 bound.
+        // (WFD spreads deliberately, so no such bound applies.)
+        for h in [Heuristic::FirstFitDecreasing, Heuristic::BestFitDecreasing] {
+            let r = place(&inst, h);
+            let used = inst.servers_used(&r.placement);
+            let lb = inst.lower_bound_servers();
+            assert!(
+                used as f64 <= (11.0 / 9.0) * lb as f64 + 1.0 + 1e-9,
+                "{}: {used} servers vs bound {lb}",
+                h.label()
+            );
+        }
+    }
+
+    #[test]
+    fn worst_fit_spreads_load() {
+        let inst = PlacementInstance::uniform(&[30.0, 30.0], 2, 100.0);
+        let wfd = place(&inst, Heuristic::WorstFitDecreasing);
+        assert_eq!(inst.servers_used(&wfd.placement), 2, "WFD should spread");
+        let ffd = place(&inst, Heuristic::FirstFitDecreasing);
+        assert_eq!(inst.servers_used(&ffd.placement), 1, "FFD should pack");
+    }
+
+    #[test]
+    fn respects_fronthaul_restrictions() {
+        let mut inst = PlacementInstance::uniform(&[50.0, 50.0], 2, 100.0);
+        // Cell 0 may only use server 1, cell 1 only server 0.
+        inst.allowed = vec![vec![false, true], vec![true, false]];
+        let r = place(&inst, Heuristic::FirstFitDecreasing);
+        assert!(r.complete());
+        assert_eq!(r.placement.assignment[0], Some(1));
+        assert_eq!(r.placement.assignment[1], Some(0));
+    }
+
+    #[test]
+    fn overload_reports_unplaced() {
+        let inst = PlacementInstance::uniform(&[80.0, 80.0, 80.0], 2, 100.0);
+        let r = place(&inst, Heuristic::BestFitDecreasing);
+        assert_eq!(r.unplaced.len(), 1);
+        assert_eq!(r.placement.placed(), 2);
+    }
+
+    #[test]
+    fn oversized_cell_unplaceable() {
+        let inst = PlacementInstance::uniform(&[150.0], 3, 100.0);
+        let r = place(&inst, Heuristic::FirstFitDecreasing);
+        assert_eq!(r.unplaced, vec![0]);
+    }
+
+    #[test]
+    fn cheapest_servers_opened_first() {
+        let mut inst = PlacementInstance::uniform(&[10.0], 2, 100.0);
+        inst.servers[0].cost = 5.0;
+        inst.servers[1].cost = 1.0;
+        let r = place(&inst, Heuristic::FirstFitDecreasing);
+        assert_eq!(r.placement.assignment[0], Some(1), "should pick the cheap server");
+    }
+
+    #[test]
+    fn heterogeneous_capacities() {
+        let mut inst = PlacementInstance::uniform(&[120.0, 30.0], 2, 100.0);
+        inst.servers[1].capacity_gops = 200.0;
+        let r = place(&inst, Heuristic::FirstFitDecreasing);
+        assert!(r.complete());
+        assert_eq!(r.placement.assignment[0], Some(1), "big cell needs big server");
+    }
+
+    #[test]
+    fn empty_instance() {
+        let inst = PlacementInstance::uniform(&[], 3, 100.0);
+        let r = place(&inst, Heuristic::FirstFitDecreasing);
+        assert!(r.complete());
+        assert_eq!(r.placement.assignment.len(), 0);
+    }
+}

@@ -1,0 +1,272 @@
+//! Cell→server placement: the coarse timescale of PRAN's two-timescale
+//! resource manager.
+//!
+//! Every few seconds-to-minutes the controller re-decides which pool server
+//! processes which cell, packing predicted per-cell compute demand (GOPS)
+//! into server capacities while respecting fronthaul feasibility. The exact
+//! formulation ([`ilp`]) is a bin-packing ILP — NP-hard — and the fast path
+//! ([`heuristics`]) is first-fit/best-fit-decreasing; experiment E5
+//! quantifies the optimality gap and the solve-time ratio between them.
+
+pub mod admission;
+pub mod dimensioning;
+pub mod heuristics;
+pub mod ilp;
+pub mod migration;
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Compute demand of one cell for the next placement epoch.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CellDemand {
+    /// Dense cell id (index into the instance).
+    pub id: usize,
+    /// Predicted sustained GOPS requirement.
+    pub gops: f64,
+}
+
+/// One pool server.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ServerSpec {
+    /// Dense server id (index into the instance).
+    pub id: usize,
+    /// Compute capacity in GOPS.
+    pub capacity_gops: f64,
+    /// Cost of powering this server (objective weight; 1.0 = count
+    /// servers).
+    pub cost: f64,
+}
+
+/// A placement problem instance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlacementInstance {
+    /// Per-cell compute demands.
+    pub cells: Vec<CellDemand>,
+    /// Pool servers.
+    pub servers: Vec<ServerSpec>,
+    /// `allowed[cell][server]`: whether fronthaul latency permits serving
+    /// the cell from the server's site. Empty means "all allowed".
+    pub allowed: Vec<Vec<bool>>,
+}
+
+/// A (partial) assignment of cells to servers.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Placement {
+    /// `assignment[cell] = Some(server)` or `None` if unplaced.
+    pub assignment: Vec<Option<usize>>,
+}
+
+/// Why a placement is invalid.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlacementError {
+    /// A cell has no server.
+    Unplaced(usize),
+    /// A cell sits on a fronthaul-infeasible server.
+    NotAllowed {
+        /// Offending cell.
+        cell: usize,
+        /// Disallowed server.
+        server: usize,
+    },
+    /// A server's capacity is exceeded.
+    OverCapacity {
+        /// Overloaded server.
+        server: usize,
+        /// Placed load in GOPS.
+        load: f64,
+        /// Server capacity in GOPS.
+        capacity: f64,
+    },
+    /// Assignment vector length does not match the instance.
+    ShapeMismatch,
+}
+
+impl fmt::Display for PlacementError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlacementError::Unplaced(c) => write!(f, "cell {c} is unplaced"),
+            PlacementError::NotAllowed { cell, server } => {
+                write!(f, "cell {cell} may not be served from server {server}")
+            }
+            PlacementError::OverCapacity { server, load, capacity } => {
+                write!(f, "server {server} overloaded: {load:.1}/{capacity:.1} GOPS")
+            }
+            PlacementError::ShapeMismatch => write!(f, "assignment length mismatch"),
+        }
+    }
+}
+
+impl PlacementInstance {
+    /// Build an instance with uniform servers and no fronthaul restriction.
+    pub fn uniform(cell_gops: &[f64], num_servers: usize, capacity_gops: f64) -> Self {
+        PlacementInstance {
+            cells: cell_gops
+                .iter()
+                .enumerate()
+                .map(|(id, &gops)| CellDemand { id, gops })
+                .collect(),
+            servers: (0..num_servers)
+                .map(|id| ServerSpec { id, capacity_gops, cost: 1.0 })
+                .collect(),
+            allowed: Vec::new(),
+        }
+    }
+
+    /// Whether `cell` may run on `server`.
+    pub fn is_allowed(&self, cell: usize, server: usize) -> bool {
+        self.allowed.is_empty() || self.allowed[cell][server]
+    }
+
+    /// Check a placement against all constraints.
+    pub fn validate(&self, p: &Placement) -> Result<(), PlacementError> {
+        if p.assignment.len() != self.cells.len() {
+            return Err(PlacementError::ShapeMismatch);
+        }
+        let mut load = vec![0.0f64; self.servers.len()];
+        for (cell, assigned) in p.assignment.iter().enumerate() {
+            match assigned {
+                None => return Err(PlacementError::Unplaced(cell)),
+                Some(s) => {
+                    if !self.is_allowed(cell, *s) {
+                        return Err(PlacementError::NotAllowed { cell, server: *s });
+                    }
+                    load[*s] += self.cells[cell].gops;
+                }
+            }
+        }
+        for (server, &l) in load.iter().enumerate() {
+            let cap = self.servers[server].capacity_gops;
+            if l > cap * (1.0 + 1e-9) {
+                return Err(PlacementError::OverCapacity { server, load: l, capacity: cap });
+            }
+        }
+        Ok(())
+    }
+
+    /// GOPS load per server under a placement.
+    pub fn server_loads(&self, p: &Placement) -> Vec<f64> {
+        let mut load = vec![0.0f64; self.servers.len()];
+        for (cell, assigned) in p.assignment.iter().enumerate() {
+            if let Some(s) = assigned {
+                load[*s] += self.cells[cell].gops;
+            }
+        }
+        load
+    }
+
+    /// Number of servers hosting at least one cell.
+    pub fn servers_used(&self, p: &Placement) -> usize {
+        self.server_loads(p).iter().filter(|&&l| l > 0.0).count()
+    }
+
+    /// Total cost of the servers in use.
+    pub fn cost(&self, p: &Placement) -> f64 {
+        self.server_loads(p)
+            .iter()
+            .zip(&self.servers)
+            .filter(|(&l, _)| l > 0.0)
+            .map(|(_, s)| s.cost)
+            .sum()
+    }
+
+    /// Total demand.
+    pub fn total_gops(&self) -> f64 {
+        self.cells.iter().map(|c| c.gops).sum()
+    }
+
+    /// A lower bound on servers used (uniform-capacity L1 bound; uses the
+    /// largest capacity, so it is valid for heterogeneous pools too).
+    pub fn lower_bound_servers(&self) -> usize {
+        let max_cap = self
+            .servers
+            .iter()
+            .map(|s| s.capacity_gops)
+            .fold(0.0f64, f64::max);
+        if max_cap == 0.0 {
+            return if self.cells.is_empty() { 0 } else { usize::MAX };
+        }
+        (self.total_gops() / max_cap).ceil() as usize
+    }
+}
+
+impl Placement {
+    /// All-unplaced placement for `n` cells.
+    pub fn empty(n: usize) -> Self {
+        Placement { assignment: vec![None; n] }
+    }
+
+    /// Number of placed cells.
+    pub fn placed(&self) -> usize {
+        self.assignment.iter().filter(|a| a.is_some()).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn instance() -> PlacementInstance {
+        PlacementInstance::uniform(&[50.0, 60.0, 70.0], 3, 100.0)
+    }
+
+    #[test]
+    fn validate_catches_unplaced() {
+        let inst = instance();
+        let p = Placement::empty(3);
+        assert_eq!(inst.validate(&p), Err(PlacementError::Unplaced(0)));
+    }
+
+    #[test]
+    fn validate_catches_overload() {
+        let inst = instance();
+        let p = Placement { assignment: vec![Some(0), Some(0), Some(1)] };
+        assert!(matches!(
+            inst.validate(&p),
+            Err(PlacementError::OverCapacity { server: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn validate_catches_disallowed() {
+        let mut inst = instance();
+        inst.allowed = vec![vec![true, true, false]; 3];
+        let p = Placement { assignment: vec![Some(2), Some(0), Some(1)] };
+        assert_eq!(
+            inst.validate(&p),
+            Err(PlacementError::NotAllowed { cell: 0, server: 2 })
+        );
+    }
+
+    #[test]
+    fn validate_accepts_good_placement() {
+        let inst = instance();
+        let p = Placement { assignment: vec![Some(0), Some(1), Some(2)] };
+        assert!(inst.validate(&p).is_ok());
+        assert_eq!(inst.servers_used(&p), 3);
+        assert_eq!(inst.cost(&p), 3.0);
+    }
+
+    #[test]
+    fn shape_mismatch() {
+        let inst = instance();
+        let p = Placement::empty(2);
+        assert_eq!(inst.validate(&p), Err(PlacementError::ShapeMismatch));
+    }
+
+    #[test]
+    fn lower_bound() {
+        let inst = instance();
+        assert_eq!(inst.lower_bound_servers(), 2); // 180 GOPS / 100
+        let empty = PlacementInstance::uniform(&[], 2, 100.0);
+        assert_eq!(empty.lower_bound_servers(), 0);
+    }
+
+    #[test]
+    fn server_loads_accumulate() {
+        let inst = instance();
+        let p = Placement { assignment: vec![Some(1), Some(1), Some(2)] };
+        // 50+60 > 100 → invalid, but loads still computable.
+        assert_eq!(inst.server_loads(&p), vec![0.0, 110.0, 70.0]);
+    }
+}

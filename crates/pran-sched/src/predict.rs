@@ -1,0 +1,251 @@
+//! Load prediction for the coarse placement timescale.
+//!
+//! Placement decisions hold for an epoch, so they must be sized for the
+//! load the epoch *will* bring, not the load just seen. Three predictors
+//! cover the design space the controller exposes: EWMA (smooth, lags
+//! trends), Holt's linear method (tracks trends), and sliding-window max
+//! (conservative envelope — what you provision when misses are expensive).
+
+/// A one-step-ahead load predictor over a scalar series.
+pub trait Predictor {
+    /// Feed the latest observation.
+    fn observe(&mut self, value: f64);
+    /// Predict the next value. Implementations return 0 before any
+    /// observation.
+    fn predict(&self) -> f64;
+    /// Human-readable name for tables.
+    fn name(&self) -> &'static str;
+}
+
+/// Exponentially weighted moving average.
+#[derive(Debug, Clone)]
+pub struct Ewma {
+    alpha: f64,
+    state: Option<f64>,
+}
+
+impl Ewma {
+    /// `alpha ∈ (0, 1]`: weight of the newest sample.
+    pub fn new(alpha: f64) -> Self {
+        assert!((0.0..=1.0).contains(&alpha) && alpha > 0.0, "alpha must be in (0,1]");
+        Ewma { alpha, state: None }
+    }
+}
+
+impl Predictor for Ewma {
+    fn observe(&mut self, value: f64) {
+        self.state = Some(match self.state {
+            None => value,
+            Some(s) => self.alpha * value + (1.0 - self.alpha) * s,
+        });
+    }
+
+    fn predict(&self) -> f64 {
+        self.state.unwrap_or(0.0)
+    }
+
+    fn name(&self) -> &'static str {
+        "ewma"
+    }
+}
+
+/// Holt's linear (double-exponential) smoothing: level + trend.
+#[derive(Debug, Clone)]
+pub struct HoltLinear {
+    alpha: f64,
+    beta: f64,
+    level: Option<f64>,
+    trend: f64,
+}
+
+impl HoltLinear {
+    /// `alpha`, `beta` ∈ (0, 1].
+    pub fn new(alpha: f64, beta: f64) -> Self {
+        assert!(alpha > 0.0 && alpha <= 1.0);
+        assert!(beta > 0.0 && beta <= 1.0);
+        HoltLinear { alpha, beta, level: None, trend: 0.0 }
+    }
+}
+
+impl Predictor for HoltLinear {
+    fn observe(&mut self, value: f64) {
+        match self.level {
+            None => {
+                self.level = Some(value);
+                self.trend = 0.0;
+            }
+            Some(level) => {
+                let new_level = self.alpha * value + (1.0 - self.alpha) * (level + self.trend);
+                self.trend = self.beta * (new_level - level) + (1.0 - self.beta) * self.trend;
+                self.level = Some(new_level);
+            }
+        }
+    }
+
+    fn predict(&self) -> f64 {
+        self.level.map(|l| l + self.trend).unwrap_or(0.0)
+    }
+
+    fn name(&self) -> &'static str {
+        "holt"
+    }
+}
+
+/// Sliding-window maximum: predicts the largest of the last `window`
+/// observations (a conservative envelope).
+#[derive(Debug, Clone)]
+pub struct SlidingMax {
+    window: usize,
+    buf: Vec<f64>,
+    next: usize,
+    filled: usize,
+}
+
+impl SlidingMax {
+    /// `window ≥ 1`.
+    pub fn new(window: usize) -> Self {
+        assert!(window >= 1);
+        SlidingMax { window, buf: vec![0.0; window], next: 0, filled: 0 }
+    }
+}
+
+impl Predictor for SlidingMax {
+    fn observe(&mut self, value: f64) {
+        self.buf[self.next] = value;
+        self.next = (self.next + 1) % self.window;
+        self.filled = (self.filled + 1).min(self.window);
+    }
+
+    fn predict(&self) -> f64 {
+        self.buf[..self.filled].iter().copied().fold(0.0, f64::max)
+    }
+
+    fn name(&self) -> &'static str {
+        "sliding-max"
+    }
+}
+
+/// Evaluation of a predictor over a series: feed each value, predicting
+/// one step ahead, and score errors.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PredictionScore {
+    /// Mean absolute error of the one-step-ahead predictions.
+    pub mae: f64,
+    /// Fraction of steps where the prediction fell short of the actual
+    /// value (under-provisioning events).
+    pub under_rate: f64,
+    /// Mean relative over-provisioning on steps where prediction ≥ actual.
+    pub over_margin: f64,
+}
+
+/// Run a predictor over a series and score it.
+pub fn evaluate<P: Predictor + ?Sized>(predictor: &mut P, series: &[f64]) -> PredictionScore {
+    let mut abs_err = 0.0;
+    let mut unders = 0usize;
+    let mut over_sum = 0.0;
+    let mut overs = 0usize;
+    let mut counted = 0usize;
+    for (i, &actual) in series.iter().enumerate() {
+        if i > 0 {
+            let pred = predictor.predict();
+            abs_err += (pred - actual).abs();
+            counted += 1;
+            if pred < actual {
+                unders += 1;
+            } else {
+                overs += 1;
+                if actual > 0.0 {
+                    over_sum += (pred - actual) / actual;
+                }
+            }
+        }
+        predictor.observe(actual);
+    }
+    PredictionScore {
+        mae: if counted > 0 { abs_err / counted as f64 } else { 0.0 },
+        under_rate: if counted > 0 { unders as f64 / counted as f64 } else { 0.0 },
+        over_margin: if overs > 0 { over_sum / overs as f64 } else { 0.0 },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ewma_converges_to_constant() {
+        let mut p = Ewma::new(0.3);
+        for _ in 0..100 {
+            p.observe(5.0);
+        }
+        assert!((p.predict() - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ewma_empty_predicts_zero() {
+        assert_eq!(Ewma::new(0.5).predict(), 0.0);
+    }
+
+    #[test]
+    fn holt_tracks_linear_trend() {
+        let mut p = HoltLinear::new(0.5, 0.3);
+        for i in 0..100 {
+            p.observe(i as f64);
+        }
+        // Next value should be ≈ 100.
+        assert!((p.predict() - 100.0).abs() < 2.0, "holt predicts {}", p.predict());
+        // EWMA lags badly on the same series.
+        let mut e = Ewma::new(0.3);
+        for i in 0..100 {
+            e.observe(i as f64);
+        }
+        assert!(e.predict() < 98.0, "ewma should lag a ramp");
+    }
+
+    #[test]
+    fn sliding_max_is_envelope() {
+        let mut p = SlidingMax::new(3);
+        for &v in &[1.0, 5.0, 2.0] {
+            p.observe(v);
+        }
+        assert_eq!(p.predict(), 5.0);
+        // The 5 ages out after 3 more samples.
+        for &v in &[1.0, 1.0, 1.0] {
+            p.observe(v);
+        }
+        assert_eq!(p.predict(), 1.0);
+    }
+
+    #[test]
+    fn evaluate_scores_perfect_predictor_zero_mae() {
+        // A constant series is perfectly predicted by EWMA after warmup.
+        let series = vec![3.0; 50];
+        let score = evaluate(&mut Ewma::new(0.5), &series);
+        assert!(score.mae < 1e-9);
+        assert_eq!(score.under_rate, 0.0);
+    }
+
+    #[test]
+    fn sliding_max_underprovisions_rarely_on_noisy_series() {
+        // Noisy-but-bounded series: envelope prediction should rarely fall
+        // short compared to EWMA.
+        let series: Vec<f64> =
+            (0..500).map(|i| 1.0 + 0.5 * ((i as f64) * 0.7).sin() + 0.2 * ((i as f64) * 2.3).cos()).collect();
+        let env = evaluate(&mut SlidingMax::new(20), &series);
+        let smooth = evaluate(&mut Ewma::new(0.3), &series);
+        assert!(
+            env.under_rate < smooth.under_rate,
+            "envelope {} vs ewma {}",
+            env.under_rate,
+            smooth.under_rate
+        );
+        // ...at the price of larger over-provisioning margin.
+        assert!(env.over_margin > smooth.over_margin);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn ewma_rejects_zero_alpha() {
+        Ewma::new(0.0);
+    }
+}

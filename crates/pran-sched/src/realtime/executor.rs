@@ -1,0 +1,203 @@
+//! A real threaded executor with deadline accounting.
+//!
+//! The simulator in the parent module answers "what if" questions at scale;
+//! this executor answers "does it actually hold on this machine": worker
+//! threads pull closures (e.g. real turbo decodes) from a deadline-ordered
+//! queue and the harness records wall-clock completion against each job's
+//! deadline. Used by the failover example and the E6 validation path.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{self, Receiver, Sender};
+use parking_lot::Mutex;
+
+/// A unit of work with a deadline relative to pool start.
+pub struct Job {
+    /// Caller-assigned id.
+    pub id: usize,
+    /// Deadline relative to [`DeadlineExecutor::run`]'s start instant.
+    pub deadline: Duration,
+    /// The work itself.
+    pub work: Box<dyn FnOnce() + Send>,
+}
+
+/// Completion record for one job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Completion {
+    /// The job's id.
+    pub id: usize,
+    /// Wall-clock finish relative to pool start.
+    pub finished_at: Duration,
+    /// Whether it finished past its deadline.
+    pub missed_deadline: bool,
+}
+
+/// Outcome of one executor run.
+#[derive(Debug, Clone)]
+pub struct ExecutorOutcome {
+    /// One record per job, sorted by id.
+    pub completions: Vec<Completion>,
+    /// Total wall-clock time of the run.
+    pub elapsed: Duration,
+}
+
+impl ExecutorOutcome {
+    /// Number of jobs that finished after their deadline.
+    pub fn misses(&self) -> usize {
+        self.completions.iter().filter(|c| c.missed_deadline).count()
+    }
+
+    /// Fraction of jobs that missed.
+    pub fn miss_ratio(&self) -> f64 {
+        if self.completions.is_empty() {
+            0.0
+        } else {
+            self.misses() as f64 / self.completions.len() as f64
+        }
+    }
+}
+
+/// A fixed-size worker pool executing jobs in deadline (EDF) order.
+pub struct DeadlineExecutor {
+    workers: usize,
+}
+
+impl DeadlineExecutor {
+    /// Create an executor with `workers` threads (≥ 1).
+    pub fn new(workers: usize) -> Self {
+        assert!(workers >= 1, "need at least one worker");
+        DeadlineExecutor { workers }
+    }
+
+    /// Run all jobs to completion and report per-job deadline outcomes.
+    ///
+    /// Jobs are dispatched in deadline order (non-preemptive EDF): the
+    /// queue is sorted up front and workers pull from the front.
+    pub fn run(&self, mut jobs: Vec<Job>) -> ExecutorOutcome {
+        jobs.sort_by_key(|j| j.deadline);
+        let start = Instant::now();
+        let (tx, rx): (Sender<Job>, Receiver<Job>) = channel::unbounded();
+        for job in jobs {
+            tx.send(job).expect("queue open");
+        }
+        drop(tx);
+
+        let completions = Arc::new(Mutex::new(Vec::new()));
+        let in_flight = Arc::new(AtomicUsize::new(0));
+
+        crossbeam::scope(|scope| {
+            for _ in 0..self.workers {
+                let rx = rx.clone();
+                let completions = Arc::clone(&completions);
+                let in_flight = Arc::clone(&in_flight);
+                scope.spawn(move |_| {
+                    while let Ok(job) = rx.recv() {
+                        in_flight.fetch_add(1, Ordering::Relaxed);
+                        (job.work)();
+                        let finished_at = start.elapsed();
+                        completions.lock().push(Completion {
+                            id: job.id,
+                            finished_at,
+                            missed_deadline: finished_at > job.deadline,
+                        });
+                        in_flight.fetch_sub(1, Ordering::Relaxed);
+                    }
+                });
+            }
+        })
+        .expect("worker panicked");
+
+        let mut completions = Arc::try_unwrap(completions)
+            .expect("all workers joined")
+            .into_inner();
+        completions.sort_by_key(|c| c.id);
+        ExecutorOutcome { completions, elapsed: start.elapsed() }
+    }
+}
+
+/// A calibrated spin of roughly `duration` of CPU work (for tests and
+/// benches that need *real* compute rather than sleeps).
+pub fn busy_work(duration: Duration) {
+    let start = Instant::now();
+    let mut x = 0x9E3779B97F4A7C15u64;
+    while start.elapsed() < duration {
+        // A few rounds of integer mixing; cheap enough to poll the clock
+        // frequently, expensive enough not to melt into a no-op.
+        for _ in 0..64 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+        }
+        std::hint::black_box(x);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spin_job(id: usize, work_us: u64, deadline_us: u64) -> Job {
+        Job {
+            id,
+            deadline: Duration::from_micros(deadline_us),
+            work: Box::new(move || busy_work(Duration::from_micros(work_us))),
+        }
+    }
+
+    #[test]
+    fn all_jobs_complete() {
+        let jobs: Vec<Job> = (0..16).map(|i| spin_job(i, 200, 1_000_000)).collect();
+        let out = DeadlineExecutor::new(4).run(jobs);
+        assert_eq!(out.completions.len(), 16);
+        assert_eq!(out.misses(), 0);
+        // Completions come back sorted by id.
+        for (i, c) in out.completions.iter().enumerate() {
+            assert_eq!(c.id, i);
+        }
+    }
+
+    #[test]
+    fn impossible_deadline_reported() {
+        let jobs = vec![spin_job(0, 5_000, 1)];
+        let out = DeadlineExecutor::new(1).run(jobs);
+        assert_eq!(out.misses(), 1);
+    }
+
+    #[test]
+    fn parallelism_speeds_up_wall_clock() {
+        // Only meaningful with real hardware parallelism; on a 1-core
+        // machine 4 workers time-slice and prove nothing.
+        let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        if cores < 2 {
+            return;
+        }
+        let mk = || (0..8).map(|i| spin_job(i, 4_000, 1_000_000)).collect::<Vec<_>>();
+        let serial = DeadlineExecutor::new(1).run(mk()).elapsed;
+        let parallel = DeadlineExecutor::new(cores.min(4)).run(mk()).elapsed;
+        assert!(
+            parallel < serial,
+            "{} workers ({parallel:?}) should beat 1 ({serial:?})",
+            cores.min(4)
+        );
+    }
+
+    #[test]
+    fn busy_work_takes_roughly_requested_time() {
+        let start = Instant::now();
+        busy_work(Duration::from_millis(5));
+        let elapsed = start.elapsed();
+        assert!(elapsed >= Duration::from_millis(5));
+        // Generous overshoot bound: a loaded single-core CI box can
+        // preempt the spin for tens of milliseconds.
+        assert!(elapsed < Duration::from_millis(500), "spin overshot: {elapsed:?}");
+    }
+
+    #[test]
+    fn empty_job_list() {
+        let out = DeadlineExecutor::new(2).run(Vec::new());
+        assert!(out.completions.is_empty());
+        assert_eq!(out.miss_ratio(), 0.0);
+    }
+}

@@ -1,0 +1,185 @@
+//! A minimal discrete-event engine.
+//!
+//! Time is `SimTime` (microseconds since simulation start). Events are
+//! caller-defined; the engine guarantees deterministic ordering — by time,
+//! then by insertion sequence — which keeps whole simulations reproducible
+//! from a seed.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::time::Duration;
+
+/// Simulation timestamp in microseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(pub u64);
+
+impl SimTime {
+    /// Zero.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Construct from a `Duration` (microsecond truncation).
+    pub fn from_duration(d: Duration) -> SimTime {
+        SimTime(d.as_micros() as u64)
+    }
+
+    /// Convert to a `Duration`.
+    pub fn to_duration(self) -> Duration {
+        Duration::from_micros(self.0)
+    }
+
+    /// This time plus an offset.
+    pub fn after(self, d: Duration) -> SimTime {
+        SimTime(self.0 + d.as_micros() as u64)
+    }
+}
+
+/// The event queue driving a simulation.
+#[derive(Debug)]
+pub struct Engine<E> {
+    queue: BinaryHeap<Reverse<(SimTime, u64, EventBox<E>)>>,
+    now: SimTime,
+    seq: u64,
+    processed: u64,
+}
+
+/// Wrapper making the payload inert for ordering purposes.
+#[derive(Debug)]
+struct EventBox<E>(E);
+
+impl<E> PartialEq for EventBox<E> {
+    fn eq(&self, _: &Self) -> bool {
+        true
+    }
+}
+impl<E> Eq for EventBox<E> {}
+impl<E> PartialOrd for EventBox<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for EventBox<E> {
+    fn cmp(&self, _: &Self) -> std::cmp::Ordering {
+        std::cmp::Ordering::Equal
+    }
+}
+
+impl<E> Engine<E> {
+    /// Empty engine at time zero.
+    pub fn new() -> Self {
+        Engine { queue: BinaryHeap::new(), now: SimTime::ZERO, seq: 0, processed: 0 }
+    }
+
+    /// Current simulation time (time of the last popped event).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events processed so far.
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Schedule an event at an absolute time.
+    ///
+    /// # Panics
+    /// Panics if `at` is in the simulated past.
+    pub fn schedule(&mut self, at: SimTime, event: E) {
+        assert!(at >= self.now, "cannot schedule into the past");
+        self.queue.push(Reverse((at, self.seq, EventBox(event))));
+        self.seq += 1;
+    }
+
+    /// Schedule an event `delay` after now.
+    pub fn schedule_in(&mut self, delay: Duration, event: E) {
+        self.schedule(self.now.after(delay), event);
+    }
+
+    /// Pop the next event, advancing the clock.
+    #[allow(clippy::should_implement_trait)] // not an Iterator: popping mutates the clock
+    pub fn next(&mut self) -> Option<(SimTime, E)> {
+        self.queue.pop().map(|Reverse((t, _, EventBox(e)))| {
+            self.now = t;
+            self.processed += 1;
+            (t, e)
+        })
+    }
+
+    /// Peek at the next event time without advancing.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.queue.peek().map(|Reverse((t, _, _))| *t)
+    }
+
+    /// Whether anything remains scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+}
+
+impl<E> Default for Engine<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_pop_in_time_order() {
+        let mut e = Engine::new();
+        e.schedule(SimTime(30), "c");
+        e.schedule(SimTime(10), "a");
+        e.schedule(SimTime(20), "b");
+        let order: Vec<&str> = std::iter::from_fn(|| e.next().map(|(_, ev)| ev)).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+        assert_eq!(e.now(), SimTime(30));
+        assert_eq!(e.processed(), 3);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut e = Engine::new();
+        e.schedule(SimTime(5), 1);
+        e.schedule(SimTime(5), 2);
+        e.schedule(SimTime(5), 3);
+        let order: Vec<i32> = std::iter::from_fn(|| e.next().map(|(_, ev)| ev)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn schedule_in_is_relative() {
+        let mut e = Engine::new();
+        e.schedule(SimTime(100), "first");
+        e.next();
+        e.schedule_in(Duration::from_micros(50), "second");
+        let (t, _) = e.next().unwrap();
+        assert_eq!(t, SimTime(150));
+    }
+
+    #[test]
+    #[should_panic(expected = "past")]
+    fn scheduling_into_past_panics() {
+        let mut e = Engine::new();
+        e.schedule(SimTime(100), ());
+        e.next();
+        e.schedule(SimTime(50), ());
+    }
+
+    #[test]
+    fn peek_does_not_advance() {
+        let mut e = Engine::new();
+        e.schedule(SimTime(42), ());
+        assert_eq!(e.peek_time(), Some(SimTime(42)));
+        assert_eq!(e.now(), SimTime::ZERO);
+        assert!(!e.is_empty());
+    }
+
+    #[test]
+    fn simtime_duration_roundtrip() {
+        let t = SimTime::from_duration(Duration::from_millis(3));
+        assert_eq!(t, SimTime(3000));
+        assert_eq!(t.to_duration(), Duration::from_millis(3));
+        assert_eq!(t.after(Duration::from_micros(7)), SimTime(3007));
+    }
+}

@@ -1,0 +1,27 @@
+//! `pran-sim` — discrete-event simulation of a PRAN deployment.
+//!
+//! Ties the substrates together: load traces (`pran-traces`) become
+//! per-cell compute demand (`pran-phy`), the controller's placement and
+//! real-time scheduling decisions come from `pran-sched`, and this crate
+//! advances simulated time, injects server failures, and collects the
+//! metrics the evaluation reports:
+//!
+//! * [`engine`] — deterministic event queue and simulated clock;
+//! * [`metrics`] — counters and log-scale latency histograms, JSON-able;
+//! * [`pool`] — the pool simulator: epoch-driven placement, sampled per-TTI
+//!   task execution, failure injection and failover measurement;
+//! * [`ue`] — microscopic load: UE sessions + link geometry → utilization,
+//!   traffic-weighted MCS and admission blocking (an alternative trace
+//!   source to `pran-traces`' macroscopic generator).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod engine;
+pub mod metrics;
+pub mod pool;
+pub mod ue;
+
+pub use engine::{Engine, SimTime};
+pub use metrics::{LogHistogram, PoolMetrics};
+pub use pool::{FailoverRecord, FailureSpec, PoolConfig, PoolSimulator, SimReport};

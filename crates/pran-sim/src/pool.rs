@@ -1,0 +1,461 @@
+//! The pool simulator: traces in, deadline/miss/migration metrics out.
+//!
+//! Drives a full PRAN deployment at epoch granularity over a load trace:
+//! each placement epoch the controller (re)packs cells onto live servers
+//! (incremental repack — bounded churn), then the simulator samples TTIs
+//! from every trace step, generates per-cell uplink tasks from the PHY
+//! compute model and runs the configured real-time scheduler per server.
+//! Server failures displace cells; failover is measured as the per-cell
+//! outage between failure and re-placement.
+
+use std::time::Duration;
+
+use pran_phy::compute::{CellWorkload, ComputeModel};
+use pran_phy::frame::{AntennaConfig, Bandwidth, Direction, COMPUTE_DEADLINE, TTI};
+use pran_phy::mcs::Mcs;
+use pran_sched::placement::migration::incremental_repack;
+use pran_sched::placement::{CellDemand, Placement, PlacementInstance, ServerSpec};
+use pran_sched::realtime::{simulate, Policy, RtTask};
+use pran_traces::Trace;
+
+use crate::engine::{Engine, SimTime};
+use crate::metrics::PoolMetrics;
+
+/// Static configuration of a pool simulation.
+#[derive(Debug, Clone)]
+pub struct PoolConfig {
+    /// Number of servers in the pool.
+    pub servers: usize,
+    /// Capacity of each server in GOPS.
+    pub server_capacity_gops: f64,
+    /// Cores per server (core capacity = server capacity / cores).
+    pub cores_per_server: usize,
+    /// Real-time scheduling policy within each server.
+    pub scheduler: Policy,
+    /// Trace steps per placement epoch.
+    pub epoch_steps: usize,
+    /// TTIs sampled (and fully simulated) per trace step.
+    pub ttis_per_step: usize,
+    /// Headroom multiplier applied to predicted demand when placing.
+    pub headroom: f64,
+    /// Failure detection delay (heartbeat timeout).
+    pub detection_delay: Duration,
+    /// Controller replanning overhead per failover.
+    pub replan_overhead: Duration,
+    /// State-transfer time per migrated cell.
+    pub migration_time_per_cell: Duration,
+    /// Radio configuration used to convert utilization into compute.
+    pub bandwidth: Bandwidth,
+    /// Antenna configuration of all cells.
+    pub antennas: AntennaConfig,
+    /// Assumed traffic-weighted MCS.
+    pub mcs: Mcs,
+}
+
+impl PoolConfig {
+    /// Evaluation defaults for a pool serving ~tens of cells.
+    pub fn default_eval(servers: usize) -> Self {
+        PoolConfig {
+            servers,
+            server_capacity_gops: 400.0,
+            // 4 × 100 GOPS: a cell-subframe task is atomic in this model,
+            // so one core must clear a full-load uplink subframe (~160
+            // GOPS·ms) within the 2 ms budget — cores must be ≥ 80 GOPS.
+            cores_per_server: 4,
+            scheduler: Policy::GlobalEdf,
+            epoch_steps: 10,
+            ttis_per_step: 4,
+            headroom: 1.1,
+            detection_delay: Duration::from_millis(20),
+            replan_overhead: Duration::from_millis(5),
+            migration_time_per_cell: Duration::from_millis(25),
+            bandwidth: Bandwidth::Mhz20,
+            antennas: AntennaConfig::pran_default(),
+            mcs: Mcs::new(20),
+        }
+    }
+}
+
+/// A scheduled server failure (and optional recovery).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FailureSpec {
+    /// Which server fails.
+    pub server: usize,
+    /// When the server dies, relative to trace start.
+    pub at: Duration,
+    /// How long until it returns (`None` = never).
+    pub recover_after: Option<Duration>,
+}
+
+/// Events driving the simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Event {
+    EpochStart(usize),
+    ServerFail(usize, Option<Duration>),
+    ServerRecover(usize),
+}
+
+/// One recorded failover.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FailoverRecord {
+    /// The failed server.
+    pub server: usize,
+    /// Cells displaced by the failure.
+    pub displaced: usize,
+    /// Cells successfully re-placed immediately.
+    pub replaced: usize,
+    /// Outage experienced by each re-placed cell.
+    pub outage: Duration,
+}
+
+/// The simulator.
+pub struct PoolSimulator {
+    trace: Trace,
+    config: PoolConfig,
+    failures: Vec<FailureSpec>,
+    model: ComputeModel,
+}
+
+/// Full output of a run.
+#[derive(Debug, Clone)]
+pub struct SimReport {
+    /// Aggregate counters and histograms.
+    pub metrics: PoolMetrics,
+    /// One record per handled server failure.
+    pub failovers: Vec<FailoverRecord>,
+}
+
+impl PoolSimulator {
+    /// Build a simulator over a trace.
+    pub fn new(trace: Trace, config: PoolConfig) -> Self {
+        assert!(config.servers > 0 && config.cores_per_server > 0);
+        assert!(config.epoch_steps > 0 && config.ttis_per_step > 0);
+        PoolSimulator { trace, config, failures: Vec::new(), model: ComputeModel::calibrated() }
+    }
+
+    /// Schedule a server failure.
+    pub fn inject_failure(&mut self, spec: FailureSpec) {
+        assert!(spec.server < self.config.servers, "no such server");
+        self.failures.push(spec);
+    }
+
+    /// Uplink GOPS for one cell at a PRB utilization.
+    fn cell_gops(&self, utilization: f64) -> f64 {
+        let w = CellWorkload {
+            bandwidth: self.config.bandwidth,
+            antennas: self.config.antennas,
+            prbs_used: 0,
+            mcs: self.config.mcs,
+            direction: Direction::Uplink,
+        }
+        .at_utilization(utilization);
+        self.model.cell_gops(&w)
+    }
+
+    /// Run to completion.
+    pub fn run(&mut self) -> SimReport {
+        let cfg = &self.config;
+        let num_cells = self.trace.num_cells();
+        let step_seconds = self.trace.step_seconds;
+        let total_steps = self.trace.num_steps();
+        let num_epochs = total_steps.div_ceil(cfg.epoch_steps);
+
+        let mut engine: Engine<Event> = Engine::new();
+        for e in 0..num_epochs {
+            let at = Duration::from_secs_f64(e as f64 * cfg.epoch_steps as f64 * step_seconds);
+            engine.schedule(SimTime::from_duration(at), Event::EpochStart(e));
+        }
+        for f in &self.failures {
+            engine.schedule(SimTime::from_duration(f.at), Event::ServerFail(f.server, f.recover_after));
+        }
+
+        let mut alive = vec![true; cfg.servers];
+        let mut placement = Placement::empty(num_cells);
+        let mut metrics = PoolMetrics::default();
+        let mut failovers = Vec::new();
+        let core_gops = cfg.server_capacity_gops / cfg.cores_per_server as f64;
+
+        while let Some((_, event)) = engine.next() {
+            match event {
+                Event::EpochStart(e) => {
+                    let first = e * cfg.epoch_steps;
+                    let last = ((e + 1) * cfg.epoch_steps).min(total_steps);
+
+                    // Predict demand: epoch-peak utilization with headroom
+                    // (an oracle-with-margin predictor; pran-sched::predict
+                    // provides online alternatives benched separately).
+                    let demands: Vec<CellDemand> = (0..num_cells)
+                        .map(|c| {
+                            let peak = (first..last)
+                                .map(|t| self.trace.samples[t][c])
+                                .fold(0.0f64, f64::max);
+                            CellDemand {
+                                id: c,
+                                gops: self.cell_gops(peak) * cfg.headroom,
+                            }
+                        })
+                        .collect();
+                    let instance = PlacementInstance {
+                        cells: demands,
+                        servers: (0..cfg.servers)
+                            .map(|id| ServerSpec {
+                                id,
+                                capacity_gops: cfg.server_capacity_gops,
+                                cost: 1.0,
+                            })
+                            .collect(),
+                        allowed: (0..num_cells)
+                            .map(|_| alive.clone())
+                            .collect(),
+                    };
+                    let (new_placement, plan) = incremental_repack(&instance, &placement);
+                    metrics.migrations += plan.len() as u64;
+                    metrics.epochs += 1;
+                    metrics.servers_used.push(instance.servers_used(&new_placement));
+                    metrics.demand_gops.push(instance.total_gops());
+                    placement = new_placement;
+
+                    // Simulate sampled TTIs of every step in the epoch.
+                    self.simulate_epoch(first, last, &placement, &alive, core_gops, &mut metrics);
+                }
+                Event::ServerFail(s, recover_after) => {
+                    if !alive[s] {
+                        continue;
+                    }
+                    alive[s] = false;
+                    // Displace and immediately repack the survivors.
+                    let displaced: Vec<usize> = placement
+                        .assignment
+                        .iter()
+                        .enumerate()
+                        .filter_map(|(c, a)| (*a == Some(s)).then_some(c))
+                        .collect();
+                    for c in &displaced {
+                        placement.assignment[*c] = None;
+                    }
+                    // Rebuild a placement instance at current loads.
+                    let step = ((engine.now().to_duration().as_secs_f64() / step_seconds)
+                        as usize)
+                        .min(total_steps - 1);
+                    let demands: Vec<CellDemand> = (0..num_cells)
+                        .map(|c| CellDemand {
+                            id: c,
+                            gops: self.cell_gops(self.trace.samples[step][c]) * cfg.headroom,
+                        })
+                        .collect();
+                    let instance = PlacementInstance {
+                        cells: demands,
+                        servers: (0..cfg.servers)
+                            .map(|id| ServerSpec {
+                                id,
+                                capacity_gops: cfg.server_capacity_gops,
+                                cost: 1.0,
+                            })
+                            .collect(),
+                        allowed: (0..num_cells).map(|_| alive.clone()).collect(),
+                    };
+                    let (new_placement, plan) = incremental_repack(&instance, &placement);
+                    metrics.migrations += plan.len() as u64;
+                    let replaced = displaced
+                        .iter()
+                        .filter(|&&c| new_placement.assignment[c].is_some())
+                        .count();
+                    let outage = cfg.detection_delay
+                        + cfg.replan_overhead
+                        + cfg.migration_time_per_cell;
+                    for _ in 0..replaced {
+                        metrics.outages.record(outage);
+                    }
+                    failovers.push(FailoverRecord {
+                        server: s,
+                        displaced: displaced.len(),
+                        replaced,
+                        outage,
+                    });
+                    placement = new_placement;
+                    if let Some(delay) = recover_after {
+                        engine.schedule_in(delay, Event::ServerRecover(s));
+                    }
+                }
+                Event::ServerRecover(s) => {
+                    alive[s] = true;
+                }
+            }
+        }
+
+        SimReport { metrics, failovers }
+    }
+
+    /// Simulate the sampled TTIs of `[first, last)` trace steps under the
+    /// current placement.
+    fn simulate_epoch(
+        &self,
+        first: usize,
+        last: usize,
+        placement: &Placement,
+        alive: &[bool],
+        core_gops: f64,
+        metrics: &mut PoolMetrics,
+    ) {
+        let cfg = &self.config;
+        for step in first..last {
+            let row = &self.trace.samples[step];
+            // Tasks lost: cells unplaced or on a dead server.
+            // Group tasks per server.
+            let mut per_server: Vec<Vec<RtTask>> = vec![Vec::new(); cfg.servers];
+            let mut next_id = vec![0usize; cfg.servers];
+            for (cell, &util) in row.iter().enumerate() {
+                let service = Duration::from_secs_f64(
+                    self.cell_gops(util) * 1e-3 / core_gops,
+                );
+                for tti in 0..cfg.ttis_per_step {
+                    metrics.tasks_total += 1;
+                    match placement.assignment[cell] {
+                        Some(s) if alive[s] => {
+                            let release = TTI * tti as u32;
+                            let id = next_id[s];
+                            next_id[s] += 1;
+                            per_server[s].push(RtTask {
+                                id,
+                                cell,
+                                release,
+                                deadline: release + COMPUTE_DEADLINE,
+                                service,
+                            });
+                        }
+                        _ => metrics.tasks_lost += 1,
+                    }
+                }
+            }
+            for (s, tasks) in per_server.iter().enumerate() {
+                if tasks.is_empty() || !alive[s] {
+                    continue;
+                }
+                let out = simulate(tasks, cfg.cores_per_server, cfg.scheduler);
+                metrics.deadline_misses += out.misses() as u64;
+                for t in tasks {
+                    metrics
+                        .response_times
+                        .record(out.finish[t.id].saturating_sub(t.release));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pran_traces::{generate, TraceConfig};
+
+    fn small_trace(cells: usize, seed: u64) -> Trace {
+        let mut cfg = TraceConfig::default_day(cells, seed);
+        cfg.duration_seconds = 2.0 * 3600.0; // 2 h
+        cfg.step_seconds = 120.0;
+        generate(&cfg)
+    }
+
+    fn sim(cells: usize, servers: usize, seed: u64) -> PoolSimulator {
+        PoolSimulator::new(small_trace(cells, seed), PoolConfig::default_eval(servers))
+    }
+
+    #[test]
+    fn healthy_pool_meets_deadlines() {
+        let mut s = sim(12, 10, 1);
+        let report = s.run();
+        assert!(report.metrics.tasks_total > 0);
+        assert_eq!(report.metrics.tasks_lost, 0, "ample pool must place all cells");
+        assert!(
+            report.metrics.miss_ratio() < 0.01,
+            "miss ratio {} in a healthy pool",
+            report.metrics.miss_ratio()
+        );
+        assert!(report.failovers.is_empty());
+    }
+
+    #[test]
+    fn servers_used_tracks_demand() {
+        let mut s = sim(20, 12, 2);
+        let report = s.run();
+        let m = &report.metrics;
+        assert_eq!(m.epochs as usize, m.servers_used.len());
+        // Pooled usage must never exceed the pool, and should vary with the
+        // diurnal demand (unless demand is flat).
+        assert!(m.peak_servers() <= 12);
+        assert!(m.mean_servers() >= 1.0);
+    }
+
+    #[test]
+    fn failure_displaces_and_recovers() {
+        let mut s = sim(12, 10, 3);
+        s.inject_failure(FailureSpec {
+            server: 0,
+            at: Duration::from_secs(1800),
+            recover_after: Some(Duration::from_secs(600)),
+        });
+        let report = s.run();
+        assert_eq!(report.failovers.len(), 1);
+        let f = &report.failovers[0];
+        assert_eq!(f.server, 0);
+        assert_eq!(f.displaced, f.replaced, "spare capacity must absorb the failure");
+        if f.displaced > 0 {
+            assert_eq!(report.metrics.outages.count(), f.replaced as u64);
+            // Outage = detection + replan + migration.
+            assert_eq!(f.outage, Duration::from_millis(50));
+        }
+    }
+
+    #[test]
+    fn failure_without_capacity_loses_tasks() {
+        // 2 servers, kill one, demand needs both → losses.
+        let trace = small_trace(16, 4);
+        let mut cfg = PoolConfig::default_eval(2);
+        cfg.server_capacity_gops = 600.0;
+        let mut s = PoolSimulator::new(trace, cfg);
+        s.inject_failure(FailureSpec {
+            server: 1,
+            at: Duration::from_secs(600),
+            recover_after: None,
+        });
+        let report = s.run();
+        assert!(
+            report.metrics.tasks_lost > 0,
+            "halving an adequate pool must strand some cells"
+        );
+    }
+
+    #[test]
+    fn double_failure_of_same_server_ignored() {
+        let mut s = sim(8, 6, 5);
+        s.inject_failure(FailureSpec { server: 1, at: Duration::from_secs(60), recover_after: None });
+        s.inject_failure(FailureSpec { server: 1, at: Duration::from_secs(120), recover_after: None });
+        let report = s.run();
+        assert_eq!(report.failovers.len(), 1);
+    }
+
+    #[test]
+    fn migrations_bounded_by_stability() {
+        let mut s = sim(15, 10, 6);
+        let report = s.run();
+        // Incremental repack must not reshuffle everything every epoch.
+        let per_epoch = report.metrics.migrations as f64 / report.metrics.epochs as f64;
+        assert!(per_epoch < 15.0 / 2.0, "churn per epoch {per_epoch} too high");
+    }
+
+    #[test]
+    fn deterministic_given_same_inputs() {
+        let run = |seed| {
+            let mut s = sim(10, 8, seed);
+            let r = s.run();
+            (r.metrics.tasks_total, r.metrics.deadline_misses, r.metrics.migrations)
+        };
+        assert_eq!(run(7), run(7));
+    }
+
+    #[test]
+    #[should_panic(expected = "no such server")]
+    fn failure_validates_server_index() {
+        let mut s = sim(4, 2, 8);
+        s.inject_failure(FailureSpec { server: 5, at: Duration::ZERO, recover_after: None });
+    }
+}

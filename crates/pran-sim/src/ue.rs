@@ -1,0 +1,363 @@
+//! Microscopic load model: users, sessions, link geometry → cell load.
+//!
+//! The macroscopic trace generator (`pran-traces`) draws utilization
+//! envelopes directly; this module derives them from first principles —
+//! UEs arrive (Poisson, rate modulated by the diurnal profile), each lands
+//! at a random position in the cell, the link budget assigns an MCS, the
+//! scheduler grants the PRBs its demand needs, sessions hold for an
+//! exponential time. Output per step: PRB utilization, traffic-weighted
+//! MCS (which the compute model prices), and blocking when the grid is
+//! full — so admission pressure emerges from user dynamics instead of
+//! being painted on.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use pran_phy::frame::Bandwidth;
+use pran_phy::link::LinkBudget;
+use pran_phy::mcs::Mcs;
+use pran_traces::arrivals::{exponential, poisson};
+use pran_traces::diurnal::{CellClass, DiurnalProfile};
+use pran_traces::trace::{CellMeta, Point, Trace};
+
+/// Configuration of the per-cell UE model.
+#[derive(Debug, Clone)]
+pub struct UeModelConfig {
+    /// Cell radius in meters (UEs uniform in the disc).
+    pub cell_radius_m: f64,
+    /// Radio link parameters.
+    pub link: LinkBudget,
+    /// Carrier bandwidth (PRB grid).
+    pub bandwidth: Bandwidth,
+    /// Mean session duration in seconds.
+    pub mean_session_s: f64,
+    /// Per-UE demand in bit/s.
+    pub demand_bps: f64,
+    /// Peak UE arrival rate (arrivals/second at profile peak).
+    pub peak_arrival_rate: f64,
+    /// Step length in seconds.
+    pub step_seconds: f64,
+}
+
+impl UeModelConfig {
+    /// Evaluation defaults: 1 km macro cell, 5 Mb/s per UE, 90 s sessions.
+    pub fn default_eval() -> Self {
+        UeModelConfig {
+            cell_radius_m: 1000.0,
+            link: LinkBudget::macro_cell(),
+            bandwidth: Bandwidth::Mhz20,
+            mean_session_s: 90.0,
+            demand_bps: 5e6,
+            // ≈0.15/s × 90 s ≈ 13 concurrent UEs × ~10 PRBs at median SINR
+            // — the grid saturates right at the profile peak, by design.
+            peak_arrival_rate: 0.15,
+            step_seconds: 60.0,
+        }
+    }
+}
+
+/// One active session.
+#[derive(Debug, Clone, Copy)]
+struct Session {
+    prbs: u32,
+    mcs: Mcs,
+    remaining_s: f64,
+}
+
+/// Load of one cell at one step, as produced by the UE model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CellLoad {
+    /// PRB utilization in `[0, 1]`.
+    pub utilization: f64,
+    /// PRB-weighted mean MCS index (`None` when idle).
+    pub mean_mcs: Option<f64>,
+    /// Active users after admission.
+    pub users: usize,
+    /// Users blocked this step (no PRBs or out of coverage).
+    pub blocked: usize,
+}
+
+/// Per-cell UE dynamics.
+#[derive(Debug)]
+pub struct UeCell {
+    config: UeModelConfig,
+    sessions: Vec<Session>,
+    /// Cumulative arrivals lost to coverage (no sustainable MCS).
+    pub blocked_coverage: u64,
+    /// Cumulative arrivals lost to a full PRB grid (congestion).
+    pub blocked_capacity: u64,
+    /// Cumulative admitted arrivals.
+    pub total_admitted: u64,
+}
+
+impl UeCell {
+    /// Empty cell.
+    ///
+    /// # Panics
+    /// Panics when `step_seconds` exceeds twice the mean session duration:
+    /// session aging is step-quantized, so steps much longer than sessions
+    /// turn the queue into an uncorrelated fill-the-grid draw and the
+    /// diurnal structure disappears.
+    pub fn new(config: UeModelConfig) -> Self {
+        assert!(config.cell_radius_m > 0.0 && config.step_seconds > 0.0);
+        assert!(
+            config.step_seconds <= 2.0 * config.mean_session_s,
+            "step ({} s) too coarse for {} s sessions",
+            config.step_seconds,
+            config.mean_session_s
+        );
+        UeCell {
+            config,
+            sessions: Vec::new(),
+            blocked_coverage: 0,
+            blocked_capacity: 0,
+            total_admitted: 0,
+        }
+    }
+
+    /// Advance one step with the given arrival-rate multiplier in `[0,1]`.
+    pub fn step<R: Rng + ?Sized>(&mut self, rate_multiplier: f64, rng: &mut R) -> CellLoad {
+        let cfg = &self.config;
+        let grid = cfg.bandwidth.prbs();
+
+        // Age out sessions.
+        for s in self.sessions.iter_mut() {
+            s.remaining_s -= cfg.step_seconds;
+        }
+        self.sessions.retain(|s| s.remaining_s > 0.0);
+
+        // Arrivals.
+        let lambda = cfg.peak_arrival_rate * rate_multiplier.clamp(0.0, 1.0)
+            * cfg.step_seconds;
+        let arrivals = poisson(lambda, rng);
+        let mut blocked = 0usize;
+        for _ in 0..arrivals {
+            // Uniform position in the disc.
+            let r = cfg.cell_radius_m * rng.gen::<f64>().sqrt();
+            let sinr = cfg.link.sinr_db(r, rng);
+            let (Some(_mcs), Some(prbs)) =
+                (cfg.link.adapt_mcs(sinr), cfg.link.required_prbs(cfg.demand_bps, sinr))
+            else {
+                self.blocked_coverage += 1; // out of coverage: deep shadowing
+                blocked += 1;
+                continue;
+            };
+            let mcs = cfg.link.adapt_mcs(sinr).expect("checked above");
+            if prbs > grid {
+                // The whole grid cannot carry this UE's demand at its SINR:
+                // a coverage/service limit, not congestion.
+                self.blocked_coverage += 1;
+                blocked += 1;
+                continue;
+            }
+            let in_use: u32 = self.sessions.iter().map(|s| s.prbs).sum();
+            if in_use + prbs > grid {
+                self.blocked_capacity += 1; // admission blocking: grid full
+                blocked += 1;
+                continue;
+            }
+            self.sessions.push(Session {
+                prbs,
+                mcs,
+                remaining_s: exponential(cfg.mean_session_s, rng),
+            });
+            self.total_admitted += 1;
+        }
+
+        let in_use: u32 = self.sessions.iter().map(|s| s.prbs).sum();
+        let mean_mcs = if in_use > 0 {
+            Some(
+                self.sessions
+                    .iter()
+                    .map(|s| f64::from(s.mcs.index()) * f64::from(s.prbs))
+                    .sum::<f64>()
+                    / f64::from(in_use),
+            )
+        } else {
+            None
+        };
+        CellLoad {
+            utilization: f64::from(in_use) / f64::from(grid),
+            mean_mcs,
+            users: self.sessions.len(),
+            blocked,
+        }
+    }
+
+    /// Overall blocking probability (coverage + congestion).
+    pub fn blocking_probability(&self) -> f64 {
+        let blocked = self.blocked_coverage + self.blocked_capacity;
+        let offered = self.total_admitted + blocked;
+        if offered == 0 {
+            0.0
+        } else {
+            blocked as f64 / offered as f64
+        }
+    }
+
+    /// Congestion-only blocking probability (grid full), excluding
+    /// coverage losses — the quantity admission control can influence.
+    pub fn congestion_blocking(&self) -> f64 {
+        let offered = self.total_admitted + self.blocked_coverage + self.blocked_capacity;
+        if offered == 0 {
+            0.0
+        } else {
+            self.blocked_capacity as f64 / offered as f64
+        }
+    }
+}
+
+/// Synthesize a [`Trace`] from UE dynamics: each cell runs the microscopic
+/// model with its class's diurnal profile modulating the arrival rate.
+/// Alternative to `pran_traces::generate` when per-user realism matters.
+pub fn synthesize_trace(
+    cells: usize,
+    config: &UeModelConfig,
+    duration_s: f64,
+    seed: u64,
+) -> Trace {
+    assert!(cells > 0);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let classes = CellClass::all();
+    let metas: Vec<CellMeta> = (0..cells)
+        .map(|id| CellMeta {
+            id,
+            class: classes[id % classes.len()],
+            position: Point {
+                x: rng.gen_range(0.0..10_000.0),
+                y: rng.gen_range(0.0..10_000.0),
+            },
+            peak_utilization: 1.0,
+        })
+        .collect();
+    let profiles: Vec<DiurnalProfile> =
+        metas.iter().map(|m| DiurnalProfile::for_class(m.class)).collect();
+    let mut states: Vec<UeCell> = (0..cells).map(|_| UeCell::new(config.clone())).collect();
+
+    let steps = (duration_s / config.step_seconds).round() as usize;
+    let mut samples = Vec::with_capacity(steps);
+    for t in 0..steps {
+        let hour = (t as f64 * config.step_seconds / 3600.0) % 24.0;
+        let row: Vec<f64> = states
+            .iter_mut()
+            .enumerate()
+            .map(|(c, state)| state.step(profiles[c].at(hour), &mut rng).utilization)
+            .collect();
+        samples.push(row);
+    }
+    let trace = Trace { step_seconds: config.step_seconds, cells: metas, samples };
+    debug_assert!(trace.validate().is_ok());
+    trace
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng(seed: u64) -> SmallRng {
+        SmallRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn idle_cell_reports_zero() {
+        let mut cell = UeCell::new(UeModelConfig::default_eval());
+        let mut r = rng(1);
+        let load = cell.step(0.0, &mut r);
+        assert_eq!(load.utilization, 0.0);
+        assert_eq!(load.users, 0);
+        assert_eq!(load.mean_mcs, None);
+    }
+
+    #[test]
+    fn utilization_tracks_arrival_rate() {
+        let cfg = UeModelConfig::default_eval();
+        let run = |mult: f64| {
+            let mut cell = UeCell::new(cfg.clone());
+            let mut r = rng(2);
+            // Warm up to steady state, then average.
+            for _ in 0..20 {
+                cell.step(mult, &mut r);
+            }
+            (0..50).map(|_| cell.step(mult, &mut r).utilization).sum::<f64>() / 50.0
+        };
+        let low = run(0.2);
+        let high = run(0.9);
+        assert!(high > 1.5 * low, "high {high} vs low {low}");
+        assert!(low > 0.0);
+    }
+
+    #[test]
+    fn saturated_cell_blocks_and_caps_at_one() {
+        let mut cfg = UeModelConfig::default_eval();
+        cfg.peak_arrival_rate = 20.0; // far beyond capacity
+        let mut cell = UeCell::new(cfg);
+        let mut r = rng(3);
+        let mut last = CellLoad { utilization: 0.0, mean_mcs: None, users: 0, blocked: 0 };
+        for _ in 0..10 {
+            last = cell.step(1.0, &mut r);
+            assert!(last.utilization <= 1.0 + 1e-12);
+        }
+        assert!(last.blocked > 0, "overload must block arrivals");
+        assert!(cell.blocking_probability() > 0.3);
+        assert!(
+            cell.congestion_blocking() > 0.25,
+            "overload blocking must be congestion, not coverage: {}",
+            cell.congestion_blocking()
+        );
+    }
+
+    #[test]
+    fn mean_mcs_within_table_range() {
+        let mut cell = UeCell::new(UeModelConfig::default_eval());
+        let mut r = rng(4);
+        for _ in 0..30 {
+            let load = cell.step(0.8, &mut r);
+            if let Some(m) = load.mean_mcs {
+                assert!((0.0..=28.0).contains(&m), "mean MCS {m}");
+            }
+        }
+    }
+
+    #[test]
+    fn sessions_drain_when_arrivals_stop() {
+        let mut cell = UeCell::new(UeModelConfig::default_eval());
+        let mut r = rng(5);
+        for _ in 0..20 {
+            cell.step(1.0, &mut r);
+        }
+        // 20 steps of 60 s at 90 s mean session → everything drains fast.
+        for _ in 0..20 {
+            cell.step(0.0, &mut r);
+        }
+        let load = cell.step(0.0, &mut r);
+        assert_eq!(load.users, 0, "sessions must expire");
+    }
+
+    #[test]
+    fn synthesized_trace_validates_and_pools() {
+        let cfg = UeModelConfig::default_eval(); // 60 s steps, 90 s sessions
+        let trace = synthesize_trace(12, &cfg, 24.0 * 3600.0, 9);
+        assert!(trace.validate().is_ok());
+        assert_eq!(trace.num_cells(), 12);
+        // Microscopic dynamics still produce diurnal multiplexing gain.
+        assert!(
+            trace.multiplexing_gain() > 1.1,
+            "gain {}",
+            trace.multiplexing_gain()
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg = UeModelConfig::default_eval();
+        let a = synthesize_trace(4, &cfg, 6.0 * 3600.0, 42);
+        let b = synthesize_trace(4, &cfg, 6.0 * 3600.0, 42);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "too coarse")]
+    fn coarse_steps_rejected() {
+        UeCell::new(UeModelConfig { step_seconds: 600.0, ..UeModelConfig::default_eval() });
+    }
+}

@@ -1,0 +1,224 @@
+//! Diurnal load profiles per cell class.
+//!
+//! The multiplexing argument rests on cells peaking at *different times*:
+//! office cells peak mid-day, residential cells in the evening, transport
+//! cells at the commute humps. Each class gets a smooth 24-hour profile
+//! built from Gaussian bumps over a base load; profiles are normalized to
+//! peak at 1.0 so they compose with a per-cell peak-utilization scale.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Land-use class of a cell site, determining its daily rhythm.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CellClass {
+    /// Homes: light daytime, strong evening peak.
+    Residential,
+    /// Business district: strong 9–17 plateau, dead at night.
+    Office,
+    /// Stations/highways: sharp morning and evening commute humps.
+    Transport,
+    /// Stadiums/nightlife: late-evening spikes, quiet otherwise.
+    Entertainment,
+}
+
+impl CellClass {
+    /// All classes.
+    pub fn all() -> [CellClass; 4] {
+        [
+            CellClass::Residential,
+            CellClass::Office,
+            CellClass::Transport,
+            CellClass::Entertainment,
+        ]
+    }
+}
+
+impl fmt::Display for CellClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            CellClass::Residential => "residential",
+            CellClass::Office => "office",
+            CellClass::Transport => "transport",
+            CellClass::Entertainment => "entertainment",
+        })
+    }
+}
+
+/// One Gaussian activity bump: `amp · exp(−(h−center)²/2σ²)`, wrapping
+/// around midnight.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+struct Bump {
+    center: f64,
+    sigma: f64,
+    amp: f64,
+}
+
+impl Bump {
+    fn eval(&self, hour: f64) -> f64 {
+        // Wrap-around distance on the 24 h circle.
+        let d = (hour - self.center).rem_euclid(24.0);
+        let dist = d.min(24.0 - d);
+        self.amp * (-(dist * dist) / (2.0 * self.sigma * self.sigma)).exp()
+    }
+}
+
+/// A smooth 24-hour load profile normalized to peak at 1.0.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DiurnalProfile {
+    base: f64,
+    bumps: Vec<Bump>,
+    norm: f64,
+}
+
+impl DiurnalProfile {
+    fn build(base: f64, bumps: Vec<Bump>) -> Self {
+        let mut p = DiurnalProfile { base, bumps, norm: 1.0 };
+        // Normalize to a peak of exactly 1.0 (sampled on a fine grid).
+        let peak = (0..2400)
+            .map(|i| p.raw(i as f64 / 100.0))
+            .fold(0.0f64, f64::max);
+        p.norm = 1.0 / peak;
+        p
+    }
+
+    fn raw(&self, hour: f64) -> f64 {
+        self.base + self.bumps.iter().map(|b| b.eval(hour)).sum::<f64>()
+    }
+
+    /// Normalized load at an hour-of-day in `[0, 24)`.
+    pub fn at(&self, hour: f64) -> f64 {
+        self.raw(hour.rem_euclid(24.0)) * self.norm
+    }
+
+    /// The canonical profile of a cell class.
+    pub fn for_class(class: CellClass) -> Self {
+        match class {
+            CellClass::Residential => Self::build(
+                0.12,
+                vec![
+                    Bump { center: 7.5, sigma: 1.2, amp: 0.35 },
+                    Bump { center: 20.5, sigma: 2.4, amp: 1.0 },
+                    Bump { center: 12.5, sigma: 1.5, amp: 0.25 },
+                ],
+            ),
+            CellClass::Office => Self::build(
+                0.05,
+                vec![
+                    Bump { center: 10.5, sigma: 1.8, amp: 0.9 },
+                    Bump { center: 14.5, sigma: 1.8, amp: 1.0 },
+                ],
+            ),
+            CellClass::Transport => Self::build(
+                0.08,
+                vec![
+                    Bump { center: 8.0, sigma: 0.9, amp: 1.0 },
+                    Bump { center: 18.0, sigma: 1.1, amp: 0.95 },
+                    Bump { center: 13.0, sigma: 2.5, amp: 0.3 },
+                ],
+            ),
+            CellClass::Entertainment => Self::build(
+                0.06,
+                vec![
+                    Bump { center: 21.5, sigma: 1.6, amp: 1.0 },
+                    Bump { center: 12.5, sigma: 1.2, amp: 0.3 },
+                ],
+            ),
+        }
+    }
+
+    /// Hour at which the profile peaks (granularity 0.01 h).
+    pub fn peak_hour(&self) -> f64 {
+        let mut best = (0.0, f64::MIN);
+        for i in 0..2400 {
+            let h = i as f64 / 100.0;
+            let v = self.at(h);
+            if v > best.1 {
+                best = (h, v);
+            }
+        }
+        best.0
+    }
+
+    /// Mean load over the day (granularity 0.01 h).
+    pub fn daily_mean(&self) -> f64 {
+        (0..2400).map(|i| self.at(i as f64 / 100.0)).sum::<f64>() / 2400.0
+    }
+
+    /// Peak-to-mean ratio.
+    pub fn peak_to_mean(&self) -> f64 {
+        1.0 / self.daily_mean()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_profiles_normalized_to_unit_peak() {
+        for class in CellClass::all() {
+            let p = DiurnalProfile::for_class(class);
+            let peak = (0..2400)
+                .map(|i| p.at(i as f64 / 100.0))
+                .fold(0.0f64, f64::max);
+            assert!((peak - 1.0).abs() < 1e-9, "{class}: peak {peak}");
+        }
+    }
+
+    #[test]
+    fn profiles_stay_in_unit_interval() {
+        for class in CellClass::all() {
+            let p = DiurnalProfile::for_class(class);
+            for i in 0..2400 {
+                let v = p.at(i as f64 / 100.0);
+                assert!((0.0..=1.0 + 1e-9).contains(&v), "{class} at {i}: {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn classes_peak_at_characteristic_hours() {
+        let res = DiurnalProfile::for_class(CellClass::Residential).peak_hour();
+        assert!((18.0..23.0).contains(&res), "residential peak {res}");
+        let off = DiurnalProfile::for_class(CellClass::Office).peak_hour();
+        assert!((9.0..17.0).contains(&off), "office peak {off}");
+        let ent = DiurnalProfile::for_class(CellClass::Entertainment).peak_hour();
+        assert!(ent >= 20.0, "entertainment peak {ent}");
+    }
+
+    #[test]
+    fn office_and_residential_anticorrelated_at_key_hours() {
+        let res = DiurnalProfile::for_class(CellClass::Residential);
+        let off = DiurnalProfile::for_class(CellClass::Office);
+        // At 11:00 office ≫ residential; at 21:00 the reverse.
+        assert!(off.at(11.0) > 2.0 * res.at(11.0) * 0.8);
+        assert!(res.at(21.0) > 2.0 * off.at(21.0) * 0.8);
+    }
+
+    #[test]
+    fn transport_has_two_commute_humps() {
+        let p = DiurnalProfile::for_class(CellClass::Transport);
+        let morning = p.at(8.0);
+        let midday = p.at(12.5);
+        let evening = p.at(18.0);
+        assert!(morning > midday && evening > midday, "no double hump");
+    }
+
+    #[test]
+    fn peak_to_mean_substantial() {
+        // The multiplexing argument needs PTM well above 1.
+        for class in CellClass::all() {
+            let ptm = DiurnalProfile::for_class(class).peak_to_mean();
+            assert!(ptm > 1.8, "{class}: PTM {ptm}");
+            assert!(ptm < 12.0, "{class}: implausible PTM {ptm}");
+        }
+    }
+
+    #[test]
+    fn wraps_around_midnight() {
+        let p = DiurnalProfile::for_class(CellClass::Entertainment);
+        assert!((p.at(23.9) - p.at(-0.1)).abs() < 1e-9);
+        assert!(p.at(0.5) > 0.0);
+    }
+}

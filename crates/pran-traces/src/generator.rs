@@ -1,0 +1,385 @@
+//! Trace synthesis: diurnal envelope × correlated noise × flash crowds.
+//!
+//! The generator composes, per cell and step:
+//!
+//! 1. the class diurnal envelope scaled by the cell's peak utilization;
+//! 2. a *regional* multiplicative factor shared by all cells (weather, big
+//!    events, outages elsewhere) — this is what keeps cells from being
+//!    independent and caps the multiplexing gain realistically;
+//! 3. idiosyncratic per-cell noise (AR(1)-smoothed);
+//! 4. optional flash crowds: time-windowed load boosts centered at a point,
+//!    decaying with distance.
+//!
+//! All randomness flows from a caller-supplied seed, so traces are fully
+//! reproducible.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::arrivals::standard_normal;
+use crate::diurnal::{CellClass, DiurnalProfile};
+use crate::trace::{CellMeta, Point, Trace};
+
+/// A flash-crowd event: cells near `epicenter` see up to `boost` extra
+/// utilization during `[start_s, start_s + duration_s)`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FlashCrowd {
+    /// Center of the event.
+    pub epicenter: Point,
+    /// Meters over which the boost decays to `e⁻¹`.
+    pub radius_m: f64,
+    /// Event start, seconds from trace start.
+    pub start_s: f64,
+    /// Event duration in seconds.
+    pub duration_s: f64,
+    /// Peak added utilization at the epicenter, in `[0, 1]`.
+    pub boost: f64,
+}
+
+impl FlashCrowd {
+    /// Added utilization for a cell at `pos` at absolute time `t_s`.
+    pub fn boost_at(&self, pos: Point, t_s: f64) -> f64 {
+        if t_s < self.start_s || t_s >= self.start_s + self.duration_s {
+            return 0.0;
+        }
+        // Ramp up/down over the first/last 10% of the window.
+        let progress = (t_s - self.start_s) / self.duration_s;
+        let ramp = (progress / 0.1).min((1.0 - progress) / 0.1).min(1.0);
+        let d = self.epicenter.distance(pos);
+        self.boost * ramp * (-(d / self.radius_m).powi(2)).exp()
+    }
+}
+
+/// Mix of cell classes, as relative weights.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ClassMix {
+    /// Relative weight of residential cells.
+    pub residential: f64,
+    /// Relative weight of office cells.
+    pub office: f64,
+    /// Relative weight of transport cells.
+    pub transport: f64,
+    /// Relative weight of entertainment cells.
+    pub entertainment: f64,
+}
+
+impl ClassMix {
+    /// The default urban mix.
+    pub fn urban() -> Self {
+        ClassMix { residential: 0.4, office: 0.3, transport: 0.2, entertainment: 0.1 }
+    }
+
+    /// Pick a class for fraction `u ∈ [0, 1)` of the weight mass.
+    pub fn pick(&self, u: f64) -> CellClass {
+        let total = self.residential + self.office + self.transport + self.entertainment;
+        assert!(total > 0.0, "class mix must have positive weight");
+        let x = u * total;
+        if x < self.residential {
+            CellClass::Residential
+        } else if x < self.residential + self.office {
+            CellClass::Office
+        } else if x < self.residential + self.office + self.transport {
+            CellClass::Transport
+        } else {
+            CellClass::Entertainment
+        }
+    }
+}
+
+/// Generator configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceConfig {
+    /// Number of cells.
+    pub num_cells: usize,
+    /// Side of the square deployment area, meters.
+    pub area_side_m: f64,
+    /// Sampling step, seconds.
+    pub step_seconds: f64,
+    /// Trace duration, seconds.
+    pub duration_seconds: f64,
+    /// Mix of cell classes.
+    pub class_mix: ClassMix,
+    /// Range of per-cell peak utilization `[lo, hi] ⊂ (0, 1]`.
+    pub peak_utilization: (f64, f64),
+    /// Std-dev of the shared regional factor (multiplicative, around 1).
+    pub regional_sigma: f64,
+    /// Std-dev of per-cell idiosyncratic noise (additive utilization).
+    pub cell_noise_sigma: f64,
+    /// AR(1) smoothing coefficient for both noise processes, `[0, 1)`.
+    pub noise_smoothing: f64,
+    /// Flash-crowd events to inject.
+    pub flash_crowds: Vec<FlashCrowd>,
+    /// Weekend damping: multiplier applied to office/transport cells (and
+    /// its complement boost to residential/entertainment) on days 5 and 6
+    /// of each week. 1.0 disables weekly seasonality.
+    pub weekend_factor: f64,
+    /// RNG seed — traces are fully reproducible.
+    pub seed: u64,
+}
+
+impl TraceConfig {
+    /// A day of 50 cells at 1-minute resolution — the E3/E4 default.
+    pub fn default_day(num_cells: usize, seed: u64) -> Self {
+        TraceConfig {
+            num_cells,
+            area_side_m: 10_000.0,
+            step_seconds: 60.0,
+            duration_seconds: 24.0 * 3600.0,
+            class_mix: ClassMix::urban(),
+            peak_utilization: (0.5, 1.0),
+            regional_sigma: 0.08,
+            cell_noise_sigma: 0.05,
+            noise_smoothing: 0.9,
+            flash_crowds: Vec::new(),
+            weekend_factor: 1.0,
+            seed,
+        }
+    }
+}
+
+/// Generate a trace from a configuration.
+pub fn generate(cfg: &TraceConfig) -> Trace {
+    assert!(cfg.num_cells > 0, "need at least one cell");
+    assert!(cfg.step_seconds > 0.0 && cfg.duration_seconds > 0.0);
+    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+
+    // Cells: positions, classes, scales.
+    let cells: Vec<CellMeta> = (0..cfg.num_cells)
+        .map(|id| {
+            let class = cfg.class_mix.pick(rng.gen::<f64>());
+            let position = Point {
+                x: rng.gen_range(0.0..cfg.area_side_m),
+                y: rng.gen_range(0.0..cfg.area_side_m),
+            };
+            let peak_utilization =
+                rng.gen_range(cfg.peak_utilization.0..=cfg.peak_utilization.1);
+            CellMeta { id, class, position, peak_utilization }
+        })
+        .collect();
+    let profiles: Vec<DiurnalProfile> =
+        cells.iter().map(|c| DiurnalProfile::for_class(c.class)).collect();
+
+    let steps = (cfg.duration_seconds / cfg.step_seconds).round() as usize;
+    let mut samples = Vec::with_capacity(steps);
+
+    // AR(1) noise states.
+    let mut regional = 0.0f64;
+    let mut cell_noise = vec![0.0f64; cfg.num_cells];
+    let a = cfg.noise_smoothing;
+    // Scale innovations so the stationary std-dev matches the config.
+    let innov_scale = (1.0 - a * a).sqrt();
+
+    for t in 0..steps {
+        let t_s = t as f64 * cfg.step_seconds;
+        let hour = (t_s / 3600.0) % 24.0;
+        let day = ((t_s / 86_400.0) as u64) % 7;
+        let weekend = day >= 5;
+        regional = a * regional + innov_scale * cfg.regional_sigma * standard_normal(&mut rng);
+        let regional_factor = (1.0 + regional).max(0.0);
+
+        let mut row = Vec::with_capacity(cfg.num_cells);
+        for (c, meta) in cells.iter().enumerate() {
+            cell_noise[c] = a * cell_noise[c]
+                + innov_scale * cfg.cell_noise_sigma * standard_normal(&mut rng);
+            // Weekly seasonality: offices/commutes empty out on weekends,
+            // homes and venues pick up part of the slack.
+            let weekly = if weekend && cfg.weekend_factor != 1.0 {
+                match meta.class {
+                    CellClass::Office | CellClass::Transport => cfg.weekend_factor,
+                    CellClass::Residential | CellClass::Entertainment => {
+                        1.0 + (1.0 - cfg.weekend_factor) * 0.5
+                    }
+                }
+            } else {
+                1.0
+            };
+            let envelope = profiles[c].at(hour) * meta.peak_utilization * weekly;
+            let crowd: f64 = cfg
+                .flash_crowds
+                .iter()
+                .map(|fc| fc.boost_at(meta.position, t_s))
+                .sum();
+            let u = (envelope * regional_factor + cell_noise[c] + crowd).clamp(0.0, 1.0);
+            row.push(u);
+        }
+        samples.push(row);
+    }
+
+    let trace = Trace { step_seconds: cfg.step_seconds, cells, samples };
+    debug_assert!(trace.validate().is_ok());
+    trace
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generated_trace_validates() {
+        let t = generate(&TraceConfig::default_day(20, 42));
+        assert!(t.validate().is_ok());
+        assert_eq!(t.num_cells(), 20);
+        assert_eq!(t.num_steps(), 1440);
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let a = generate(&TraceConfig::default_day(10, 7));
+        let b = generate(&TraceConfig::default_day(10, 7));
+        assert_eq!(a, b);
+        let c = generate(&TraceConfig::default_day(10, 8));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn multiplexing_gain_materializes() {
+        // Mixed-class cells must pool better than 1:1 but far from
+        // independence (regional factor correlates them).
+        let t = generate(&TraceConfig::default_day(60, 3));
+        let gain = t.multiplexing_gain();
+        assert!(gain > 1.2, "gain {gain} too small — profiles too aligned");
+        assert!(gain < 4.0, "gain {gain} implausibly large");
+    }
+
+    #[test]
+    fn class_mix_pick_respects_weights() {
+        let mix = ClassMix { residential: 1.0, office: 0.0, transport: 0.0, entertainment: 0.0 };
+        for i in 0..10 {
+            assert_eq!(mix.pick(i as f64 / 10.0), CellClass::Residential);
+        }
+        let mix = ClassMix::urban();
+        assert_eq!(mix.pick(0.0), CellClass::Residential);
+        assert_eq!(mix.pick(0.99), CellClass::Entertainment);
+    }
+
+    #[test]
+    fn flash_crowd_boosts_nearby_cells_during_window() {
+        let fc = FlashCrowd {
+            epicenter: Point { x: 0.0, y: 0.0 },
+            radius_m: 1000.0,
+            start_s: 100.0,
+            duration_s: 1000.0,
+            boost: 0.5,
+        };
+        let near = Point { x: 100.0, y: 0.0 };
+        let far = Point { x: 5000.0, y: 0.0 };
+        let mid_window = 600.0;
+        assert!(fc.boost_at(near, mid_window) > 0.4);
+        assert!(fc.boost_at(far, mid_window) < 0.01);
+        assert_eq!(fc.boost_at(near, 50.0), 0.0, "before window");
+        assert_eq!(fc.boost_at(near, 1200.0), 0.0, "after window");
+    }
+
+    #[test]
+    fn flash_crowd_ramps() {
+        let fc = FlashCrowd {
+            epicenter: Point { x: 0.0, y: 0.0 },
+            radius_m: 1000.0,
+            start_s: 0.0,
+            duration_s: 1000.0,
+            boost: 1.0,
+        };
+        let p = Point { x: 0.0, y: 0.0 };
+        assert!(fc.boost_at(p, 10.0) < fc.boost_at(p, 500.0));
+        assert!(fc.boost_at(p, 990.0) < fc.boost_at(p, 500.0));
+    }
+
+    #[test]
+    fn flash_crowd_shows_up_in_trace() {
+        let mut cfg = TraceConfig::default_day(30, 11);
+        // A mid-day crowd covering the whole area.
+        cfg.flash_crowds.push(FlashCrowd {
+            epicenter: Point { x: 5000.0, y: 5000.0 },
+            radius_m: 20_000.0,
+            start_s: 12.0 * 3600.0,
+            duration_s: 2.0 * 3600.0,
+            boost: 0.8,
+        });
+        let with = generate(&cfg);
+        cfg.flash_crowds.clear();
+        let without = generate(&cfg);
+        // Aggregate during the window must be clearly higher.
+        let idx = (12.5 * 3600.0 / 60.0) as usize;
+        let agg_with: f64 = with.samples[idx].iter().sum();
+        let agg_without: f64 = without.samples[idx].iter().sum();
+        assert!(
+            agg_with > agg_without + 0.3 * 30.0 * 0.5,
+            "crowd invisible: {agg_with} vs {agg_without}"
+        );
+    }
+
+    #[test]
+    fn office_cells_follow_office_rhythm() {
+        let mut cfg = TraceConfig::default_day(8, 5);
+        cfg.class_mix =
+            ClassMix { residential: 0.0, office: 1.0, transport: 0.0, entertainment: 0.0 };
+        cfg.cell_noise_sigma = 0.0;
+        cfg.regional_sigma = 0.0;
+        let t = generate(&cfg);
+        let agg = t.aggregate_series();
+        let noon = agg[(12.0 * 60.0) as usize];
+        let night = agg[(3.0 * 60.0) as usize];
+        assert!(noon > 4.0 * night, "noon {noon} vs night {night}");
+    }
+
+    #[test]
+    fn weekend_empties_offices_and_boosts_homes() {
+        let mut cfg = TraceConfig::default_day(8, 31);
+        cfg.duration_seconds = 7.0 * 86_400.0; // a full week
+        cfg.step_seconds = 3600.0;
+        cfg.weekend_factor = 0.3;
+        cfg.cell_noise_sigma = 0.0;
+        cfg.regional_sigma = 0.0;
+        cfg.class_mix =
+            ClassMix { residential: 0.5, office: 0.5, transport: 0.0, entertainment: 0.0 };
+        let t = generate(&cfg);
+        // Compare Wednesday (day 2) noon vs Saturday (day 5) noon.
+        let wed = (2 * 24 + 12) as usize;
+        let sat = (5 * 24 + 12) as usize;
+        let office_cells: Vec<usize> = t
+            .cells
+            .iter()
+            .filter(|c| c.class == CellClass::Office)
+            .map(|c| c.id)
+            .collect();
+        let res_cells: Vec<usize> = t
+            .cells
+            .iter()
+            .filter(|c| c.class == CellClass::Residential)
+            .map(|c| c.id)
+            .collect();
+        assert!(!office_cells.is_empty() && !res_cells.is_empty());
+        let avg = |step: usize, ids: &[usize]| {
+            ids.iter().map(|&c| t.samples[step][c]).sum::<f64>() / ids.len() as f64
+        };
+        assert!(
+            avg(sat, &office_cells) < 0.5 * avg(wed, &office_cells),
+            "offices must empty out on Saturday"
+        );
+        assert!(
+            avg(sat, &res_cells) > avg(wed, &res_cells),
+            "homes must pick up weekend load"
+        );
+    }
+
+    #[test]
+    fn weekly_seasonality_off_by_default() {
+        let a = generate(&TraceConfig::default_day(5, 77));
+        let mut cfg = TraceConfig::default_day(5, 77);
+        cfg.weekend_factor = 1.0;
+        let b = generate(&cfg);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn regional_factor_induces_positive_correlation() {
+        let mut cfg = TraceConfig::default_day(2, 21);
+        cfg.class_mix =
+            ClassMix { residential: 1.0, office: 0.0, transport: 0.0, entertainment: 0.0 };
+        cfg.regional_sigma = 0.25;
+        cfg.cell_noise_sigma = 0.02;
+        let t = generate(&cfg);
+        assert!(t.correlation(0, 1) > 0.5, "corr {}", t.correlation(0, 1));
+    }
+}

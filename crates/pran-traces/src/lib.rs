@@ -1,0 +1,30 @@
+//! `pran-traces` — synthetic per-cell load traces.
+//!
+//! PRAN's evaluation relied on operator traces that are proprietary; this
+//! crate is the documented substitute (see DESIGN.md). It generates per-cell
+//! PRB-utilization time series whose *variability structure* — diurnal
+//! class rhythms, imperfect inter-cell correlation, short-timescale
+//! burstiness, flash crowds — is exactly what the multiplexing-gain and
+//! placement experiments consume:
+//!
+//! * [`diurnal`] — per-class 24 h envelopes (office vs residential vs
+//!   transport vs entertainment);
+//! * [`arrivals`] — Poisson / MMPP-2 arrival processes and an M/G/∞
+//!   session pool for second-scale burstiness;
+//! * [`trace`] — the [`Trace`] container plus the pooling statistics
+//!   (sum-of-peaks, peak-of-sum, multiplexing gain) and JSON/CSV I/O;
+//! * [`generator`] — composition of all of the above with reproducible
+//!   seeding and flash-crowd injection.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod arrivals;
+pub mod diurnal;
+pub mod generator;
+pub mod trace;
+
+pub use arrivals::{exponential, poisson, standard_normal, Mmpp2, SessionPool};
+pub use diurnal::{CellClass, DiurnalProfile};
+pub use generator::{generate, ClassMix, FlashCrowd, TraceConfig};
+pub use trace::{pearson, CellMeta, Point, Trace};

@@ -1,0 +1,404 @@
+//! The trace data type: per-cell load time series plus statistics.
+//!
+//! A [`Trace`] holds utilization samples in `[0, 1]` (fraction of the PRB
+//! grid in use) for every cell at a fixed step. The statistics here are the
+//! quantities PRAN's multiplexing analysis is built from: per-cell peaks,
+//! the peak of the aggregate, and the gain of pooling
+//! (`Σ peakᵢ / peak(Σ)`).
+
+use serde::{Deserialize, Serialize};
+
+use crate::diurnal::CellClass;
+
+/// A point in the deployment plane, meters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Point {
+    /// East coordinate, meters.
+    pub x: f64,
+    /// North coordinate, meters.
+    pub y: f64,
+}
+
+impl Point {
+    /// Euclidean distance to another point.
+    pub fn distance(self, other: Point) -> f64 {
+        ((self.x - other.x).powi(2) + (self.y - other.y).powi(2)).sqrt()
+    }
+}
+
+/// Static description of one cell in a trace.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CellMeta {
+    /// Dense id, equal to the cell's column index.
+    pub id: usize,
+    /// Land-use class driving its diurnal profile.
+    pub class: CellClass,
+    /// Site position.
+    pub position: Point,
+    /// Peak utilization scale in `(0, 1]` (how hot this cell runs at its
+    /// busiest hour).
+    pub peak_utilization: f64,
+}
+
+/// Per-cell load time series at a fixed sampling step.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Trace {
+    /// Seconds between consecutive samples.
+    pub step_seconds: f64,
+    /// Cell descriptors; `cells[i].id == i`.
+    pub cells: Vec<CellMeta>,
+    /// `samples[t][c]` = utilization of cell `c` at step `t`, in `[0, 1]`.
+    pub samples: Vec<Vec<f64>>,
+}
+
+impl Trace {
+    /// Number of cells.
+    pub fn num_cells(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Number of time steps.
+    pub fn num_steps(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Duration covered in seconds.
+    pub fn duration_seconds(&self) -> f64 {
+        self.step_seconds * self.num_steps() as f64
+    }
+
+    /// Validate structural invariants (row widths, value ranges).
+    pub fn validate(&self) -> Result<(), String> {
+        for (i, c) in self.cells.iter().enumerate() {
+            if c.id != i {
+                return Err(format!("cell {i} has id {}", c.id));
+            }
+        }
+        for (t, row) in self.samples.iter().enumerate() {
+            if row.len() != self.cells.len() {
+                return Err(format!("row {t} has {} cells, expected {}", row.len(), self.cells.len()));
+            }
+            for (c, &v) in row.iter().enumerate() {
+                if !(0.0..=1.0).contains(&v) || v.is_nan() {
+                    return Err(format!("sample[{t}][{c}] = {v} out of [0,1]"));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Time series of one cell.
+    pub fn cell_series(&self, cell: usize) -> Vec<f64> {
+        self.samples.iter().map(|row| row[cell]).collect()
+    }
+
+    /// Peak utilization of one cell.
+    pub fn cell_peak(&self, cell: usize) -> f64 {
+        self.samples.iter().map(|row| row[cell]).fold(0.0, f64::max)
+    }
+
+    /// Mean utilization of one cell.
+    pub fn cell_mean(&self, cell: usize) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples.iter().map(|row| row[cell]).sum::<f64>() / self.num_steps() as f64
+    }
+
+    /// Peak-to-mean ratio of one cell (∞-safe: 0 when the cell is silent).
+    pub fn cell_peak_to_mean(&self, cell: usize) -> f64 {
+        let mean = self.cell_mean(cell);
+        if mean == 0.0 {
+            0.0
+        } else {
+            self.cell_peak(cell) / mean
+        }
+    }
+
+    /// Aggregate utilization (sum over cells) per step.
+    pub fn aggregate_series(&self) -> Vec<f64> {
+        self.samples.iter().map(|row| row.iter().sum()).collect()
+    }
+
+    /// Sum of per-cell peaks — the provisioning level of per-cell dedicated
+    /// hardware.
+    pub fn sum_of_peaks(&self) -> f64 {
+        (0..self.num_cells()).map(|c| self.cell_peak(c)).sum()
+    }
+
+    /// Peak of the aggregate — the provisioning level of a shared pool.
+    pub fn peak_of_sum(&self) -> f64 {
+        self.aggregate_series().iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Statistical multiplexing gain `Σ peakᵢ / peak(Σ) ≥ 1`.
+    pub fn multiplexing_gain(&self) -> f64 {
+        let pos = self.peak_of_sum();
+        if pos == 0.0 {
+            1.0
+        } else {
+            self.sum_of_peaks() / pos
+        }
+    }
+
+    /// Resource saving of pooling, in `[0, 1)`:
+    /// `1 − peak(Σ)/Σ peakᵢ`.
+    pub fn pooling_saving(&self) -> f64 {
+        let sop = self.sum_of_peaks();
+        if sop == 0.0 {
+            0.0
+        } else {
+            1.0 - self.peak_of_sum() / sop
+        }
+    }
+
+    /// Import from the CSV layout [`Trace::to_csv`] writes.
+    ///
+    /// CSV carries only the samples; cell metadata (class, position, peak
+    /// scale) is not representable there, so imported cells get documented
+    /// defaults (`Residential`, origin, peak 1.0). Use JSON for lossless
+    /// round-trips.
+    pub fn from_csv(csv: &str, step_seconds: f64) -> Result<Trace, String> {
+        let mut lines = csv.lines();
+        let header = lines.next().ok_or("empty CSV")?;
+        let columns: Vec<&str> = header.split(',').collect();
+        if columns.first() != Some(&"t") {
+            return Err(format!("unexpected first column {:?}", columns.first()));
+        }
+        let num_cells = columns.len() - 1;
+        if num_cells == 0 {
+            return Err("no cell columns".into());
+        }
+        let mut samples = Vec::new();
+        for (lineno, line) in lines.enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let fields: Vec<&str> = line.split(',').collect();
+            if fields.len() != columns.len() {
+                return Err(format!(
+                    "line {}: {} fields, expected {}",
+                    lineno + 2,
+                    fields.len(),
+                    columns.len()
+                ));
+            }
+            let row: Result<Vec<f64>, String> = fields[1..]
+                .iter()
+                .map(|f| {
+                    f.trim()
+                        .parse::<f64>()
+                        .map_err(|e| format!("line {}: {e}", lineno + 2))
+                })
+                .collect();
+            samples.push(row?);
+        }
+        let cells = (0..num_cells)
+            .map(|id| CellMeta {
+                id,
+                class: CellClass::Residential,
+                position: Point { x: 0.0, y: 0.0 },
+                peak_utilization: 1.0,
+            })
+            .collect();
+        let trace = Trace { step_seconds, cells, samples };
+        trace.validate()?;
+        Ok(trace)
+    }
+
+    /// Pearson correlation between two cells' series.
+    pub fn correlation(&self, a: usize, b: usize) -> f64 {
+        let sa = self.cell_series(a);
+        let sb = self.cell_series(b);
+        pearson(&sa, &sb)
+    }
+
+    /// Serialize to JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("trace serialization cannot fail")
+    }
+
+    /// Deserialize from JSON (validated).
+    pub fn from_json(s: &str) -> Result<Trace, String> {
+        let t: Trace = serde_json::from_str(s).map_err(|e| e.to_string())?;
+        t.validate()?;
+        Ok(t)
+    }
+
+    /// Export as CSV: header `t,cell0,cell1,...`, one row per step.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("t");
+        for c in &self.cells {
+            out.push_str(&format!(",cell{}", c.id));
+        }
+        out.push('\n');
+        for (t, row) in self.samples.iter().enumerate() {
+            out.push_str(&format!("{:.1}", t as f64 * self.step_seconds));
+            for v in row {
+                out.push_str(&format!(",{v:.4}"));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Pearson correlation of two equal-length series (0 for degenerate input).
+pub fn pearson(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "series lengths differ");
+    let n = a.len() as f64;
+    if a.is_empty() {
+        return 0.0;
+    }
+    let ma = a.iter().sum::<f64>() / n;
+    let mb = b.iter().sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut va = 0.0;
+    let mut vb = 0.0;
+    for (&x, &y) in a.iter().zip(b.iter()) {
+        cov += (x - ma) * (y - mb);
+        va += (x - ma) * (x - ma);
+        vb += (y - mb) * (y - mb);
+    }
+    if va == 0.0 || vb == 0.0 {
+        0.0
+    } else {
+        cov / (va.sqrt() * vb.sqrt())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_trace() -> Trace {
+        // Two cells with perfectly complementary loads.
+        let cells = vec![
+            CellMeta {
+                id: 0,
+                class: CellClass::Office,
+                position: Point { x: 0.0, y: 0.0 },
+                peak_utilization: 1.0,
+            },
+            CellMeta {
+                id: 1,
+                class: CellClass::Residential,
+                position: Point { x: 1000.0, y: 0.0 },
+                peak_utilization: 1.0,
+            },
+        ];
+        let samples = vec![
+            vec![1.0, 0.0],
+            vec![0.8, 0.2],
+            vec![0.2, 0.8],
+            vec![0.0, 1.0],
+        ];
+        Trace { step_seconds: 3600.0, cells, samples }
+    }
+
+    #[test]
+    fn validate_accepts_good_trace() {
+        assert!(toy_trace().validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_out_of_range() {
+        let mut t = toy_trace();
+        t.samples[1][0] = 1.5;
+        assert!(t.validate().is_err());
+        t.samples[1][0] = f64::NAN;
+        assert!(t.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_ragged_rows() {
+        let mut t = toy_trace();
+        t.samples[2].pop();
+        assert!(t.validate().is_err());
+    }
+
+    #[test]
+    fn complementary_cells_give_factor_two_gain() {
+        let t = toy_trace();
+        assert_eq!(t.sum_of_peaks(), 2.0);
+        assert_eq!(t.peak_of_sum(), 1.0);
+        assert_eq!(t.multiplexing_gain(), 2.0);
+        assert_eq!(t.pooling_saving(), 0.5);
+    }
+
+    #[test]
+    fn perfectly_correlated_cells_give_no_gain() {
+        let mut t = toy_trace();
+        t.samples = vec![vec![0.5, 0.5], vec![1.0, 1.0], vec![0.2, 0.2]];
+        assert!((t.multiplexing_gain() - 1.0).abs() < 1e-12);
+        assert_eq!(t.pooling_saving(), 0.0);
+    }
+
+    #[test]
+    fn correlation_signs() {
+        let t = toy_trace();
+        assert!(t.correlation(0, 1) < -0.9, "complementary cells anticorrelate");
+        assert!((pearson(&[1.0, 2.0, 3.0], &[2.0, 4.0, 6.0]) - 1.0).abs() < 1e-12);
+        assert_eq!(pearson(&[1.0, 1.0], &[0.0, 5.0]), 0.0, "degenerate series");
+    }
+
+    #[test]
+    fn peak_mean_math() {
+        let t = toy_trace();
+        assert_eq!(t.cell_peak(0), 1.0);
+        assert_eq!(t.cell_mean(0), 0.5);
+        assert_eq!(t.cell_peak_to_mean(0), 2.0);
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let t = toy_trace();
+        let json = t.to_json();
+        let back = Trace::from_json(&json).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn json_rejects_corrupt_values() {
+        let t = toy_trace();
+        let json = t.to_json().replace("0.8", "8.0");
+        assert!(Trace::from_json(&json).is_err());
+    }
+
+    #[test]
+    fn csv_shape() {
+        let csv = toy_trace().to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 5);
+        assert!(lines[0].starts_with("t,cell0,cell1"));
+        assert_eq!(lines[1].split(',').count(), 3);
+    }
+
+    #[test]
+    fn csv_roundtrip_preserves_samples() {
+        let t = toy_trace();
+        let csv = t.to_csv();
+        let back = Trace::from_csv(&csv, t.step_seconds).unwrap();
+        assert_eq!(back.num_cells(), t.num_cells());
+        assert_eq!(back.num_steps(), t.num_steps());
+        for (a, b) in back.samples.iter().flatten().zip(t.samples.iter().flatten()) {
+            assert!((a - b).abs() < 1e-4, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn csv_import_rejects_garbage() {
+        assert!(Trace::from_csv("", 60.0).is_err());
+        assert!(Trace::from_csv("x,cell0\n0,0.5", 60.0).is_err());
+        assert!(Trace::from_csv("t,cell0\n0,notanumber", 60.0).is_err());
+        assert!(Trace::from_csv("t,cell0\n0,0.5,0.7", 60.0).is_err(), "ragged row");
+        assert!(Trace::from_csv("t,cell0\n0,7.5", 60.0).is_err(), "out of range");
+    }
+
+    #[test]
+    fn point_distance() {
+        let a = Point { x: 0.0, y: 0.0 };
+        let b = Point { x: 3.0, y: 4.0 };
+        assert_eq!(a.distance(b), 5.0);
+    }
+}

@@ -1,0 +1,91 @@
+//! HARQ incremental redundancy: why the deadline exists.
+//!
+//! The 3 ms HARQ turnaround that PRAN's scheduler fights for is the window
+//! in which the pool must decode a subframe and answer ACK/NACK. This
+//! example runs the actual protocol over an AWGN sweep: at each SNR, a
+//! rate-0.9 first transmission either decodes or triggers retransmissions
+//! with fresh redundancy versions, and the table shows how the average
+//! number of transmissions (and hence latency) climbs as SNR drops.
+//!
+//! ```sh
+//! cargo run --release --example harq_ir
+//! ```
+
+use pran::phy::harq::{HarqOutcome, HarqReceiver, HarqTransmitter, MAX_TRANSMISSIONS};
+use pran::phy::kernels::{Crc, QppInterleaver, CRC24A};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+const K: usize = 512;
+
+fn build_message(rng: &mut SmallRng) -> Vec<u8> {
+    let crc = Crc::new(CRC24A);
+    let mut payload: Vec<u8> = (0..(K / 8 - 6)).map(|_| rng.gen()).collect();
+    crc.attach(&mut payload);
+    let mut bits: Vec<u8> = payload
+        .iter()
+        .flat_map(|&byte| (0..8).rev().map(move |i| (byte >> i) & 1))
+        .collect();
+    bits.resize(K, 0);
+    bits
+}
+
+fn awgn(bits: &[u8], sigma: f64, rng: &mut SmallRng) -> Vec<f64> {
+    bits.iter()
+        .map(|&b| {
+            let x = if b == 0 { 1.0 } else { -1.0 };
+            let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+            let u2: f64 = rng.gen_range(0.0..1.0);
+            let n = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+            2.0 * (x + sigma * n) / (sigma * sigma)
+        })
+        .collect()
+}
+
+fn main() {
+    let il = QppInterleaver::for_block_size(K).expect("supported block size");
+    let grant = (K as f64 / 0.9) as usize; // aggressive rate-0.9 first try
+    let trials = 30;
+
+    println!("HARQ incremental redundancy, K={K}, first-transmission rate 0.9\n");
+    println!("| Es/N0 (dB) | success | avg transmissions | residual failures |");
+    println!("|------------|---------|-------------------|-------------------|");
+
+    for &snr_db in &[10.0f64, 8.0, 6.0, 4.0, 2.0, 0.0, -1.0, -2.0] {
+        let sigma = (10f64.powf(-snr_db / 10.0) / 1.0).sqrt();
+        let mut rng = SmallRng::seed_from_u64(0x41B + (snr_db * 10.0) as i64 as u64);
+        let mut total_tx = 0usize;
+        let mut successes = 0usize;
+        for _ in 0..trials {
+            let bits = build_message(&mut rng);
+            let mut tx = HarqTransmitter::new(&bits, &il, grant);
+            let mut rx = HarqReceiver::new(K);
+            let mut done = false;
+            while let Some((rv, coded)) = tx.transmit() {
+                let llrs = awgn(&coded, sigma, &mut rng);
+                if let HarqOutcome::Ack(_) = rx.receive(&llrs, rv, &il, 6) {
+                    done = true;
+                    break;
+                }
+            }
+            total_tx += tx.attempts;
+            if done {
+                successes += 1;
+            }
+        }
+        println!(
+            "| {snr_db:>10.1} | {:>6.0}% | {:>17.2} | {:>17} |",
+            successes as f64 / trials as f64 * 100.0,
+            total_tx as f64 / trials as f64,
+            trials - successes
+        );
+    }
+
+    println!(
+        "\nreading the table: every extra transmission is another {}-ms HARQ\n\
+         round trip the user waits — the pool's 2 ms compute budget exists so\n\
+         that the *protocol*, not the processing, sets this latency. Beyond\n\
+         {} transmissions the block is abandoned (residual failures).",
+        3, MAX_TRANSMISSIONS
+    );
+}

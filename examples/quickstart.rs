@@ -1,0 +1,102 @@
+//! Quickstart: stand up a PRAN pool, place cells, survive a failure.
+//!
+//! Run with:
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use std::time::Duration;
+
+use pran::apps::{ConsolidationApp, FailoverApp, LoadBalancerApp};
+use pran::{Controller, SystemConfig};
+
+fn main() {
+    // A pool of 6 commodity servers (400 GOPS, 8 cores each) serving
+    // 20 MHz / 4×2 cells — the evaluation defaults.
+    let config = SystemConfig::default_eval(6);
+    let mut ctl = Controller::new(config);
+
+    // Programmability: policy is apps, not controller code.
+    ctl.install_app(Box::new(FailoverApp::new()));
+    ctl.install_app(Box::new(ConsolidationApp::new(0.25, 0.75)));
+    ctl.install_app(Box::new(LoadBalancerApp::new(0.9)));
+
+    // Register 10 cells and feed one round of load telemetry.
+    let cells: Vec<usize> = (0..10).map(|_| ctl.register_cell()).collect();
+    let loads = [0.7, 0.2, 0.5, 0.9, 0.1, 0.4, 0.6, 0.3, 0.8, 0.5];
+    for (&cell, &load) in cells.iter().zip(&loads) {
+        ctl.report_load(cell, load).expect("cell registered");
+    }
+
+    // First placement epoch.
+    let report = ctl.run_epoch(Duration::from_secs(60));
+    println!("== epoch {} ==", report.epoch);
+    println!(
+        "  placed {} cells on {} servers ({} unplaced)",
+        cells.len() - report.unplaced,
+        report.servers_used,
+        report.unplaced
+    );
+    println!(
+        "  migrations: {}, app actions: {} applied / {} rejected",
+        report.migrations, report.actions_applied, report.actions_rejected
+    );
+
+    print_placement(&ctl);
+
+    // Kill the server hosting cell 0; the failover app re-places its
+    // cells immediately — no waiting for the next epoch.
+    let victim = ctl.placement().assignment[0].expect("cell 0 placed");
+    println!("\n== failing server {victim} ==");
+    let failure = ctl
+        .server_failed(victim, Duration::from_secs(90))
+        .expect("valid server");
+    println!(
+        "  displaced {} cells, {} re-placed immediately by the failover app",
+        failure.displaced.len(),
+        failure.replaced
+    );
+
+    print_placement(&ctl);
+
+    // Server returns; the next epochs fold it back in as load requires.
+    ctl.server_recovered(victim, Duration::from_secs(300)).unwrap();
+    let report = ctl.run_epoch(Duration::from_secs(360));
+    println!("\n== epoch {} (after recovery) ==", report.epoch);
+    println!("  servers in use: {}", report.servers_used);
+
+    let stats = ctl.stats();
+    println!("\n== lifetime stats ==");
+    println!(
+        "  epochs {}  migrations {}  actions {}/{}  failovers {}",
+        stats.epochs,
+        stats.migrations,
+        stats.actions_applied,
+        stats.actions_applied + stats.actions_rejected,
+        stats.failovers
+    );
+}
+
+fn print_placement(ctl: &Controller) {
+    let view = ctl.view();
+    println!("  placement:");
+    for s in &view.servers {
+        if s.cells == 0 && s.alive {
+            continue;
+        }
+        let status = if s.alive { "up  " } else { "DOWN" };
+        let members: Vec<String> = view
+            .cells
+            .iter()
+            .filter(|c| c.server == Some(s.id))
+            .map(|c| format!("c{}", c.id))
+            .collect();
+        println!(
+            "    server {} [{}] {:5.1}% [{}]",
+            s.id,
+            status,
+            s.utilization() * 100.0,
+            members.join(" ")
+        );
+    }
+}

@@ -1,0 +1,207 @@
+//! End-to-end controller scenarios: a day of telemetry, consolidation at
+//! night, failures at noon — the whole control loop across crates.
+
+use std::time::Duration;
+
+use pran::apps::{ConsolidationApp, FailoverApp, LoadBalancerApp, SpectrumApp};
+use pran::{Controller, SystemConfig};
+use pran_traces::{generate, TraceConfig};
+
+/// Drive a controller with trace-derived telemetry for a range of steps.
+fn drive(
+    ctl: &mut Controller,
+    trace: &pran_traces::Trace,
+    cells: &[usize],
+    steps: std::ops::Range<usize>,
+) -> Vec<pran::EpochReport> {
+    let mut reports = Vec::new();
+    for t in steps {
+        for (&cell, &util) in cells.iter().zip(&trace.samples[t]) {
+            ctl.report_load(cell, util).expect("registered");
+        }
+        reports.push(ctl.run_epoch(Duration::from_secs_f64(
+            t as f64 * trace.step_seconds,
+        )));
+    }
+    reports
+}
+
+fn day_trace(cells: usize) -> pran_traces::Trace {
+    let mut cfg = TraceConfig::default_day(cells, 1234);
+    cfg.step_seconds = 900.0; // 15-minute steps: 96 epochs/day
+    generate(&cfg)
+}
+
+#[test]
+fn full_day_places_everyone_with_bounded_churn() {
+    let trace = day_trace(16);
+    let mut ctl = Controller::new(SystemConfig::default_eval(12));
+    ctl.install_app(Box::new(FailoverApp::new()));
+    let cells: Vec<usize> = (0..16).map(|_| ctl.register_cell()).collect();
+
+    let reports = drive(&mut ctl, &trace, &cells, 0..trace.num_steps());
+    for r in &reports {
+        assert_eq!(r.unplaced, 0, "epoch {}: cells unplaced", r.epoch);
+    }
+    // Churn after the first epoch should be a small fraction of cells.
+    let churn: usize = reports[1..].iter().map(|r| r.migrations).sum();
+    let per_epoch = churn as f64 / (reports.len() - 1) as f64;
+    assert!(per_epoch < 4.0, "mean churn {per_epoch} cells/epoch too high");
+}
+
+#[test]
+fn pool_usage_follows_the_diurnal_curve() {
+    let trace = day_trace(20);
+    let mut ctl = Controller::new(SystemConfig::default_eval(16));
+    let cells: Vec<usize> = (0..20).map(|_| ctl.register_cell()).collect();
+
+    let reports = drive(&mut ctl, &trace, &cells, 0..trace.num_steps());
+    // Servers used at the nightly minimum (~04:00, step 16) must be lower
+    // than at the evening peak (~20:30, step 82).
+    let night = reports[16].servers_used;
+    let evening = reports[82].servers_used;
+    assert!(
+        evening > night,
+        "evening {evening} should exceed night {night}"
+    );
+}
+
+#[test]
+fn consolidation_shrinks_the_night_pool() {
+    let trace = day_trace(20);
+    // Without consolidation.
+    let mut plain = Controller::new(SystemConfig::default_eval(16));
+    let cells: Vec<usize> = (0..20).map(|_| plain.register_cell()).collect();
+    let plain_reports = drive(&mut plain, &trace, &cells, 0..30);
+
+    // With consolidation (drains cold servers).
+    let mut consolidated = Controller::new(SystemConfig::default_eval(16));
+    consolidated.install_app(Box::new(ConsolidationApp::new(0.45, 0.85)));
+    let cells2: Vec<usize> = (0..20).map(|_| consolidated.register_cell()).collect();
+    let cons_reports = drive(&mut consolidated, &trace, &cells2, 0..30);
+
+    // At night (steps 8..30 ≈ 02:00-07:30) the consolidated pool should
+    // not use more servers, and typically fewer.
+    let plain_night: usize = plain_reports[8..].iter().map(|r| r.servers_used).sum();
+    let cons_night: usize = cons_reports[8..].iter().map(|r| r.servers_used).sum();
+    assert!(
+        cons_night <= plain_night,
+        "consolidation made things worse: {cons_night} vs {plain_night}"
+    );
+    // Everyone still served.
+    assert!(cons_reports.iter().all(|r| r.unplaced == 0));
+}
+
+#[test]
+fn failure_recovery_with_and_without_the_app() {
+    let mut base = SystemConfig::default_eval(8);
+    base.headroom = 1.05;
+
+    // Shared setup closure.
+    let setup = |with_app: bool| {
+        let mut ctl = Controller::new(base.clone());
+        if with_app {
+            ctl.install_app(Box::new(FailoverApp::new()));
+        }
+        let cells: Vec<usize> = (0..10).map(|_| ctl.register_cell()).collect();
+        for &c in &cells {
+            ctl.report_load(c, 0.45).unwrap();
+        }
+        ctl.run_epoch(Duration::from_secs(60));
+        ctl
+    };
+
+    // Without the app: displaced cells wait for the next epoch.
+    let mut without = setup(false);
+    let victim = without.placement().assignment[0].unwrap();
+    let rep = without.server_failed(victim, Duration::from_secs(61)).unwrap();
+    assert!(!rep.displaced.is_empty());
+    assert_eq!(rep.replaced, 0);
+
+    // With the app: immediate recovery.
+    let mut with = setup(true);
+    let victim = with.placement().assignment[0].unwrap();
+    let rep = with.server_failed(victim, Duration::from_secs(61)).unwrap();
+    assert_eq!(
+        rep.replaced,
+        rep.displaced.len(),
+        "failover app must re-place everything"
+    );
+    // And the resulting placement avoids the dead server.
+    assert!(with
+        .placement()
+        .assignment
+        .iter()
+        .all(|a| *a != Some(victim)));
+}
+
+#[test]
+fn spectrum_app_degrades_gracefully_under_overload() {
+    // A pool too small for everyone at full tilt.
+    let mut cfg = SystemConfig::default_eval(2);
+    cfg.headroom = 1.0;
+    let mut ctl = Controller::new(cfg);
+    ctl.install_app(Box::new(SpectrumApp::new(25, 0.95)));
+    let cells: Vec<usize> = (0..5).map(|_| ctl.register_cell()).collect();
+    for &c in &cells {
+        ctl.report_load(c, 1.0).unwrap();
+    }
+    let first = ctl.run_epoch(Duration::from_secs(60));
+    assert!(first.unplaced > 0, "overload expected");
+    assert!(first.actions_applied > 0, "spectrum caps should apply");
+
+    // Caps lower predicted demand; subsequent epochs admit more cells.
+    for &c in &cells {
+        ctl.report_load(c, 1.0).unwrap();
+    }
+    let second = ctl.run_epoch(Duration::from_secs(120));
+    assert!(
+        second.unplaced < first.unplaced,
+        "caps should admit more cells: {} vs {}",
+        second.unplaced,
+        first.unplaced
+    );
+}
+
+#[test]
+fn load_balancer_keeps_hotspots_in_check() {
+    let mut ctl = Controller::new(SystemConfig::default_eval(6));
+    ctl.install_app(Box::new(LoadBalancerApp::new(0.85)));
+    let cells: Vec<usize> = (0..8).map(|_| ctl.register_cell()).collect();
+    // Uneven loads.
+    let loads = [0.9, 0.9, 0.2, 0.2, 0.2, 0.1, 0.1, 0.1];
+    for (&c, &l) in cells.iter().zip(&loads) {
+        ctl.report_load(c, l).unwrap();
+    }
+    for step in 1..=6 {
+        ctl.run_epoch(Duration::from_secs(step * 60));
+    }
+    let view = ctl.view();
+    let hottest = view.hottest_server().unwrap().utilization();
+    assert!(hottest <= 1.0, "hotspot never exceeds capacity: {hottest}");
+}
+
+#[test]
+fn actions_are_validated_not_trusted() {
+    struct RogueApp;
+    impl pran::ControlApp for RogueApp {
+        fn name(&self) -> &'static str {
+            "rogue"
+        }
+        fn on_epoch(&mut self, _view: &pran::PoolView) -> Vec<pran::Action> {
+            vec![
+                pran::Action::Migrate { cell: 999, to: 0 },
+                pran::Action::CapPrbs { cell: 0, prbs: 10_000 },
+                pran::Action::Drain { server: 999 },
+            ]
+        }
+    }
+    let mut ctl = Controller::new(SystemConfig::default_eval(2));
+    ctl.install_app(Box::new(RogueApp));
+    let c = ctl.register_cell();
+    ctl.report_load(c, 0.3).unwrap();
+    let report = ctl.run_epoch(Duration::from_secs(60));
+    assert_eq!(report.actions_applied, 0);
+    assert_eq!(report.actions_rejected, 3);
+    assert_eq!(report.unplaced, 0, "rogue app cannot break placement");
+}

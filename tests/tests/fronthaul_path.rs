@@ -1,0 +1,165 @@
+//! Fronthaul integration: framing under faults, and latency budgets
+//! feeding the placement layer's reachability matrix.
+
+use std::time::Duration;
+
+use pran_fronthaul::{
+    fragment, FaultConfig, FaultInjector, Frame, FrameKind, FronthaulPath, FunctionalSplit,
+    Outcome, Reassembler,
+};
+use pran_phy::frame::{AntennaConfig, Bandwidth};
+use pran_phy::mcs::Mcs;
+use pran_sched::placement::heuristics::{place, Heuristic};
+use pran_sched::placement::PlacementInstance;
+
+#[test]
+fn lossy_link_reassembly_with_expiry() {
+    // Ship 200 TTIs of fragmented payloads through a 10 %-loss link;
+    // complete payloads must be intact, incomplete ones must be expirable.
+    let mut injector = FaultInjector::new(
+        FaultConfig { drop_prob: 0.10, ..FaultConfig::clean() },
+        42,
+    );
+    let mut reasm = Reassembler::new();
+    let payload: Vec<u8> = (0..4000).map(|i| (i % 253) as u8).collect();
+    let mut delivered = 0usize;
+    for tti in 0..200u64 {
+        for frame in fragment(FrameKind::UplinkData, 1, tti, &payload, 1500) {
+            match injector.offer(frame.encode()) {
+                Outcome::Delivered { data, .. } => {
+                    // Corruption is off; decode must succeed.
+                    let f = Frame::decode(data).expect("clean frame decodes");
+                    if let Some(assembled) = reasm.push(f) {
+                        assert_eq!(&assembled.payload[..], &payload[..]);
+                        delivered += 1;
+                    }
+                }
+                Outcome::Dropped => {}
+                Outcome::RateLimited => unreachable!("no rate limit configured"),
+            }
+        }
+        // HARQ deadline passed for everything older than 3 TTIs.
+        reasm.expire_before(tti.saturating_sub(3));
+    }
+    // With 3 fragments per TTI and 10 % loss, ~73 % of TTIs complete.
+    assert!(
+        (100..200).contains(&delivered),
+        "delivered {delivered}/200 — loss model off"
+    );
+    assert!(reasm.in_flight() <= 4, "expiry must bound memory");
+}
+
+#[test]
+fn corrupted_frames_are_rejected_not_misparsed() {
+    // Flip every header bit position in turn: the framing layer must
+    // either reject the frame or parse it into a *different but coherent*
+    // header — never panic, never return the original as valid payload of
+    // the wrong shape. (Payload integrity belongs to the CRC layer.)
+    let payload = vec![0x55u8; 600];
+    let frame = &fragment(FrameKind::DownlinkData, 2, 77, &payload, 1500)[0];
+    let wire = frame.encode();
+    let mut rejected = 0;
+    let mut survived = 0;
+    for byte in 0..pran_fronthaul::HEADER_LEN {
+        for bit in 0..8u8 {
+            let mut corrupted = wire.to_vec();
+            corrupted[byte] ^= 1 << bit;
+            match Frame::decode(corrupted.into()) {
+                Err(_) => rejected += 1,
+                Ok(f) => {
+                    assert_eq!(f.payload.len(), payload.len());
+                    survived += 1;
+                }
+            }
+        }
+    }
+    // Magic (16 bits), kind (8), length (16) and fragment-header flips
+    // must all reject: that is ≥ 40 of the positions.
+    assert!(rejected >= 40, "only {rejected} header flips rejected");
+    assert_eq!(rejected + survived, pran_fronthaul::HEADER_LEN * 8);
+}
+
+#[test]
+fn latency_budget_builds_the_reachability_matrix() {
+    // Three pool sites at 5/60/400 km; the placement layer must only see
+    // the sites the HARQ budget (and burst size per split) permits.
+    let bw = Bandwidth::Mhz20;
+    let ant = AntennaConfig::pran_default();
+    let mcs = Mcs::new(20);
+    let split = FunctionalSplit::FrequencyDomain;
+    let bytes_per_tti = (split.bandwidth_bps(bw, ant, 1.0, mcs) * 1e-3 / 8.0) as usize;
+    // A full-load uplink subframe needs ~1.6 ms on a 100-GOPS core.
+    let service = Duration::from_micros(1600);
+
+    let sites = [5_000.0f64, 60_000.0, 400_000.0];
+    let allowed_row: Vec<bool> = sites
+        .iter()
+        .map(|&m| FronthaulPath::metro(m).feasible(bytes_per_tti, service))
+        .collect();
+    assert_eq!(allowed_row, vec![true, true, false], "400 km must be out of reach");
+
+    // Feed the matrix into placement: cells can only land on reachable
+    // sites even when the far site has infinite room.
+    let demands = vec![200.0; 4];
+    let mut inst = PlacementInstance::uniform(&demands, 3, 450.0);
+    inst.allowed = vec![allowed_row.clone(); 4];
+    let r = place(&inst, Heuristic::BestFitDecreasing);
+    assert!(r.complete());
+    for (cell, a) in r.placement.assignment.iter().enumerate() {
+        assert_ne!(*a, Some(2), "cell {cell} placed beyond the HARQ horizon");
+    }
+}
+
+#[test]
+fn split_choice_changes_reach() {
+    // The MAC-PHY split tolerates much more latency → strictly more sites
+    // are reachable than under the CPRI-like splits.
+    let bw = Bandwidth::Mhz20;
+    let ant = AntennaConfig::pran_default();
+    let mcs = Mcs::new(20);
+    let service = Duration::from_micros(500);
+    let sites = [10_000.0f64, 80_000.0, 200_000.0];
+
+    let reach = |split: FunctionalSplit| -> usize {
+        let bytes = (split.bandwidth_bps(bw, ant, 1.0, mcs) * 1e-3 / 8.0) as usize;
+        sites
+            .iter()
+            .filter(|&&m| {
+                let path = FronthaulPath::metro(m);
+                // Both the HARQ budget and the split's own tolerance bind.
+                path.feasible(bytes, service)
+                    && path.one_way(bytes) <= split.max_one_way_latency()
+            })
+            .count()
+    };
+
+    let iq = reach(FunctionalSplit::TimeDomainIq);
+    let tb = reach(FunctionalSplit::TransportBlocks);
+    assert!(tb > iq, "higher split must reach further: IQ {iq} vs TB {tb}");
+}
+
+#[test]
+fn tti_payload_survives_wire_roundtrip_at_every_split_size() {
+    // Frame sizes differ wildly per split; the framing layer must handle
+    // all of them within Ethernet MTUs.
+    let bw = Bandwidth::Mhz20;
+    let ant = AntennaConfig::pran_default();
+    let mcs = Mcs::new(28);
+    for split in FunctionalSplit::all() {
+        let bytes_per_tti =
+            (split.bandwidth_bps(bw, ant, 1.0, mcs) * 1e-3 / 8.0) as usize;
+        let payload: Vec<u8> = (0..bytes_per_tti).map(|i| (i % 251) as u8).collect();
+        let frames = fragment(FrameKind::UplinkData, 9, 1234, &payload, 1500);
+        let mut reasm = Reassembler::new();
+        let mut out = None;
+        for f in frames {
+            let f = Frame::decode(f.encode()).expect("roundtrip");
+            if let Some(a) = reasm.push(f) {
+                out = Some(a);
+            }
+        }
+        let a = out.unwrap_or_else(|| panic!("{split}: no reassembly"));
+        assert_eq!(a.payload.len(), bytes_per_tti, "{split}");
+        assert_eq!(&a.payload[..], &payload[..], "{split}");
+    }
+}

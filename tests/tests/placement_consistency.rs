@@ -1,0 +1,143 @@
+//! Placement-layer consistency: ILP vs heuristics vs migration vs
+//! dimensioning, on shared instances.
+
+use pran_ilp::BnbConfig;
+use pran_sched::placement::dimensioning::{
+    dedicated_servers, pooled_servers, GopsConverter,
+};
+use pran_sched::placement::heuristics::{place, Heuristic};
+use pran_sched::placement::ilp;
+use pran_sched::placement::migration::{diff, incremental_repack};
+use pran_sched::placement::PlacementInstance;
+use pran_traces::{generate, TraceConfig};
+
+fn random_instance(cells: usize, seed: u64) -> PlacementInstance {
+    // Use the trace generator as a demand source so instances look like
+    // real epochs rather than uniform noise.
+    let mut cfg = TraceConfig::default_day(cells, seed);
+    cfg.duration_seconds = 3600.0;
+    cfg.step_seconds = 1800.0;
+    let trace = generate(&cfg);
+    let conv = GopsConverter::default_eval();
+    let demands: Vec<f64> = trace.samples[1].iter().map(|&u| conv.gops(u)).collect();
+    PlacementInstance::uniform(&demands, cells, 400.0)
+}
+
+#[test]
+fn ilp_never_worse_than_any_heuristic() {
+    for seed in 0..5u64 {
+        let inst = random_instance(10, seed);
+        let exact = ilp::solve(
+            &inst,
+            &BnbConfig { max_nodes: 20_000, ..BnbConfig::default() },
+        );
+        let Some(ilp_placement) = exact.placement else {
+            panic!("seed {seed}: ILP found nothing");
+        };
+        assert!(inst.validate(&ilp_placement).is_ok());
+        let ilp_cost = inst.cost(&ilp_placement);
+        for h in Heuristic::all() {
+            let r = place(&inst, h);
+            if r.complete() {
+                let h_cost = inst.cost(&r.placement);
+                assert!(
+                    ilp_cost <= h_cost + 1e-9,
+                    "seed {seed}: ILP {ilp_cost} worse than {} {h_cost}",
+                    h.label()
+                );
+            }
+        }
+        // And never below the combinatorial lower bound.
+        assert!(inst.servers_used(&ilp_placement) >= inst.lower_bound_servers());
+    }
+}
+
+#[test]
+fn migration_diff_reconstructs_target() {
+    let inst = random_instance(12, 77);
+    let a = place(&inst, Heuristic::FirstFitDecreasing).placement;
+    let b = place(&inst, Heuristic::WorstFitDecreasing).placement;
+    let plan = diff(&a, &b);
+    // Applying the plan to `a` yields `b` (for cells the plan covers).
+    let mut rebuilt = a.clone();
+    for m in &plan.moves {
+        assert_eq!(rebuilt.assignment[m.cell], m.from);
+        rebuilt.assignment[m.cell] = Some(m.to);
+    }
+    for (c, (x, y)) in rebuilt
+        .assignment
+        .iter()
+        .zip(b.assignment.iter())
+        .enumerate()
+    {
+        if y.is_some() {
+            assert_eq!(x, y, "cell {c} mismatch after applying plan");
+        }
+    }
+}
+
+#[test]
+fn repack_is_idempotent() {
+    let inst = random_instance(15, 5);
+    let seed = place(&inst, Heuristic::FirstFitDecreasing).placement;
+    let (once, plan1) = incremental_repack(&inst, &seed);
+    let (twice, plan2) = incremental_repack(&inst, &once);
+    assert!(plan1.is_empty(), "valid placement should not churn");
+    assert!(plan2.is_empty(), "repack must be idempotent");
+    assert_eq!(once, twice);
+}
+
+#[test]
+fn dimensioning_consistent_with_placement() {
+    let mut cfg = TraceConfig::default_day(25, 3);
+    cfg.step_seconds = 1200.0;
+    let trace = generate(&cfg);
+    let conv = GopsConverter::default_eval();
+    let cap = 400.0;
+    let pooled = pooled_servers(&trace, &conv, cap);
+    let dedicated = dedicated_servers(&trace, &conv, cap);
+    // Sanity chain: pooled ≤ dedicated, and the pool actually fits the
+    // worst step when given `pooled.servers` servers.
+    assert!(pooled.servers <= dedicated.servers);
+    let worst_step = trace
+        .samples
+        .iter()
+        .max_by(|a, b| {
+            let ga: f64 = a.iter().map(|&u| conv.gops(u)).sum();
+            let gb: f64 = b.iter().map(|&u| conv.gops(u)).sum();
+            ga.partial_cmp(&gb).unwrap()
+        })
+        .unwrap();
+    let demands: Vec<f64> = worst_step.iter().map(|&u| conv.gops(u)).collect();
+    let inst = PlacementInstance::uniform(&demands, pooled.servers, cap);
+    let r = place(&inst, Heuristic::FirstFitDecreasing);
+    assert!(
+        r.complete(),
+        "pool sized by dimensioning must fit the worst step"
+    );
+}
+
+#[test]
+fn ilp_matches_heuristic_time_ordering() {
+    // The decomposition claim: heuristics are orders of magnitude faster.
+    // (Asserted loosely — CI boxes vary — but the gap must be real.)
+    let inst = random_instance(12, 11);
+    let t0 = std::time::Instant::now();
+    for _ in 0..50 {
+        let r = place(&inst, Heuristic::FirstFitDecreasing);
+        assert!(r.complete());
+    }
+    let heuristic_time = t0.elapsed() / 50;
+
+    let exact = ilp::solve(
+        &inst,
+        &BnbConfig { max_nodes: 20_000, ..BnbConfig::default() },
+    );
+    assert!(exact.placement.is_some());
+    assert!(
+        exact.elapsed > heuristic_time * 5,
+        "ILP {:?} should dwarf heuristic {:?}",
+        exact.elapsed,
+        heuristic_time
+    );
+}

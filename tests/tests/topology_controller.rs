@@ -1,0 +1,125 @@
+//! Controller + multi-site topology: fronthaul reachability drives
+//! placement and failover at the control plane.
+
+use std::time::Duration;
+
+use pran::apps::FailoverApp;
+use pran::{Controller, SystemConfig};
+use pran_fronthaul::{edge_regional, FunctionalSplit};
+
+/// Build a controller bound to a 2-edge + 6-regional topology.
+fn bound_controller(split: FunctionalSplit, cells: usize) -> Controller {
+    let topo = edge_regional(cells, 1000.0, 2, 6, 80.0, split);
+    let mut cfg = SystemConfig::default_eval(topo.total_servers());
+    cfg.headroom = 1.05;
+    let mut ctl = Controller::new(cfg);
+    ctl.bind_topology(&topo, Duration::from_micros(1600))
+        .expect("server counts match");
+    for _ in 0..cells {
+        ctl.register_cell();
+    }
+    ctl
+}
+
+#[test]
+fn latency_bound_split_stays_on_edge() {
+    let mut ctl = bound_controller(FunctionalSplit::FrequencyDomain, 6);
+    for c in 0..6 {
+        ctl.report_load(c, 0.35).unwrap();
+    }
+    let report = ctl.run_epoch(Duration::from_secs(60));
+    assert_eq!(report.unplaced, 0, "edge tier holds the load");
+    // Servers 0..2 are edge; the regional ones are unreachable.
+    for (c, a) in ctl.placement().assignment.iter().enumerate() {
+        assert!(a.unwrap() < 2, "cell {c} escaped to an unreachable server");
+    }
+}
+
+#[test]
+fn tolerant_split_uses_the_regional_tier_under_pressure() {
+    let mut ctl = bound_controller(FunctionalSplit::TransportBlocks, 10);
+    for c in 0..10 {
+        ctl.report_load(c, 0.8).unwrap();
+    }
+    let report = ctl.run_epoch(Duration::from_secs(60));
+    assert_eq!(report.unplaced, 0, "regional capacity absorbs the rest");
+    let on_regional = ctl
+        .placement()
+        .assignment
+        .iter()
+        .filter(|a| a.unwrap() >= 2)
+        .count();
+    assert!(on_regional > 0, "2 edge servers cannot hold 10 hot cells");
+}
+
+#[test]
+fn edge_overload_under_tight_split_drops_cells() {
+    // 10 hot cells, frequency-domain split → only the 2 edge servers are
+    // usable → someone stays unplaced.
+    let mut ctl = bound_controller(FunctionalSplit::FrequencyDomain, 10);
+    for c in 0..10 {
+        ctl.report_load(c, 0.8).unwrap();
+    }
+    let report = ctl.run_epoch(Duration::from_secs(60));
+    assert!(report.unplaced > 0, "edge tier cannot hold 10 hot cells");
+    for a in ctl.placement().assignment.iter().flatten() {
+        assert!(*a < 2, "placed cells must all be on the edge");
+    }
+}
+
+#[test]
+fn migrate_action_respects_reachability() {
+    let mut ctl = bound_controller(FunctionalSplit::FrequencyDomain, 2);
+    for c in 0..2 {
+        ctl.report_load(c, 0.3).unwrap();
+    }
+    ctl.run_epoch(Duration::from_secs(60));
+    // Server 5 is regional: out of reach for this split.
+    let err = ctl.apply_action(pran::Action::Migrate { cell: 0, to: 5 });
+    assert!(err.is_err(), "reachability must be enforced on app actions");
+}
+
+#[test]
+fn failover_app_respects_reachability() {
+    let mut ctl = bound_controller(FunctionalSplit::FrequencyDomain, 3);
+    ctl.install_app(Box::new(FailoverApp::new()));
+    for c in 0..3 {
+        ctl.report_load(c, 0.3).unwrap();
+    }
+    ctl.run_epoch(Duration::from_secs(60));
+    // Kill edge server 0: the app may only use edge server 1 (regional is
+    // out of reach), and the controller rejects anything else.
+    let report = ctl.server_failed(0, Duration::from_secs(61)).unwrap();
+    for &c in &report.displaced {
+        // None is acceptable: edge server 1 may lack room.
+        if let Some(s) = ctl.placement().assignment[c] {
+            assert_eq!(s, 1, "re-placement must stay on the edge");
+        }
+    }
+}
+
+#[test]
+fn snapshot_preserves_topology_binding() {
+    let mut ctl = bound_controller(FunctionalSplit::FrequencyDomain, 4);
+    for c in 0..4 {
+        ctl.report_load(c, 0.4).unwrap();
+    }
+    ctl.run_epoch(Duration::from_secs(60));
+    let mut restored = Controller::restore(ctl.snapshot());
+    for c in 0..4 {
+        restored.report_load(c, 0.9).unwrap();
+    }
+    let report = restored.run_epoch(Duration::from_secs(120));
+    // The restored controller still refuses the regional tier.
+    for a in restored.placement().assignment.iter().flatten() {
+        assert!(*a < 2, "restored controller lost its reachability matrix");
+    }
+    let _ = report;
+}
+
+#[test]
+fn binding_validates_server_count() {
+    let topo = edge_regional(4, 1000.0, 2, 6, 80.0, FunctionalSplit::FrequencyDomain);
+    let mut ctl = Controller::new(SystemConfig::default_eval(3)); // wrong count
+    assert!(ctl.bind_topology(&topo, Duration::from_micros(1000)).is_err());
+}
