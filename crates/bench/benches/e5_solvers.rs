@@ -29,11 +29,9 @@ fn bench_heuristics(c: &mut Criterion) {
     for &cells in &[10usize, 50, 200] {
         let inst = instance(cells, cells as u64);
         for h in Heuristic::all() {
-            group.bench_with_input(
-                BenchmarkId::new(h.label(), cells),
-                &inst,
-                |b, inst| b.iter(|| place(inst, h)),
-            );
+            group.bench_with_input(BenchmarkId::new(h.label(), cells), &inst, |b, inst| {
+                b.iter(|| place(inst, h))
+            });
         }
     }
     group.finish();

@@ -1,0 +1,111 @@
+//! E6 (Criterion half) — scaling of the parallel subframe executor.
+//!
+//! Drives batches of real turbo decodes through `ParallelExecutor` at 1,
+//! 2, and 4 simulated cores and times the whole run. The executor's
+//! virtual per-core clocks produce a *modeled* makespan that scales with
+//! the simulated core count regardless of this host's physical cores, so
+//! the near-linear-scaling acceptance check asserts on the modeled
+//! schedule (printed once up front) while Criterion times the real
+//! decode work + orchestration overhead per configuration.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use pran_phy::kernels::turbo::{turbo_decode, turbo_encode, QppInterleaver, SoftCodeword};
+use pran_sched::realtime::{ParallelConfig, ParallelExecutor, RtTask};
+use std::time::Duration;
+
+const BLOCK_BITS: usize = 1024;
+const BLOCKS: usize = 32;
+const CELLS: usize = 8;
+const DECODER_ITERS: usize = 5;
+
+fn decode_fixture() -> (SoftCodeword, QppInterleaver) {
+    let msg: Vec<u8> = (0..BLOCK_BITS).map(|i| ((i * 31) % 2) as u8).collect();
+    let cw = turbo_encode(&msg);
+    let il = QppInterleaver::for_block_size(BLOCK_BITS).unwrap();
+    (SoftCodeword::from_codeword(&cw, 2.0), il)
+}
+
+/// One subframe-sized decode task per block, `CELLS` cells, released in
+/// 1 ms waves with the 2 ms HARQ budget. `service` is the modeled
+/// per-task cost; the payload really decodes.
+fn task_set(service: Duration) -> Vec<RtTask> {
+    (0..BLOCKS)
+        .map(|i| {
+            let release = Duration::from_millis((i / CELLS) as u64);
+            RtTask {
+                id: i,
+                cell: i % CELLS,
+                release,
+                deadline: release + Duration::from_millis(2),
+                service,
+            }
+        })
+        .collect()
+}
+
+fn bench_parallel_decode(c: &mut Criterion) {
+    let (soft, il) = decode_fixture();
+    let service = Duration::from_micros(1500);
+    let tasks = task_set(service);
+
+    // Modeled-scaling check (the acceptance criterion): 4 simulated cores
+    // must at least halve the single-core makespan on this batched load.
+    let makespan = |cores: usize| {
+        ParallelExecutor::new(ParallelConfig {
+            cores,
+            batch: 4,
+            steal: true,
+        })
+        .execute(&tasks)
+        .makespan
+    };
+    let m1 = makespan(1);
+    let m4 = makespan(4);
+    assert!(
+        m4 * 2 <= m1,
+        "modeled 4-core makespan {m4:?} must be at least 2x faster than single-core {m1:?}"
+    );
+    println!(
+        "modeled makespan: 1 core {m1:?}, 4 cores {m4:?} ({:.2}x)",
+        m1.as_secs_f64() / m4.as_secs_f64()
+    );
+
+    let mut group = c.benchmark_group("parallel_turbo_decode");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(BLOCKS as u64));
+    for &cores in &[1usize, 2, 4] {
+        group.bench_with_input(BenchmarkId::new("cores", cores), &cores, |b, &cores| {
+            let exec = ParallelExecutor::new(ParallelConfig {
+                cores,
+                batch: 4,
+                steal: true,
+            });
+            b.iter(|| {
+                exec.execute_with(&tasks, |_task: &RtTask| {
+                    std::hint::black_box(turbo_decode(&soft, &il, DECODER_ITERS));
+                })
+            })
+        });
+    }
+    // Steal on/off at 4 cores: same work, different balancing freedom.
+    for steal in [true, false] {
+        let label = if steal { "steal" } else { "pinned" };
+        group.bench_with_input(BenchmarkId::new("4cores", label), &steal, |b, &steal| {
+            let exec = ParallelExecutor::new(ParallelConfig {
+                cores: 4,
+                batch: 4,
+                steal,
+            });
+            b.iter(|| {
+                exec.execute_with(&tasks, |_task: &RtTask| {
+                    std::hint::black_box(turbo_decode(&soft, &il, DECODER_ITERS));
+                })
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_parallel_decode);
+criterion_main!(benches);

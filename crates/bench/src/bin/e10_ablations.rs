@@ -40,10 +40,24 @@ fn main() {
         time_limit: Duration::from_secs(10),
         ..BnbConfig::default()
     };
-    let mut t = Table::new(&["symmetry", "warm start", "nodes", "time", "servers", "proved optimal"]);
+    let mut t = Table::new(&[
+        "symmetry",
+        "warm start",
+        "nodes",
+        "time",
+        "servers",
+        "proved optimal",
+    ]);
     let mut rows = Vec::new();
     for &(sym, warm) in &[(true, true), (true, false), (false, true), (false, false)] {
-        let r = solve_with(&inst, &cfg, SolveOptions { symmetry_breaking: sym, warm_start: warm });
+        let r = solve_with(
+            &inst,
+            &cfg,
+            SolveOptions {
+                symmetry_breaking: sym,
+                warm_start: warm,
+            },
+        );
         let servers = r
             .placement
             .as_ref()
@@ -68,7 +82,13 @@ fn main() {
 
     // ---- 3: fronthaul spread vs scheduler separation ----
     println!("\n== fronthaul spread (per-cell deadline heterogeneity) ==");
-    let mut t = Table::new(&["spread", "util", "EDF misses", "FIFO misses", "FIFO-EDF gap"]);
+    let mut t = Table::new(&[
+        "spread",
+        "util",
+        "EDF misses",
+        "FIFO misses",
+        "FIFO-EDF gap",
+    ]);
     let mut rows = Vec::new();
     for &spread_us in &[0u64, 300] {
         for &util in &[0.95f64, 1.0] {
@@ -102,8 +122,10 @@ fn main() {
     let trace = generate(&cfg);
     let conv = GopsConverter::default_eval();
     let mk_inst = |step: usize| {
-        let demands: Vec<f64> =
-            trace.samples[step].iter().map(|&u| conv.gops(u) * 1.1).collect();
+        let demands: Vec<f64> = trace.samples[step]
+            .iter()
+            .map(|&u| conv.gops(u) * 1.1)
+            .collect();
         PlacementInstance::uniform(&demands, 20, 400.0)
     };
     let mut inc_placement = place(&mk_inst(0), Heuristic::FirstFitDecreasing).placement;

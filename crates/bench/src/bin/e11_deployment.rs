@@ -15,9 +15,9 @@ use bench::{save_json, Table};
 use pran_fronthaul::{edge_regional, FunctionalSplit};
 use pran_ilp::BnbConfig;
 use pran_sched::placement::admission::{admit_greedy, AdmissionRequest};
+use pran_sched::placement::dimensioning::GopsConverter;
 use pran_sched::placement::heuristics::{place, Heuristic};
 use pran_sched::placement::{ilp, CellDemand, PlacementInstance, ServerSpec};
-use pran_sched::placement::dimensioning::GopsConverter;
 use pran_traces::{generate, TraceConfig};
 
 fn main() {
@@ -36,7 +36,12 @@ fn main() {
     );
 
     let mut t = Table::new(&[
-        "split", "admitted", "on edge", "on regional", "cost", "vs all-edge",
+        "split",
+        "admitted",
+        "on edge",
+        "on regional",
+        "cost",
+        "vs all-edge",
     ]);
     let mut json_rows = Vec::new();
 
@@ -56,7 +61,11 @@ fn main() {
             servers: specs
                 .iter()
                 .enumerate()
-                .map(|(id, &(capacity_gops, cost))| ServerSpec { id, capacity_gops, cost })
+                .map(|(id, &(capacity_gops, cost))| ServerSpec {
+                    id,
+                    capacity_gops,
+                    cost,
+                })
                 .collect(),
             allowed: allowed.clone(),
         };
@@ -80,7 +89,11 @@ fn main() {
                 let requests: Vec<AdmissionRequest> = demands
                     .iter()
                     .enumerate()
-                    .map(|(id, &gops)| AdmissionRequest { id, gops, weight: 1.0 })
+                    .map(|(id, &gops)| AdmissionRequest {
+                        id,
+                        gops,
+                        weight: 1.0,
+                    })
                     .collect();
                 let outcome =
                     admit_greedy(&requests, edge_servers, topo.sites[0].server_capacity_gops);

@@ -18,12 +18,16 @@ use pran_traces::{generate, TraceConfig};
 fn main() {
     let servers = 4;
     let capacity = 400.0;
-    println!(
-        "E12: admission under overload ({servers} × {capacity} GOPS pool)\n"
-    );
+    println!("E12: admission under overload ({servers} × {capacity} GOPS pool)\n");
 
     let mut t = Table::new(&[
-        "overload", "cells", "exact wt", "greedy wt", "gap", "exact time", "greedy time",
+        "overload",
+        "cells",
+        "exact wt",
+        "greedy wt",
+        "gap",
+        "exact time",
+        "greedy time",
         "time cut",
     ]);
     let mut json_rows = Vec::new();
@@ -60,7 +64,11 @@ fn main() {
         t.row(&[
             format!("{label} ({:.0} GOPS)", offered),
             format!("{}/{cells} vs {}/{cells}", exact.count(), greedy.count()),
-            format!("{:.1}{}", exact.weight, if exact.optimal { "" } else { "*" }),
+            format!(
+                "{:.1}{}",
+                exact.weight,
+                if exact.optimal { "" } else { "*" }
+            ),
             format!("{:.1}", greedy.weight),
             format!("{:.1}%", gap * 100.0),
             fmt_duration(exact_time),

@@ -41,7 +41,14 @@ fn main() {
 
     // MCS sweep: decode scales, FFT does not.
     println!("== uplink total vs MCS (100 PRB) ==");
-    let mut t = Table::new(&["MCS", "modulation", "total GOPS", "decode GOPS", "fft GOPS", "decode share"]);
+    let mut t = Table::new(&[
+        "MCS",
+        "modulation",
+        "total GOPS",
+        "decode GOPS",
+        "fft GOPS",
+        "decode share",
+    ]);
     let mut json_sweep = Vec::new();
     for idx in [0u8, 5, 10, 15, 20, 24, 28] {
         let w = CellWorkload {

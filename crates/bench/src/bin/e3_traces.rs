@@ -40,11 +40,26 @@ fn main() {
     let agg = trace.aggregate_series();
     let agg_peak = agg.iter().cloned().fold(0.0f64, f64::max);
     let agg_mean = agg.iter().sum::<f64>() / agg.len() as f64;
-    t.row(&["sum of per-cell peaks".to_string(), format!("{:.1}", trace.sum_of_peaks())]);
-    t.row(&["peak of aggregate".to_string(), format!("{:.1}", trace.peak_of_sum())]);
-    t.row(&["multiplexing gain".to_string(), format!("{:.2}×", trace.multiplexing_gain())]);
-    t.row(&["pooling saving".to_string(), format!("{:.0}%", trace.pooling_saving() * 100.0)]);
-    t.row(&["aggregate peak-to-mean".to_string(), format!("{:.2}", agg_peak / agg_mean)]);
+    t.row(&[
+        "sum of per-cell peaks".to_string(),
+        format!("{:.1}", trace.sum_of_peaks()),
+    ]);
+    t.row(&[
+        "peak of aggregate".to_string(),
+        format!("{:.1}", trace.peak_of_sum()),
+    ]);
+    t.row(&[
+        "multiplexing gain".to_string(),
+        format!("{:.2}×", trace.multiplexing_gain()),
+    ]);
+    t.row(&[
+        "pooling saving".to_string(),
+        format!("{:.0}%", trace.pooling_saving() * 100.0),
+    ]);
+    t.row(&[
+        "aggregate peak-to-mean".to_string(),
+        format!("{:.2}", agg_peak / agg_mean),
+    ]);
     t.print();
 
     // Correlation structure: same-class vs cross-class.
@@ -63,8 +78,16 @@ fn main() {
     let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
     println!("\n== inter-cell correlation ==");
     let mut t = Table::new(&["pair type", "pairs", "mean Pearson r"]);
-    t.row(&["same class".to_string(), same.len().to_string(), format!("{:.2}", mean(&same))]);
-    t.row(&["cross class".to_string(), cross.len().to_string(), format!("{:.2}", mean(&cross))]);
+    t.row(&[
+        "same class".to_string(),
+        same.len().to_string(),
+        format!("{:.2}", mean(&same)),
+    ]);
+    t.row(&[
+        "cross class".to_string(),
+        cross.len().to_string(),
+        format!("{:.2}", mean(&cross)),
+    ]);
     t.print();
     println!(
         "\nshape check: same-class cells move together (r≈{:.2}) while cross-class \

@@ -17,9 +17,17 @@ fn main() {
     let capacity = 400.0;
     let seeds = [11u64, 22, 33];
 
-    println!("E4: pooled vs dedicated provisioning ({} GOPS servers, 24 h traces)\n", capacity);
+    println!(
+        "E4: pooled vs dedicated provisioning ({} GOPS servers, 24 h traces)\n",
+        capacity
+    );
     let mut t = Table::new(&[
-        "cells", "dedicated", "pooled", "saving", "mux gain", "peak agg GOPS",
+        "cells",
+        "dedicated",
+        "pooled",
+        "saving",
+        "mux gain",
+        "peak agg GOPS",
     ]);
     let mut json_rows = Vec::new();
 

@@ -113,5 +113,8 @@ fn main() {
         min_cut * 100.0
     );
 
-    save_json("e5_ilp_vs_heuristic", &serde_json::json!({ "rows": json_rows }));
+    save_json(
+        "e5_ilp_vs_heuristic",
+        &serde_json::json!({ "rows": json_rows }),
+    );
 }

@@ -14,11 +14,21 @@ use pran_phy::mcs::Mcs;
 fn main() {
     let bw = Bandwidth::Mhz20;
     let mcs = Mcs::new(20);
-    println!("E7: fronthaul bandwidth per functional split ({bw}, MCS {})\n", mcs.index());
+    println!(
+        "E7: fronthaul bandwidth per functional split ({bw}, MCS {})\n",
+        mcs.index()
+    );
 
     // Antenna sweep at full load.
     println!("== Gb/s per cell at full load ==");
-    let mut t = Table::new(&["antennas", "IQ/CPRI", "freq-domain", "soft-bits", "transport-blocks", "IQ/FD ratio"]);
+    let mut t = Table::new(&[
+        "antennas",
+        "IQ/CPRI",
+        "freq-domain",
+        "soft-bits",
+        "transport-blocks",
+        "IQ/FD ratio",
+    ]);
     let mut json_ant = Vec::new();
     for antennas in [1u32, 2, 4, 8] {
         let ant = AntennaConfig::new(antennas, antennas.min(2));
@@ -47,7 +57,13 @@ fn main() {
     // Load sweep at 4 antennas — the load-proportionality figure.
     println!("\n== Gb/s per cell vs load (4 antennas) ==");
     let ant = AntennaConfig::pran_default();
-    let mut t = Table::new(&["load", "IQ/CPRI", "freq-domain", "soft-bits", "transport-blocks"]);
+    let mut t = Table::new(&[
+        "load",
+        "IQ/CPRI",
+        "freq-domain",
+        "soft-bits",
+        "transport-blocks",
+    ]);
     let mut json_load = Vec::new();
     for &load in &[0.05f64, 0.1, 0.25, 0.5, 0.75, 1.0] {
         let rates: Vec<f64> = FunctionalSplit::all()
@@ -71,11 +87,14 @@ fn main() {
     // Pool-level aggregate at a daily-mean load of ~35 %.
     let cells = 50;
     let mean_load = 0.35;
-    println!("\n== 50-cell pool aggregate at {:.0}% mean load ==", mean_load * 100.0);
+    println!(
+        "\n== 50-cell pool aggregate at {:.0}% mean load ==",
+        mean_load * 100.0
+    );
     let mut t = Table::new(&["split", "aggregate Gb/s", "vs CPRI", "pooled compute"]);
     let mut json_pool = Vec::new();
-    let cpri_agg = FunctionalSplit::TimeDomainIq.bandwidth_bps(bw, ant, mean_load, mcs)
-        * cells as f64;
+    let cpri_agg =
+        FunctionalSplit::TimeDomainIq.bandwidth_bps(bw, ant, mean_load, mcs) * cells as f64;
     for split in FunctionalSplit::all() {
         let agg = split.bandwidth_bps(bw, ant, mean_load, mcs) * cells as f64;
         t.row(&[

@@ -28,9 +28,15 @@ fn main() {
     let makers: Vec<(&str, Mk)> = vec![
         ("ewma(0.3)", Box::new(|| Box::new(Ewma::new(0.3)))),
         ("ewma(0.7)", Box::new(|| Box::new(Ewma::new(0.7)))),
-        ("holt(0.5,0.3)", Box::new(|| Box::new(HoltLinear::new(0.5, 0.3)))),
+        (
+            "holt(0.5,0.3)",
+            Box::new(|| Box::new(HoltLinear::new(0.5, 0.3))),
+        ),
         ("sliding-max(6)", Box::new(|| Box::new(SlidingMax::new(6)))),
-        ("sliding-max(24)", Box::new(|| Box::new(SlidingMax::new(24)))),
+        (
+            "sliding-max(24)",
+            Box::new(|| Box::new(SlidingMax::new(24))),
+        ),
     ];
     for (name, mk) in &makers {
         let mut mae = 0.0;

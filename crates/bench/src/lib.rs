@@ -62,8 +62,11 @@ pub fn save_json(name: &str, value: &serde_json::Value) {
     let dir = PathBuf::from("results");
     fs::create_dir_all(&dir).expect("create results dir");
     let path = dir.join(format!("{name}.json"));
-    fs::write(&path, serde_json::to_string_pretty(value).expect("serialize"))
-        .expect("write results file");
+    fs::write(
+        &path,
+        serde_json::to_string_pretty(value).expect("serialize"),
+    )
+    .expect("write results file");
     println!("\n[results written to {}]", path.display());
 }
 

@@ -80,14 +80,11 @@ impl PoolView {
 
     /// The busiest live server, if any.
     pub fn hottest_server(&self) -> Option<&ServerView> {
-        self.servers
-            .iter()
-            .filter(|s| s.alive)
-            .max_by(|a, b| {
-                a.utilization()
-                    .partial_cmp(&b.utilization())
-                    .unwrap_or(std::cmp::Ordering::Equal)
-            })
+        self.servers.iter().filter(|s| s.alive).max_by(|a, b| {
+            a.utilization()
+                .partial_cmp(&b.utilization())
+                .unwrap_or(std::cmp::Ordering::Equal)
+        })
     }
 }
 
@@ -210,7 +207,13 @@ mod tests {
     use super::*;
 
     fn server(id: usize, load: f64, cells: usize) -> ServerView {
-        ServerView { id, alive: true, capacity_gops: 100.0, load_gops: load, cells }
+        ServerView {
+            id,
+            alive: true,
+            capacity_gops: 100.0,
+            load_gops: load,
+            cells,
+        }
     }
 
     #[test]
@@ -227,7 +230,13 @@ mod tests {
 
     #[test]
     fn utilization_zero_capacity_safe() {
-        let s = ServerView { id: 0, alive: true, capacity_gops: 0.0, load_gops: 0.0, cells: 0 };
+        let s = ServerView {
+            id: 0,
+            alive: true,
+            capacity_gops: 0.0,
+            load_gops: 0.0,
+            cells: 0,
+        };
         assert_eq!(s.utilization(), 0.0);
     }
 

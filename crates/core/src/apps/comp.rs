@@ -46,11 +46,7 @@ impl ControlApp for CompApp {
         self.colocated = 0;
         for set in &self.sets {
             // Where do the members sit, and what do they cost?
-            let members: Vec<_> = view
-                .cells
-                .iter()
-                .filter(|c| set.contains(&c.id))
-                .collect();
+            let members: Vec<_> = view.cells.iter().filter(|c| set.contains(&c.id)).collect();
             if members.len() != set.len() || members.iter().any(|c| c.server.is_none()) {
                 continue; // unplaced members: placement must win first
             }
@@ -87,7 +83,10 @@ impl ControlApp for CompApp {
             };
             for c in &members {
                 if c.server != Some(anchor) {
-                    actions.push(Action::Migrate { cell: c.id, to: anchor });
+                    actions.push(Action::Migrate {
+                        cell: c.id,
+                        to: anchor,
+                    });
                 }
             }
             self.colocated += 1;
@@ -103,15 +102,31 @@ mod tests {
     use std::time::Duration;
 
     fn cell(id: usize, server: usize, gops: f64) -> CellView {
-        CellView { id, server: Some(server), utilization: 0.4, predicted_gops: gops, prb_cap: None }
+        CellView {
+            id,
+            server: Some(server),
+            utilization: 0.4,
+            predicted_gops: gops,
+            prb_cap: None,
+        }
     }
 
     fn server(id: usize, load: f64) -> ServerView {
-        ServerView { id, alive: true, capacity_gops: 100.0, load_gops: load, cells: 1 }
+        ServerView {
+            id,
+            alive: true,
+            capacity_gops: 100.0,
+            load_gops: load,
+            cells: 1,
+        }
     }
 
     fn view(cells: Vec<CellView>, servers: Vec<ServerView>) -> PoolView {
-        PoolView { now: Duration::ZERO, cells, servers }
+        PoolView {
+            now: Duration::ZERO,
+            cells,
+            servers,
+        }
     }
 
     #[test]

@@ -26,14 +26,16 @@ impl FailoverApp {
         let mut residual: Vec<f64> = view
             .servers
             .iter()
-            .map(|s| if s.alive { s.capacity_gops - s.load_gops } else { f64::NEG_INFINITY })
+            .map(|s| {
+                if s.alive {
+                    s.capacity_gops - s.load_gops
+                } else {
+                    f64::NEG_INFINITY
+                }
+            })
             .collect();
         // Displaced cells, heaviest first (harder to place).
-        let mut cells: Vec<_> = view
-            .cells
-            .iter()
-            .filter(|c| c.server.is_none())
-            .collect();
+        let mut cells: Vec<_> = view.cells.iter().filter(|c| c.server.is_none()).collect();
         cells.sort_by(|a, b| {
             b.predicted_gops
                 .partial_cmp(&a.predicted_gops)
@@ -51,7 +53,10 @@ impl FailoverApp {
                 });
             if let Some(s) = target {
                 residual[s] -= cell.predicted_gops;
-                actions.push(Action::Migrate { cell: cell.id, to: s });
+                actions.push(Action::Migrate {
+                    cell: cell.id,
+                    to: s,
+                });
             }
         }
         actions
@@ -81,22 +86,46 @@ mod tests {
     use std::time::Duration;
 
     fn view(cells: Vec<CellView>, servers: Vec<ServerView>) -> PoolView {
-        PoolView { now: Duration::ZERO, cells, servers }
+        PoolView {
+            now: Duration::ZERO,
+            cells,
+            servers,
+        }
     }
 
     fn cell(id: usize, server: Option<usize>, gops: f64) -> CellView {
-        CellView { id, server, utilization: 0.5, predicted_gops: gops, prb_cap: None }
+        CellView {
+            id,
+            server,
+            utilization: 0.5,
+            predicted_gops: gops,
+            prb_cap: None,
+        }
     }
 
     fn server(id: usize, alive: bool, load: f64) -> ServerView {
-        ServerView { id, alive, capacity_gops: 100.0, load_gops: load, cells: 1 }
+        ServerView {
+            id,
+            alive,
+            capacity_gops: 100.0,
+            load_gops: load,
+            cells: 1,
+        }
     }
 
     #[test]
     fn replaces_displaced_cells_best_fit() {
         let v = view(
-            vec![cell(0, None, 30.0), cell(1, None, 60.0), cell(2, Some(1), 40.0)],
-            vec![server(0, false, 0.0), server(1, true, 40.0), server(2, true, 0.0)],
+            vec![
+                cell(0, None, 30.0),
+                cell(1, None, 60.0),
+                cell(2, Some(1), 40.0),
+            ],
+            vec![
+                server(0, false, 0.0),
+                server(1, true, 40.0),
+                server(2, true, 0.0),
+            ],
         );
         let mut app = FailoverApp::new();
         let actions = app.on_event(&PoolEvent::ServerFailed(0), &v);

@@ -21,7 +21,10 @@ impl LoadBalancerApp {
     /// Create with a high watermark in `(0, 1]`.
     pub fn new(high_watermark: f64) -> Self {
         assert!(high_watermark > 0.0 && high_watermark <= 1.0);
-        LoadBalancerApp { high_watermark, proposed: 0 }
+        LoadBalancerApp {
+            high_watermark,
+            proposed: 0,
+        }
     }
 }
 
@@ -67,7 +70,10 @@ impl ControlApp for LoadBalancerApp {
         match target {
             Some(t) => {
                 self.proposed += 1;
-                vec![Action::Migrate { cell: victim.id, to: t.id }]
+                vec![Action::Migrate {
+                    cell: victim.id,
+                    to: t.id,
+                }]
             }
             None => Vec::new(),
         }
@@ -81,15 +87,31 @@ mod tests {
     use std::time::Duration;
 
     fn cell(id: usize, server: usize, gops: f64) -> CellView {
-        CellView { id, server: Some(server), utilization: 0.5, predicted_gops: gops, prb_cap: None }
+        CellView {
+            id,
+            server: Some(server),
+            utilization: 0.5,
+            predicted_gops: gops,
+            prb_cap: None,
+        }
     }
 
     fn server(id: usize, load: f64, cells: usize) -> ServerView {
-        ServerView { id, alive: true, capacity_gops: 100.0, load_gops: load, cells }
+        ServerView {
+            id,
+            alive: true,
+            capacity_gops: 100.0,
+            load_gops: load,
+            cells,
+        }
     }
 
     fn view(cells: Vec<CellView>, servers: Vec<ServerView>) -> PoolView {
-        PoolView { now: Duration::ZERO, cells, servers }
+        PoolView {
+            now: Duration::ZERO,
+            cells,
+            servers,
+        }
     }
 
     #[test]

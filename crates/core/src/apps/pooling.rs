@@ -7,6 +7,7 @@
 //! watermarks prevents flapping.
 
 use crate::api::{Action, ControlApp, PoolView};
+use pran_sched::realtime::ParallelConfig;
 
 /// Drain/reactivate servers based on pool-wide utilization.
 #[derive(Debug)]
@@ -15,6 +16,9 @@ pub struct ConsolidationApp {
     pub low_watermark: f64,
     /// Mean used-server utilization above which one server reactivates.
     pub high_watermark: f64,
+    /// Subframe-execution model of the servers, when known. Bounds how
+    /// hot a drain may run the survivors (see [`Self::realtime_ceiling`]).
+    parallel: Option<ParallelConfig>,
     /// Servers this app has drained (reactivation candidates).
     drained: Vec<usize>,
 }
@@ -26,7 +30,44 @@ impl ConsolidationApp {
             low_watermark < high_watermark,
             "hysteresis requires low < high"
         );
-        ConsolidationApp { low_watermark, high_watermark, drained: Vec::new() }
+        ConsolidationApp {
+            low_watermark,
+            high_watermark,
+            parallel: None,
+            drained: Vec::new(),
+        }
+    }
+
+    /// Create with watermarks and the servers' subframe-execution model
+    /// (normally `SystemConfig::parallel`): consolidation then refuses
+    /// drains that would push survivors past what the executor can
+    /// schedule within deadlines, not just past raw GOPS capacity.
+    pub fn with_parallel(
+        low_watermark: f64,
+        high_watermark: f64,
+        parallel: ParallelConfig,
+    ) -> Self {
+        parallel.validate();
+        let mut app = Self::new(low_watermark, high_watermark);
+        app.parallel = Some(parallel);
+        app
+    }
+
+    /// Highest post-drain utilization the survivors' executors can
+    /// sustain without missing subframe deadlines.
+    ///
+    /// With work stealing, a greedy N-core schedule wastes at most about
+    /// half a batch per core of balancing slack, so the ceiling
+    /// approaches 1 as cores grow (`1 − 0.5/cores`). Without stealing,
+    /// cells are pinned to `cell % cores`, a single hot cell saturates
+    /// one core while others idle, and only ~half the nominal capacity is
+    /// dependable. Unknown model → GOPS capacity is the only limit.
+    pub fn realtime_ceiling(&self) -> f64 {
+        match self.parallel {
+            None => 1.0,
+            Some(p) if p.steal => 1.0 - 0.5 / p.cores as f64,
+            Some(_) => 0.5,
+        }
     }
 
     /// Servers currently drained by this app.
@@ -51,20 +92,42 @@ impl ControlApp for ConsolidationApp {
         }
         if mean < self.low_watermark && view.servers_used() > 1 {
             // Drain the lightest used server if the rest can absorb it.
-            let used: Vec<_> = view.servers.iter().filter(|s| s.cells > 0 && s.alive).collect();
+            let used: Vec<_> = view
+                .servers
+                .iter()
+                .filter(|s| s.cells > 0 && s.alive)
+                .collect();
             let lightest = used.iter().min_by(|a, b| {
                 a.load_gops
                     .partial_cmp(&b.load_gops)
                     .unwrap_or(std::cmp::Ordering::Equal)
             });
             if let Some(victim) = lightest {
-                let residual_elsewhere: f64 = view
+                let survivors: Vec<_> = view
                     .servers
                     .iter()
                     .filter(|s| s.alive && s.id != victim.id && !self.drained.contains(&s.id))
+                    .collect();
+                let residual_elsewhere: f64 = survivors
+                    .iter()
                     .map(|s| (s.capacity_gops - s.load_gops).max(0.0))
                     .sum();
-                if residual_elsewhere >= victim.load_gops {
+                // Post-drain utilization of the survivors: total live load
+                // squeezed into their capacity. Must stay schedulable per
+                // the executor model, not just below 100 % GOPS.
+                let survivor_capacity: f64 = survivors.iter().map(|s| s.capacity_gops).sum();
+                let total_load: f64 = view
+                    .servers
+                    .iter()
+                    .filter(|s| s.alive)
+                    .map(|s| s.load_gops)
+                    .sum();
+                let post_drain = if survivor_capacity > 0.0 {
+                    total_load / survivor_capacity
+                } else {
+                    f64::INFINITY
+                };
+                if residual_elsewhere >= victim.load_gops && post_drain <= self.realtime_ceiling() {
                     self.drained.push(victim.id);
                     return vec![Action::Drain { server: victim.id }];
                 }
@@ -81,17 +144,31 @@ mod tests {
     use std::time::Duration;
 
     fn server(id: usize, load: f64, cells: usize) -> ServerView {
-        ServerView { id, alive: true, capacity_gops: 100.0, load_gops: load, cells }
+        ServerView {
+            id,
+            alive: true,
+            capacity_gops: 100.0,
+            load_gops: load,
+            cells,
+        }
     }
 
     fn view(servers: Vec<ServerView>) -> PoolView {
-        PoolView { now: Duration::ZERO, cells: Vec::<CellView>::new(), servers }
+        PoolView {
+            now: Duration::ZERO,
+            cells: Vec::<CellView>::new(),
+            servers,
+        }
     }
 
     #[test]
     fn drains_lightest_when_cold() {
         let mut app = ConsolidationApp::new(0.3, 0.7);
-        let v = view(vec![server(0, 20.0, 2), server(1, 5.0, 1), server(2, 0.0, 0)]);
+        let v = view(vec![
+            server(0, 20.0, 2),
+            server(1, 5.0, 1),
+            server(2, 0.0, 0),
+        ]);
         let actions = app.on_epoch(&v);
         assert_eq!(actions, vec![Action::Drain { server: 1 }]);
         assert_eq!(app.drained(), &[1]);
@@ -104,14 +181,27 @@ mod tests {
         // (10/1000): mean utilization 0.495 < 0.5, so the pool is "cold",
         // but draining the lightest-loaded server (the huge one, 10 GOPS)
         // can't work — the other server only has 1 GOPS of residual room.
-        let small_full =
-            ServerView { id: 0, alive: true, capacity_gops: 50.0, load_gops: 49.0, cells: 2 };
-        let huge_idle =
-            ServerView { id: 1, alive: true, capacity_gops: 1000.0, load_gops: 10.0, cells: 1 };
+        let small_full = ServerView {
+            id: 0,
+            alive: true,
+            capacity_gops: 50.0,
+            load_gops: 49.0,
+            cells: 2,
+        };
+        let huge_idle = ServerView {
+            id: 1,
+            alive: true,
+            capacity_gops: 1000.0,
+            load_gops: 10.0,
+            cells: 1,
+        };
         let v = view(vec![small_full, huge_idle]);
         assert!(v.mean_used_utilization() < 0.5, "setup must read as cold");
         let actions = app.on_epoch(&v);
-        assert!(actions.is_empty(), "unabsorbable drain must be refused: {actions:?}");
+        assert!(
+            actions.is_empty(),
+            "unabsorbable drain must be refused: {actions:?}"
+        );
     }
 
     #[test]
@@ -147,5 +237,87 @@ mod tests {
     #[should_panic(expected = "hysteresis")]
     fn watermarks_validated() {
         ConsolidationApp::new(0.8, 0.2);
+    }
+
+    #[test]
+    fn realtime_ceiling_reflects_executor_model() {
+        assert_eq!(ConsolidationApp::new(0.3, 0.7).realtime_ceiling(), 1.0);
+        let steal = ConsolidationApp::with_parallel(
+            0.3,
+            0.7,
+            ParallelConfig {
+                cores: 4,
+                batch: 4,
+                steal: true,
+            },
+        );
+        assert!((steal.realtime_ceiling() - 0.875).abs() < 1e-12);
+        let pinned = ConsolidationApp::with_parallel(
+            0.3,
+            0.7,
+            ParallelConfig {
+                cores: 4,
+                batch: 4,
+                steal: false,
+            },
+        );
+        assert_eq!(pinned.realtime_ceiling(), 0.5);
+    }
+
+    #[test]
+    fn drain_refused_when_executor_cannot_schedule_it() {
+        // 3 servers at 45/100 GOPS: mean utilization 0.45 (cold) and the
+        // survivors' residual (2 × 55) absorbs the drained 45 — so the
+        // pure-GOPS check passes. Post-drain utilization 135/200 = 0.675
+        // sits between the pinned ceiling (0.5) and the stealing one
+        // (0.875): only the work-stealing executor may consolidate here.
+        let v = || {
+            view(vec![
+                server(0, 45.0, 2),
+                server(1, 45.0, 2),
+                server(2, 45.0, 2),
+            ])
+        };
+        let mut pinned = ConsolidationApp::with_parallel(
+            0.5,
+            0.9,
+            ParallelConfig {
+                cores: 4,
+                batch: 4,
+                steal: false,
+            },
+        );
+        assert!(
+            pinned.on_epoch(&v()).is_empty(),
+            "pinned executor cannot absorb per-cell skew at 0.675"
+        );
+        let mut stealing = ConsolidationApp::with_parallel(
+            0.5,
+            0.9,
+            ParallelConfig {
+                cores: 4,
+                batch: 4,
+                steal: true,
+            },
+        );
+        assert_eq!(
+            stealing.on_epoch(&v()).len(),
+            1,
+            "stealing executor can run hotter"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one core")]
+    fn parallel_config_validated() {
+        ConsolidationApp::with_parallel(
+            0.3,
+            0.7,
+            ParallelConfig {
+                cores: 0,
+                batch: 1,
+                steal: true,
+            },
+        );
     }
 }

@@ -23,7 +23,11 @@ pub struct SpectrumApp {
 impl SpectrumApp {
     /// Create with the cap size and relaxation watermark.
     pub fn new(cap_prbs: u32, relax_below: f64) -> Self {
-        SpectrumApp { cap_prbs, relax_below, capped: Vec::new() }
+        SpectrumApp {
+            cap_prbs,
+            relax_below,
+            capped: Vec::new(),
+        }
     }
 
     /// Cells currently capped by this app.
@@ -43,7 +47,10 @@ impl ControlApp for SpectrumApp {
         for c in &view.cells {
             if c.server.is_none() && !self.capped.contains(&c.id) {
                 self.capped.push(c.id);
-                actions.push(Action::CapPrbs { cell: c.id, prbs: self.cap_prbs });
+                actions.push(Action::CapPrbs {
+                    cell: c.id,
+                    prbs: self.cap_prbs,
+                });
             }
         }
         // Lift caps once the pool has room again and the cell is placed.
@@ -70,7 +77,13 @@ mod tests {
     use std::time::Duration;
 
     fn cell(id: usize, server: Option<usize>) -> CellView {
-        CellView { id, server, utilization: 0.9, predicted_gops: 50.0, prb_cap: None }
+        CellView {
+            id,
+            server,
+            utilization: 0.9,
+            predicted_gops: 50.0,
+            prb_cap: None,
+        }
     }
 
     fn view(cells: Vec<CellView>, load: f64) -> PoolView {

@@ -4,7 +4,7 @@ use std::time::Duration;
 
 use pran_phy::frame::{AntennaConfig, Bandwidth};
 use pran_phy::mcs::Mcs;
-use pran_sched::realtime::Policy;
+use pran_sched::realtime::{ParallelConfig, Policy};
 use serde::{Deserialize, Serialize};
 
 /// Shape of the server pool.
@@ -40,6 +40,10 @@ pub struct SystemConfig {
     pub pool: PoolSpec,
     /// Real-time scheduling policy within servers.
     pub scheduler: Policy,
+    /// Subframe execution mechanism within servers (cores, batching,
+    /// work stealing). `parallel.cores` should match `pool.cores` so
+    /// placement and realtime feasibility reason about the same machine.
+    pub parallel: ParallelConfig,
     /// Placement epoch length.
     pub epoch: Duration,
     /// Demand headroom multiplier used when placing.
@@ -54,8 +58,18 @@ impl SystemConfig {
             bandwidth: Bandwidth::Mhz20,
             antennas: AntennaConfig::pran_default(),
             mcs: Mcs::new(20),
-            pool: PoolSpec { servers, capacity_gops: 400.0, cores: 8, server_cost: 1.0 },
+            pool: PoolSpec {
+                servers,
+                capacity_gops: 400.0,
+                cores: 8,
+                server_cost: 1.0,
+            },
             scheduler: Policy::GlobalEdf,
+            parallel: ParallelConfig {
+                cores: 8,
+                batch: 4,
+                steal: true,
+            },
             epoch: Duration::from_secs(60),
             headroom: 1.1,
         }
@@ -72,6 +86,9 @@ mod tests {
         assert_eq!(c.pool.servers, 8);
         assert!((c.pool.core_gops() - 50.0).abs() < 1e-12);
         assert!(c.headroom >= 1.0);
+        // Placement and realtime feasibility must model the same machine.
+        assert_eq!(c.parallel.cores, c.pool.cores);
+        c.parallel.validate();
     }
 
     #[test]

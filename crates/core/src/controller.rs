@@ -126,7 +126,13 @@ pub struct Controller {
 impl Controller {
     /// Build a controller over an empty cell set.
     pub fn new(config: SystemConfig) -> Self {
-        let servers = vec![ServerState { alive: true, drained: false }; config.pool.servers];
+        let servers = vec![
+            ServerState {
+                alive: true,
+                drained: false
+            };
+            config.pool.servers
+        ];
         Controller {
             config,
             model: ComputeModel::calibrated(),
@@ -208,7 +214,10 @@ impl Controller {
 
     /// Remove a cell from the system.
     pub fn deregister_cell(&mut self, cell: usize) -> Result<(), ActionError> {
-        let state = self.cells.get_mut(cell).ok_or(ActionError::NoSuchCell(cell))?;
+        let state = self
+            .cells
+            .get_mut(cell)
+            .ok_or(ActionError::NoSuchCell(cell))?;
         state.active = false;
         self.placement.assignment[cell] = None;
         self.dispatch_event(PoolEvent::CellDeregistered(cell));
@@ -217,7 +226,10 @@ impl Controller {
 
     /// Ingest a utilization report (PRB fraction in `[0, 1]`).
     pub fn report_load(&mut self, cell: usize, utilization: f64) -> Result<(), ActionError> {
-        let state = self.cells.get_mut(cell).ok_or(ActionError::NoSuchCell(cell))?;
+        let state = self
+            .cells
+            .get_mut(cell)
+            .ok_or(ActionError::NoSuchCell(cell))?;
         let u = utilization.clamp(0.0, 1.0);
         state.utilization = u;
         if state.history.len() == PREDICT_WINDOW {
@@ -270,7 +282,10 @@ impl Controller {
 
     fn placement_instance(&self) -> PlacementInstance {
         let cells: Vec<CellDemand> = (0..self.cells.len())
-            .map(|c| CellDemand { id: c, gops: self.predicted_gops(c) })
+            .map(|c| CellDemand {
+                id: c,
+                gops: self.predicted_gops(c),
+            })
             .collect();
         let servers: Vec<ServerSpec> = (0..self.servers.len())
             .map(|id| ServerSpec {
@@ -291,7 +306,11 @@ impl Controller {
                     .collect()
             })
             .collect();
-        PlacementInstance { cells, servers, allowed }
+        PlacementInstance {
+            cells,
+            servers,
+            allowed,
+        }
     }
 
     /// Current placement (cell → server).
@@ -356,7 +375,10 @@ impl Controller {
         // Apps act on the post-placement view.
         let (applied, rejected) = self.run_apps_epoch();
         let epoch = self.stats.epochs;
-        self.dispatch_event(PoolEvent::EpochCompleted { epoch, migrations: plan.len() });
+        self.dispatch_event(PoolEvent::EpochCompleted {
+            epoch,
+            migrations: plan.len(),
+        });
 
         EpochReport {
             epoch,
@@ -499,7 +521,11 @@ impl Controller {
     /// The controller marks state and notifies apps; *re-placement is app
     /// policy* (install [`crate::apps::FailoverApp`] for the standard
     /// behaviour).
-    pub fn server_failed(&mut self, server: usize, now: Duration) -> Result<FailureReport, ActionError> {
+    pub fn server_failed(
+        &mut self,
+        server: usize,
+        now: Duration,
+    ) -> Result<FailureReport, ActionError> {
         if server >= self.servers.len() {
             return Err(ActionError::NoSuchServer(server));
         }
@@ -517,7 +543,11 @@ impl Controller {
             .iter()
             .filter(|&&c| self.placement.assignment[c].is_some())
             .count();
-        Ok(FailureReport { server, displaced, replaced })
+        Ok(FailureReport {
+            server,
+            displaced,
+            replaced,
+        })
     }
 
     /// Report a server recovery.
@@ -574,14 +604,19 @@ impl Controller {
             "snapshot server-count mismatch"
         );
         for a in snapshot.placement.iter().flatten() {
-            assert!(*a < snapshot.servers.len(), "snapshot server index out of range");
+            assert!(
+                *a < snapshot.servers.len(),
+                "snapshot server index out of range"
+            );
         }
         Controller {
             config: snapshot.config,
             model: ComputeModel::calibrated(),
             cells: snapshot.cells,
             servers: snapshot.servers,
-            placement: Placement { assignment: snapshot.placement },
+            placement: Placement {
+                assignment: snapshot.placement,
+            },
             apps: Vec::new(),
             stats: snapshot.stats,
             now: snapshot.now,
@@ -657,7 +692,8 @@ mod tests {
         let mut c = controller(1, 2);
         c.report_load(0, 1.0).unwrap();
         let uncapped = c.predicted_gops(0);
-        c.apply_action(Action::CapPrbs { cell: 0, prbs: 25 }).unwrap();
+        c.apply_action(Action::CapPrbs { cell: 0, prbs: 25 })
+            .unwrap();
         let capped = c.predicted_gops(0);
         assert!(capped < uncapped * 0.6, "{capped} vs {uncapped}");
         c.apply_action(Action::UncapPrbs { cell: 0 }).unwrap();
@@ -692,7 +728,10 @@ mod tests {
         c.run_epoch(Duration::from_secs(1));
         // Full-load cells ≈ 300+ GOPS predicted; two can't share 400 GOPS.
         let target = c.placement().assignment[1].unwrap();
-        let err = c.apply_action(Action::Migrate { cell: 0, to: target });
+        let err = c.apply_action(Action::Migrate {
+            cell: 0,
+            to: target,
+        });
         assert_eq!(err, Err(ActionError::WouldOverload { server: target }));
     }
 
@@ -724,7 +763,11 @@ mod tests {
         assert_ne!(c.placement().assignment[0], Some(s));
         let r = c.run_epoch(Duration::from_secs(60));
         assert_eq!(r.unplaced, 0);
-        assert_ne!(c.placement().assignment[0], Some(s), "drained server avoided");
+        assert_ne!(
+            c.placement().assignment[0],
+            Some(s),
+            "drained server avoided"
+        );
         // Reactivation makes it eligible again.
         c.apply_action(Action::Activate { server: s }).unwrap();
     }
@@ -783,7 +826,8 @@ mod snapshot_tests {
             c.register_cell();
             c.report_load(i, 0.3 + 0.1 * i as f64).unwrap();
         }
-        c.apply_action(Action::CapPrbs { cell: 2, prbs: 25 }).unwrap();
+        c.apply_action(Action::CapPrbs { cell: 2, prbs: 25 })
+            .unwrap();
         c.run_epoch(Duration::from_secs(60));
         c.server_failed(0, Duration::from_secs(61)).unwrap();
         c
@@ -842,8 +886,11 @@ mod audit_tests {
         let a = c.register_cell();
         c.report_load(a, 0.5).unwrap();
         c.run_epoch(Duration::from_secs(60));
-        c.server_failed(c.placement().assignment[a].unwrap(), Duration::from_secs(61))
-            .unwrap();
+        c.server_failed(
+            c.placement().assignment[a].unwrap(),
+            Duration::from_secs(61),
+        )
+        .unwrap();
         let log: Vec<&AuditEntry> = c.audit_log().collect();
         assert!(log.len() >= 3, "register + epoch + failure");
         assert!(matches!(log[0].event, PoolEvent::CellRegistered(0)));

@@ -58,7 +58,9 @@ pub mod controller;
 
 pub use api::{Action, ActionError, CellView, ControlApp, PoolEvent, PoolView, ServerView};
 pub use config::{PoolSpec, SystemConfig};
-pub use controller::{AuditEntry, Controller, ControllerStats, EpochReport, FailureReport, Snapshot};
+pub use controller::{
+    AuditEntry, Controller, ControllerStats, EpochReport, FailureReport, Snapshot,
+};
 
 pub use pran_fronthaul as fronthaul;
 pub use pran_ilp as ilp;

@@ -161,6 +161,9 @@ mod tests {
     #[test]
     fn impossible_budget_gives_zero_distance() {
         let p = FronthaulPath::metro(0.0);
-        assert_eq!(p.max_distance_for_budget(12_500, Duration::from_millis(10)), 0.0);
+        assert_eq!(
+            p.max_distance_for_budget(12_500, Duration::from_millis(10)),
+            0.0
+        );
     }
 }

@@ -146,18 +146,22 @@ mod tests {
     #[test]
     fn rate_scales_with_bandwidth() {
         let c = CpriConfig::standard();
-        assert!(
-            c.line_rate_bps(Bandwidth::Mhz20, 2) > c.line_rate_bps(Bandwidth::Mhz10, 2)
-        );
+        assert!(c.line_rate_bps(Bandwidth::Mhz20, 2) > c.line_rate_bps(Bandwidth::Mhz10, 2));
     }
 
     #[test]
     fn option_selection() {
         let c = CpriConfig::standard();
         // 20 MHz × 2 antennas = 2.4576 Gb/s → exactly option 3.
-        assert_eq!(c.required_option(Bandwidth::Mhz20, 2), Some(CpriOption::Option3));
+        assert_eq!(
+            c.required_option(Bandwidth::Mhz20, 2),
+            Some(CpriOption::Option3)
+        );
         // 20 MHz × 8 antennas ≈ 9.83 Gb/s → option 7.
-        assert_eq!(c.required_option(Bandwidth::Mhz20, 8), Some(CpriOption::Option7));
+        assert_eq!(
+            c.required_option(Bandwidth::Mhz20, 8),
+            Some(CpriOption::Option7)
+        );
         // Absurd antenna counts exceed every option.
         assert_eq!(c.required_option(Bandwidth::Mhz20, 64), None);
     }

@@ -143,7 +143,11 @@ impl FaultInjector {
             Duration::ZERO
         };
         self.stats.delivered += 1;
-        Outcome::Delivered { data, extra_delay, corrupted }
+        Outcome::Delivered {
+            data,
+            extra_delay,
+            corrupted,
+        }
     }
 
     /// Accumulated statistics.
@@ -205,7 +209,11 @@ mod tests {
         for i in 0..100u8 {
             let data = Bytes::copy_from_slice(&[i; 16]);
             match inj.offer(data.clone()) {
-                Outcome::Delivered { data: got, extra_delay, corrupted } => {
+                Outcome::Delivered {
+                    data: got,
+                    extra_delay,
+                    corrupted,
+                } => {
                     assert_eq!(got, data);
                     assert_eq!(extra_delay, Duration::ZERO);
                     assert!(!corrupted);
@@ -218,7 +226,10 @@ mod tests {
 
     #[test]
     fn drop_rate_approximates_config() {
-        let cfg = FaultConfig { drop_prob: 0.3, ..FaultConfig::clean() };
+        let cfg = FaultConfig {
+            drop_prob: 0.3,
+            ..FaultConfig::clean()
+        };
         let mut inj = FaultInjector::new(cfg, 2);
         for _ in 0..10_000 {
             inj.offer(Bytes::from_static(b"x"));
@@ -229,14 +240,22 @@ mod tests {
 
     #[test]
     fn corruption_flips_exactly_one_bit() {
-        let cfg = FaultConfig { corrupt_prob: 1.0, ..FaultConfig::clean() };
+        let cfg = FaultConfig {
+            corrupt_prob: 1.0,
+            ..FaultConfig::clean()
+        };
         let mut inj = FaultInjector::new(cfg, 3);
         let original = Bytes::copy_from_slice(&[0u8; 64]);
         match inj.offer(original.clone()) {
-            Outcome::Delivered { data, corrupted, .. } => {
+            Outcome::Delivered {
+                data, corrupted, ..
+            } => {
                 assert!(corrupted);
-                let flipped: u32 =
-                    data.iter().zip(original.iter()).map(|(a, b)| (a ^ b).count_ones()).sum();
+                let flipped: u32 = data
+                    .iter()
+                    .zip(original.iter())
+                    .map(|(a, b)| (a ^ b).count_ones())
+                    .sum();
                 assert_eq!(flipped, 1);
             }
             other => panic!("unexpected {other:?}"),
@@ -266,7 +285,10 @@ mod tests {
         let mut inj = FaultInjector::new(cfg, 4);
         let mut delivered = 0;
         for _ in 0..10 {
-            if matches!(inj.offer(Bytes::from_static(b"x")), Outcome::Delivered { .. }) {
+            if matches!(
+                inj.offer(Bytes::from_static(b"x")),
+                Outcome::Delivered { .. }
+            ) {
                 delivered += 1;
             }
         }
@@ -274,7 +296,10 @@ mod tests {
         inj.tick();
         let mut after = 0;
         for _ in 0..10 {
-            if matches!(inj.offer(Bytes::from_static(b"x")), Outcome::Delivered { .. }) {
+            if matches!(
+                inj.offer(Bytes::from_static(b"x")),
+                Outcome::Delivered { .. }
+            ) {
                 after += 1;
             }
         }
@@ -290,7 +315,10 @@ mod tests {
         q.push(Duration::from_micros(20), Bytes::from_static(b"b"));
         assert_eq!(q.len(), 3);
         let early = q.release(Duration::from_micros(20));
-        assert_eq!(early, vec![Bytes::from_static(b"a"), Bytes::from_static(b"b")]);
+        assert_eq!(
+            early,
+            vec![Bytes::from_static(b"a"), Bytes::from_static(b"b")]
+        );
         assert_eq!(q.len(), 1);
         let late = q.release(Duration::from_millis(1));
         assert_eq!(late, vec![Bytes::from_static(b"c")]);
@@ -305,8 +333,7 @@ mod tests {
         };
         let mut inj = FaultInjector::new(cfg, 5);
         for _ in 0..1000 {
-            if let Outcome::Delivered { extra_delay, .. } = inj.offer(Bytes::from_static(b"x"))
-            {
+            if let Outcome::Delivered { extra_delay, .. } = inj.offer(Bytes::from_static(b"x")) {
                 assert!(extra_delay <= Duration::from_micros(100));
             }
         }

@@ -141,12 +141,22 @@ impl Frame {
         let declared = data.get_u16() as usize;
         let _reserved = data.get_u16();
         if declared != data.len() {
-            return Err(DecodeError::LengthMismatch { declared, actual: data.len() });
+            return Err(DecodeError::LengthMismatch {
+                declared,
+                actual: data.len(),
+            });
         }
         if frag_count == 0 || frag_index >= frag_count {
             return Err(DecodeError::BadFragment);
         }
-        Ok(Frame { kind, cell_id, tti, frag_index, frag_count, payload: data })
+        Ok(Frame {
+            kind,
+            cell_id,
+            tti,
+            frag_index,
+            frag_count,
+            payload: data,
+        })
     }
 }
 
@@ -268,7 +278,10 @@ mod tests {
 
     #[test]
     fn decode_rejects_truncated() {
-        assert_eq!(Frame::decode(Bytes::from_static(b"PR")), Err(DecodeError::Truncated));
+        assert_eq!(
+            Frame::decode(Bytes::from_static(b"PR")),
+            Err(DecodeError::Truncated)
+        );
     }
 
     #[test]
@@ -291,7 +304,10 @@ mod tests {
         raw.truncate(raw.len() - 1);
         assert!(matches!(
             Frame::decode(raw.freeze()),
-            Err(DecodeError::LengthMismatch { declared: 4, actual: 3 })
+            Err(DecodeError::LengthMismatch {
+                declared: 4,
+                actual: 3
+            })
         ));
     }
 

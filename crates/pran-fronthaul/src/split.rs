@@ -136,7 +136,11 @@ mod tests {
     use super::*;
 
     fn cfg() -> (Bandwidth, AntennaConfig, Mcs) {
-        (Bandwidth::Mhz20, AntennaConfig::pran_default(), Mcs::new(20))
+        (
+            Bandwidth::Mhz20,
+            AntennaConfig::pran_default(),
+            Mcs::new(20),
+        )
     }
 
     #[test]

@@ -102,8 +102,11 @@ impl Topology {
 
     /// Per-TTI fronthaul burst at full load, bytes.
     pub fn bytes_per_tti(&self) -> usize {
-        (self.split.bandwidth_bps(self.bandwidth, self.antennas, 1.0, self.mcs) * 1e-3 / 8.0)
-            as usize
+        (self
+            .split
+            .bandwidth_bps(self.bandwidth, self.antennas, 1.0, self.mcs)
+            * 1e-3
+            / 8.0) as usize
     }
 
     /// Transport burst used for latency accounting: one OFDM symbol's
@@ -259,6 +262,9 @@ mod tests {
         let relaxed = topo.allowed_matrix(Duration::from_micros(500));
         let tight = topo.allowed_matrix(Duration::from_micros(2_800));
         assert!(relaxed[0][1], "regional reachable with slack");
-        assert!(!tight[0][1], "regional out of reach when compute eats the budget");
+        assert!(
+            !tight[0][1],
+            "regional out of reach when compute eats the budget"
+        );
     }
 }

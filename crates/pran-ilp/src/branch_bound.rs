@@ -189,7 +189,10 @@ pub fn solve_ilp(model: &Model, config: &BnbConfig) -> IlpResult {
                 let objective = model.eval_objective(values);
                 incumbent_norm = sign * objective;
                 stats.incumbent = Some(objective);
-                incumbent = Some(Solution { values: values.clone(), objective });
+                incumbent = Some(Solution {
+                    values: values.clone(),
+                    objective,
+                });
             }
         }
     }
@@ -345,7 +348,11 @@ pub fn solve_ilp(model: &Model, config: &BnbConfig) -> IlpResult {
     } else {
         open_best.min(incumbent_norm)
     };
-    stats.best_bound = if bound_norm.is_finite() { sign * bound_norm } else { f64::NAN };
+    stats.best_bound = if bound_norm.is_finite() {
+        sign * bound_norm
+    } else {
+        f64::NAN
+    };
 
     let status = match (&incumbent, exhausted) {
         (Some(_), true) => IlpStatus::Optimal,
@@ -361,7 +368,11 @@ pub fn solve_ilp(model: &Model, config: &BnbConfig) -> IlpResult {
         (None, false) => IlpStatus::LimitReached,
     };
 
-    IlpResult { status, solution: incumbent, stats }
+    IlpResult {
+        status,
+        solution: incumbent,
+        stats,
+    }
 }
 
 /// Solve with default configuration.
@@ -428,7 +439,12 @@ mod tests {
         let mut m = Model::new("t");
         let x = m.integer("x", 0.0, 10.0);
         let y = m.integer("y", 0.0, 10.0);
-        m.add_constraint("c", LinExpr::term(x, 2.0) + LinExpr::term(y, 2.0), Cmp::Le, 5.0);
+        m.add_constraint(
+            "c",
+            LinExpr::term(x, 2.0) + LinExpr::term(y, 2.0),
+            Cmp::Le,
+            5.0,
+        );
         m.set_objective(Sense::Maximize, LinExpr::from(x) + y);
         let r = solve_ilp(&m, &cfg());
         assert_eq!(r.status, IlpStatus::Optimal);
@@ -463,7 +479,10 @@ mod tests {
         let x = m.integer("x", 0.0, 5.0);
         let y = m.integer("y", 0.0, 5.0);
         m.add_constraint("c", LinExpr::from(x) + y, Cmp::Ge, 3.0);
-        m.set_objective(Sense::Minimize, LinExpr::term(x, 3.0) + LinExpr::term(y, 2.0));
+        m.set_objective(
+            Sense::Minimize,
+            LinExpr::term(x, 3.0) + LinExpr::term(y, 2.0),
+        );
         let r = solve_ilp(&m, &cfg());
         assert_eq!(r.status, IlpStatus::Optimal);
         let s = r.solution.unwrap();
@@ -509,7 +528,10 @@ mod tests {
         assert_eq!(full.status, IlpStatus::Optimal);
         let limited = solve_ilp(
             &m,
-            &BnbConfig { max_nodes: 2, ..BnbConfig::default() },
+            &BnbConfig {
+                max_nodes: 2,
+                ..BnbConfig::default()
+            },
         );
         assert!(matches!(
             limited.status,

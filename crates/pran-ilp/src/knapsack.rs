@@ -29,7 +29,11 @@ pub fn knapsack_exact(items: &[Item], capacity: u64) -> (Vec<usize>, f64) {
         let w_it = it.weight as usize;
         for w in 0..=cap {
             let skip = best[i][w];
-            let take = if w_it <= w { best[i][w - w_it] + it.value } else { f64::NEG_INFINITY };
+            let take = if w_it <= w {
+                best[i][w - w_it] + it.value
+            } else {
+                f64::NEG_INFINITY
+            };
             best[i + 1][w] = skip.max(take);
         }
     }
@@ -123,7 +127,11 @@ pub fn binpack_lower_bound_l2(sizes: &[f64], capacity: f64) -> usize {
             .sum();
         let free_in_medium: f64 = medium.iter().map(|&s| capacity - s).sum();
         let overflow = small_sum - free_in_medium;
-        let extra = if overflow > 0.0 { (overflow / capacity).ceil() as usize } else { 0 };
+        let extra = if overflow > 0.0 {
+            (overflow / capacity).ceil() as usize
+        } else {
+            0
+        };
         best = best.max(n1 + n2 + extra);
     }
     best
@@ -136,9 +144,18 @@ mod tests {
     #[test]
     fn knapsack_exact_matches_hand_solution() {
         let items = [
-            Item { weight: 3, value: 10.0 },
-            Item { weight: 4, value: 13.0 },
-            Item { weight: 2, value: 7.0 },
+            Item {
+                weight: 3,
+                value: 10.0,
+            },
+            Item {
+                weight: 4,
+                value: 13.0,
+            },
+            Item {
+                weight: 2,
+                value: 7.0,
+            },
         ];
         let (chosen, v) = knapsack_exact(&items, 6);
         assert_eq!(v, 20.0);
@@ -147,7 +164,10 @@ mod tests {
 
     #[test]
     fn knapsack_exact_zero_capacity() {
-        let items = [Item { weight: 1, value: 5.0 }];
+        let items = [Item {
+            weight: 1,
+            value: 5.0,
+        }];
         let (chosen, v) = knapsack_exact(&items, 0);
         assert!(chosen.is_empty());
         assert_eq!(v, 0.0);
@@ -156,9 +176,18 @@ mod tests {
     #[test]
     fn knapsack_greedy_respects_capacity_and_half_bound() {
         let items = [
-            Item { weight: 10, value: 60.0 },
-            Item { weight: 20, value: 100.0 },
-            Item { weight: 30, value: 120.0 },
+            Item {
+                weight: 10,
+                value: 60.0,
+            },
+            Item {
+                weight: 20,
+                value: 100.0,
+            },
+            Item {
+                weight: 30,
+                value: 120.0,
+            },
         ];
         let cap = 50;
         let (chosen, greedy_v) = knapsack_greedy(&items, cap);
@@ -172,9 +201,18 @@ mod tests {
     fn greedy_single_item_fallback() {
         // Ratio-greedy would pick many small items; one big item is better.
         let items = [
-            Item { weight: 1, value: 1.1 },
-            Item { weight: 1, value: 1.1 },
-            Item { weight: 10, value: 100.0 },
+            Item {
+                weight: 1,
+                value: 1.1,
+            },
+            Item {
+                weight: 1,
+                value: 1.1,
+            },
+            Item {
+                weight: 10,
+                value: 100.0,
+            },
         ];
         let (chosen, v) = knapsack_greedy(&items, 10);
         assert_eq!(chosen, vec![2]);

@@ -46,5 +46,5 @@ pub use model::{
     Cmp, Constraint, ConstraintId, LinExpr, Model, Sense, Solution, VarId, VarKind, Variable,
     Violation,
 };
-pub use presolve::{presolve, Presolved, PresolveStats};
+pub use presolve::{presolve, PresolveStats, Presolved};
 pub use simplex::{solve_lp, LpResult, LpStatus};

@@ -39,7 +39,11 @@ pub fn product_binary(model: &mut Model, x: VarId, y: VarId, name: impl Into<Str
 pub fn and_all(model: &mut Model, vars: &[VarId], name: impl Into<String>) -> VarId {
     assert!(!vars.is_empty(), "and_all needs at least one variable");
     for &v in vars {
-        assert_eq!(model.var(v).kind, VarKind::Binary, "all inputs must be binary");
+        assert_eq!(
+            model.var(v).kind,
+            VarKind::Binary,
+            "all inputs must be binary"
+        );
     }
     let name = name.into();
     let z = model.binary(name.clone());
@@ -139,7 +143,11 @@ mod tests {
     #[test]
     fn and_all_three_variables() {
         for bits in 0u8..8 {
-            let vals = [(bits & 1) as f64, ((bits >> 1) & 1) as f64, ((bits >> 2) & 1) as f64];
+            let vals = [
+                (bits & 1) as f64,
+                ((bits >> 1) & 1) as f64,
+                ((bits >> 2) & 1) as f64,
+            ];
             let mut m = Model::new("t");
             let vars: Vec<_> = (0..3).map(|i| m.binary(format!("x{i}"))).collect();
             let z = and_all(&mut m, &vars, "z");

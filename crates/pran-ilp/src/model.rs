@@ -127,12 +127,18 @@ impl LinExpr {
 
     /// A constant expression.
     pub fn constant_expr(value: f64) -> Self {
-        LinExpr { terms: Vec::new(), constant: value }
+        LinExpr {
+            terms: Vec::new(),
+            constant: value,
+        }
     }
 
     /// A single-term expression `coef · var`.
     pub fn term(var: VarId, coef: f64) -> Self {
-        LinExpr { terms: vec![(var, coef)], constant: 0.0 }
+        LinExpr {
+            terms: vec![(var, coef)],
+            constant: 0.0,
+        }
     }
 
     /// Sum of `1.0 · v` over the given variables.
@@ -145,7 +151,10 @@ impl LinExpr {
 
     /// Weighted sum `Σ coefᵢ · varᵢ`.
     pub fn weighted_sum<I: IntoIterator<Item = (VarId, f64)>>(pairs: I) -> Self {
-        LinExpr { terms: pairs.into_iter().collect(), constant: 0.0 }
+        LinExpr {
+            terms: pairs.into_iter().collect(),
+            constant: 0.0,
+        }
     }
 
     /// Append `coef · var` to this expression (builder style).
@@ -191,17 +200,15 @@ impl LinExpr {
             }
         }
         merged.retain(|(_, c)| *c != 0.0);
-        LinExpr { terms: merged, constant: self.constant }
+        LinExpr {
+            terms: merged,
+            constant: self.constant,
+        }
     }
 
     /// Evaluate the expression against a full assignment (indexed by `VarId`).
     pub fn eval(&self, values: &[f64]) -> f64 {
-        self.constant
-            + self
-                .terms
-                .iter()
-                .map(|(v, c)| c * values[v.0])
-                .sum::<f64>()
+        self.constant + self.terms.iter().map(|(v, c)| c * values[v.0]).sum::<f64>()
     }
 
     /// True if the expression has no variable terms.
@@ -345,7 +352,11 @@ impl fmt::Display for Violation {
             Violation::Integrality { var, value } => {
                 write!(f, "variable #{} = {value} is not integral", var.0)
             }
-            Violation::Constraint { constraint, activity, rhs } => write!(
+            Violation::Constraint {
+                constraint,
+                activity,
+                rhs,
+            } => write!(
                 f,
                 "constraint #{} violated: activity {activity} vs rhs {rhs}",
                 constraint.0
@@ -415,13 +426,21 @@ impl Model {
         lower: f64,
         upper: f64,
     ) -> VarId {
-        assert!(!lower.is_nan() && !upper.is_nan(), "variable bounds must not be NaN");
+        assert!(
+            !lower.is_nan() && !upper.is_nan(),
+            "variable bounds must not be NaN"
+        );
         assert!(lower <= upper, "variable lower bound exceeds upper bound");
         let (lower, upper) = match kind {
             VarKind::Binary => (0.0, 1.0),
             _ => (lower, upper),
         };
-        self.vars.push(Variable { name: name.into(), kind, lower, upper });
+        self.vars.push(Variable {
+            name: name.into(),
+            kind,
+            lower,
+            upper,
+        });
         VarId(self.vars.len() - 1)
     }
 
@@ -454,7 +473,12 @@ impl Model {
         let folded_rhs = rhs - compacted.constant();
         let mut expr = compacted;
         expr.constant = 0.0;
-        self.constraints.push(Constraint { name: name.into(), expr, cmp, rhs: folded_rhs });
+        self.constraints.push(Constraint {
+            name: name.into(),
+            expr,
+            cmp,
+            rhs: folded_rhs,
+        });
         ConstraintId(self.constraints.len() - 1)
     }
 
@@ -532,10 +556,16 @@ impl Model {
         for (i, v) in self.vars.iter().enumerate() {
             let x = values[i];
             if x < v.lower - tol || x > v.upper + tol {
-                out.push(Violation::Bound { var: VarId(i), value: x });
+                out.push(Violation::Bound {
+                    var: VarId(i),
+                    value: x,
+                });
             }
             if v.kind.is_integral() && (x - x.round()).abs() > tol {
-                out.push(Violation::Integrality { var: VarId(i), value: x });
+                out.push(Violation::Integrality {
+                    var: VarId(i),
+                    value: x,
+                });
             }
         }
         for (i, c) in self.constraints.iter().enumerate() {
@@ -669,8 +699,19 @@ impl Model {
                 Cmp::Ge => ">=",
                 Cmp::Eq => "=",
             };
-            let name = if c.name.is_empty() { format!("c{i}") } else { c.name.clone() };
-            let _ = writeln!(out, " {}: {} {} {}", name, self.render_expr(&c.expr), op, c.rhs);
+            let name = if c.name.is_empty() {
+                format!("c{i}")
+            } else {
+                c.name.clone()
+            };
+            let _ = writeln!(
+                out,
+                " {}: {} {} {}",
+                name,
+                self.render_expr(&c.expr),
+                op,
+                c.rhs
+            );
         }
         let _ = writeln!(out, "Bounds");
         for (i, v) in self.vars.iter().enumerate() {
@@ -719,10 +760,11 @@ impl Model {
     fn var_name(&self, id: VarId) -> String {
         let name = &self.vars[id.0].name;
         let ok = !name.is_empty()
+            && name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
             && name
                 .chars()
-                .all(|c| c.is_ascii_alphanumeric() || c == '_')
-            && name.chars().next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_');
+                .next()
+                .is_some_and(|c| c.is_ascii_alphabetic() || c == '_');
         if ok {
             name.clone()
         } else {
@@ -772,8 +814,18 @@ mod lp_export_tests {
         let b = m.binary("flag");
         let n = m.integer("count", 0.0, 5.0);
         let f = m.continuous("free_v", f64::NEG_INFINITY, f64::INFINITY);
-        m.add_constraint("cap", LinExpr::from(x) + LinExpr::term(n, 2.0), Cmp::Le, 8.0);
-        m.add_constraint("link", LinExpr::from(x) - LinExpr::term(b, 10.0), Cmp::Le, 0.0);
+        m.add_constraint(
+            "cap",
+            LinExpr::from(x) + LinExpr::term(n, 2.0),
+            Cmp::Le,
+            8.0,
+        );
+        m.add_constraint(
+            "link",
+            LinExpr::from(x) - LinExpr::term(b, 10.0),
+            Cmp::Le,
+            0.0,
+        );
         m.set_objective(Sense::Maximize, LinExpr::from(x) + b + f);
         let lp = m.to_lp_string();
         assert!(lp.contains("Maximize"));

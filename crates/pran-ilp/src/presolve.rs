@@ -162,7 +162,11 @@ pub fn presolve(model: &Model) -> Presolved {
                 .iter()
                 .map(|&(v, a)| {
                     let var = m.var(v);
-                    if a >= 0.0 { a * var.lower } else { a * var.upper }
+                    if a >= 0.0 {
+                        a * var.lower
+                    } else {
+                        a * var.upper
+                    }
                 })
                 .sum();
             if !min_activity.is_finite() {
@@ -173,7 +177,11 @@ pub fn presolve(model: &Model) -> Presolved {
                     continue;
                 }
                 let var = m.var(v);
-                let own_min = if a >= 0.0 { a * var.lower } else { a * var.upper };
+                let own_min = if a >= 0.0 {
+                    a * var.lower
+                } else {
+                    a * var.upper
+                };
                 let slack = c.rhs - (min_activity - own_min);
                 if a > 0.0 {
                     let implied_hi = slack / a;
@@ -288,7 +296,12 @@ mod tests {
         let mut m = Model::new("t");
         let x = m.continuous("x", 0.0, 10.0);
         let y = m.continuous("y", 0.0, 10.0);
-        m.add_constraint("c", LinExpr::weighted_sum([(x, 2.0), (y, 3.0)]), Cmp::Le, 12.0);
+        m.add_constraint(
+            "c",
+            LinExpr::weighted_sum([(x, 2.0), (y, 3.0)]),
+            Cmp::Le,
+            12.0,
+        );
         match presolve(&m) {
             Presolved::Reduced { model, stats } => {
                 assert_eq!(model.var(x).upper, 6.0);
@@ -306,7 +319,12 @@ mod tests {
         let a = m.binary("a");
         let b = m.binary("b");
         let c = m.integer("c", 0.0, 100.0);
-        m.add_constraint("cap", LinExpr::weighted_sum([(a, 3.0), (b, 4.0), (c, 2.0)]), Cmp::Le, 9.0);
+        m.add_constraint(
+            "cap",
+            LinExpr::weighted_sum([(a, 3.0), (b, 4.0), (c, 2.0)]),
+            Cmp::Le,
+            9.0,
+        );
         m.add_constraint("single", LinExpr::from(c), Cmp::Le, 2.0);
         m.set_objective(
             Sense::Maximize,
@@ -320,8 +338,7 @@ mod tests {
         assert_eq!(direct.status, IlpStatus::Optimal);
         assert_eq!(reduced.status, IlpStatus::Optimal);
         assert!(
-            (direct.solution.unwrap().objective - reduced.solution.unwrap().objective).abs()
-                < 1e-9
+            (direct.solution.unwrap().objective - reduced.solution.unwrap().objective).abs() < 1e-9
         );
         assert!(stats.rows_removed >= 1);
         // c's bound tightened: cap row with a=b=0 allows c ≤ 4; the
@@ -353,8 +370,18 @@ mod tests {
         let y = m.continuous("y", 0.0, 100.0);
         let z = m.continuous("z", 0.0, 100.0);
         m.add_constraint("a", LinExpr::from(x), Cmp::Le, 10.0);
-        m.add_constraint("b", LinExpr::weighted_sum([(y, 1.0), (x, -1.0)]), Cmp::Le, 0.0);
-        m.add_constraint("c", LinExpr::weighted_sum([(z, 1.0), (y, -1.0)]), Cmp::Le, 0.0);
+        m.add_constraint(
+            "b",
+            LinExpr::weighted_sum([(y, 1.0), (x, -1.0)]),
+            Cmp::Le,
+            0.0,
+        );
+        m.add_constraint(
+            "c",
+            LinExpr::weighted_sum([(z, 1.0), (y, -1.0)]),
+            Cmp::Le,
+            0.0,
+        );
         match presolve(&m) {
             Presolved::Reduced { model, stats } => {
                 assert!(stats.iterations <= 10);

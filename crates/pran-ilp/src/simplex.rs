@@ -40,7 +40,11 @@ pub struct LpResult {
 
 impl LpResult {
     fn terminal(status: LpStatus, iterations: usize) -> Self {
-        LpResult { status, solution: None, iterations }
+        LpResult {
+            status,
+            solution: None,
+            iterations,
+        }
     }
 }
 
@@ -110,10 +114,7 @@ impl Tableau {
 
 /// Solve the LP relaxation of `model` (integrality is ignored).
 pub fn solve_lp(model: &Model) -> LpResult {
-    Simplex::build(model).map_or_else(
-        |status| LpResult::terminal(status, 0),
-        |mut s| s.run(),
-    )
+    Simplex::build(model).map_or_else(|status| LpResult::terminal(status, 0), |mut s| s.run())
 }
 
 struct Simplex<'m> {
@@ -147,11 +148,17 @@ impl<'m> Simplex<'m> {
                 if v.upper.is_finite() {
                     bound_rows.push((col, v.upper - v.lower));
                 }
-                ColMap::Shifted { col, offset: v.lower }
+                ColMap::Shifted {
+                    col,
+                    offset: v.lower,
+                }
             } else if v.upper.is_finite() {
                 let col = num_structural;
                 num_structural += 1;
-                ColMap::Negated { col, offset: v.upper }
+                ColMap::Negated {
+                    col,
+                    offset: v.upper,
+                }
             } else {
                 let pos = num_structural;
                 let neg = num_structural + 1;
@@ -182,12 +189,20 @@ impl<'m> Simplex<'m> {
                     }
                 }
             }
-            rows.push(Row { coeffs, rhs, cmp: c.cmp });
+            rows.push(Row {
+                coeffs,
+                rhs,
+                cmp: c.cmp,
+            });
         }
         for (col, ub) in bound_rows {
             let mut coeffs = vec![0.0; num_structural];
             coeffs[col] = 1.0;
-            rows.push(Row { coeffs, rhs: ub, cmp: Cmp::Le });
+            rows.push(Row {
+                coeffs,
+                rhs: ub,
+                cmp: Cmp::Le,
+            });
         }
 
         // Normalize to rhs ≥ 0.
@@ -264,7 +279,13 @@ impl<'m> Simplex<'m> {
         Ok(Simplex {
             model,
             col_map,
-            tab: Tableau { a, basis, num_structural, artificial_start, total_cols },
+            tab: Tableau {
+                a,
+                basis,
+                num_structural,
+                artificial_start,
+                total_cols,
+            },
             obj,
             iterations: 0,
         })
@@ -435,8 +456,8 @@ impl<'m> Simplex<'m> {
         let mut row = 0;
         while row < self.tab.a.len() {
             if self.tab.basis[row] >= self.tab.artificial_start {
-                let pivot_col = (0..self.tab.artificial_start)
-                    .find(|&c| self.tab.a[row][c].abs() > 1e-7);
+                let pivot_col =
+                    (0..self.tab.artificial_start).find(|&c| self.tab.a[row][c].abs() > 1e-7);
                 match pivot_col {
                     Some(col) => {
                         self.tab.pivot(row, col);
@@ -478,8 +499,16 @@ mod tests {
         let y = m.continuous("y", 0.0, f64::INFINITY);
         m.add_constraint("c1", LinExpr::from(x), Cmp::Le, 4.0);
         m.add_constraint("c2", LinExpr::term(y, 2.0), Cmp::Le, 12.0);
-        m.add_constraint("c3", LinExpr::term(x, 3.0) + LinExpr::term(y, 2.0), Cmp::Le, 18.0);
-        m.set_objective(Sense::Maximize, LinExpr::term(x, 3.0) + LinExpr::term(y, 5.0));
+        m.add_constraint(
+            "c3",
+            LinExpr::term(x, 3.0) + LinExpr::term(y, 2.0),
+            Cmp::Le,
+            18.0,
+        );
+        m.set_objective(
+            Sense::Maximize,
+            LinExpr::term(x, 3.0) + LinExpr::term(y, 5.0),
+        );
         let r = solve_lp(&m);
         assert_eq!(r.status, LpStatus::Optimal);
         let s = r.solution.unwrap();
@@ -497,7 +526,10 @@ mod tests {
         let y = m.continuous("y", 0.0, f64::INFINITY);
         m.add_constraint("sum", LinExpr::from(x) + y, Cmp::Ge, 10.0);
         m.add_constraint("xmin", LinExpr::from(x), Cmp::Ge, 2.0);
-        m.set_objective(Sense::Minimize, LinExpr::term(x, 2.0) + LinExpr::term(y, 3.0));
+        m.set_objective(
+            Sense::Minimize,
+            LinExpr::term(x, 2.0) + LinExpr::term(y, 3.0),
+        );
         let r = solve_lp(&m);
         assert_eq!(r.status, LpStatus::Optimal);
         assert_close(r.solution.unwrap().objective, 20.0);
@@ -633,7 +665,12 @@ mod tests {
         let mut m = Model::new("t");
         let x = m.continuous("x", 0.0, 10.0);
         let y = m.continuous("y", 0.0, 10.0);
-        m.add_constraint("c1", LinExpr::from(x) + LinExpr::term(y, 3.0), Cmp::Le, 12.0);
+        m.add_constraint(
+            "c1",
+            LinExpr::from(x) + LinExpr::term(y, 3.0),
+            Cmp::Le,
+            12.0,
+        );
         m.add_constraint("c2", LinExpr::term(x, 2.0) + y, Cmp::Ge, 3.0);
         m.set_objective(Sense::Maximize, LinExpr::from(x) + y);
         let r = solve_lp(&m);

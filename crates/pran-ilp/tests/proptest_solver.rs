@@ -9,9 +9,7 @@
 use proptest::prelude::*;
 
 use pran_ilp::knapsack::{knapsack_exact, Item};
-use pran_ilp::{
-    solve_ilp, solve_lp, BnbConfig, Cmp, IlpStatus, LinExpr, LpStatus, Model, Sense,
-};
+use pran_ilp::{solve_ilp, solve_lp, BnbConfig, Cmp, IlpStatus, LinExpr, LpStatus, Model, Sense};
 
 /// A random ≤-constrained LP over box-bounded variables is always feasible
 /// (the lower-bound corner satisfies Σaᵢxᵢ ≤ b when b is chosen above the
@@ -30,9 +28,7 @@ fn box_lp_strategy() -> impl Strategy<Value = (Model, usize)> {
                     .collect();
                 for k in 0..ncons {
                     let row = &coefs[k * nvars..(k + 1) * nvars];
-                    let expr = LinExpr::weighted_sum(
-                        vars.iter().copied().zip(row.iter().copied()),
-                    );
+                    let expr = LinExpr::weighted_sum(vars.iter().copied().zip(row.iter().copied()));
                     // Corner activity at x = 0 is 0; make rhs ≥ slack so the
                     // origin is feasible.
                     m.add_constraint(format!("c{k}"), expr, Cmp::Le, slack[k]);

@@ -261,21 +261,22 @@ impl ComputeModel {
         let prb_frac = f64::from(w.prbs_used) / 100.0;
         let fft_scale = self.fft_scale(w.bandwidth);
         let qm = f64::from(w.mcs.modulation().bits_per_symbol());
-        let tb_mbit =
-            w.mcs.transport_block_bits(w.prbs_used, w.antennas.layers) as f64 / 1e6;
+        let tb_mbit = w.mcs.transport_block_bits(w.prbs_used, w.antennas.layers) as f64 / 1e6;
 
         let mut stages = Vec::new();
         match w.direction {
             Direction::Uplink => {
-                stages.push(StageCost { stage: Stage::Fft, gops: self.fft_per_antenna * a * fft_scale });
+                stages.push(StageCost {
+                    stage: Stage::Fft,
+                    gops: self.fft_per_antenna * a * fft_scale,
+                });
                 stages.push(StageCost {
                     stage: Stage::ChannelEstimation,
                     gops: self.chest_per_antenna_100prb * a * prb_frac,
                 });
                 stages.push(StageCost {
                     stage: Stage::Equalization,
-                    gops: (self.eq_per_antlayer_100prb * a * l
-                        + self.eq_per_ant2_100prb * a * a)
+                    gops: (self.eq_per_antlayer_100prb * a * l + self.eq_per_ant2_100prb * a * a)
                         * prb_frac,
                 });
                 stages.push(StageCost {
@@ -286,11 +287,20 @@ impl ComputeModel {
                     stage: Stage::TurboDecode,
                     gops: self.decode_per_mbit_iter * tb_mbit * 1000.0 * self.decode_iterations,
                 });
-                stages.push(StageCost { stage: Stage::CrcCheck, gops: self.crc_per_mbit * tb_mbit * 1000.0 });
-                stages.push(StageCost { stage: Stage::Control, gops: self.control_fixed });
+                stages.push(StageCost {
+                    stage: Stage::CrcCheck,
+                    gops: self.crc_per_mbit * tb_mbit * 1000.0,
+                });
+                stages.push(StageCost {
+                    stage: Stage::Control,
+                    gops: self.control_fixed,
+                });
             }
             Direction::Downlink => {
-                stages.push(StageCost { stage: Stage::Control, gops: self.control_fixed });
+                stages.push(StageCost {
+                    stage: Stage::Control,
+                    gops: self.control_fixed,
+                });
                 stages.push(StageCost {
                     stage: Stage::TurboEncode,
                     gops: self.encode_per_mbit * tb_mbit * 1000.0,
@@ -307,7 +317,10 @@ impl ComputeModel {
                     stage: Stage::Precoding,
                     gops: self.precode_per_antlayer_100prb * a * l * prb_frac,
                 });
-                stages.push(StageCost { stage: Stage::Ifft, gops: self.fft_per_antenna * a * fft_scale });
+                stages.push(StageCost {
+                    stage: Stage::Ifft,
+                    gops: self.fft_per_antenna * a * fft_scale,
+                });
             }
         }
         SubframeCost { stages }

@@ -235,12 +235,18 @@ impl AntennaConfig {
     /// Build a config; layers are clamped to the antenna count.
     pub fn new(antennas: u32, layers: u32) -> Self {
         assert!(antennas >= 1, "at least one antenna required");
-        AntennaConfig { antennas, layers: layers.clamp(1, antennas) }
+        AntennaConfig {
+            antennas,
+            layers: layers.clamp(1, antennas),
+        }
     }
 
     /// The PRAN evaluation default: 4 antennas, 2 layers.
     pub fn pran_default() -> Self {
-        AntennaConfig { antennas: 4, layers: 2 }
+        AntennaConfig {
+            antennas: 4,
+            layers: 2,
+        }
     }
 }
 

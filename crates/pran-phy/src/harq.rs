@@ -79,7 +79,11 @@ pub enum HarqOutcome {
 impl HarqReceiver {
     /// Create for message length `k` (bits, QPP-supported).
     pub fn new(k: usize) -> Self {
-        HarqReceiver { k, soft: None, attempts: 0 }
+        HarqReceiver {
+            k,
+            soft: None,
+            attempts: 0,
+        }
     }
 
     /// Feed one received transmission (channel LLRs for `rv`) and attempt
@@ -99,7 +103,11 @@ impl HarqReceiver {
         self.soft = Some(combined);
         self.attempts += 1;
 
-        let out = turbo_decode(self.soft.as_ref().expect("just set"), interleaver, iterations);
+        let out = turbo_decode(
+            self.soft.as_ref().expect("just set"),
+            interleaver,
+            iterations,
+        );
         // Message layout: payload bytes + 3-byte CRC24A, then zero padding.
         let bytes: Vec<u8> = out
             .bits
@@ -181,7 +189,10 @@ mod tests {
         let mut tx = HarqTransmitter::new(&bits, &il, (K as f64 / 0.9) as usize);
         let mut rx = HarqReceiver::new(K);
         let (rv, coded) = tx.transmit().unwrap();
-        let llrs: Vec<f64> = coded.iter().map(|&b| if b == 0 { 6.0 } else { -6.0 }).collect();
+        let llrs: Vec<f64> = coded
+            .iter()
+            .map(|&b| if b == 0 { 6.0 } else { -6.0 })
+            .collect();
         let out = rx.receive(&llrs, rv, &il, 6);
         assert!(matches!(out, HarqOutcome::Ack(_)), "clean channel must ACK");
         assert_eq!(rx.attempts, 1);
@@ -209,8 +220,7 @@ mod tests {
         let mut acked_after = None;
         while let Some((rv, coded)) = tx.transmit() {
             assert_ne!(rv, rv0, "RV must advance past the initial version");
-            if let HarqOutcome::Ack(_) = rx.receive(&awgn(&coded, sigma, &mut rng), rv, &il, 8)
-            {
+            if let HarqOutcome::Ack(_) = rx.receive(&awgn(&coded, sigma, &mut rng), rv, &il, 8) {
                 acked_after = Some(tx.attempts);
                 break;
             }
@@ -255,7 +265,10 @@ mod tests {
         let grant = K * 3 + 12; // full buffer
         let mut tx = HarqTransmitter::new(&bits, &il, grant);
         let (rv, coded) = tx.transmit().unwrap();
-        let llrs: Vec<f64> = coded.iter().map(|&b| if b == 0 { 1.0 } else { -1.0 }).collect();
+        let llrs: Vec<f64> = coded
+            .iter()
+            .map(|&b| if b == 0 { 1.0 } else { -1.0 })
+            .collect();
         let mut rx = HarqReceiver::new(K);
         rx.receive(&llrs, rv, &il, 1);
         let e1 = rx.soft_energy();

@@ -15,15 +15,24 @@ pub struct CrcSpec {
 
 /// CRC24A — attached to LTE transport blocks (36.212 §5.1.1).
 /// g(D) = D²⁴+D²³+D¹⁸+D¹⁷+D¹⁴+D¹¹+D¹⁰+D⁷+D⁶+D⁵+D⁴+D³+D+1.
-pub const CRC24A: CrcSpec = CrcSpec { poly: 0x864CFB, width: 24 };
+pub const CRC24A: CrcSpec = CrcSpec {
+    poly: 0x864CFB,
+    width: 24,
+};
 
 /// CRC24B — attached to code blocks after segmentation (36.212 §5.1.1).
 /// g(D) = D²⁴+D²³+D⁶+D⁵+D+1.
-pub const CRC24B: CrcSpec = CrcSpec { poly: 0x800063, width: 24 };
+pub const CRC24B: CrcSpec = CrcSpec {
+    poly: 0x800063,
+    width: 24,
+};
 
 /// CRC16 — attached to small transport blocks.
 /// g(D) = D¹⁶+D¹²+D⁵+1 (CCITT).
-pub const CRC16: CrcSpec = CrcSpec { poly: 0x1021, width: 16 };
+pub const CRC16: CrcSpec = CrcSpec {
+    poly: 0x1021,
+    width: 16,
+};
 
 impl CrcSpec {
     /// Bitwise reference computation (zero initial value, no reflection, no
@@ -86,7 +95,10 @@ pub struct Crc {
 impl Crc {
     /// Build an engine for a spec.
     pub fn new(spec: CrcSpec) -> Self {
-        Crc { spec, table: Box::new(spec.table()) }
+        Crc {
+            spec,
+            table: Box::new(spec.table()),
+        }
     }
 
     /// Compute the CRC of a payload.

@@ -28,7 +28,10 @@ impl Complex {
 
     /// `e^{iθ}`.
     pub fn cis(theta: f64) -> Self {
-        Complex { re: theta.cos(), im: theta.sin() }
+        Complex {
+            re: theta.cos(),
+            im: theta.sin(),
+        }
     }
 
     /// Squared magnitude.
@@ -43,26 +46,38 @@ impl Complex {
 
     /// Complex conjugate.
     pub fn conj(self) -> Self {
-        Complex { re: self.re, im: -self.im }
+        Complex {
+            re: self.re,
+            im: -self.im,
+        }
     }
 
     /// Scale by a real factor.
     pub fn scale(self, k: f64) -> Self {
-        Complex { re: self.re * k, im: self.im * k }
+        Complex {
+            re: self.re * k,
+            im: self.im * k,
+        }
     }
 }
 
 impl Add for Complex {
     type Output = Complex;
     fn add(self, o: Complex) -> Complex {
-        Complex { re: self.re + o.re, im: self.im + o.im }
+        Complex {
+            re: self.re + o.re,
+            im: self.im + o.im,
+        }
     }
 }
 
 impl Sub for Complex {
     type Output = Complex;
     fn sub(self, o: Complex) -> Complex {
-        Complex { re: self.re - o.re, im: self.im - o.im }
+        Complex {
+            re: self.re - o.re,
+            im: self.im - o.im,
+        }
     }
 }
 
@@ -100,7 +115,10 @@ impl Fft {
     /// # Panics
     /// Panics unless `size` is a power of two ≥ 2.
     pub fn new(size: usize) -> Self {
-        assert!(size >= 2 && size.is_power_of_two(), "FFT size must be a power of two ≥ 2");
+        assert!(
+            size >= 2 && size.is_power_of_two(),
+            "FFT size must be a power of two ≥ 2"
+        );
         let twiddles = (0..size / 2)
             .map(|k| Complex::cis(-2.0 * PI * k as f64 / size as f64))
             .collect();
@@ -174,7 +192,10 @@ impl Fft {
 /// per-antenna grids. (Cyclic-prefix handling happens upstream in the
 /// fronthaul framer.)
 pub fn ofdm_demodulate(fft: &Fft, antennas: &[Vec<Complex>]) -> Vec<Vec<Complex>> {
-    antennas.iter().map(|samples| fft.forward(samples)).collect()
+    antennas
+        .iter()
+        .map(|samples| fft.forward(samples))
+        .collect()
 }
 
 #[cfg(test)]

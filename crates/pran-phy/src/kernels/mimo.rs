@@ -140,7 +140,9 @@ mod tests {
 
     fn rand_channel(rng: &mut SmallRng) -> Matrix2 {
         let mut e = || Complex::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0));
-        Matrix2 { m: [[e(), e()], [e(), e()]] }
+        Matrix2 {
+            m: [[e(), e()], [e(), e()]],
+        }
     }
 
     fn close(a: Complex, b: Complex, tol: f64) -> bool {

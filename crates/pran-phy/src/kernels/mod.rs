@@ -22,6 +22,6 @@ pub use modulation::{demodulate_llr, hard_decide, modulate};
 pub use rate_match::{effective_rate, rate_match, rate_recover};
 pub use scrambler::{scramble, GoldSequence};
 pub use turbo::{
-    turbo_decode, turbo_decode_with_scale, turbo_encode, turbo_encode_with, Codeword,
-    DecodeResult, QppInterleaver, SoftCodeword, EXTRINSIC_SCALE, TAIL_BITS,
+    turbo_decode, turbo_decode_with_scale, turbo_encode, turbo_encode_with, Codeword, DecodeResult,
+    QppInterleaver, SoftCodeword, EXTRINSIC_SCALE, TAIL_BITS,
 };

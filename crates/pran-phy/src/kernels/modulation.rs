@@ -48,9 +48,7 @@ pub fn modulate(bits: &[u8], modulation: Modulation) -> Vec<Complex> {
                         if b[1] == 0 { s } else { -s },
                     )
                 }
-                Modulation::Qam16 => {
-                    Complex::new(axis_16((b[0], b[2])), axis_16((b[1], b[3])))
-                }
+                Modulation::Qam16 => Complex::new(axis_16((b[0], b[2])), axis_16((b[1], b[3]))),
                 Modulation::Qam64 => {
                     Complex::new(axis_64((b[0], b[2], b[4])), axis_64((b[1], b[3], b[5])))
                 }
@@ -192,7 +190,11 @@ mod tests {
             s.re += sigma * n1;
             s.im += sigma * n2;
         }
-        let decided = hard_decide(&demodulate_llr(&syms, Modulation::Qpsk, 2.0 * sigma * sigma));
+        let decided = hard_decide(&demodulate_llr(
+            &syms,
+            Modulation::Qpsk,
+            2.0 * sigma * sigma,
+        ));
         let errors = decided.iter().zip(&bits).filter(|(a, b)| a != b).count();
         let ber = errors as f64 / bits.len() as f64;
         assert!(ber < 0.01, "BER {ber} too high at 11 dB");

@@ -6,12 +6,16 @@
 //! The receiver-side dual accumulates repeated LLRs (soft combining) and
 //! leaves punctured positions at LLR 0 (erasure).
 //!
-//! Buffer layout: `sys(K+3) ‖ Π(p1)(K+3) ‖ Π(p2)(K+3) ‖ sys2_tail(3)`,
-//! where `Π` is a 32-column sub-block interleaver. Systematic bits survive
-//! puncturing first, and — crucially — the interleaver spreads whatever
-//! parity *does* survive uniformly across the trellis. Without it, heavy
-//! puncturing (MCS ≥ 25 runs the mother code near rate 0.95) would leave
-//! the tail of every code block parity-free and undecodable.
+//! Buffer layout: `sys(K+3) ‖ interlace(Π(p1), Π(p2)) ‖ sys2_tail(3)`,
+//! where `Π` is a 32-column sub-block interleaver and `interlace` alternates
+//! the two parity streams bit by bit (as in 36.212 §5.1.4.1.2). Systematic
+//! bits survive puncturing first; the interleaving spreads whatever parity
+//! *does* survive uniformly across the trellis, and the interlacing splits
+//! it evenly between the two constituent codes. Both matter: without the
+//! spread, heavy puncturing (MCS ≥ 25 runs the mother code near rate 0.95)
+//! leaves the tail of every code block parity-free; without the interlacing,
+//! any rate above ~0.66 starves encoder 2 of parity entirely and the code
+//! collapses to a single weak punctured convolutional code.
 
 use crate::kernels::turbo::{Codeword, SoftCodeword, TAIL_BITS};
 
@@ -60,8 +64,10 @@ pub fn rate_match_rv(cw: &Codeword, e: usize, rv: u8) -> Vec<u8> {
     let perm = subblock_permutation(section);
     let mut buffer = Vec::with_capacity(3 * section + TAIL_BITS);
     buffer.extend_from_slice(&cw.systematic);
-    buffer.extend(perm.iter().map(|&i| cw.parity1[i]));
-    buffer.extend(perm.iter().map(|&i| cw.parity2[i]));
+    for &i in &perm {
+        buffer.push(cw.parity1[i]);
+        buffer.push(cw.parity2[i]);
+    }
     buffer.extend_from_slice(&cw.systematic2_tail);
     let start = rv_offset(buffer.len(), rv);
     (0..e).map(|i| buffer[(start + i) % buffer.len()]).collect()
@@ -90,8 +96,8 @@ pub fn rate_recover_rv(llrs: &[f64], k: usize, rv: u8) -> SoftCodeword {
     let mut parity1 = vec![0.0f64; section];
     let mut parity2 = vec![0.0f64; section];
     for (pos, &src) in perm.iter().enumerate() {
-        parity1[src] = acc[section + pos];
-        parity2[src] = acc[2 * section + pos];
+        parity1[src] = acc[section + 2 * pos];
+        parity2[src] = acc[section + 2 * pos + 1];
     }
     let t = &acc[3 * section..];
     SoftCodeword {
@@ -108,10 +114,12 @@ pub fn rate_recover_rv(llrs: &[f64], k: usize, rv: u8) -> SoftCodeword {
 /// # Panics
 /// Panics if the shapes disagree (different `K`).
 pub fn combine(a: &SoftCodeword, b: &SoftCodeword) -> SoftCodeword {
-    assert_eq!(a.systematic.len(), b.systematic.len(), "codeword size mismatch");
-    let add = |x: &[f64], y: &[f64]| -> Vec<f64> {
-        x.iter().zip(y).map(|(p, q)| p + q).collect()
-    };
+    assert_eq!(
+        a.systematic.len(),
+        b.systematic.len(),
+        "codeword size mismatch"
+    );
+    let add = |x: &[f64], y: &[f64]| -> Vec<f64> { x.iter().zip(y).map(|(p, q)| p + q).collect() };
     SoftCodeword {
         systematic: add(&a.systematic, &b.systematic),
         parity1: add(&a.parity1, &b.parity1),
@@ -143,7 +151,9 @@ mod tests {
     }
 
     fn to_llrs(bits: &[u8], amp: f64) -> Vec<f64> {
-        bits.iter().map(|&b| if b == 0 { amp } else { -amp }).collect()
+        bits.iter()
+            .map(|&b| if b == 0 { amp } else { -amp })
+            .collect()
     }
 
     #[test]
@@ -200,24 +210,27 @@ mod tests {
     fn punctured_positions_are_erasures_and_survivors_spread() {
         let k = 40;
         let cw = turbo_encode(&random_bits(k, 5));
-        let e = (k + TAIL_BITS) + 20; // systematic + 20 bits of parity1
+        let e = (k + TAIL_BITS) + 20; // systematic + 20 bits of parity
         let matched = rate_match(&cw, e);
         let soft = rate_recover(&to_llrs(&matched, 1.0), k);
-        assert!(soft.parity2.iter().all(|&l| l == 0.0), "p2 fully punctured");
-        let surviving: Vec<usize> = soft
-            .parity1
-            .iter()
-            .enumerate()
-            .filter(|(_, &l)| l != 0.0)
-            .map(|(i, _)| i)
-            .collect();
-        assert_eq!(surviving.len(), 20);
+        let surviving = |llrs: &[f64]| -> Vec<usize> {
+            llrs.iter()
+                .enumerate()
+                .filter(|(_, &l)| l != 0.0)
+                .map(|(i, _)| i)
+                .collect()
+        };
+        let s1 = surviving(&soft.parity1);
+        let s2 = surviving(&soft.parity2);
+        // Parity is interlaced in the circular buffer, so puncturing must
+        // split the survivors evenly between the constituent codes —
+        // otherwise one decoder runs parity-free and turbo gain vanishes.
+        assert_eq!(s1.len(), 10, "p1 survivors: {s1:?}");
+        assert_eq!(s2.len(), 10, "p2 survivors: {s2:?}");
         // The sub-block interleaver must spread survivors across the
         // block, not bunch them at the front.
-        assert!(
-            *surviving.last().unwrap() > k / 2,
-            "survivors bunched: {surviving:?}"
-        );
+        assert!(*s1.last().unwrap() > k / 2, "p1 survivors bunched: {s1:?}");
+        assert!(*s2.last().unwrap() > k / 2, "p2 survivors bunched: {s2:?}");
     }
 
     #[test]

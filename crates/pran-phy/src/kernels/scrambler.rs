@@ -18,7 +18,10 @@ impl GoldSequence {
     /// Initialize from a 31-bit seed `c_init` (cell id / RNTI mixture in
     /// real deployments). Performs the `Nc` warm-up.
     pub fn new(c_init: u32) -> Self {
-        let mut g = GoldSequence { x1: 1, x2: c_init & 0x7FFF_FFFF };
+        let mut g = GoldSequence {
+            x1: 1,
+            x2: c_init & 0x7FFF_FFFF,
+        };
         for _ in 0..NC {
             g.step();
         }
@@ -91,9 +94,11 @@ mod tests {
         let mut g = GoldSequence::new(0x5EED);
         let bits = g.bits(20_000);
         // lag-1 correlation of ±1 mapping should be near zero.
-        let s: Vec<f64> = bits.iter().map(|&b| if b == 0 { 1.0 } else { -1.0 }).collect();
-        let corr: f64 =
-            s.windows(2).map(|w| w[0] * w[1]).sum::<f64>() / (s.len() - 1) as f64;
+        let s: Vec<f64> = bits
+            .iter()
+            .map(|&b| if b == 0 { 1.0 } else { -1.0 })
+            .collect();
+        let corr: f64 = s.windows(2).map(|w| w[0] * w[1]).sum::<f64>() / (s.len() - 1) as f64;
         assert!(corr.abs() < 0.03, "lag-1 correlation {corr}");
     }
 

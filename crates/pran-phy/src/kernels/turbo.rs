@@ -58,7 +58,10 @@ impl QppInterleaver {
             let term1 = (f1 % k) * i_mod % k;
             let term2 = (f2 % k) * i_mod % k * i_mod % k;
             let pi = (term1 + term2) % k;
-            assert!(!seen[pi], "QPP({k},{f1},{f2}) is not a permutation (collision at {i})");
+            assert!(
+                !seen[pi],
+                "QPP({k},{f1},{f2}) is not a permutation (collision at {i})"
+            );
             seen[pi] = true;
             forward.push(pi);
         }
@@ -197,7 +200,11 @@ pub fn turbo_encode(message: &[u8]) -> Codeword {
 
 /// Encode with an explicit interleaver (must match the message length).
 pub fn turbo_encode_with(message: &[u8], interleaver: &QppInterleaver) -> Codeword {
-    assert_eq!(message.len(), interleaver.len(), "interleaver size mismatch");
+    assert_eq!(
+        message.len(),
+        interleaver.len(),
+        "interleaver size mismatch"
+    );
     let (p1, sys1_tail, p1_tail) = rsc_encode(message);
     let interleaved = interleaver.interleave(message);
     let (p2, sys2_tail, p2_tail) = rsc_encode(&interleaved);
@@ -208,7 +215,12 @@ pub fn turbo_encode_with(message: &[u8], interleaver: &QppInterleaver) -> Codewo
     parity1.extend_from_slice(&p1_tail);
     let mut parity2 = p2;
     parity2.extend_from_slice(&p2_tail);
-    Codeword { systematic, parity1, parity2, systematic2_tail: sys2_tail }
+    Codeword {
+        systematic,
+        parity1,
+        parity2,
+        systematic2_tail: sys2_tail,
+    }
 }
 
 /// Soft channel observations for a codeword, as LLRs with the convention
@@ -229,7 +241,9 @@ impl SoftCodeword {
     /// Perfect-channel LLRs from a codeword (`±amplitude`).
     pub fn from_codeword(cw: &Codeword, amplitude: f64) -> Self {
         let map = |bits: &[u8]| -> Vec<f64> {
-            bits.iter().map(|&b| if b == 0 { amplitude } else { -amplitude }).collect()
+            bits.iter()
+                .map(|&b| if b == 0 { amplitude } else { -amplitude })
+                .collect()
         };
         let t = map(&cw.systematic2_tail);
         SoftCodeword {
@@ -395,12 +409,13 @@ pub fn turbo_decode_with_scale(
 
     for _ in 0..max_iterations {
         // Decoder 1 (a-priori = damped extrinsic from decoder 2).
-        let apriori1: Vec<f64> = extrinsic2_deint.iter().map(|l| l * extrinsic_scale).collect();
+        let apriori1: Vec<f64> = extrinsic2_deint
+            .iter()
+            .map(|l| l * extrinsic_scale)
+            .collect();
         let apo1 = map_decode(&soft.systematic, &soft.parity1, &apriori1);
         half_iterations += 1;
-        let extr1: Vec<f64> = (0..k)
-            .map(|i| apo1[i] - sys_msg[i] - apriori1[i])
-            .collect();
+        let extr1: Vec<f64> = (0..k).map(|i| apo1[i] - sys_msg[i] - apriori1[i]).collect();
 
         // Decoder 2 (interleaved domain, damped a-priori from decoder 1).
         let apriori2: Vec<f64> = interleaver
@@ -579,7 +594,10 @@ mod tests {
         let il = QppInterleaver::for_block_size(k).unwrap();
         let soft = SoftCodeword::from_codeword(&cw, 8.0);
         let out = turbo_decode(&soft, &il, 8);
-        assert!(out.half_iterations < 16, "clean input should converge early");
+        assert!(
+            out.half_iterations < 16,
+            "clean input should converge early"
+        );
         assert_eq!(out.bits, msg);
     }
 

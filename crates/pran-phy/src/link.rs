@@ -46,9 +46,10 @@ impl PathLossModel {
             PathLossModel::UrbanMacro => 128.1 + 37.6 * d_km.log10(),
             PathLossModel::UrbanMicro => 140.7 + 36.7 * d_km.log10(),
             PathLossModel::FreeSpace2Ghz => 98.46 + 20.0 * d_km.log10(),
-            PathLossModel::LogDistance { intercept_db, exponent } => {
-                intercept_db + 10.0 * exponent * d_km.log10()
-            }
+            PathLossModel::LogDistance {
+                intercept_db,
+                exponent,
+            } => intercept_db + 10.0 * exponent * d_km.log10(),
         }
     }
 }
@@ -176,7 +177,10 @@ mod tests {
             PathLossModel::UrbanMacro,
             PathLossModel::UrbanMicro,
             PathLossModel::FreeSpace2Ghz,
-            PathLossModel::LogDistance { intercept_db: 120.0, exponent: 3.5 },
+            PathLossModel::LogDistance {
+                intercept_db: 120.0,
+                exponent: 3.5,
+            },
         ] {
             let mut prev = f64::NEG_INFINITY;
             for d in [50.0, 100.0, 300.0, 1000.0, 3000.0] {
@@ -246,7 +250,10 @@ mod tests {
         let samples: Vec<f64> = (0..n).map(|_| lb.sinr_db(d, &mut rng)).collect();
         let mean = samples.iter().sum::<f64>() / n as f64;
         let var = samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / n as f64;
-        assert!((mean - lb.mean_sinr_db(d)).abs() < 0.5, "biased shadowing: {mean}");
+        assert!(
+            (mean - lb.mean_sinr_db(d)).abs() < 0.5,
+            "biased shadowing: {mean}"
+        );
         assert!((var.sqrt() - 8.0).abs() < 0.5, "sigma off: {}", var.sqrt());
     }
 

@@ -59,7 +59,7 @@ pub const DATA_RE_PER_PRB: u32 = 138;
 const CODE_RATE_X1024: [u32; 29] = [
     76, 102, 132, 170, 220, 285, 370, 450, 530, 616, // QPSK
     340, 390, 450, 510, 570, 640, 710, // 16QAM
-    478, 520, 565, 610, 666, 720, 772, 822, 873, 910, 948, 972, // 64QAM
+    478, 520, 565, 610, 666, 720, 772, 822, 873, 910, 925, 948, // 64QAM
 ];
 
 /// A modulation-and-coding-scheme index, `0..=28`.
@@ -157,8 +157,8 @@ pub struct Cqi(u8);
 
 /// Spectral efficiency targets per CQI (3GPP 36.213 Table 7.2.3-1 values).
 const CQI_EFFICIENCY: [f64; 15] = [
-    0.1523, 0.2344, 0.3770, 0.6016, 0.8770, 1.1758, 1.4766, 1.9141, 2.4063, 2.7305, 3.3223,
-    3.9023, 4.5234, 5.1152, 5.5547,
+    0.1523, 0.2344, 0.3770, 0.6016, 0.8770, 1.1758, 1.4766, 1.9141, 2.4063, 2.7305, 3.3223, 3.9023,
+    4.5234, 5.1152, 5.5547,
 ];
 
 impl Cqi {

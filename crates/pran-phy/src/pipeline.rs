@@ -108,6 +108,24 @@ impl UplinkRun {
     }
 }
 
+/// Stride used by the subframe channel interleaver: close to `n/φ` for
+/// low-discrepancy spreading, nudged until coprime with `n` so the map
+/// `i ↦ i·s mod n` is a permutation.
+fn channel_interleaver_stride(n: usize) -> usize {
+    fn gcd(a: usize, b: usize) -> usize {
+        if b == 0 {
+            a
+        } else {
+            gcd(b, a % b)
+        }
+    }
+    let mut s = ((n as f64 * 0.618_033_988_749_895) as usize).max(1);
+    while gcd(s, n) != 1 {
+        s += 1;
+    }
+    s
+}
+
 /// Execute one uplink subframe for an allocation of `prbs` PRBs at `mcs`.
 ///
 /// # Panics
@@ -119,7 +137,10 @@ pub fn run_uplink_subframe<R: Rng + ?Sized>(
     cfg: &PipelineConfig,
     rng: &mut R,
 ) -> UplinkRun {
-    assert!(prbs >= 1 && prbs <= cfg.bandwidth.prbs(), "PRB allocation out of range");
+    assert!(
+        prbs >= 1 && prbs <= cfg.bandwidth.prbs(),
+        "PRB allocation out of range"
+    );
     let interleaver = QppInterleaver::for_block_size(cfg.code_block_bits)
         .unwrap_or_else(|| panic!("unsupported code block size {}", cfg.code_block_bits));
     let crc = Crc::new(CRC24A);
@@ -155,6 +176,15 @@ pub fn run_uplink_subframe<R: Rng + ?Sized>(
         coded.extend(rate_match(&cw, per_block_e));
     }
     coded.resize(coded_capacity, 0);
+    // Channel interleaving: spread each code block across the whole
+    // allocation so a faded PRB costs every block a few bits instead of
+    // costing one block most of its parity (frequency diversity).
+    let chan_stride = channel_interleaver_stride(coded_capacity);
+    let mut interleaved = vec![0u8; coded_capacity];
+    for (i, &bit) in coded.iter().enumerate() {
+        interleaved[(i * chan_stride) % coded_capacity] = bit;
+    }
+    let mut coded = interleaved;
     let mut scrambler_tx = GoldSequence::new(cfg.c_init);
     scrambler_tx.scramble_in_place(&mut coded);
     let tx_symbols = modulate(&coded, mcs.modulation());
@@ -177,7 +207,13 @@ pub fn run_uplink_subframe<R: Rng + ?Sized>(
             .collect()
     };
     let pilot: Vec<Complex> = (0..n_sc)
-        .map(|i| if i % 2 == 0 { Complex::new(1.0, 0.0) } else { Complex::new(-1.0, 0.0) })
+        .map(|i| {
+            if i % 2 == 0 {
+                Complex::new(1.0, 0.0)
+            } else {
+                Complex::new(-1.0, 0.0)
+            }
+        })
         .collect();
 
     let mut time_domain: Vec<Vec<Complex>> = Vec::with_capacity(DATA_SYMBOLS + 1);
@@ -215,11 +251,11 @@ pub fn run_uplink_subframe<R: Rng + ?Sized>(
 
     // FFT.
     let t0 = Instant::now();
-    let mut freq: Vec<Vec<Complex>> = time_domain
-        .iter()
-        .map(|td| fft.forward(td))
-        .collect();
-    timings.push(StageTiming { stage: Stage::Fft, elapsed: t0.elapsed() });
+    let mut freq: Vec<Vec<Complex>> = time_domain.iter().map(|td| fft.forward(td)).collect();
+    timings.push(StageTiming {
+        stage: Stage::Fft,
+        elapsed: t0.elapsed(),
+    });
 
     // Channel estimation from the pilot symbol: per-RE least squares,
     // then averaged across each PRB (block fading) — the averaging buys
@@ -239,7 +275,10 @@ pub fn run_uplink_subframe<R: Rng + ?Sized>(
         }
         (0..n_sc).map(|sc| per_prb[sc / spp]).collect()
     };
-    timings.push(StageTiming { stage: Stage::ChannelEstimation, elapsed: t0.elapsed() });
+    timings.push(StageTiming {
+        stage: Stage::ChannelEstimation,
+        elapsed: t0.elapsed(),
+    });
 
     // Equalization: y/ĥ per data RE.
     let t0 = Instant::now();
@@ -251,22 +290,44 @@ pub fn run_uplink_subframe<R: Rng + ?Sized>(
             eq_symbols.push(sym[sc] * h.conj().scale(1.0 / denom));
         }
     }
-    timings.push(StageTiming { stage: Stage::Equalization, elapsed: t0.elapsed() });
+    timings.push(StageTiming {
+        stage: Stage::Equalization,
+        elapsed: t0.elapsed(),
+    });
 
-    // Soft demodulation + descrambling.
+    // Soft demodulation + descrambling. Zero-forcing division by ĥ
+    // colours the noise: the post-equalization variance on subcarrier
+    // `sc` is `noise_var / |ĥ_sc|²`, so each RE's LLRs must be weighted
+    // by |ĥ_sc|² — otherwise bits riding a faded PRB claim the same
+    // confidence as bits on a strong one and poison the turbo decoder.
     let t0 = Instant::now();
     let noise_var = (2.0 * cfg.noise_sigma * cfg.noise_sigma).max(1e-9);
     let mut llrs = demodulate_llr(&eq_symbols, mcs.modulation(), noise_var);
+    let qm_llr = mcs.modulation().bits_per_symbol() as usize;
+    for (re, chunk) in llrs.chunks_mut(qm_llr).enumerate() {
+        let gain_sq = est[re % n_sc].norm_sqr();
+        for l in chunk.iter_mut() {
+            *l *= gain_sq;
+        }
+    }
     let mut scrambler_rx = GoldSequence::new(cfg.c_init);
     for l in llrs.iter_mut() {
         if scrambler_rx.bits(1)[0] == 1 {
             *l = -*l;
         }
     }
-    timings.push(StageTiming { stage: Stage::Demodulation, elapsed: t0.elapsed() });
+    timings.push(StageTiming {
+        stage: Stage::Demodulation,
+        elapsed: t0.elapsed(),
+    });
 
-    // Rate recovery + turbo decoding per code block.
+    // Rate recovery + turbo decoding per code block (after undoing the
+    // channel interleaver).
     let t0 = Instant::now();
+    let deinterleaved: Vec<f64> = (0..llrs.len())
+        .map(|i| llrs[(i * chan_stride) % llrs.len()])
+        .collect();
+    let llrs = deinterleaved;
     let mut decoded_bits: Vec<u8> = Vec::with_capacity(n_blocks * cb);
     for b in 0..n_blocks {
         let start = b * per_block_e;
@@ -275,7 +336,10 @@ pub fn run_uplink_subframe<R: Rng + ?Sized>(
         let out = turbo_decode(&soft, &interleaver, cfg.decoder_iterations);
         decoded_bits.extend(out.bits);
     }
-    timings.push(StageTiming { stage: Stage::TurboDecode, elapsed: t0.elapsed() });
+    timings.push(StageTiming {
+        stage: Stage::TurboDecode,
+        elapsed: t0.elapsed(),
+    });
 
     // CRC check.
     let t0 = Instant::now();
@@ -285,10 +349,13 @@ pub fn run_uplink_subframe<R: Rng + ?Sized>(
         .map(|c| c.iter().fold(0u8, |acc, &b| (acc << 1) | b))
         .collect();
     let crc_ok = crc.check(&decoded_bytes).is_some();
-    timings.push(StageTiming { stage: Stage::CrcCheck, elapsed: t0.elapsed() });
+    timings.push(StageTiming {
+        stage: Stage::CrcCheck,
+        elapsed: t0.elapsed(),
+    });
 
-    let payload_ok = decoded_bytes.len() >= original.len()
-        && decoded_bytes[..original.len()] == original[..];
+    let payload_ok =
+        decoded_bytes.len() >= original.len() && decoded_bytes[..original.len()] == original[..];
 
     UplinkRun {
         crc_ok,
@@ -365,7 +432,10 @@ mod tests {
     #[test]
     fn heavy_noise_breaks_crc() {
         let mut rng = SmallRng::seed_from_u64(5);
-        let cfg = PipelineConfig { noise_sigma: 2.0, ..small_cfg() };
+        let cfg = PipelineConfig {
+            noise_sigma: 2.0,
+            ..small_cfg()
+        };
         let run = run_uplink_subframe(10, Mcs::new(20), &cfg, &mut rng);
         assert!(!run.crc_ok, "CRC passed through destructive noise");
         assert!(!run.payload_ok);

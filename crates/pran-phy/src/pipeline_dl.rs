@@ -79,7 +79,10 @@ pub fn run_downlink_subframe<R: Rng + ?Sized>(
     cfg: &PipelineConfig,
     rng: &mut R,
 ) -> DownlinkRun {
-    assert!(prbs >= 1 && prbs <= cfg.bandwidth.prbs(), "PRB allocation out of range");
+    assert!(
+        prbs >= 1 && prbs <= cfg.bandwidth.prbs(),
+        "PRB allocation out of range"
+    );
     assert!(antennas >= 1, "need at least one antenna port");
     let interleaver = QppInterleaver::for_block_size(cfg.code_block_bits)
         .unwrap_or_else(|| panic!("unsupported code block size {}", cfg.code_block_bits));
@@ -113,18 +116,27 @@ pub fn run_downlink_subframe<R: Rng + ?Sized>(
         coded.extend(rate_match(&cw, per_block_e));
     }
     coded.resize(coded_capacity, 0);
-    timings.push(StageTiming { stage: Stage::TurboEncode, elapsed: t0.elapsed() });
+    timings.push(StageTiming {
+        stage: Stage::TurboEncode,
+        elapsed: t0.elapsed(),
+    });
 
     // Scrambling.
     let t0 = Instant::now();
     let mut scrambler = GoldSequence::new(cfg.c_init);
     scrambler.scramble_in_place(&mut coded);
-    timings.push(StageTiming { stage: Stage::Scrambling, elapsed: t0.elapsed() });
+    timings.push(StageTiming {
+        stage: Stage::Scrambling,
+        elapsed: t0.elapsed(),
+    });
 
     // Modulation.
     let t0 = Instant::now();
     let symbols = modulate(&coded, mcs.modulation());
-    timings.push(StageTiming { stage: Stage::Modulation, elapsed: t0.elapsed() });
+    timings.push(StageTiming {
+        stage: Stage::Modulation,
+        elapsed: t0.elapsed(),
+    });
 
     // Precoding: map the single layer onto `antennas` ports with fixed
     // per-port phase weights (cyclic-delay flavored).
@@ -136,7 +148,10 @@ pub fn run_downlink_subframe<R: Rng + ?Sized>(
         .iter()
         .map(|w| symbols.iter().map(|&s| s * *w).collect())
         .collect();
-    timings.push(StageTiming { stage: Stage::Precoding, elapsed: t0.elapsed() });
+    timings.push(StageTiming {
+        stage: Stage::Precoding,
+        elapsed: t0.elapsed(),
+    });
 
     // OFDM synthesis (IFFT) per antenna, per symbol.
     let t0 = Instant::now();
@@ -155,7 +170,10 @@ pub fn run_downlink_subframe<R: Rng + ?Sized>(
         }
         streams.push(stream);
     }
-    timings.push(StageTiming { stage: Stage::Ifft, elapsed: t0.elapsed() });
+    timings.push(StageTiming {
+        stage: Stage::Ifft,
+        elapsed: t0.elapsed(),
+    });
 
     // ---- ideal loopback verification (untimed) ----
     // Receive antenna 0 with known weight, perfect channel, no noise.
@@ -288,7 +306,10 @@ mod tests {
         let c = cfg();
         let mut rng = SmallRng::seed_from_u64(5);
         let dl = run_downlink_subframe(25, Mcs::new(16), 1, &c, &mut rng);
-        let ul_cfg = PipelineConfig { noise_sigma: 0.03, ..c };
+        let ul_cfg = PipelineConfig {
+            noise_sigma: 0.03,
+            ..c
+        };
         let ul = run_uplink_subframe(25, Mcs::new(16), &ul_cfg, &mut rng);
         assert!(ul.crc_ok);
         assert!(

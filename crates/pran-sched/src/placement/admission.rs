@@ -158,7 +158,10 @@ pub fn admit_greedy(
     let mut current: Vec<CellDemand> = Vec::new();
     for &idx in &order {
         let mut trial = current.clone();
-        trial.push(CellDemand { id: requests[idx].id, gops: requests[idx].gops });
+        trial.push(CellDemand {
+            id: requests[idx].id,
+            gops: requests[idx].gops,
+        });
         let demands: Vec<f64> = trial.iter().map(|c| c.gops).collect();
         let inst = PlacementInstance::uniform(&demands, servers, capacity_gops);
         if place(&inst, Heuristic::FirstFitDecreasing).complete() {
@@ -172,7 +175,10 @@ pub fn admit_greedy(
     let packed = place(&inst, Heuristic::FirstFitDecreasing);
     let mut assignment = vec![None; requests.len()];
     for (local, cell) in current.iter().enumerate() {
-        let global = requests.iter().position(|r| r.id == cell.id).expect("admitted");
+        let global = requests
+            .iter()
+            .position(|r| r.id == cell.id)
+            .expect("admitted");
         assignment[global] = packed.placement.assignment[local];
     }
     let weight = requests
@@ -243,7 +249,13 @@ mod tests {
 
     #[test]
     fn placements_are_always_feasible() {
-        let r = reqs(&[(80.0, 1.0), (75.0, 1.5), (70.0, 0.5), (60.0, 2.0), (30.0, 1.0)]);
+        let r = reqs(&[
+            (80.0, 1.0),
+            (75.0, 1.5),
+            (70.0, 0.5),
+            (60.0, 2.0),
+            (30.0, 1.0),
+        ]);
         for outcome in [
             admit_greedy(&r, 2, 100.0),
             admit_exact(&r, 2, 100.0, Duration::from_secs(5)),

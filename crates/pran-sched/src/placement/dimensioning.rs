@@ -75,7 +75,10 @@ pub fn dedicated_servers(trace: &Trace, conv: &GopsConverter, capacity_gops: f64
         servers += (peak_gops / capacity_gops).ceil().max(1.0) as usize;
         peak_total += peak_gops;
     }
-    Dimensioning { servers, peak_gops: peak_total }
+    Dimensioning {
+        servers,
+        peak_gops: peak_total,
+    }
 }
 
 /// Pooled provisioning: the number of servers that suffices to pack every
@@ -98,7 +101,10 @@ pub fn pooled_servers(trace: &Trace, conv: &GopsConverter, capacity_gops: f64) -
         debug_assert!(r.complete(), "pool sizing must always fit");
         max_servers = max_servers.max(inst.servers_used(&r.placement));
     }
-    Dimensioning { servers: max_servers, peak_gops: peak_agg }
+    Dimensioning {
+        servers: max_servers,
+        peak_gops: peak_agg,
+    }
 }
 
 /// Saving of pooling vs dedicated, in `[0, 1)`.

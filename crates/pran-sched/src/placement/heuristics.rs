@@ -92,8 +92,11 @@ pub fn place(instance: &PlacementInstance, heuristic: Heuristic) -> HeuristicRes
 
     for &cell in &order {
         let need = instance.cells[cell].gops;
+        // Same tolerance as `validate`/`incremental_repack`: a heuristic
+        // must never admit a cell that validation would reject.
         let fits = |s: usize, residual: &[f64]| {
-            instance.is_allowed(cell, s) && residual[s] + 1e-9 >= need
+            let spec = &instance.servers[s];
+            instance.is_allowed(cell, s) && spec.fits(spec.capacity_gops - residual[s] + need)
         };
 
         // Candidate among used servers, per rule.
@@ -142,7 +145,10 @@ pub fn place(instance: &PlacementInstance, heuristic: Heuristic) -> HeuristicRes
         }
     }
 
-    HeuristicResult { placement: Placement { assignment }, unplaced }
+    HeuristicResult {
+        placement: Placement { assignment },
+        unplaced,
+    }
 }
 
 #[cfg(test)]
@@ -218,12 +224,68 @@ mod tests {
     }
 
     #[test]
+    fn zero_demand_cells_place_under_every_heuristic() {
+        // Idle cells (predicted 0 GOPS) must still land on a server —
+        // they need a home for when load returns — and cost nothing.
+        let inst = PlacementInstance::uniform(&[0.0, 0.0, 0.0, 50.0], 2, 100.0);
+        for h in Heuristic::all() {
+            let r = place(&inst, h);
+            assert!(r.complete(), "{}: unplaced {:?}", h.label(), r.unplaced);
+            assert!(inst.validate(&r.placement).is_ok(), "{} invalid", h.label());
+        }
+    }
+
+    #[test]
+    fn oversized_cells_reported_unplaced_by_every_heuristic() {
+        // A cell larger than any server can never fit; every heuristic
+        // must report it via `unplaced` — not panic, not overload.
+        let inst = PlacementInstance::uniform(&[150.0, 40.0, 250.0], 3, 100.0);
+        for h in Heuristic::all() {
+            let r = place(&inst, h);
+            let mut unplaced = r.unplaced.clone();
+            unplaced.sort_unstable();
+            assert_eq!(unplaced, vec![0, 2], "{}", h.label());
+            assert!(r.placement.assignment[1].is_some(), "{}", h.label());
+            // Whatever was placed still respects capacity.
+            for (s, l) in inst.server_loads(&r.placement).iter().enumerate() {
+                assert!(inst.servers[s].fits(*l), "{}: server {s} at {l}", h.label());
+            }
+        }
+    }
+
+    #[test]
+    fn all_zero_demand_all_zero_capacity_edge() {
+        // Fully degenerate: zero-capacity servers accept zero-demand
+        // cells (0 ≤ 0) and reject anything positive.
+        let inst = PlacementInstance::uniform(&[0.0, 10.0], 2, 0.0);
+        for h in Heuristic::all() {
+            let r = place(&inst, h);
+            assert_eq!(r.unplaced, vec![1], "{}", h.label());
+            assert!(r.placement.assignment[0].is_some(), "{}", h.label());
+        }
+    }
+
+    #[test]
+    fn empty_instance_is_trivially_complete() {
+        let inst = PlacementInstance::uniform(&[], 3, 100.0);
+        for h in Heuristic::all() {
+            let r = place(&inst, h);
+            assert!(r.complete(), "{}", h.label());
+            assert_eq!(inst.servers_used(&r.placement), 0);
+        }
+    }
+
+    #[test]
     fn cheapest_servers_opened_first() {
         let mut inst = PlacementInstance::uniform(&[10.0], 2, 100.0);
         inst.servers[0].cost = 5.0;
         inst.servers[1].cost = 1.0;
         let r = place(&inst, Heuristic::FirstFitDecreasing);
-        assert_eq!(r.placement.assignment[0], Some(1), "should pick the cheap server");
+        assert_eq!(
+            r.placement.assignment[0],
+            Some(1),
+            "should pick the cheap server"
+        );
     }
 
     #[test]
@@ -232,7 +294,11 @@ mod tests {
         inst.servers[1].capacity_gops = 200.0;
         let r = place(&inst, Heuristic::FirstFitDecreasing);
         assert!(r.complete());
-        assert_eq!(r.placement.assignment[0], Some(1), "big cell needs big server");
+        assert_eq!(
+            r.placement.assignment[0],
+            Some(1),
+            "big cell needs big server"
+        );
     }
 
     #[test]

@@ -46,15 +46,16 @@ pub struct SolveOptions {
 
 impl Default for SolveOptions {
     fn default() -> Self {
-        SolveOptions { symmetry_breaking: true, warm_start: true }
+        SolveOptions {
+            symmetry_breaking: true,
+            warm_start: true,
+        }
     }
 }
 
 /// Build the ILP model for an instance. Returns the model plus the
 /// variable grids `x[cell][server]` (None where disallowed) and `y[server]`.
-pub fn build_model(
-    instance: &PlacementInstance,
-) -> (Model, Vec<Vec<Option<VarId>>>, Vec<VarId>) {
+pub fn build_model(instance: &PlacementInstance) -> (Model, Vec<Vec<Option<VarId>>>, Vec<VarId>) {
     build_model_with(instance, SolveOptions::default())
 }
 
@@ -123,7 +124,11 @@ pub fn build_model_with(
     // Objective: weighted server count.
     m.set_objective(
         Sense::Minimize,
-        LinExpr::weighted_sum(y.iter().copied().zip(instance.servers.iter().map(|s| s.cost))),
+        LinExpr::weighted_sum(
+            y.iter()
+                .copied()
+                .zip(instance.servers.iter().map(|s| s.cost)),
+        ),
     );
     (m, x, y)
 }
@@ -241,7 +246,11 @@ mod tests {
         let demands = [51.0, 51.0, 27.0, 27.0, 26.0, 26.0, 23.0, 23.0, 23.0, 23.0];
         let inst = PlacementInstance::uniform(&demands, 6, 100.0);
         let ffd = place(&inst, Heuristic::FirstFitDecreasing);
-        assert_eq!(inst.servers_used(&ffd.placement), 4, "FFD should pack into 4");
+        assert_eq!(
+            inst.servers_used(&ffd.placement),
+            4,
+            "FFD should pack into 4"
+        );
         let ilp = solve_default(&inst);
         assert!(ilp.optimal, "instance should solve to optimality");
         let p = ilp.placement.unwrap();
@@ -294,7 +303,10 @@ mod tests {
         let inst = PlacementInstance::uniform(&demands, 14, 100.0);
         let r = solve(
             &inst,
-            &BnbConfig { max_nodes: 50, ..BnbConfig::default() },
+            &BnbConfig {
+                max_nodes: 50,
+                ..BnbConfig::default()
+            },
         );
         if let Some(p) = &r.placement {
             assert!(inst.validate(p).is_ok());

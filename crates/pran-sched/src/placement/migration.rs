@@ -44,7 +44,11 @@ impl MigrationPlan {
 /// # Panics
 /// Panics if the placements have different lengths.
 pub fn diff(old: &Placement, new: &Placement) -> MigrationPlan {
-    assert_eq!(old.assignment.len(), new.assignment.len(), "placement size mismatch");
+    assert_eq!(
+        old.assignment.len(),
+        new.assignment.len(),
+        "placement size mismatch"
+    );
     let moves = old
         .assignment
         .iter()
@@ -53,7 +57,11 @@ pub fn diff(old: &Placement, new: &Placement) -> MigrationPlan {
         .filter_map(|(cell, (o, n))| match (o, n) {
             (_, None) => None, // becoming unplaced is an eviction, not a move
             (Some(a), Some(b)) if a == b => None,
-            (o, Some(b)) => Some(Move { cell, from: *o, to: *b }),
+            (o, Some(b)) => Some(Move {
+                cell,
+                from: *o,
+                to: *b,
+            }),
         })
         .collect();
     MigrationPlan { moves }
@@ -70,7 +78,11 @@ pub fn incremental_repack(
     instance: &PlacementInstance,
     current: &Placement,
 ) -> (Placement, MigrationPlan) {
-    assert_eq!(current.assignment.len(), instance.cells.len(), "placement size mismatch");
+    assert_eq!(
+        current.assignment.len(),
+        instance.cells.len(),
+        "placement size mismatch"
+    );
     let mut assignment = current.assignment.clone();
     // Clear assignments that are no longer allowed (topology changed).
     for (cell, slot) in assignment.iter_mut().enumerate() {
@@ -91,15 +103,16 @@ pub fn incremental_repack(
     // Evict the lightest cells from each overloaded server until it fits —
     // lightest-first minimizes moved load while freeing capacity slowly,
     // but guarantees progress; ties broken by id for determinism.
-    let mut to_place: Vec<usize> =
-        assignment
-            .iter()
-            .enumerate()
-            .filter_map(|(c, a)| a.is_none().then_some(c))
-            .collect();
+    let mut to_place: Vec<usize> = assignment
+        .iter()
+        .enumerate()
+        .filter_map(|(c, a)| a.is_none().then_some(c))
+        .collect();
+    // Overload is judged by the same tolerance `validate` uses: a
+    // placement that validates must never be churned here.
     #[allow(clippy::needless_range_loop)] // `s` indexes both load and servers
     for s in 0..instance.servers.len() {
-        if load[s] <= instance.servers[s].capacity_gops {
+        if instance.servers[s].fits(load[s]) {
             continue;
         }
         let mut resident: Vec<usize> = assignment
@@ -115,7 +128,7 @@ pub fn incremental_repack(
                 .then(a.cmp(&b))
         });
         for cell in resident {
-            if load[s] <= instance.servers[s].capacity_gops {
+            if instance.servers[s].fits(load[s]) {
                 break;
             }
             load[s] -= instance.cells[cell].gops;
@@ -134,10 +147,7 @@ pub fn incremental_repack(
     for cell in to_place {
         let need = instance.cells[cell].gops;
         let target = (0..instance.servers.len())
-            .filter(|&s| {
-                instance.is_allowed(cell, s)
-                    && load[s] + need <= instance.servers[s].capacity_gops + 1e-9
-            })
+            .filter(|&s| instance.is_allowed(cell, s) && instance.servers[s].fits(load[s] + need))
             .min_by(|&a, &b| {
                 let ra = instance.servers[a].capacity_gops - load[a] - need;
                 let rb = instance.servers[b].capacity_gops - load[b] - need;
@@ -161,24 +171,40 @@ mod tests {
 
     #[test]
     fn diff_finds_moves() {
-        let old = Placement { assignment: vec![Some(0), Some(1), None] };
-        let new = Placement { assignment: vec![Some(0), Some(2), Some(1)] };
+        let old = Placement {
+            assignment: vec![Some(0), Some(1), None],
+        };
+        let new = Placement {
+            assignment: vec![Some(0), Some(2), Some(1)],
+        };
         let plan = diff(&old, &new);
         assert_eq!(plan.len(), 2);
-        assert!(plan.moves.contains(&Move { cell: 1, from: Some(1), to: 2 }));
-        assert!(plan.moves.contains(&Move { cell: 2, from: None, to: 1 }));
+        assert!(plan.moves.contains(&Move {
+            cell: 1,
+            from: Some(1),
+            to: 2
+        }));
+        assert!(plan.moves.contains(&Move {
+            cell: 2,
+            from: None,
+            to: 1
+        }));
     }
 
     #[test]
     fn identical_placements_no_moves() {
-        let p = Placement { assignment: vec![Some(0), Some(1)] };
+        let p = Placement {
+            assignment: vec![Some(0), Some(1)],
+        };
         assert!(diff(&p, &p).is_empty());
     }
 
     #[test]
     fn stable_when_still_feasible() {
         let inst = PlacementInstance::uniform(&[40.0, 40.0, 40.0], 3, 100.0);
-        let current = Placement { assignment: vec![Some(0), Some(0), Some(1)] };
+        let current = Placement {
+            assignment: vec![Some(0), Some(0), Some(1)],
+        };
         let (new, plan) = incremental_repack(&inst, &current);
         assert!(plan.is_empty(), "feasible placement must not churn");
         assert_eq!(new, current);
@@ -188,7 +214,9 @@ mod tests {
     fn repack_resolves_overload_with_few_moves() {
         // Server 0 overloaded after demand growth: 60+60 > 100.
         let inst = PlacementInstance::uniform(&[60.0, 60.0, 10.0], 3, 100.0);
-        let current = Placement { assignment: vec![Some(0), Some(0), Some(1)] };
+        let current = Placement {
+            assignment: vec![Some(0), Some(0), Some(1)],
+        };
         let (new, plan) = incremental_repack(&inst, &current);
         assert!(inst.validate(&new).is_ok(), "{:?}", inst.validate(&new));
         assert_eq!(plan.len(), 1, "one move suffices: {plan:?}");
@@ -197,7 +225,9 @@ mod tests {
     #[test]
     fn repack_places_new_cells() {
         let inst = PlacementInstance::uniform(&[50.0, 30.0], 2, 100.0);
-        let current = Placement { assignment: vec![Some(0), None] };
+        let current = Placement {
+            assignment: vec![Some(0), None],
+        };
         let (new, plan) = incremental_repack(&inst, &current);
         assert!(inst.validate(&new).is_ok());
         assert_eq!(plan.len(), 1);
@@ -207,7 +237,9 @@ mod tests {
     #[test]
     fn repack_leaves_unplaceable_cells_out() {
         let inst = PlacementInstance::uniform(&[90.0, 90.0, 90.0], 2, 100.0);
-        let current = Placement { assignment: vec![Some(0), Some(1), None] };
+        let current = Placement {
+            assignment: vec![Some(0), Some(1), None],
+        };
         let (new, plan) = incremental_repack(&inst, &current);
         assert_eq!(new.placed(), 2);
         assert!(plan.is_empty());
@@ -218,11 +250,56 @@ mod tests {
         // Server 1 disappears (allowed matrix forbids it now).
         let mut inst = PlacementInstance::uniform(&[50.0, 40.0], 2, 100.0);
         inst.allowed = vec![vec![true, false], vec![true, false]];
-        let current = Placement { assignment: vec![Some(1), Some(0)] };
+        let current = Placement {
+            assignment: vec![Some(1), Some(0)],
+        };
         let (new, plan) = incremental_repack(&inst, &current);
         assert!(inst.validate(&new).is_ok());
         assert_eq!(plan.len(), 1);
         assert_eq!(new.assignment[0], Some(0));
+    }
+
+    /// Pinned from `tests/tests/proptest_cross.proptest-regressions`:
+    /// FFD packs both cells onto one server at 199.985/200 GOPS; a 0.18 %
+    /// growth pushes it to 200.35 and repack must move exactly one cell —
+    /// the lighter one — onto the empty spare, never leaving an overload.
+    #[test]
+    fn pinned_regression_growth_just_past_capacity() {
+        let demands = [81.11015613411035, 118.87534850668013];
+        let growth = 1.0018224024772355;
+        let inst = PlacementInstance::uniform(&demands, 2, 200.0);
+        let seed = place(&inst, Heuristic::FirstFitDecreasing);
+        assert!(seed.complete());
+        assert_eq!(seed.placement.assignment, vec![Some(0), Some(0)]);
+
+        let grown: Vec<f64> = demands.iter().map(|d| d * growth).collect();
+        let grown_inst = PlacementInstance::uniform(&grown, 2, 200.0);
+        let (new, plan) = incremental_repack(&grown_inst, &seed.placement);
+        assert!(
+            grown_inst.validate(&new).is_ok(),
+            "{:?}",
+            grown_inst.validate(&new)
+        );
+        assert_eq!(plan.len(), 1, "one move suffices: {plan:?}");
+        assert_eq!(plan.moves[0].cell, 0, "the lighter cell moves");
+    }
+
+    /// A placement at capacity-plus-float-dust validates as feasible and
+    /// therefore must not be churned: overload detection uses the same
+    /// tolerance as `validate`, not a strict compare.
+    #[test]
+    fn repack_ignores_float_dust_overload() {
+        let inst = PlacementInstance::uniform(&[120.00000001, 80.0], 2, 200.0);
+        let current = Placement {
+            assignment: vec![Some(0), Some(0)],
+        };
+        assert!(inst.validate(&current).is_ok());
+        let (new, plan) = incremental_repack(&inst, &current);
+        assert!(
+            plan.is_empty(),
+            "feasible-within-tolerance placement churned: {plan:?}"
+        );
+        assert_eq!(new, current);
     }
 
     #[test]

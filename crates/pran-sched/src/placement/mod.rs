@@ -38,6 +38,21 @@ pub struct ServerSpec {
     pub cost: f64,
 }
 
+impl ServerSpec {
+    /// Whether `load` GOPS fits this server, within the same relative
+    /// tolerance [`PlacementInstance::validate`] applies.
+    ///
+    /// Every capacity comparison in the placement stack (heuristics,
+    /// incremental repack, validation) must route through this predicate:
+    /// if one layer admits with a looser tolerance than another rejects
+    /// with, a placement can be simultaneously "feasible" and "overloaded"
+    /// — the repack layer then migrates cells off servers that validate
+    /// fine, churning on float dust.
+    pub fn fits(&self, load: f64) -> bool {
+        load <= self.capacity_gops * (1.0 + 1e-9)
+    }
+}
+
 /// A placement problem instance.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct PlacementInstance {
@@ -89,8 +104,15 @@ impl fmt::Display for PlacementError {
             PlacementError::NotAllowed { cell, server } => {
                 write!(f, "cell {cell} may not be served from server {server}")
             }
-            PlacementError::OverCapacity { server, load, capacity } => {
-                write!(f, "server {server} overloaded: {load:.1}/{capacity:.1} GOPS")
+            PlacementError::OverCapacity {
+                server,
+                load,
+                capacity,
+            } => {
+                write!(
+                    f,
+                    "server {server} overloaded: {load:.1}/{capacity:.1} GOPS"
+                )
             }
             PlacementError::ShapeMismatch => write!(f, "assignment length mismatch"),
         }
@@ -107,7 +129,11 @@ impl PlacementInstance {
                 .map(|(id, &gops)| CellDemand { id, gops })
                 .collect(),
             servers: (0..num_servers)
-                .map(|id| ServerSpec { id, capacity_gops, cost: 1.0 })
+                .map(|id| ServerSpec {
+                    id,
+                    capacity_gops,
+                    cost: 1.0,
+                })
                 .collect(),
             allowed: Vec::new(),
         }
@@ -136,9 +162,13 @@ impl PlacementInstance {
             }
         }
         for (server, &l) in load.iter().enumerate() {
-            let cap = self.servers[server].capacity_gops;
-            if l > cap * (1.0 + 1e-9) {
-                return Err(PlacementError::OverCapacity { server, load: l, capacity: cap });
+            if !self.servers[server].fits(l) {
+                let capacity = self.servers[server].capacity_gops;
+                return Err(PlacementError::OverCapacity {
+                    server,
+                    load: l,
+                    capacity,
+                });
             }
         }
         Ok(())
@@ -193,7 +223,9 @@ impl PlacementInstance {
 impl Placement {
     /// All-unplaced placement for `n` cells.
     pub fn empty(n: usize) -> Self {
-        Placement { assignment: vec![None; n] }
+        Placement {
+            assignment: vec![None; n],
+        }
     }
 
     /// Number of placed cells.
@@ -220,7 +252,9 @@ mod tests {
     #[test]
     fn validate_catches_overload() {
         let inst = instance();
-        let p = Placement { assignment: vec![Some(0), Some(0), Some(1)] };
+        let p = Placement {
+            assignment: vec![Some(0), Some(0), Some(1)],
+        };
         assert!(matches!(
             inst.validate(&p),
             Err(PlacementError::OverCapacity { server: 0, .. })
@@ -231,7 +265,9 @@ mod tests {
     fn validate_catches_disallowed() {
         let mut inst = instance();
         inst.allowed = vec![vec![true, true, false]; 3];
-        let p = Placement { assignment: vec![Some(2), Some(0), Some(1)] };
+        let p = Placement {
+            assignment: vec![Some(2), Some(0), Some(1)],
+        };
         assert_eq!(
             inst.validate(&p),
             Err(PlacementError::NotAllowed { cell: 0, server: 2 })
@@ -241,7 +277,9 @@ mod tests {
     #[test]
     fn validate_accepts_good_placement() {
         let inst = instance();
-        let p = Placement { assignment: vec![Some(0), Some(1), Some(2)] };
+        let p = Placement {
+            assignment: vec![Some(0), Some(1), Some(2)],
+        };
         assert!(inst.validate(&p).is_ok());
         assert_eq!(inst.servers_used(&p), 3);
         assert_eq!(inst.cost(&p), 3.0);
@@ -265,7 +303,9 @@ mod tests {
     #[test]
     fn server_loads_accumulate() {
         let inst = instance();
-        let p = Placement { assignment: vec![Some(1), Some(1), Some(2)] };
+        let p = Placement {
+            assignment: vec![Some(1), Some(1), Some(2)],
+        };
         // 50+60 > 100 → invalid, but loads still computable.
         assert_eq!(inst.server_loads(&p), vec![0.0, 110.0, 70.0]);
     }

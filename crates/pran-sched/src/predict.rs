@@ -27,7 +27,10 @@ pub struct Ewma {
 impl Ewma {
     /// `alpha ∈ (0, 1]`: weight of the newest sample.
     pub fn new(alpha: f64) -> Self {
-        assert!((0.0..=1.0).contains(&alpha) && alpha > 0.0, "alpha must be in (0,1]");
+        assert!(
+            (0.0..=1.0).contains(&alpha) && alpha > 0.0,
+            "alpha must be in (0,1]"
+        );
         Ewma { alpha, state: None }
     }
 }
@@ -63,7 +66,12 @@ impl HoltLinear {
     pub fn new(alpha: f64, beta: f64) -> Self {
         assert!(alpha > 0.0 && alpha <= 1.0);
         assert!(beta > 0.0 && beta <= 1.0);
-        HoltLinear { alpha, beta, level: None, trend: 0.0 }
+        HoltLinear {
+            alpha,
+            beta,
+            level: None,
+            trend: 0.0,
+        }
     }
 }
 
@@ -105,7 +113,12 @@ impl SlidingMax {
     /// `window ≥ 1`.
     pub fn new(window: usize) -> Self {
         assert!(window >= 1);
-        SlidingMax { window, buf: vec![0.0; window], next: 0, filled: 0 }
+        SlidingMax {
+            window,
+            buf: vec![0.0; window],
+            next: 0,
+            filled: 0,
+        }
     }
 }
 
@@ -162,9 +175,21 @@ pub fn evaluate<P: Predictor + ?Sized>(predictor: &mut P, series: &[f64]) -> Pre
         predictor.observe(actual);
     }
     PredictionScore {
-        mae: if counted > 0 { abs_err / counted as f64 } else { 0.0 },
-        under_rate: if counted > 0 { unders as f64 / counted as f64 } else { 0.0 },
-        over_margin: if overs > 0 { over_sum / overs as f64 } else { 0.0 },
+        mae: if counted > 0 {
+            abs_err / counted as f64
+        } else {
+            0.0
+        },
+        under_rate: if counted > 0 {
+            unders as f64 / counted as f64
+        } else {
+            0.0
+        },
+        over_margin: if overs > 0 {
+            over_sum / overs as f64
+        } else {
+            0.0
+        },
     }
 }
 
@@ -193,7 +218,11 @@ mod tests {
             p.observe(i as f64);
         }
         // Next value should be ≈ 100.
-        assert!((p.predict() - 100.0).abs() < 2.0, "holt predicts {}", p.predict());
+        assert!(
+            (p.predict() - 100.0).abs() < 2.0,
+            "holt predicts {}",
+            p.predict()
+        );
         // EWMA lags badly on the same series.
         let mut e = Ewma::new(0.3);
         for i in 0..100 {
@@ -229,8 +258,9 @@ mod tests {
     fn sliding_max_underprovisions_rarely_on_noisy_series() {
         // Noisy-but-bounded series: envelope prediction should rarely fall
         // short compared to EWMA.
-        let series: Vec<f64> =
-            (0..500).map(|i| 1.0 + 0.5 * ((i as f64) * 0.7).sin() + 0.2 * ((i as f64) * 2.3).cos()).collect();
+        let series: Vec<f64> = (0..500)
+            .map(|i| 1.0 + 0.5 * ((i as f64) * 0.7).sin() + 0.2 * ((i as f64) * 2.3).cos())
+            .collect();
         let env = evaluate(&mut SlidingMax::new(20), &series);
         let smooth = evaluate(&mut Ewma::new(0.3), &series);
         assert!(

@@ -46,7 +46,10 @@ pub struct ExecutorOutcome {
 impl ExecutorOutcome {
     /// Number of jobs that finished after their deadline.
     pub fn misses(&self) -> usize {
-        self.completions.iter().filter(|c| c.missed_deadline).count()
+        self.completions
+            .iter()
+            .filter(|c| c.missed_deadline)
+            .count()
     }
 
     /// Fraction of jobs that missed.
@@ -113,7 +116,10 @@ impl DeadlineExecutor {
             .expect("all workers joined")
             .into_inner();
         completions.sort_by_key(|c| c.id);
-        ExecutorOutcome { completions, elapsed: start.elapsed() }
+        ExecutorOutcome {
+            completions,
+            elapsed: start.elapsed(),
+        }
     }
 }
 
@@ -169,11 +175,17 @@ mod tests {
     fn parallelism_speeds_up_wall_clock() {
         // Only meaningful with real hardware parallelism; on a 1-core
         // machine 4 workers time-slice and prove nothing.
-        let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
         if cores < 2 {
             return;
         }
-        let mk = || (0..8).map(|i| spin_job(i, 4_000, 1_000_000)).collect::<Vec<_>>();
+        let mk = || {
+            (0..8)
+                .map(|i| spin_job(i, 4_000, 1_000_000))
+                .collect::<Vec<_>>()
+        };
         let serial = DeadlineExecutor::new(1).run(mk()).elapsed;
         let parallel = DeadlineExecutor::new(cores.min(4)).run(mk()).elapsed;
         assert!(
@@ -191,7 +203,10 @@ mod tests {
         assert!(elapsed >= Duration::from_millis(5));
         // Generous overshoot bound: a loaded single-core CI box can
         // preempt the spin for tens of milliseconds.
-        assert!(elapsed < Duration::from_millis(500), "spin overshot: {elapsed:?}");
+        assert!(
+            elapsed < Duration::from_millis(500),
+            "spin overshot: {elapsed:?}"
+        );
     }
 
     #[test]

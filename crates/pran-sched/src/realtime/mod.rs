@@ -9,7 +9,10 @@
 //! deadline misses, the metric experiment E6 sweeps against utilization.
 
 pub mod executor;
+pub mod parallel;
 pub mod workload;
+
+pub use parallel::{ParallelConfig, ParallelExecutor, ParallelOutcome};
 
 use serde::{Deserialize, Serialize};
 use std::cmp::Reverse;
@@ -49,7 +52,12 @@ pub enum Policy {
 impl Policy {
     /// All policies.
     pub fn all() -> [Policy; 4] {
-        [Policy::GlobalEdf, Policy::GlobalLlf, Policy::GlobalFifo, Policy::Partitioned]
+        [
+            Policy::GlobalEdf,
+            Policy::GlobalLlf,
+            Policy::GlobalFifo,
+            Policy::Partitioned,
+        ]
     }
 
     /// Short label for tables.
@@ -146,11 +154,26 @@ pub fn simulate(tasks: &[RtTask], cores: usize, policy: Policy) -> SimOutcome {
                 core_busy[core] = out.core_busy[0];
                 makespan = makespan.max(out.makespan);
             }
-            SimOutcome { finish, missed, core_busy, makespan }
+            SimOutcome {
+                finish,
+                missed,
+                core_busy,
+                makespan,
+            }
         }
-        Policy::GlobalEdf => from_global(tasks, simulate_global(tasks, cores, SelectBy::Deadline), cores),
-        Policy::GlobalLlf => from_global(tasks, simulate_global(tasks, cores, SelectBy::Slack), cores),
-        Policy::GlobalFifo => from_global(tasks, simulate_global(tasks, cores, SelectBy::Release), cores),
+        Policy::GlobalEdf => from_global(
+            tasks,
+            simulate_global(tasks, cores, SelectBy::Deadline),
+            cores,
+        ),
+        Policy::GlobalLlf => {
+            from_global(tasks, simulate_global(tasks, cores, SelectBy::Slack), cores)
+        }
+        Policy::GlobalFifo => from_global(
+            tasks,
+            simulate_global(tasks, cores, SelectBy::Release),
+            cores,
+        ),
     }
 }
 
@@ -162,7 +185,12 @@ fn from_global(tasks: &[RtTask], g: GlobalOutcome, _cores: usize) -> SimOutcome 
         finish[t.id] = g.finish_local[local];
         missed[t.id] = g.missed_local[local];
     }
-    SimOutcome { finish, missed, core_busy: g.core_busy, makespan: g.makespan }
+    SimOutcome {
+        finish,
+        missed,
+        core_busy: g.core_busy,
+        makespan: g.makespan,
+    }
 }
 
 /// Ready-queue ordering key.
@@ -234,7 +262,12 @@ fn simulate_global(tasks: &[RtTask], cores: usize, select: SelectBy) -> GlobalOu
         core_free.push(Reverse((end, core)));
     }
 
-    GlobalOutcome { finish_local, missed_local, core_busy, makespan }
+    GlobalOutcome {
+        finish_local,
+        missed_local,
+        core_busy,
+        makespan,
+    }
 }
 
 #[cfg(test)]
@@ -357,7 +390,9 @@ mod tests {
 
     #[test]
     fn busy_time_accounts_all_service() {
-        let tasks: Vec<RtTask> = (0..5).map(|i| task(i, i as u64 * 100, 10_000, 300)).collect();
+        let tasks: Vec<RtTask> = (0..5)
+            .map(|i| task(i, i as u64 * 100, 10_000, 300))
+            .collect();
         for policy in Policy::all() {
             let out = simulate(&tasks, 2, policy);
             let busy: Duration = out.core_busy.iter().sum();
@@ -372,16 +407,34 @@ mod tests {
         // core with equal releases EDF is optimal, so the point here is
         // the ordering and *which* task gets sacrificed, not the count.)
         let tasks = [
-            RtTask { id: 0, cell: 0, release: us(0), deadline: us(1_200), service: us(200) },
-            RtTask { id: 1, cell: 1, release: us(0), deadline: us(1_500), service: us(1_400) },
+            RtTask {
+                id: 0,
+                cell: 0,
+                release: us(0),
+                deadline: us(1_200),
+                service: us(200),
+            },
+            RtTask {
+                id: 1,
+                cell: 1,
+                release: us(0),
+                deadline: us(1_500),
+                service: us(1_400),
+            },
         ];
         let edf = simulate(&tasks, 1, Policy::GlobalEdf);
-        assert!(edf.finish[0] < edf.finish[1], "EDF runs the early deadline first");
+        assert!(
+            edf.finish[0] < edf.finish[1],
+            "EDF runs the early deadline first"
+        );
         assert_eq!(edf.misses(), 1, "the long job pays under EDF");
         assert!(!edf.missed[0] && edf.missed[1]);
 
         let llf = simulate(&tasks, 1, Policy::GlobalLlf);
-        assert!(llf.finish[1] < llf.finish[0], "LLF runs the tight-slack job first");
+        assert!(
+            llf.finish[1] < llf.finish[0],
+            "LLF runs the tight-slack job first"
+        );
         assert_eq!(llf.misses(), 1, "the short job pays under LLF");
         assert!(llf.missed[0] && !llf.missed[1]);
     }

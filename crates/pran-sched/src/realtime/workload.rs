@@ -136,7 +136,10 @@ pub fn generate(cfg: &TaskSetConfig) -> TaskSet {
         });
     }
 
-    TaskSet { tasks, utilization: achieved / horizon }
+    TaskSet {
+        tasks,
+        utilization: achieved / horizon,
+    }
 }
 
 #[cfg(test)]
@@ -194,7 +197,11 @@ mod tests {
         cfg.seed = 99;
         let set = generate(&cfg);
         let out = simulate(&set.tasks, 2, Policy::GlobalEdf);
-        assert!(out.miss_ratio() > 0.05, "overload must miss: {}", out.miss_ratio());
+        assert!(
+            out.miss_ratio() > 0.05,
+            "overload must miss: {}",
+            out.miss_ratio()
+        );
     }
 
     #[test]

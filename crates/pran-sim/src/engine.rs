@@ -17,9 +17,18 @@ impl SimTime {
     /// Zero.
     pub const ZERO: SimTime = SimTime(0);
 
-    /// Construct from a `Duration` (microsecond truncation).
+    /// Largest representable timestamp (~584 000 years of microseconds).
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Construct from a `Duration` (microsecond truncation, saturating).
+    ///
+    /// `Duration` holds up to `u64::MAX` *seconds*; a plain `as u64` cast
+    /// of `as_micros()` would silently wrap durations past ~584 000 years
+    /// into small timestamps, scheduling "forever" events into the past.
+    /// Saturating to [`SimTime::MAX`] keeps far-future sentinels ordered
+    /// after everything real.
     pub fn from_duration(d: Duration) -> SimTime {
-        SimTime(d.as_micros() as u64)
+        SimTime(u64::try_from(d.as_micros()).unwrap_or(u64::MAX))
     }
 
     /// Convert to a `Duration`.
@@ -27,9 +36,9 @@ impl SimTime {
         Duration::from_micros(self.0)
     }
 
-    /// This time plus an offset.
+    /// This time plus an offset (saturating at [`SimTime::MAX`]).
     pub fn after(self, d: Duration) -> SimTime {
-        SimTime(self.0 + d.as_micros() as u64)
+        SimTime(self.0.saturating_add(SimTime::from_duration(d).0))
     }
 }
 
@@ -66,7 +75,12 @@ impl<E> Ord for EventBox<E> {
 impl<E> Engine<E> {
     /// Empty engine at time zero.
     pub fn new() -> Self {
-        Engine { queue: BinaryHeap::new(), now: SimTime::ZERO, seq: 0, processed: 0 }
+        Engine {
+            queue: BinaryHeap::new(),
+            now: SimTime::ZERO,
+            seq: 0,
+            processed: 0,
+        }
     }
 
     /// Current simulation time (time of the last popped event).
@@ -181,5 +195,51 @@ mod tests {
         assert_eq!(t, SimTime(3000));
         assert_eq!(t.to_duration(), Duration::from_millis(3));
         assert_eq!(t.after(Duration::from_micros(7)), SimTime(3007));
+    }
+
+    #[test]
+    fn from_duration_saturates_past_u64_micros() {
+        // u64::MAX seconds = 1e6 · u64::MAX microseconds: far beyond what
+        // u64 µs can hold. Must clamp to MAX, not wrap to a small value.
+        let huge = Duration::from_secs(u64::MAX);
+        assert_eq!(SimTime::from_duration(huge), SimTime::MAX);
+        // Exactly representable boundary still converts exactly.
+        let edge = Duration::from_micros(u64::MAX);
+        assert_eq!(SimTime::from_duration(edge), SimTime::MAX);
+    }
+
+    #[test]
+    fn after_saturates_instead_of_wrapping() {
+        let near_end = SimTime(u64::MAX - 10);
+        assert_eq!(
+            near_end.after(Duration::from_micros(5)),
+            SimTime(u64::MAX - 5)
+        );
+        // Offsets past the end clamp — they must never wrap into the past.
+        assert_eq!(near_end.after(Duration::from_micros(100)), SimTime::MAX);
+        assert_eq!(near_end.after(Duration::from_secs(u64::MAX)), SimTime::MAX);
+        assert!(near_end.after(Duration::from_secs(u64::MAX)) >= near_end);
+    }
+
+    #[test]
+    fn saturated_schedule_in_stays_in_the_future() {
+        // The panic path this guards: a wrapping `after` would produce a
+        // timestamp before `now`, and `schedule` would panic on an event
+        // the caller meant as "effectively never".
+        let mut e = Engine::new();
+        e.schedule(SimTime(u64::MAX - 1), "almost-end");
+        e.next();
+        e.schedule_in(Duration::from_secs(u64::MAX), "never");
+        assert_eq!(e.peek_time(), Some(SimTime::MAX));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot schedule into the past")]
+    fn schedule_before_now_panics_with_message() {
+        let mut e = Engine::new();
+        e.schedule(SimTime(10), ());
+        e.next();
+        // One microsecond into the past is still the past.
+        e.schedule(SimTime(9), ());
     }
 }

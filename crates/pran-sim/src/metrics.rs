@@ -26,13 +26,22 @@ const BUCKETS: usize = 40;
 impl LogHistogram {
     /// Empty histogram.
     pub fn new() -> Self {
-        LogHistogram { buckets: vec![0; BUCKETS], count: 0, sum_us: 0, max_us: 0 }
+        LogHistogram {
+            buckets: vec![0; BUCKETS],
+            count: 0,
+            sum_us: 0,
+            max_us: 0,
+        }
     }
 
     /// Record a duration.
     pub fn record(&mut self, d: Duration) {
         let us = d.as_micros() as u64;
-        let idx = if us == 0 { 0 } else { (63 - us.leading_zeros() as usize).min(BUCKETS - 1) };
+        let idx = if us == 0 {
+            0
+        } else {
+            (63 - us.leading_zeros() as usize).min(BUCKETS - 1)
+        };
         self.buckets[idx] += 1;
         self.count += 1;
         self.sum_us += us;
@@ -102,6 +111,9 @@ pub struct PoolMetrics {
     pub tasks_lost: u64,
     /// Cell migrations executed.
     pub migrations: u64,
+    /// Batches executed away from their home core (parallel executor
+    /// only; zero under the analytic scheduler model).
+    pub steals: u64,
     /// Placement epochs executed.
     pub epochs: u64,
     /// Server-count samples (one per epoch).
@@ -112,6 +124,10 @@ pub struct PoolMetrics {
     pub outages: LogHistogram,
     /// Distribution of task response times.
     pub response_times: LogHistogram,
+    /// Distribution of positive deadline slack (parallel executor only):
+    /// how much budget remained when each on-time task finished. Missed
+    /// tasks are counted in `deadline_misses`, not here.
+    pub deadline_slack: LogHistogram,
 }
 
 impl PoolMetrics {
@@ -182,7 +198,9 @@ mod tests {
         h.record(Duration::ZERO);
         h.record(Duration::from_secs(3600));
         assert_eq!(h.count(), 2);
-        assert!(h.quantile(1.0) >= Duration::from_secs(3600) || h.max() >= Duration::from_secs(3600));
+        assert!(
+            h.quantile(1.0) >= Duration::from_secs(3600) || h.max() >= Duration::from_secs(3600)
+        );
     }
 
     #[test]
@@ -219,7 +237,10 @@ mod tests {
 
     #[test]
     fn metrics_json_roundtrip() {
-        let mut m = PoolMetrics { tasks_total: 7, ..Default::default() };
+        let mut m = PoolMetrics {
+            tasks_total: 7,
+            ..Default::default()
+        };
         m.outages.record(us(1234));
         let json = m.to_json();
         let back: PoolMetrics = serde_json::from_str(&json).unwrap();

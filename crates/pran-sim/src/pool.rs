@@ -15,7 +15,7 @@ use pran_phy::frame::{AntennaConfig, Bandwidth, Direction, COMPUTE_DEADLINE, TTI
 use pran_phy::mcs::Mcs;
 use pran_sched::placement::migration::incremental_repack;
 use pran_sched::placement::{CellDemand, Placement, PlacementInstance, ServerSpec};
-use pran_sched::realtime::{simulate, Policy, RtTask};
+use pran_sched::realtime::{simulate, ParallelConfig, ParallelExecutor, Policy, RtTask};
 use pran_traces::Trace;
 
 use crate::engine::{Engine, SimTime};
@@ -32,6 +32,11 @@ pub struct PoolConfig {
     pub cores_per_server: usize,
     /// Real-time scheduling policy within each server.
     pub scheduler: Policy,
+    /// When set, subframe execution per server runs through the
+    /// work-stealing [`ParallelExecutor`] (its `cores` override
+    /// `cores_per_server`) and slack/steal metrics are recorded; when
+    /// `None`, the analytic [`simulate`] model scores the policy instead.
+    pub parallel: Option<ParallelConfig>,
     /// Trace steps per placement epoch.
     pub epoch_steps: usize,
     /// TTIs sampled (and fully simulated) per trace step.
@@ -63,6 +68,7 @@ impl PoolConfig {
             // GOPS·ms) within the 2 ms budget — cores must be ≥ 80 GOPS.
             cores_per_server: 4,
             scheduler: Policy::GlobalEdf,
+            parallel: None,
             epoch_steps: 10,
             ttis_per_step: 4,
             headroom: 1.1,
@@ -130,7 +136,15 @@ impl PoolSimulator {
     pub fn new(trace: Trace, config: PoolConfig) -> Self {
         assert!(config.servers > 0 && config.cores_per_server > 0);
         assert!(config.epoch_steps > 0 && config.ttis_per_step > 0);
-        PoolSimulator { trace, config, failures: Vec::new(), model: ComputeModel::calibrated() }
+        if let Some(p) = &config.parallel {
+            p.validate();
+        }
+        PoolSimulator {
+            trace,
+            config,
+            failures: Vec::new(),
+            model: ComputeModel::calibrated(),
+        }
     }
 
     /// Schedule a server failure.
@@ -166,14 +180,20 @@ impl PoolSimulator {
             engine.schedule(SimTime::from_duration(at), Event::EpochStart(e));
         }
         for f in &self.failures {
-            engine.schedule(SimTime::from_duration(f.at), Event::ServerFail(f.server, f.recover_after));
+            engine.schedule(
+                SimTime::from_duration(f.at),
+                Event::ServerFail(f.server, f.recover_after),
+            );
         }
 
         let mut alive = vec![true; cfg.servers];
         let mut placement = Placement::empty(num_cells);
         let mut metrics = PoolMetrics::default();
         let mut failovers = Vec::new();
-        let core_gops = cfg.server_capacity_gops / cfg.cores_per_server as f64;
+        // The executor model's core count wins when both are configured:
+        // service times must reflect the machine that actually runs them.
+        let cores = cfg.parallel.map_or(cfg.cores_per_server, |p| p.cores);
+        let core_gops = cfg.server_capacity_gops / cores as f64;
 
         while let Some((_, event)) = engine.next() {
             match event {
@@ -204,14 +224,14 @@ impl PoolSimulator {
                                 cost: 1.0,
                             })
                             .collect(),
-                        allowed: (0..num_cells)
-                            .map(|_| alive.clone())
-                            .collect(),
+                        allowed: (0..num_cells).map(|_| alive.clone()).collect(),
                     };
                     let (new_placement, plan) = incremental_repack(&instance, &placement);
                     metrics.migrations += plan.len() as u64;
                     metrics.epochs += 1;
-                    metrics.servers_used.push(instance.servers_used(&new_placement));
+                    metrics
+                        .servers_used
+                        .push(instance.servers_used(&new_placement));
                     metrics.demand_gops.push(instance.total_gops());
                     placement = new_placement;
 
@@ -234,8 +254,7 @@ impl PoolSimulator {
                         placement.assignment[*c] = None;
                     }
                     // Rebuild a placement instance at current loads.
-                    let step = ((engine.now().to_duration().as_secs_f64() / step_seconds)
-                        as usize)
+                    let step = ((engine.now().to_duration().as_secs_f64() / step_seconds) as usize)
                         .min(total_steps - 1);
                     let demands: Vec<CellDemand> = (0..num_cells)
                         .map(|c| CellDemand {
@@ -260,9 +279,8 @@ impl PoolSimulator {
                         .iter()
                         .filter(|&&c| new_placement.assignment[c].is_some())
                         .count();
-                    let outage = cfg.detection_delay
-                        + cfg.replan_overhead
-                        + cfg.migration_time_per_cell;
+                    let outage =
+                        cfg.detection_delay + cfg.replan_overhead + cfg.migration_time_per_cell;
                     for _ in 0..replaced {
                         metrics.outages.record(outage);
                     }
@@ -305,9 +323,7 @@ impl PoolSimulator {
             let mut per_server: Vec<Vec<RtTask>> = vec![Vec::new(); cfg.servers];
             let mut next_id = vec![0usize; cfg.servers];
             for (cell, &util) in row.iter().enumerate() {
-                let service = Duration::from_secs_f64(
-                    self.cell_gops(util) * 1e-3 / core_gops,
-                );
+                let service = Duration::from_secs_f64(self.cell_gops(util) * 1e-3 / core_gops);
                 for tti in 0..cfg.ttis_per_step {
                     metrics.tasks_total += 1;
                     match placement.assignment[cell] {
@@ -331,12 +347,31 @@ impl PoolSimulator {
                 if tasks.is_empty() || !alive[s] {
                     continue;
                 }
-                let out = simulate(tasks, cfg.cores_per_server, cfg.scheduler);
-                metrics.deadline_misses += out.misses() as u64;
-                for t in tasks {
-                    metrics
-                        .response_times
-                        .record(out.finish[t.id].saturating_sub(t.release));
+                match &cfg.parallel {
+                    Some(p) => {
+                        let out = ParallelExecutor::new(*p).execute(tasks);
+                        metrics.deadline_misses += out.misses() as u64;
+                        metrics.steals += out.steals;
+                        for r in &out.tasks {
+                            metrics
+                                .response_times
+                                .record(r.finish.saturating_sub(tasks[r.id].release));
+                            if r.slack_us >= 0 {
+                                metrics
+                                    .deadline_slack
+                                    .record(Duration::from_micros(r.slack_us as u64));
+                            }
+                        }
+                    }
+                    None => {
+                        let out = simulate(tasks, cfg.cores_per_server, cfg.scheduler);
+                        metrics.deadline_misses += out.misses() as u64;
+                        for t in tasks {
+                            metrics
+                                .response_times
+                                .record(out.finish[t.id].saturating_sub(t.release));
+                        }
+                    }
                 }
             }
         }
@@ -364,7 +399,10 @@ mod tests {
         let mut s = sim(12, 10, 1);
         let report = s.run();
         assert!(report.metrics.tasks_total > 0);
-        assert_eq!(report.metrics.tasks_lost, 0, "ample pool must place all cells");
+        assert_eq!(
+            report.metrics.tasks_lost, 0,
+            "ample pool must place all cells"
+        );
         assert!(
             report.metrics.miss_ratio() < 0.01,
             "miss ratio {} in a healthy pool",
@@ -397,7 +435,10 @@ mod tests {
         assert_eq!(report.failovers.len(), 1);
         let f = &report.failovers[0];
         assert_eq!(f.server, 0);
-        assert_eq!(f.displaced, f.replaced, "spare capacity must absorb the failure");
+        assert_eq!(
+            f.displaced, f.replaced,
+            "spare capacity must absorb the failure"
+        );
         if f.displaced > 0 {
             assert_eq!(report.metrics.outages.count(), f.replaced as u64);
             // Outage = detection + replan + migration.
@@ -427,8 +468,16 @@ mod tests {
     #[test]
     fn double_failure_of_same_server_ignored() {
         let mut s = sim(8, 6, 5);
-        s.inject_failure(FailureSpec { server: 1, at: Duration::from_secs(60), recover_after: None });
-        s.inject_failure(FailureSpec { server: 1, at: Duration::from_secs(120), recover_after: None });
+        s.inject_failure(FailureSpec {
+            server: 1,
+            at: Duration::from_secs(60),
+            recover_after: None,
+        });
+        s.inject_failure(FailureSpec {
+            server: 1,
+            at: Duration::from_secs(120),
+            recover_after: None,
+        });
         let report = s.run();
         assert_eq!(report.failovers.len(), 1);
     }
@@ -439,7 +488,10 @@ mod tests {
         let report = s.run();
         // Incremental repack must not reshuffle everything every epoch.
         let per_epoch = report.metrics.migrations as f64 / report.metrics.epochs as f64;
-        assert!(per_epoch < 15.0 / 2.0, "churn per epoch {per_epoch} too high");
+        assert!(
+            per_epoch < 15.0 / 2.0,
+            "churn per epoch {per_epoch} too high"
+        );
     }
 
     #[test]
@@ -447,7 +499,11 @@ mod tests {
         let run = |seed| {
             let mut s = sim(10, 8, seed);
             let r = s.run();
-            (r.metrics.tasks_total, r.metrics.deadline_misses, r.metrics.migrations)
+            (
+                r.metrics.tasks_total,
+                r.metrics.deadline_misses,
+                r.metrics.migrations,
+            )
         };
         assert_eq!(run(7), run(7));
     }
@@ -456,6 +512,94 @@ mod tests {
     #[should_panic(expected = "no such server")]
     fn failure_validates_server_index() {
         let mut s = sim(4, 2, 8);
-        s.inject_failure(FailureSpec { server: 5, at: Duration::ZERO, recover_after: None });
+        s.inject_failure(FailureSpec {
+            server: 5,
+            at: Duration::ZERO,
+            recover_after: None,
+        });
+    }
+
+    #[test]
+    fn parallel_executor_path_meets_deadlines_and_records_slack() {
+        // batch = 1: a batch is the steal/dispatch unit, so batching
+        // consecutive TTIs of one cell serializes them on one core —
+        // fatal when service (~1.6 ms) exceeds the 1 ms TTI spacing.
+        // E6 sweeps that tradeoff; here we want the healthy baseline.
+        let mut cfg = PoolConfig::default_eval(10);
+        cfg.parallel = Some(ParallelConfig {
+            cores: 4,
+            batch: 1,
+            steal: true,
+        });
+        let mut s = PoolSimulator::new(small_trace(12, 1), cfg);
+        let report = s.run();
+        let m = &report.metrics;
+        assert!(m.tasks_total > 0);
+        assert!(
+            m.miss_ratio() < 0.01,
+            "parallel pool miss ratio {} in a healthy pool",
+            m.miss_ratio()
+        );
+        // Every on-time task contributes a slack sample.
+        assert_eq!(
+            m.deadline_slack.count() + m.deadline_misses,
+            m.tasks_total - m.tasks_lost,
+            "slack samples + misses must cover all executed tasks"
+        );
+        assert!(m.deadline_slack.mean() > Duration::ZERO);
+    }
+
+    #[test]
+    fn parallel_path_deterministic_without_stealing() {
+        let run = || {
+            let mut cfg = PoolConfig::default_eval(8);
+            cfg.parallel = Some(ParallelConfig {
+                cores: 4,
+                batch: 4,
+                steal: false,
+            });
+            let mut s = PoolSimulator::new(small_trace(10, 7), cfg);
+            let r = s.run();
+            (
+                r.metrics.deadline_misses,
+                r.metrics.steals,
+                r.metrics.deadline_slack.count(),
+            )
+        };
+        let a = run();
+        assert_eq!(a, run());
+        assert_eq!(a.1, 0, "no stealing when disabled");
+    }
+
+    #[test]
+    fn parallel_cores_override_core_capacity() {
+        // With the same pool, an 8-core executor model halves per-core
+        // GOPS vs a 4-core one; more cores still schedule fine at this
+        // load, and stealing keeps the miss ratio healthy.
+        let mut cfg = PoolConfig::default_eval(10);
+        cfg.parallel = Some(ParallelConfig {
+            cores: 8,
+            batch: 4,
+            steal: true,
+        });
+        let mut s = PoolSimulator::new(small_trace(12, 2), cfg);
+        let report = s.run();
+        assert!(
+            report.metrics.miss_ratio() < 0.05,
+            "{}",
+            report.metrics.miss_ratio()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one core")]
+    fn parallel_config_validated_at_construction() {
+        let mut cfg = PoolConfig::default_eval(2);
+        cfg.parallel = Some(ParallelConfig {
+            cores: 0,
+            batch: 1,
+            steal: true,
+        });
+        PoolSimulator::new(small_trace(4, 3), cfg);
     }
 }

@@ -37,6 +37,14 @@ pub struct UeModelConfig {
     pub peak_arrival_rate: f64,
     /// Step length in seconds.
     pub step_seconds: f64,
+    /// Largest fraction of the PRB grid a single guaranteed-rate bearer
+    /// may be granted. UEs whose SINR would need more are refused as a
+    /// service limit (counted in `blocked_coverage`), not admitted —
+    /// the per-bearer share cap every real admission controller
+    /// enforces. Without it, one deeply shadowed cell-edge UE can hold
+    /// 80%+ of the grid for its whole session and everything arriving
+    /// behind it reads as congestion even when the cell is nearly idle.
+    pub max_grant_fraction: f64,
 }
 
 impl UeModelConfig {
@@ -52,6 +60,9 @@ impl UeModelConfig {
             // — the grid saturates right at the profile peak, by design.
             peak_arrival_rate: 0.15,
             step_seconds: 60.0,
+            // A cell-edge UE may need up to half the grid; beyond that
+            // the bearer is refused as unservable.
+            max_grant_fraction: 0.5,
         }
     }
 }
@@ -101,6 +112,10 @@ impl UeCell {
     pub fn new(config: UeModelConfig) -> Self {
         assert!(config.cell_radius_m > 0.0 && config.step_seconds > 0.0);
         assert!(
+            config.max_grant_fraction > 0.0,
+            "max_grant_fraction must be positive"
+        );
+        assert!(
             config.step_seconds <= 2.0 * config.mean_session_s,
             "step ({} s) too coarse for {} s sessions",
             config.step_seconds,
@@ -127,25 +142,27 @@ impl UeCell {
         self.sessions.retain(|s| s.remaining_s > 0.0);
 
         // Arrivals.
-        let lambda = cfg.peak_arrival_rate * rate_multiplier.clamp(0.0, 1.0)
-            * cfg.step_seconds;
+        let lambda = cfg.peak_arrival_rate * rate_multiplier.clamp(0.0, 1.0) * cfg.step_seconds;
         let arrivals = poisson(lambda, rng);
         let mut blocked = 0usize;
         for _ in 0..arrivals {
             // Uniform position in the disc.
             let r = cfg.cell_radius_m * rng.gen::<f64>().sqrt();
             let sinr = cfg.link.sinr_db(r, rng);
-            let (Some(_mcs), Some(prbs)) =
-                (cfg.link.adapt_mcs(sinr), cfg.link.required_prbs(cfg.demand_bps, sinr))
-            else {
+            let (Some(_mcs), Some(prbs)) = (
+                cfg.link.adapt_mcs(sinr),
+                cfg.link.required_prbs(cfg.demand_bps, sinr),
+            ) else {
                 self.blocked_coverage += 1; // out of coverage: deep shadowing
                 blocked += 1;
                 continue;
             };
             let mcs = cfg.link.adapt_mcs(sinr).expect("checked above");
-            if prbs > grid {
-                // The whole grid cannot carry this UE's demand at its SINR:
-                // a coverage/service limit, not congestion.
+            let grant_cap = ((f64::from(grid) * cfg.max_grant_fraction) as u32).clamp(1, grid);
+            if prbs > grant_cap {
+                // This UE's demand at its SINR exceeds the per-bearer
+                // share the admission controller will grant: a
+                // coverage/service limit, not congestion.
                 self.blocked_coverage += 1;
                 blocked += 1;
                 continue;
@@ -210,12 +227,7 @@ impl UeCell {
 /// Synthesize a [`Trace`] from UE dynamics: each cell runs the microscopic
 /// model with its class's diurnal profile modulating the arrival rate.
 /// Alternative to `pran_traces::generate` when per-user realism matters.
-pub fn synthesize_trace(
-    cells: usize,
-    config: &UeModelConfig,
-    duration_s: f64,
-    seed: u64,
-) -> Trace {
+pub fn synthesize_trace(cells: usize, config: &UeModelConfig, duration_s: f64, seed: u64) -> Trace {
     assert!(cells > 0);
     let mut rng = SmallRng::seed_from_u64(seed);
     let classes = CellClass::all();
@@ -230,8 +242,10 @@ pub fn synthesize_trace(
             peak_utilization: 1.0,
         })
         .collect();
-    let profiles: Vec<DiurnalProfile> =
-        metas.iter().map(|m| DiurnalProfile::for_class(m.class)).collect();
+    let profiles: Vec<DiurnalProfile> = metas
+        .iter()
+        .map(|m| DiurnalProfile::for_class(m.class))
+        .collect();
     let mut states: Vec<UeCell> = (0..cells).map(|_| UeCell::new(config.clone())).collect();
 
     let steps = (duration_s / config.step_seconds).round() as usize;
@@ -245,7 +259,11 @@ pub fn synthesize_trace(
             .collect();
         samples.push(row);
     }
-    let trace = Trace { step_seconds: config.step_seconds, cells: metas, samples };
+    let trace = Trace {
+        step_seconds: config.step_seconds,
+        cells: metas,
+        samples,
+    };
     debug_assert!(trace.validate().is_ok());
     trace
 }
@@ -278,7 +296,10 @@ mod tests {
             for _ in 0..20 {
                 cell.step(mult, &mut r);
             }
-            (0..50).map(|_| cell.step(mult, &mut r).utilization).sum::<f64>() / 50.0
+            (0..50)
+                .map(|_| cell.step(mult, &mut r).utilization)
+                .sum::<f64>()
+                / 50.0
         };
         let low = run(0.2);
         let high = run(0.9);
@@ -292,7 +313,12 @@ mod tests {
         cfg.peak_arrival_rate = 20.0; // far beyond capacity
         let mut cell = UeCell::new(cfg);
         let mut r = rng(3);
-        let mut last = CellLoad { utilization: 0.0, mean_mcs: None, users: 0, blocked: 0 };
+        let mut last = CellLoad {
+            utilization: 0.0,
+            mean_mcs: None,
+            users: 0,
+            blocked: 0,
+        };
         for _ in 0..10 {
             last = cell.step(1.0, &mut r);
             assert!(last.utilization <= 1.0 + 1e-12);
@@ -358,6 +384,45 @@ mod tests {
     #[test]
     #[should_panic(expected = "too coarse")]
     fn coarse_steps_rejected() {
-        UeCell::new(UeModelConfig { step_seconds: 600.0, ..UeModelConfig::default_eval() });
+        UeCell::new(UeModelConfig {
+            step_seconds: 600.0,
+            ..UeModelConfig::default_eval()
+        });
+    }
+
+    #[test]
+    fn grant_cap_limits_single_sessions() {
+        // With the per-bearer cap no admitted session may hold more than
+        // max_grant_fraction of the grid; oversized demands land in the
+        // coverage/service counter, never in the congestion counter while
+        // the grid has room.
+        let cfg = UeModelConfig::default_eval();
+        let grid = cfg.bandwidth.prbs();
+        let cap = (f64::from(grid) * cfg.max_grant_fraction) as u32;
+        let mut cell = UeCell::new(cfg);
+        let mut r = rng(17);
+        let mut max_prbs = 0u32;
+        for _ in 0..200 {
+            let load = cell.step(0.5, &mut r);
+            let in_use = (load.utilization * f64::from(grid)).round() as u32;
+            max_prbs = max_prbs.max(in_use / load.users.max(1) as u32);
+        }
+        assert!(
+            max_prbs <= cap,
+            "mean grant {max_prbs} exceeds per-bearer cap {cap}"
+        );
+        assert!(
+            cell.blocked_coverage > 0,
+            "deep-shadowed UEs must be refused"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "max_grant_fraction")]
+    fn zero_grant_fraction_rejected() {
+        UeCell::new(UeModelConfig {
+            max_grant_fraction: 0.0,
+            ..UeModelConfig::default_eval()
+        });
     }
 }

@@ -69,7 +69,13 @@ impl Mmpp2 {
         assert!(rate_calm >= 0.0 && rate_burst >= 0.0);
         assert!((0.0..=1.0).contains(&p_enter_burst));
         assert!((0.0..=1.0).contains(&p_exit_burst));
-        Mmpp2 { rate_calm, rate_burst, p_enter_burst, p_exit_burst, state: 0 }
+        Mmpp2 {
+            rate_calm,
+            rate_burst,
+            p_enter_burst,
+            p_exit_burst,
+            state: 0,
+        }
     }
 
     /// Whether the process is currently bursting.
@@ -85,7 +91,11 @@ impl Mmpp2 {
         } else if self.state == 1 && flip < self.p_exit_burst {
             self.state = 0;
         }
-        let rate = if self.state == 0 { self.rate_calm } else { self.rate_burst };
+        let rate = if self.state == 0 {
+            self.rate_calm
+        } else {
+            self.rate_burst
+        };
         poisson(rate, rng)
     }
 
@@ -115,7 +125,10 @@ impl SessionPool {
     /// Empty pool.
     pub fn new(mean_duration_steps: f64) -> Self {
         assert!(mean_duration_steps > 0.0);
-        SessionPool { mean_duration_steps, remaining: Vec::new() }
+        SessionPool {
+            mean_duration_steps,
+            remaining: Vec::new(),
+        }
     }
 
     /// Advance one step with `arrivals` new sessions; returns the number of
@@ -126,7 +139,8 @@ impl SessionPool {
         }
         self.remaining.retain(|&r| r > 0.0);
         for _ in 0..arrivals {
-            self.remaining.push(exponential(self.mean_duration_steps, rng));
+            self.remaining
+                .push(exponential(self.mean_duration_steps, rng));
         }
         self.remaining.len()
     }
@@ -187,7 +201,10 @@ mod tests {
         let total: u64 = (0..n).map(|_| m.step(&mut rng)).sum();
         let rate = total as f64 / n as f64;
         let expect = m.stationary_rate();
-        assert!((rate - expect).abs() < expect * 0.1, "rate {rate} vs {expect}");
+        assert!(
+            (rate - expect).abs() < expect * 0.1,
+            "rate {rate} vs {expect}"
+        );
     }
 
     #[test]
@@ -197,8 +214,7 @@ mod tests {
         let mut m = Mmpp2::new(1.0, 30.0, 0.02, 0.1);
         let samples: Vec<f64> = (0..50_000).map(|_| m.step(&mut rng) as f64).collect();
         let mean = samples.iter().sum::<f64>() / samples.len() as f64;
-        let var =
-            samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / samples.len() as f64;
+        let var = samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / samples.len() as f64;
         assert!(var / mean > 2.0, "dispersion {}", var / mean);
     }
 
@@ -218,7 +234,10 @@ mod tests {
             .sum::<f64>()
             / n as f64;
         let expect = lambda * 10.0;
-        assert!((mean - expect).abs() < expect * 0.1, "mean {mean} vs {expect}");
+        assert!(
+            (mean - expect).abs() < expect * 0.1,
+            "mean {mean} vs {expect}"
+        );
     }
 
     #[test]

@@ -73,7 +73,11 @@ pub struct DiurnalProfile {
 
 impl DiurnalProfile {
     fn build(base: f64, bumps: Vec<Bump>) -> Self {
-        let mut p = DiurnalProfile { base, bumps, norm: 1.0 };
+        let mut p = DiurnalProfile {
+            base,
+            bumps,
+            norm: 1.0,
+        };
         // Normalize to a peak of exactly 1.0 (sampled on a fine grid).
         let peak = (0..2400)
             .map(|i| p.raw(i as f64 / 100.0))
@@ -97,31 +101,71 @@ impl DiurnalProfile {
             CellClass::Residential => Self::build(
                 0.12,
                 vec![
-                    Bump { center: 7.5, sigma: 1.2, amp: 0.35 },
-                    Bump { center: 20.5, sigma: 2.4, amp: 1.0 },
-                    Bump { center: 12.5, sigma: 1.5, amp: 0.25 },
+                    Bump {
+                        center: 7.5,
+                        sigma: 1.2,
+                        amp: 0.35,
+                    },
+                    Bump {
+                        center: 20.5,
+                        sigma: 2.4,
+                        amp: 1.0,
+                    },
+                    Bump {
+                        center: 12.5,
+                        sigma: 1.5,
+                        amp: 0.25,
+                    },
                 ],
             ),
             CellClass::Office => Self::build(
                 0.05,
                 vec![
-                    Bump { center: 10.5, sigma: 1.8, amp: 0.9 },
-                    Bump { center: 14.5, sigma: 1.8, amp: 1.0 },
+                    Bump {
+                        center: 10.5,
+                        sigma: 1.8,
+                        amp: 0.9,
+                    },
+                    Bump {
+                        center: 14.5,
+                        sigma: 1.8,
+                        amp: 1.0,
+                    },
                 ],
             ),
             CellClass::Transport => Self::build(
                 0.08,
                 vec![
-                    Bump { center: 8.0, sigma: 0.9, amp: 1.0 },
-                    Bump { center: 18.0, sigma: 1.1, amp: 0.95 },
-                    Bump { center: 13.0, sigma: 2.5, amp: 0.3 },
+                    Bump {
+                        center: 8.0,
+                        sigma: 0.9,
+                        amp: 1.0,
+                    },
+                    Bump {
+                        center: 18.0,
+                        sigma: 1.1,
+                        amp: 0.95,
+                    },
+                    Bump {
+                        center: 13.0,
+                        sigma: 2.5,
+                        amp: 0.3,
+                    },
                 ],
             ),
             CellClass::Entertainment => Self::build(
                 0.06,
                 vec![
-                    Bump { center: 21.5, sigma: 1.6, amp: 1.0 },
-                    Bump { center: 12.5, sigma: 1.2, amp: 0.3 },
+                    Bump {
+                        center: 21.5,
+                        sigma: 1.6,
+                        amp: 1.0,
+                    },
+                    Bump {
+                        center: 12.5,
+                        sigma: 1.2,
+                        amp: 0.3,
+                    },
                 ],
             ),
         }

@@ -67,7 +67,12 @@ pub struct ClassMix {
 impl ClassMix {
     /// The default urban mix.
     pub fn urban() -> Self {
-        ClassMix { residential: 0.4, office: 0.3, transport: 0.2, entertainment: 0.1 }
+        ClassMix {
+            residential: 0.4,
+            office: 0.3,
+            transport: 0.2,
+            entertainment: 0.1,
+        }
     }
 
     /// Pick a class for fraction `u ∈ [0, 1)` of the weight mass.
@@ -152,13 +157,19 @@ pub fn generate(cfg: &TraceConfig) -> Trace {
                 x: rng.gen_range(0.0..cfg.area_side_m),
                 y: rng.gen_range(0.0..cfg.area_side_m),
             };
-            let peak_utilization =
-                rng.gen_range(cfg.peak_utilization.0..=cfg.peak_utilization.1);
-            CellMeta { id, class, position, peak_utilization }
+            let peak_utilization = rng.gen_range(cfg.peak_utilization.0..=cfg.peak_utilization.1);
+            CellMeta {
+                id,
+                class,
+                position,
+                peak_utilization,
+            }
         })
         .collect();
-    let profiles: Vec<DiurnalProfile> =
-        cells.iter().map(|c| DiurnalProfile::for_class(c.class)).collect();
+    let profiles: Vec<DiurnalProfile> = cells
+        .iter()
+        .map(|c| DiurnalProfile::for_class(c.class))
+        .collect();
 
     let steps = (cfg.duration_seconds / cfg.step_seconds).round() as usize;
     let mut samples = Vec::with_capacity(steps);
@@ -180,8 +191,8 @@ pub fn generate(cfg: &TraceConfig) -> Trace {
 
         let mut row = Vec::with_capacity(cfg.num_cells);
         for (c, meta) in cells.iter().enumerate() {
-            cell_noise[c] = a * cell_noise[c]
-                + innov_scale * cfg.cell_noise_sigma * standard_normal(&mut rng);
+            cell_noise[c] =
+                a * cell_noise[c] + innov_scale * cfg.cell_noise_sigma * standard_normal(&mut rng);
             // Weekly seasonality: offices/commutes empty out on weekends,
             // homes and venues pick up part of the slack.
             let weekly = if weekend && cfg.weekend_factor != 1.0 {
@@ -206,7 +217,11 @@ pub fn generate(cfg: &TraceConfig) -> Trace {
         samples.push(row);
     }
 
-    let trace = Trace { step_seconds: cfg.step_seconds, cells, samples };
+    let trace = Trace {
+        step_seconds: cfg.step_seconds,
+        cells,
+        samples,
+    };
     debug_assert!(trace.validate().is_ok());
     trace
 }
@@ -244,7 +259,12 @@ mod tests {
 
     #[test]
     fn class_mix_pick_respects_weights() {
-        let mix = ClassMix { residential: 1.0, office: 0.0, transport: 0.0, entertainment: 0.0 };
+        let mix = ClassMix {
+            residential: 1.0,
+            office: 0.0,
+            transport: 0.0,
+            entertainment: 0.0,
+        };
         for i in 0..10 {
             assert_eq!(mix.pick(i as f64 / 10.0), CellClass::Residential);
         }
@@ -290,7 +310,10 @@ mod tests {
         let mut cfg = TraceConfig::default_day(30, 11);
         // A mid-day crowd covering the whole area.
         cfg.flash_crowds.push(FlashCrowd {
-            epicenter: Point { x: 5000.0, y: 5000.0 },
+            epicenter: Point {
+                x: 5000.0,
+                y: 5000.0,
+            },
             radius_m: 20_000.0,
             start_s: 12.0 * 3600.0,
             duration_s: 2.0 * 3600.0,
@@ -312,8 +335,12 @@ mod tests {
     #[test]
     fn office_cells_follow_office_rhythm() {
         let mut cfg = TraceConfig::default_day(8, 5);
-        cfg.class_mix =
-            ClassMix { residential: 0.0, office: 1.0, transport: 0.0, entertainment: 0.0 };
+        cfg.class_mix = ClassMix {
+            residential: 0.0,
+            office: 1.0,
+            transport: 0.0,
+            entertainment: 0.0,
+        };
         cfg.cell_noise_sigma = 0.0;
         cfg.regional_sigma = 0.0;
         let t = generate(&cfg);
@@ -331,8 +358,12 @@ mod tests {
         cfg.weekend_factor = 0.3;
         cfg.cell_noise_sigma = 0.0;
         cfg.regional_sigma = 0.0;
-        cfg.class_mix =
-            ClassMix { residential: 0.5, office: 0.5, transport: 0.0, entertainment: 0.0 };
+        cfg.class_mix = ClassMix {
+            residential: 0.5,
+            office: 0.5,
+            transport: 0.0,
+            entertainment: 0.0,
+        };
         let t = generate(&cfg);
         // Compare Wednesday (day 2) noon vs Saturday (day 5) noon.
         let wed = (2 * 24 + 12) as usize;
@@ -375,8 +406,12 @@ mod tests {
     #[test]
     fn regional_factor_induces_positive_correlation() {
         let mut cfg = TraceConfig::default_day(2, 21);
-        cfg.class_mix =
-            ClassMix { residential: 1.0, office: 0.0, transport: 0.0, entertainment: 0.0 };
+        cfg.class_mix = ClassMix {
+            residential: 1.0,
+            office: 0.0,
+            transport: 0.0,
+            entertainment: 0.0,
+        };
         cfg.regional_sigma = 0.25;
         cfg.cell_noise_sigma = 0.02;
         let t = generate(&cfg);

@@ -76,7 +76,11 @@ impl Trace {
         }
         for (t, row) in self.samples.iter().enumerate() {
             if row.len() != self.cells.len() {
-                return Err(format!("row {t} has {} cells, expected {}", row.len(), self.cells.len()));
+                return Err(format!(
+                    "row {t} has {} cells, expected {}",
+                    row.len(),
+                    self.cells.len()
+                ));
             }
             for (c, &v) in row.iter().enumerate() {
                 if !(0.0..=1.0).contains(&v) || v.is_nan() {
@@ -201,7 +205,11 @@ impl Trace {
                 peak_utilization: 1.0,
             })
             .collect();
-        let trace = Trace { step_seconds, cells, samples };
+        let trace = Trace {
+            step_seconds,
+            cells,
+            samples,
+        };
         trace.validate()?;
         Ok(trace)
     }
@@ -293,7 +301,11 @@ mod tests {
             vec![0.2, 0.8],
             vec![0.0, 1.0],
         ];
-        Trace { step_seconds: 3600.0, cells, samples }
+        Trace {
+            step_seconds: 3600.0,
+            cells,
+            samples,
+        }
     }
 
     #[test]
@@ -337,7 +349,10 @@ mod tests {
     #[test]
     fn correlation_signs() {
         let t = toy_trace();
-        assert!(t.correlation(0, 1) < -0.9, "complementary cells anticorrelate");
+        assert!(
+            t.correlation(0, 1) < -0.9,
+            "complementary cells anticorrelate"
+        );
         assert!((pearson(&[1.0, 2.0, 3.0], &[2.0, 4.0, 6.0]) - 1.0).abs() < 1e-12);
         assert_eq!(pearson(&[1.0, 1.0], &[0.0, 5.0]), 0.0, "degenerate series");
     }
@@ -381,7 +396,12 @@ mod tests {
         let back = Trace::from_csv(&csv, t.step_seconds).unwrap();
         assert_eq!(back.num_cells(), t.num_cells());
         assert_eq!(back.num_steps(), t.num_steps());
-        for (a, b) in back.samples.iter().flatten().zip(t.samples.iter().flatten()) {
+        for (a, b) in back
+            .samples
+            .iter()
+            .flatten()
+            .zip(t.samples.iter().flatten())
+        {
             assert!((a - b).abs() < 1e-4, "{a} vs {b}");
         }
     }
@@ -391,8 +411,14 @@ mod tests {
         assert!(Trace::from_csv("", 60.0).is_err());
         assert!(Trace::from_csv("x,cell0\n0,0.5", 60.0).is_err());
         assert!(Trace::from_csv("t,cell0\n0,notanumber", 60.0).is_err());
-        assert!(Trace::from_csv("t,cell0\n0,0.5,0.7", 60.0).is_err(), "ragged row");
-        assert!(Trace::from_csv("t,cell0\n0,7.5", 60.0).is_err(), "out of range");
+        assert!(
+            Trace::from_csv("t,cell0\n0,0.5,0.7", 60.0).is_err(),
+            "ragged row"
+        );
+        assert!(
+            Trace::from_csv("t,cell0\n0,7.5", 60.0).is_err(),
+            "out of range"
+        );
     }
 
     #[test]

@@ -13,9 +13,7 @@
 
 use std::time::Duration;
 
-use pran::phy::kernels::{
-    turbo_decode, turbo_encode, QppInterleaver, SoftCodeword,
-};
+use pran::phy::kernels::{turbo_decode, turbo_encode, QppInterleaver, SoftCodeword};
 use pran::sched::realtime::executor::{DeadlineExecutor, Job};
 use pran::sim::{FailureSpec, PoolConfig, PoolSimulator};
 use pran::traces::{generate, TraceConfig};
@@ -87,8 +85,14 @@ fn main() {
     };
     // Worker counts scale to this machine; on a single-core box the
     // comparison degenerates (time-slicing), which the output calls out.
-    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
-    let (full, degraded) = if cores >= 2 { (cores, cores - 1) } else { (2, 1) };
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let (full, degraded) = if cores >= 2 {
+        (cores, cores - 1)
+    } else {
+        (2, 1)
+    };
     // Deadline sits between the full and degraded batch completion times,
     // so losing a worker turns a clean batch into misses (given real
     // hardware parallelism).

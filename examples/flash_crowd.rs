@@ -28,7 +28,10 @@ fn main() {
     // 19:00–22:00, epicentre in the north-east, +60 % utilization at peak.
     let mut cfg = TraceConfig::default_day(num_cells, seed);
     cfg.flash_crowds.push(FlashCrowd {
-        epicenter: Point { x: 7_500.0, y: 7_500.0 },
+        epicenter: Point {
+            x: 7_500.0,
+            y: 7_500.0,
+        },
         radius_m: 2_500.0,
         start_s: 19.0 * 3600.0,
         duration_s: 3.0 * 3600.0,

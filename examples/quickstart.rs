@@ -60,7 +60,8 @@ fn main() {
     print_placement(&ctl);
 
     // Server returns; the next epochs fold it back in as load requires.
-    ctl.server_recovered(victim, Duration::from_secs(300)).unwrap();
+    ctl.server_recovered(victim, Duration::from_secs(300))
+        .unwrap();
     let report = ctl.run_epoch(Duration::from_secs(360));
     println!("\n== epoch {} (after recovery) ==", report.epoch);
     println!("  servers in use: {}", report.servers_used);

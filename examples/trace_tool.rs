@@ -77,7 +77,10 @@ fn main() -> ExitCode {
             println!("  sum of per-cell peaks: {:.2}", trace.sum_of_peaks());
             println!("  peak of aggregate:     {:.2}", trace.peak_of_sum());
             println!("  multiplexing gain:     {:.2}×", trace.multiplexing_gain());
-            println!("  pooling saving:        {:.0}%", trace.pooling_saving() * 100.0);
+            println!(
+                "  pooling saving:        {:.0}%",
+                trace.pooling_saving() * 100.0
+            );
             for c in 0..trace.num_cells().min(8) {
                 println!(
                     "  cell {c:>2} [{}]: peak {:.2}, mean {:.2}, PTM {:.2}",

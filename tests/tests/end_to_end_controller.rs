@@ -19,9 +19,7 @@ fn drive(
         for (&cell, &util) in cells.iter().zip(&trace.samples[t]) {
             ctl.report_load(cell, util).expect("registered");
         }
-        reports.push(ctl.run_epoch(Duration::from_secs_f64(
-            t as f64 * trace.step_seconds,
-        )));
+        reports.push(ctl.run_epoch(Duration::from_secs_f64(t as f64 * trace.step_seconds)));
     }
     reports
 }
@@ -46,7 +44,10 @@ fn full_day_places_everyone_with_bounded_churn() {
     // Churn after the first epoch should be a small fraction of cells.
     let churn: usize = reports[1..].iter().map(|r| r.migrations).sum();
     let per_epoch = churn as f64 / (reports.len() - 1) as f64;
-    assert!(per_epoch < 4.0, "mean churn {per_epoch} cells/epoch too high");
+    assert!(
+        per_epoch < 4.0,
+        "mean churn {per_epoch} cells/epoch too high"
+    );
 }
 
 #[test]
@@ -114,7 +115,9 @@ fn failure_recovery_with_and_without_the_app() {
     // Without the app: displaced cells wait for the next epoch.
     let mut without = setup(false);
     let victim = without.placement().assignment[0].unwrap();
-    let rep = without.server_failed(victim, Duration::from_secs(61)).unwrap();
+    let rep = without
+        .server_failed(victim, Duration::from_secs(61))
+        .unwrap();
     assert!(!rep.displaced.is_empty());
     assert_eq!(rep.replaced, 0);
 
@@ -191,7 +194,10 @@ fn actions_are_validated_not_trusted() {
         fn on_epoch(&mut self, _view: &pran::PoolView) -> Vec<pran::Action> {
             vec![
                 pran::Action::Migrate { cell: 999, to: 0 },
-                pran::Action::CapPrbs { cell: 0, prbs: 10_000 },
+                pran::Action::CapPrbs {
+                    cell: 0,
+                    prbs: 10_000,
+                },
                 pran::Action::Drain { server: 999 },
             ]
         }

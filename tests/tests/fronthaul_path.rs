@@ -17,7 +17,10 @@ fn lossy_link_reassembly_with_expiry() {
     // Ship 200 TTIs of fragmented payloads through a 10 %-loss link;
     // complete payloads must be intact, incomplete ones must be expirable.
     let mut injector = FaultInjector::new(
-        FaultConfig { drop_prob: 0.10, ..FaultConfig::clean() },
+        FaultConfig {
+            drop_prob: 0.10,
+            ..FaultConfig::clean()
+        },
         42,
     );
     let mut reasm = Reassembler::new();
@@ -96,7 +99,11 @@ fn latency_budget_builds_the_reachability_matrix() {
         .iter()
         .map(|&m| FronthaulPath::metro(m).feasible(bytes_per_tti, service))
         .collect();
-    assert_eq!(allowed_row, vec![true, true, false], "400 km must be out of reach");
+    assert_eq!(
+        allowed_row,
+        vec![true, true, false],
+        "400 km must be out of reach"
+    );
 
     // Feed the matrix into placement: cells can only land on reachable
     // sites even when the far site has infinite room.
@@ -127,15 +134,17 @@ fn split_choice_changes_reach() {
             .filter(|&&m| {
                 let path = FronthaulPath::metro(m);
                 // Both the HARQ budget and the split's own tolerance bind.
-                path.feasible(bytes, service)
-                    && path.one_way(bytes) <= split.max_one_way_latency()
+                path.feasible(bytes, service) && path.one_way(bytes) <= split.max_one_way_latency()
             })
             .count()
     };
 
     let iq = reach(FunctionalSplit::TimeDomainIq);
     let tb = reach(FunctionalSplit::TransportBlocks);
-    assert!(tb > iq, "higher split must reach further: IQ {iq} vs TB {tb}");
+    assert!(
+        tb > iq,
+        "higher split must reach further: IQ {iq} vs TB {tb}"
+    );
 }
 
 #[test]
@@ -146,8 +155,7 @@ fn tti_payload_survives_wire_roundtrip_at_every_split_size() {
     let ant = AntennaConfig::pran_default();
     let mcs = Mcs::new(28);
     for split in FunctionalSplit::all() {
-        let bytes_per_tti =
-            (split.bandwidth_bps(bw, ant, 1.0, mcs) * 1e-3 / 8.0) as usize;
+        let bytes_per_tti = (split.bandwidth_bps(bw, ant, 1.0, mcs) * 1e-3 / 8.0) as usize;
         let payload: Vec<u8> = (0..bytes_per_tti).map(|i| (i % 251) as u8).collect();
         let frames = fragment(FrameKind::UplinkData, 9, 1234, &payload, 1500);
         let mut reasm = Reassembler::new();

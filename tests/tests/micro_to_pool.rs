@@ -45,7 +45,10 @@ fn ue_driven_failover_recovers() {
     });
     let report = sim.run();
     let f = report.failovers.first().expect("failure handled");
-    assert_eq!(f.replaced, f.displaced, "spare capacity absorbs the failure");
+    assert_eq!(
+        f.replaced, f.displaced,
+        "spare capacity absorbs the failure"
+    );
 }
 
 #[test]

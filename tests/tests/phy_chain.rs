@@ -17,7 +17,10 @@ fn link_adaptation_to_pipeline_roundtrip() {
     let lb = LinkBudget::macro_cell();
     let sinr = lb.mean_sinr_db(400.0);
     let mcs = lb.adapt_mcs(sinr).expect("UE in coverage");
-    let prbs = lb.required_prbs(5e6, sinr).expect("rate grantable").clamp(1, 25);
+    let prbs = lb
+        .required_prbs(5e6, sinr)
+        .expect("rate grantable")
+        .clamp(1, 25);
 
     let cfg = PipelineConfig {
         bandwidth: Bandwidth::Mhz5,
@@ -125,5 +128,8 @@ fn link_budget_mcs_distribution_is_sane() {
             }] += 1;
         }
     }
-    assert!(counts.iter().all(|&c| c > n / 20), "modulation mix degenerate: {counts:?}");
+    assert!(
+        counts.iter().all(|&c| c > n / 20),
+        "modulation mix degenerate: {counts:?}"
+    );
 }

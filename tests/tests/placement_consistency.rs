@@ -2,9 +2,7 @@
 //! dimensioning, on shared instances.
 
 use pran_ilp::BnbConfig;
-use pran_sched::placement::dimensioning::{
-    dedicated_servers, pooled_servers, GopsConverter,
-};
+use pran_sched::placement::dimensioning::{dedicated_servers, pooled_servers, GopsConverter};
 use pran_sched::placement::heuristics::{place, Heuristic};
 use pran_sched::placement::ilp;
 use pran_sched::placement::migration::{diff, incremental_repack};
@@ -29,7 +27,10 @@ fn ilp_never_worse_than_any_heuristic() {
         let inst = random_instance(10, seed);
         let exact = ilp::solve(
             &inst,
-            &BnbConfig { max_nodes: 20_000, ..BnbConfig::default() },
+            &BnbConfig {
+                max_nodes: 20_000,
+                ..BnbConfig::default()
+            },
         );
         let Some(ilp_placement) = exact.placement else {
             panic!("seed {seed}: ILP found nothing");
@@ -131,7 +132,10 @@ fn ilp_matches_heuristic_time_ordering() {
 
     let exact = ilp::solve(
         &inst,
-        &BnbConfig { max_nodes: 20_000, ..BnbConfig::default() },
+        &BnbConfig {
+            max_nodes: 20_000,
+            ..BnbConfig::default()
+        },
     );
     assert!(exact.placement.is_some());
     assert!(

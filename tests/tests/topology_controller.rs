@@ -121,5 +121,7 @@ fn snapshot_preserves_topology_binding() {
 fn binding_validates_server_count() {
     let topo = edge_regional(4, 1000.0, 2, 6, 80.0, FunctionalSplit::FrequencyDomain);
     let mut ctl = Controller::new(SystemConfig::default_eval(3)); // wrong count
-    assert!(ctl.bind_topology(&topo, Duration::from_micros(1000)).is_err());
+    assert!(ctl
+        .bind_topology(&topo, Duration::from_micros(1000))
+        .is_err());
 }

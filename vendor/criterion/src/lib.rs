@@ -1,0 +1,386 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the benchmark-harness subset this workspace's benches
+//! use: groups, `bench_function` / `bench_with_input`, `iter` /
+//! `iter_batched`, throughput annotation, and the `criterion_group!` /
+//! `criterion_main!` macros. Statistics are deliberately simple —
+//! median and min/max over a fixed number of samples, each sample
+//! auto-scaled to run long enough to be timeable — with no HTML
+//! reports. When invoked with `--test` (as `cargo test` does for
+//! `harness = false` bench targets), every routine runs exactly once
+//! so the suite stays fast and the benches stay compiled-and-checked.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Work-per-iteration annotation; turns times into rates in reports.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Iteration processes this many logical elements.
+    Elements(u64),
+    /// Iteration processes this many bytes.
+    Bytes(u64),
+}
+
+/// How much setup output `iter_batched` may buffer per batch.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs; one setup per iteration is fine.
+    SmallInput,
+    /// Large inputs; also one setup per iteration here.
+    LargeInput,
+    /// Each iteration gets exactly one setup call.
+    PerIteration,
+}
+
+/// A benchmark identifier: `function_name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Id with an explicit function name and parameter.
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Id carrying only a parameter.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+/// Things accepted where a benchmark name is expected.
+pub trait IntoBenchmarkId {
+    /// The rendered `group/…` label suffix.
+    fn into_label(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_label(self) -> String {
+        self.label
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_label(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_label(self) -> String {
+        self
+    }
+}
+
+/// Opaque value sink preventing the optimizer from deleting the
+/// benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Timing driver handed to each benchmark routine.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_count: usize,
+    test_mode: bool,
+}
+
+impl Bencher {
+    /// Time `routine`, auto-scaling iterations per sample.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.test_mode {
+            black_box(routine());
+            return;
+        }
+        // Warm-up + calibration: find an iteration count that runs for
+        // at least ~2ms so short kernels are measurable.
+        let mut iters = 1u64;
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let elapsed = t0.elapsed();
+            if elapsed >= Duration::from_millis(2) || iters >= 1 << 20 {
+                break;
+            }
+            iters *= 4;
+        }
+        for _ in 0..self.sample_count {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            self.samples.push(t0.elapsed() / iters as u32);
+        }
+    }
+
+    /// Time `routine` with a fresh `setup` product per iteration,
+    /// excluding setup time from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        if self.test_mode {
+            black_box(routine(setup()));
+            return;
+        }
+        for _ in 0..2 {
+            black_box(routine(setup())); // warm-up
+        }
+        for _ in 0..self.sample_count {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            self.samples.push(t0.elapsed());
+        }
+    }
+}
+
+/// A named collection of related benchmarks sharing settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Annotate subsequent benchmarks with work-per-iteration.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Set the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Reduce total measurement time (accepted for API parity; the
+    /// sample count is what this harness actually scales).
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Benchmark a routine with no explicit input.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into_label());
+        self.run(label, |b| f(b));
+        self
+    }
+
+    /// Benchmark a routine over a borrowed input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.into_label());
+        self.run(label, |b| f(b, input));
+        self
+    }
+
+    fn run<F: FnOnce(&mut Bencher)>(&mut self, label: String, f: F) {
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            sample_count: self.sample_size,
+            test_mode: self.criterion.test_mode,
+        };
+        f(&mut bencher);
+        if self.criterion.test_mode {
+            println!("test {label} ... ok");
+            return;
+        }
+        report(&label, &bencher.samples, self.throughput);
+    }
+
+    /// End the group. (Reports are emitted per-benchmark.)
+    pub fn finish(self) {}
+}
+
+/// Entry point: hands out benchmark groups.
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo test` runs harness=false bench targets with `--test`;
+        // `cargo bench` passes `--bench`. Unknown flags (filters) are
+        // tolerated.
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion { test_mode }
+    }
+}
+
+impl Criterion {
+    /// Configure the default sample count (accepted for API parity).
+    pub fn sample_size(self, _n: usize) -> Self {
+        self
+    }
+
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+            sample_size: 20,
+            criterion: self,
+        }
+    }
+
+    /// Benchmark a routine outside any group.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            sample_count: 20,
+            test_mode: self.test_mode,
+        };
+        f(&mut bencher);
+        if self.test_mode {
+            println!("test {name} ... ok");
+        } else {
+            report(name, &bencher.samples, None);
+        }
+        self
+    }
+
+    /// Final hook for API parity; reports are already printed.
+    pub fn final_summary(&mut self) {}
+}
+
+fn report(label: &str, samples: &[Duration], throughput: Option<Throughput>) {
+    if samples.is_empty() {
+        println!("{label:<44} (no samples)");
+        return;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort();
+    let median = sorted[sorted.len() / 2];
+    let min = sorted[0];
+    let max = sorted[sorted.len() - 1];
+    let rate = throughput.map(|t| {
+        let per_sec = |n: u64| n as f64 / median.as_secs_f64().max(1e-12);
+        match t {
+            Throughput::Elements(n) => format!("  thrpt: {}/s", si(per_sec(n))),
+            Throughput::Bytes(n) => format!("  thrpt: {}B/s", si(per_sec(n))),
+        }
+    });
+    println!(
+        "{label:<44} time: [{} {} {}]{}",
+        fmt_time(min),
+        fmt_time(median),
+        fmt_time(max),
+        rate.unwrap_or_default()
+    );
+}
+
+fn fmt_time(d: Duration) -> String {
+    let ns = d.as_nanos() as f64;
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+fn si(x: f64) -> String {
+    if x >= 1e9 {
+        format!("{:.2} G", x / 1e9)
+    } else if x >= 1e6 {
+        format!("{:.2} M", x / 1e6)
+    } else if x >= 1e3 {
+        format!("{:.2} K", x / 1e3)
+    } else {
+        format!("{x:.1} ")
+    }
+}
+
+/// Define a benchmark group function from a list of `fn(&mut
+/// Criterion)` targets.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+            criterion.final_summary();
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Define `main` running one or more benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_group(c: &mut Criterion) {
+        let mut group = c.benchmark_group("demo");
+        group.sample_size(3);
+        group.throughput(Throughput::Elements(64));
+        group.bench_function("sum", |b| b.iter(|| (0u64..64).sum::<u64>()));
+        group.bench_with_input(BenchmarkId::new("scaled", 8), &8u64, |b, &n| {
+            b.iter_batched(
+                || vec![1u64; n as usize],
+                |v| v.iter().sum::<u64>(),
+                BatchSize::SmallInput,
+            )
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn harness_runs_end_to_end() {
+        // Can't rely on process args here; exercise both modes directly.
+        let mut timed = Criterion { test_mode: false };
+        run_group(&mut timed);
+        let mut tested = Criterion { test_mode: true };
+        run_group(&mut tested);
+    }
+
+    #[test]
+    fn id_labels() {
+        assert_eq!(BenchmarkId::new("f", 32).into_label(), "f/32");
+        assert_eq!(BenchmarkId::from_parameter("qpsk").into_label(), "qpsk");
+    }
+}

@@ -1,0 +1,530 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the strategy/runner subset this workspace's property
+//! tests use: range and `any::<T>()` strategies, tuple strategies,
+//! `Just`, `prop_map`/`prop_flat_map`, `collection::vec`, the
+//! `proptest!` macro with `#![proptest_config(...)]`, and the
+//! `prop_assert*` / `prop_assume!` macros. Differences from upstream:
+//!
+//! * **No shrinking.** A failing case reports the seed it was
+//!   generated from (cases are seeded deterministically per test name
+//!   and case index, so failures reproduce on re-run).
+//! * **Regression files** (`*.proptest-regressions`) are honoured by
+//!   replaying each recorded `cc` seed hash as an extra deterministic
+//!   case ahead of the generated ones. The hash seeds this runner's own
+//!   RNG — upstream's exact byte stream is not reconstructible — so
+//!   pinned inputs recorded in comments should additionally be asserted
+//!   by an explicit unit test where they matter.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::ops::{Range, RangeInclusive};
+
+pub mod prelude {
+    //! Everything the `proptest!` DSL needs in scope.
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Just,
+        ProptestConfig, Strategy, TestCaseError, TestRunner,
+    };
+}
+
+/// Runner configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+    /// Maximum rejected (`prop_assume!` failed) draws before giving up.
+    pub max_global_rejects: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 256,
+            max_global_rejects: 65_536,
+        }
+    }
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig {
+            cases,
+            ..Default::default()
+        }
+    }
+}
+
+/// Why a test case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` rejected the inputs; draw new ones.
+    Reject(String),
+    /// An assertion failed.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// Construct a failure.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// Construct a rejection.
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+/// A source of random values for strategies.
+pub struct TestRng(pub SmallRng);
+
+/// Something that can generate values.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Generate one value.
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values with `f`.
+    fn prop_map<T, F>(self, f: F) -> MapStrategy<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> T,
+    {
+        MapStrategy { inner: self, f }
+    }
+
+    /// Generate a value, then a second one from the strategy `f` builds
+    /// out of it.
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMapStrategy<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMapStrategy { inner: self, f }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct MapStrategy<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, T> Strategy for MapStrategy<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> T,
+{
+    type Value = T;
+
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        (self.f)(self.inner.new_value(rng))
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_flat_map`].
+pub struct FlatMapStrategy<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, S2> Strategy for FlatMapStrategy<S, F>
+where
+    S: Strategy,
+    S2: Strategy,
+    F: Fn(S::Value) -> S2,
+{
+    type Value = S2::Value;
+
+    fn new_value(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.inner.new_value(rng)).new_value(rng)
+    }
+}
+
+/// Always yields a clone of the wrapped value.
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn new_value(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                rng.0.gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                rng.0.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident / $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.new_value(rng),)+)
+            }
+        }
+    )*};
+}
+impl_tuple_strategy! {
+    (A/0)
+    (A/0, B/1)
+    (A/0, B/1, C/2)
+    (A/0, B/1, C/2, D/3)
+    (A/0, B/1, C/2, D/3, E/4)
+    (A/0, B/1, C/2, D/3, E/4, F/5)
+}
+
+/// `any::<T>()` marker strategy.
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+/// Uniform values over a type's whole domain.
+pub fn any<T: ArbitraryValue>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+/// Types supported by [`any`].
+pub trait ArbitraryValue: Sized {
+    /// Draw one value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl<T: ArbitraryValue> Strategy for Any<T> {
+    type Value = T;
+
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl ArbitraryValue for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.0.gen::<$t>()
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl ArbitraryValue for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.0.gen::<bool>()
+    }
+}
+
+impl ArbitraryValue for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        // Finite, sign-symmetric, wide dynamic range.
+        let mag = rng.0.gen::<f64>() * 1e9;
+        if rng.0.gen::<bool>() {
+            mag
+        } else {
+            -mag
+        }
+    }
+}
+
+/// Strategies for collections.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// Acceptable size arguments for [`vec`]: a fixed size or a range.
+    pub struct SizeRange {
+        lo: usize,
+        hi_exclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange {
+                lo: n,
+                hi_exclusive: n + 1,
+            }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi_exclusive: r.end,
+            }
+        }
+    }
+
+    /// Vector of values from `element`, length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// Strategy returned by [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+            let len = rng.0.gen_range(self.size.lo..self.size.hi_exclusive);
+            (0..len).map(|_| self.element.new_value(rng)).collect()
+        }
+    }
+}
+
+/// The per-test runner invoked by the generated test functions.
+pub struct TestRunner;
+
+impl TestRunner {
+    /// Run `case` under `config`, deterministically seeded from
+    /// `test_path`. `source_file` locates a sibling
+    /// `*.proptest-regressions` file whose `cc` seeds replay first.
+    pub fn run<F>(config: &ProptestConfig, test_path: &str, source_file: &str, mut case: F)
+    where
+        F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+    {
+        let mut rejects = 0u32;
+
+        // Replay regression seeds first.
+        for (line, seed) in regression_seeds(source_file) {
+            let mut rng = TestRng(SmallRng::seed_from_u64(seed ^ fnv1a(test_path)));
+            match case(&mut rng) {
+                Ok(()) => {}
+                Err(TestCaseError::Reject(_)) => {}
+                Err(TestCaseError::Fail(msg)) => panic!(
+                    "proptest: regression case from {source_file}:{line} failed in {test_path}: {msg}"
+                ),
+            }
+        }
+
+        let mut completed = 0u32;
+        let mut index = 0u64;
+        while completed < config.cases {
+            let seed = fnv1a(test_path) ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            index += 1;
+            let mut rng = TestRng(SmallRng::seed_from_u64(seed));
+            match case(&mut rng) {
+                Ok(()) => completed += 1,
+                Err(TestCaseError::Reject(_)) => {
+                    rejects += 1;
+                    if rejects > config.max_global_rejects {
+                        panic!(
+                            "proptest: {test_path}: too many prop_assume! rejections \
+                             ({rejects}); strategy too narrow"
+                        );
+                    }
+                }
+                Err(TestCaseError::Fail(msg)) => {
+                    panic!(
+                        "proptest: {test_path} failed at case #{completed} (seed {seed:#x}): {msg}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// FNV-1a over the test path: a stable, dependency-free name hash.
+fn fnv1a(s: &str) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for b in s.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x1000_0000_01B3);
+    }
+    h
+}
+
+/// Parse `cc <hex>` lines from the sibling regression file, if any.
+fn regression_seeds(source_file: &str) -> Vec<(usize, u64)> {
+    let path = std::path::Path::new(source_file).with_extension("proptest-regressions");
+    let Ok(text) = std::fs::read_to_string(&path) else {
+        return Vec::new();
+    };
+    text.lines()
+        .enumerate()
+        .filter_map(|(i, line)| {
+            let rest = line.trim().strip_prefix("cc ")?;
+            let hex = rest.split_whitespace().next()?;
+            let head = hex.get(0..16)?;
+            u64::from_str_radix(head, 16).ok().map(|seed| (i + 1, seed))
+        })
+        .collect()
+}
+
+/// Assert inside a proptest case; failure reports instead of panicking
+/// mid-generator.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// `assert_eq!` inside a proptest case.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a == b, "assertion failed: {:?} == {:?}", a, b);
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a == b, $($fmt)*);
+    }};
+}
+
+/// `assert_ne!` inside a proptest case.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a != b, "assertion failed: {:?} != {:?}", a, b);
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a != b, $($fmt)*);
+    }};
+}
+
+/// Reject the current inputs and draw fresh ones.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::reject(stringify!($cond)));
+        }
+    };
+}
+
+/// The test-suite macro: each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` running `cases` generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@impl ($config); $($rest)*);
+    };
+    (@impl ($config:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident( $($arg:pat_param in $strategy:expr),+ $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $config;
+            let test_path = concat!(module_path!(), "::", stringify!($name));
+            $crate::TestRunner::run(&config, test_path, file!(), |__rng| {
+                $(let $arg = $crate::Strategy::new_value(&$strategy, __rng);)+
+                // Bind a closure so `?`/`return` inside the body only
+                // exits the case.
+                let __case = || -> ::std::result::Result<(), $crate::TestCaseError> {
+                    $body
+                    #[allow(unreachable_code)]
+                    ::std::result::Result::Ok(())
+                };
+                __case()
+            });
+        }
+    )*};
+    ($($rest:tt)*) => {
+        $crate::proptest!(@impl ($crate::ProptestConfig::default()); $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_respect_bounds(x in 5u32..10, y in 0.0f64..1.0, z in 3usize..=3) {
+            prop_assert!((5..10).contains(&x));
+            prop_assert!((0.0..1.0).contains(&y));
+            prop_assert_eq!(z, 3);
+        }
+
+        #[test]
+        fn vec_sizes(v in crate::collection::vec(0u8..255, 2..6), w in crate::collection::vec(0u8..10, 4)) {
+            prop_assert!(v.len() >= 2 && v.len() < 6);
+            prop_assert_eq!(w.len(), 4);
+        }
+
+        #[test]
+        fn assume_rejects(a in 0u32..100) {
+            prop_assume!(a % 2 == 0);
+            prop_assert!(a % 2 == 0);
+        }
+
+        #[test]
+        fn tuple_and_pattern_args((a, b) in (1u32..5, 10u32..20)) {
+            prop_assert!((1..5).contains(&a));
+            prop_assert!((10..20).contains(&b));
+        }
+
+        #[test]
+        fn combinators_compose(
+            pair in (1usize..4).prop_flat_map(|n| {
+                (Just(n), crate::collection::vec(0.0f64..1.0, n..n + 1))
+            }).prop_map(|(n, v)| (n, v.len())),
+        ) {
+            prop_assert_eq!(pair.0, pair.1);
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        let cfg = ProptestConfig::with_cases(3);
+        let mut first: Vec<u64> = Vec::new();
+        TestRunner::run(&cfg, "det_test", file!(), |rng| {
+            first.push(Strategy::new_value(&(0u64..1_000_000), rng));
+            Ok(())
+        });
+        let mut second: Vec<u64> = Vec::new();
+        TestRunner::run(&cfg, "det_test", file!(), |rng| {
+            second.push(Strategy::new_value(&(0u64..1_000_000), rng));
+            Ok(())
+        });
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn failures_propagate() {
+        TestRunner::run(&ProptestConfig::with_cases(1), "fail_test", file!(), |_| {
+            Err(TestCaseError::fail("boom"))
+        });
+    }
+}

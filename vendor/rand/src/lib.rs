@@ -1,0 +1,462 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build container has no access to a crates registry, so the
+//! workspace vendors the small API subset it actually uses: `SmallRng`
+//! seeded deterministically, `Rng::{gen, gen_range, gen_bool}` and
+//! `SeedableRng::{from_seed, seed_from_u64}`.
+//!
+//! The value streams are **bit-exact** with `rand 0.8.5` on 64-bit
+//! targets: xoshiro256++ seeded through SplitMix64, `next_u32` taking
+//! the upper half of `next_u64`, Lemire widening-multiply rejection for
+//! integer ranges, the 52-bit `[1, 2)` mantissa method for float
+//! ranges, and fixed-point comparison for `gen_bool`. Exactness matters
+//! because the workspace's statistical tests (blocking probabilities,
+//! multiplexing gains, BLER thresholds) were calibrated against the
+//! upstream streams; a distributionally-equal-but-different generator
+//! shifts every sampled statistic and turns tight assertions into coin
+//! flips.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Low-level source of randomness.
+pub trait RngCore {
+    /// Next 32 random bits (upper half of `next_u64`, as upstream's
+    /// xoshiro256++ wrapper does — the low bits are the weaker ones).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fill `dest` with random bytes (rand_core `fill_bytes_via_next`:
+    /// whole and 5..=7-byte tails from `next_u64`, short tails from
+    /// `next_u32`).
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut left = dest;
+        while left.len() >= 8 {
+            let (l, r) = left.split_at_mut(8);
+            left = r;
+            l.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let n = left.len();
+        if n > 4 {
+            left.copy_from_slice(&self.next_u64().to_le_bytes()[..n]);
+        } else if n > 0 {
+            left.copy_from_slice(&self.next_u32().to_le_bytes()[..n]);
+        }
+    }
+}
+
+/// Seedable generators.
+pub trait SeedableRng: Sized {
+    /// Raw seed type.
+    type Seed: Sized + Default + AsMut<[u8]>;
+
+    /// Construct from a raw seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Construct from a `u64` via SplitMix64 expansion (bit-identical
+    /// to upstream `rand`'s seeding of xoshiro256++).
+    fn seed_from_u64(state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        let mut sm = SplitMix64(state);
+        for chunk in seed.as_mut().chunks_mut(8) {
+            let bytes = sm.next().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// Types producible by [`Rng::gen`].
+pub trait Standard: Sized {
+    /// Draw one value uniformly over the type's natural domain.
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+// Upstream draws types that fit in 32 bits from `next_u32` and the rest
+// from `next_u64`; signed types cast from their unsigned twin.
+macro_rules! impl_standard_int32 {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u32() as $t
+            }
+        }
+    )*};
+}
+impl_standard_int32!(u8, u16, u32, i8, i16, i32);
+
+macro_rules! impl_standard_int64 {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_standard_int64!(u64, usize, i64, isize);
+
+impl Standard for u128 {
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // Upstream order: low word first.
+        let lo = rng.next_u64() as u128;
+        let hi = rng.next_u64() as u128;
+        (hi << 64) | lo
+    }
+}
+
+impl Standard for bool {
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // Upstream samples the most significant bit via a sign test.
+        (rng.next_u32() as i32) < 0
+    }
+}
+
+impl Standard for f64 {
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 uniformly random mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+/// Widening multiply: `(high word, low word)` of `a × b`.
+fn wmul32(a: u32, b: u32) -> (u32, u32) {
+    let t = u64::from(a) * u64::from(b);
+    ((t >> 32) as u32, t as u32)
+}
+
+fn wmul64(a: u64, b: u64) -> (u64, u64) {
+    let t = u128::from(a) * u128::from(b);
+    ((t >> 64) as u64, t as u64)
+}
+
+/// Ranges usable with [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draw uniformly from the range. Panics on an empty range.
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+// Integer uniform sampling, bit-exact with upstream `UniformInt`
+// `sample_single_inclusive`: Lemire's widening-multiply rejection.
+// Types ≤ 16 bits compute the exact rejection zone; wider types use the
+// cheap `range << leading_zeros` approximation, exactly as upstream.
+macro_rules! impl_range_int {
+    ($ty:ty, $unsigned:ty, $u_large:ty, $wmul:ident, $gen_large:ident, $exact_zone:expr) => {
+        impl SampleRange<$ty> for RangeInclusive<$ty> {
+            fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> $ty {
+                let (low, high) = (*self.start(), *self.end());
+                assert!(low <= high, "cannot sample empty range");
+                let range = (high.wrapping_sub(low) as $unsigned as $u_large).wrapping_add(1);
+                if range == 0 {
+                    // The whole type's domain: any value is uniform.
+                    return rng.$gen_large() as $ty;
+                }
+                let zone = if $exact_zone {
+                    let ints_to_reject = (<$u_large>::MAX - range + 1) % range;
+                    <$u_large>::MAX - ints_to_reject
+                } else {
+                    (range << range.leading_zeros()).wrapping_sub(1)
+                };
+                loop {
+                    let v: $u_large = rng.$gen_large() as $u_large;
+                    let (hi, lo) = $wmul(v, range);
+                    if lo <= zone {
+                        return low.wrapping_add(hi as $ty);
+                    }
+                }
+            }
+        }
+        impl SampleRange<$ty> for Range<$ty> {
+            fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> $ty {
+                assert!(self.start < self.end, "cannot sample empty range");
+                (self.start..=self.end - 1).sample(rng)
+            }
+        }
+    };
+}
+
+impl_range_int!(u8, u8, u32, wmul32, next_u32, true);
+impl_range_int!(u16, u16, u32, wmul32, next_u32, true);
+impl_range_int!(u32, u32, u32, wmul32, next_u32, false);
+impl_range_int!(u64, u64, u64, wmul64, next_u64, false);
+impl_range_int!(usize, usize, u64, wmul64, next_u64, false);
+impl_range_int!(i8, u8, u32, wmul32, next_u32, true);
+impl_range_int!(i16, u16, u32, wmul32, next_u32, true);
+impl_range_int!(i32, u32, u32, wmul32, next_u32, false);
+impl_range_int!(i64, u64, u64, wmul64, next_u64, false);
+impl_range_int!(isize, usize, u64, wmul64, next_u64, false);
+
+// Float uniform sampling, bit-exact with upstream `UniformFloat`: draw
+// a value in [1, 2) from the top mantissa-width bits, then scale. The
+// half-open range rejects the (rounding-induced) upper endpoint and
+// redraws; the inclusive range divides the scale by the largest
+// drawable value0_1 so the endpoint is reachable.
+macro_rules! impl_range_float {
+    ($ty:ty, $uty:ty, $next:ident, $bits_to_discard:expr, $exponent_bits:expr) => {
+        impl SampleRange<$ty> for Range<$ty> {
+            fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> $ty {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let scale = self.end - self.start;
+                loop {
+                    let value1_2 =
+                        <$ty>::from_bits($exponent_bits | (rng.$next() >> $bits_to_discard));
+                    let value0_1 = value1_2 - 1.0;
+                    let res = value0_1 * scale + self.start;
+                    if res < self.end {
+                        return res;
+                    }
+                }
+            }
+        }
+        impl SampleRange<$ty> for RangeInclusive<$ty> {
+            fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> $ty {
+                let (low, high) = (*self.start(), *self.end());
+                assert!(low <= high, "cannot sample empty range");
+                let max_rand =
+                    <$ty>::from_bits($exponent_bits | (<$uty>::MAX >> $bits_to_discard)) - 1.0;
+                let scale = (high - low) / max_rand;
+                loop {
+                    let value1_2 =
+                        <$ty>::from_bits($exponent_bits | (rng.$next() >> $bits_to_discard));
+                    let value0_1 = value1_2 - 1.0;
+                    let res = value0_1 * scale + low;
+                    if res <= high {
+                        return res;
+                    }
+                }
+            }
+        }
+    };
+}
+
+impl_range_float!(f64, u64, next_u64, 12, 1023u64 << 52);
+impl_range_float!(f32, u32, next_u32, 9, 127u32 << 23);
+
+/// High-level convenience methods, blanket-implemented for every
+/// [`RngCore`].
+pub trait Rng: RngCore {
+    /// Uniform value over the type's natural domain.
+    fn gen<T: Standard>(&mut self) -> T {
+        T::draw(self)
+    }
+
+    /// Uniform value in `range`.
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample(self)
+    }
+
+    /// Bernoulli draw with probability `p` of `true` (upstream
+    /// fixed-point comparison: `next_u64 < p × 2⁶⁴`).
+    ///
+    /// # Panics
+    /// Panics if `p` is not in `[0, 1]`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool p={p} out of [0,1]");
+        if p == 1.0 {
+            return true;
+        }
+        const SCALE: f64 = 2.0 * (1u64 << 63) as f64;
+        self.next_u64() < (p * SCALE) as u64
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+pub mod rngs {
+    //! Concrete generators.
+
+    use super::{RngCore, SeedableRng};
+
+    /// A small, fast, non-cryptographic RNG (xoshiro256++), stream-
+    /// compatible with `rand 0.8`'s `SmallRng` on 64-bit targets.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    impl RngCore for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+
+    impl SeedableRng for SmallRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: Self::Seed) -> Self {
+            // An all-zero state is a fixed point of xoshiro; upstream
+            // reseeds through SplitMix64(0) in that case.
+            if seed.iter().all(|&b| b == 0) {
+                return Self::seed_from_u64(0);
+            }
+            let mut s = [0u64; 4];
+            for (i, word) in s.iter_mut().enumerate() {
+                let mut bytes = [0u8; 8];
+                bytes.copy_from_slice(&seed[i * 8..(i + 1) * 8]);
+                *word = u64::from_le_bytes(bytes);
+            }
+            SmallRng { s }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, RngCore, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn matches_reference_xoshiro_vectors() {
+        // Reference outputs from xoshiro256plusplus.c with state
+        // {1, 2, 3, 4} — the known-answer test upstream `rand` ships.
+        let mut seed = [0u8; 32];
+        seed[0] = 1;
+        seed[8] = 2;
+        seed[16] = 3;
+        seed[24] = 4;
+        let mut rng = SmallRng::from_seed(seed);
+        for expected in [
+            41943041u64,
+            58720359,
+            3588806011781223,
+            3591011842654386,
+            9228616714210784205,
+            9973669472204895162,
+            14011001112246962877,
+            12406186145184390807,
+            15849039046786891736,
+            10450023813501588000,
+        ] {
+            assert_eq!(rng.next_u64(), expected);
+        }
+    }
+
+    #[test]
+    fn next_u32_takes_upper_half() {
+        let mut a = SmallRng::seed_from_u64(9);
+        let mut b = SmallRng::seed_from_u64(9);
+        assert_eq!(a.next_u32(), (b.next_u64() >> 32) as u32);
+    }
+
+    #[test]
+    fn gen_range_bounds_hold() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let x: u64 = rng.gen_range(10..20);
+            assert!((10..20).contains(&x));
+            let y = rng.gen_range(0.25f64..0.75);
+            assert!((0.25..0.75).contains(&y));
+            let z = rng.gen_range(0u64..=5);
+            assert!(z <= 5);
+            let w: i64 = rng.gen_range(-5i64..5);
+            assert!((-5..5).contains(&w));
+            let v: u8 = rng.gen_range(0..2u8);
+            assert!(v < 2);
+            let m: u8 = rng.gen_range(4..=28);
+            assert!((4..=28).contains(&m));
+        }
+    }
+
+    #[test]
+    fn inclusive_float_range_reaches_interior() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut lo_seen = false;
+        let mut hi_seen = false;
+        for _ in 0..10_000 {
+            let v = rng.gen_range(0.25f64..=0.75);
+            assert!((0.25..=0.75).contains(&v));
+            lo_seen |= v < 0.30;
+            hi_seen |= v > 0.70;
+        }
+        assert!(lo_seen && hi_seen, "inclusive range not covering interior");
+    }
+
+    #[test]
+    fn f64_unit_interval_mean() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| rng.gen::<f64>()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn gen_bool_probability() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let hits = (0..100_000).filter(|_| rng.gen_bool(0.3)).count();
+        let p = hits as f64 / 100_000.0;
+        assert!((p - 0.3).abs() < 0.01, "p {p}");
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        assert!(rng.gen_bool(1.0));
+        assert!(!rng.gen_bool(0.0));
+    }
+
+    #[test]
+    fn small_int_ranges_are_uniform() {
+        // Lemire rejection on u8 with exact zone: verify near-uniform
+        // counts over a range that does not divide 2^32.
+        let mut rng = SmallRng::seed_from_u64(11);
+        let mut counts = [0u32; 3];
+        for _ in 0..30_000 {
+            counts[rng.gen_range(0..3u8) as usize] += 1;
+        }
+        for &c in &counts {
+            assert!((9_000..11_000).contains(&c), "skewed counts {counts:?}");
+        }
+    }
+
+    #[test]
+    fn fill_bytes_tail_sizes() {
+        for len in 0..20usize {
+            let mut rng = SmallRng::seed_from_u64(5);
+            let mut buf = vec![0u8; len];
+            rng.fill_bytes(&mut buf);
+            if len >= 8 {
+                let mut expect = SmallRng::seed_from_u64(5);
+                assert_eq!(&buf[..8], &expect.next_u64().to_le_bytes());
+            }
+        }
+    }
+}

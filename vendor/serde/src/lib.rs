@@ -1,0 +1,432 @@
+//! Offline stand-in for `serde`.
+//!
+//! The real serde abstracts over data formats with a visitor
+//! architecture; this workspace only ever serializes to and from JSON,
+//! so the vendored version collapses the data model to a single
+//! JSON-shaped [`value::Value`] tree. `Serialize` renders into it,
+//! `Deserialize` reads back out of it, and the derive macro (in
+//! `serde_derive`) generates field-by-field impls matching serde_json's
+//! externally-tagged enum representation.
+
+pub mod value;
+
+pub use value::{Error, Map, Number, Value};
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Render `self` into the JSON-shaped data model.
+pub trait Serialize {
+    /// Build the value tree.
+    fn to_json_value(&self) -> Value;
+}
+
+/// Reconstruct `Self` from the JSON-shaped data model.
+pub trait Deserialize: Sized {
+    /// Read the value tree; `Err` carries a path-annotated message.
+    fn from_json_value(v: &Value) -> Result<Self, Error>;
+}
+
+// ---------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------
+
+macro_rules! impl_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json_value(&self) -> Value {
+                Value::Number(Number::U64(*self as u64))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_json_value(v: &Value) -> Result<Self, Error> {
+                let n = v.as_u64().ok_or_else(|| Error::new(format!(
+                    "expected unsigned integer, got {}", v.kind())))?;
+                <$t>::try_from(n).map_err(|_| Error::new(format!(
+                    "{n} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+impl_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json_value(&self) -> Value {
+                Value::Number(Number::I64(*self as i64))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_json_value(v: &Value) -> Result<Self, Error> {
+                let n = v.as_i64().ok_or_else(|| Error::new(format!(
+                    "expected integer, got {}", v.kind())))?;
+                <$t>::try_from(n).map_err(|_| Error::new(format!(
+                    "{n} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+impl_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_json_value(&self) -> Value {
+        Value::Number(Number::F64(*self))
+    }
+}
+impl Deserialize for f64 {
+    fn from_json_value(v: &Value) -> Result<Self, Error> {
+        v.as_f64()
+            .ok_or_else(|| Error::new(format!("expected number, got {}", v.kind())))
+    }
+}
+
+impl Serialize for f32 {
+    fn to_json_value(&self) -> Value {
+        Value::Number(Number::F64(f64::from(*self)))
+    }
+}
+impl Deserialize for f32 {
+    fn from_json_value(v: &Value) -> Result<Self, Error> {
+        f64::from_json_value(v).map(|x| x as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn to_json_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+impl Deserialize for bool {
+    fn from_json_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error::new(format!("expected bool, got {}", other.kind()))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_json_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+impl Deserialize for String {
+    fn from_json_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::String(s) => Ok(s.clone()),
+            other => Err(Error::new(format!("expected string, got {}", other.kind()))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_json_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn to_json_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+impl Deserialize for char {
+    fn from_json_value(v: &Value) -> Result<Self, Error> {
+        let s = String::from_json_value(v)?;
+        let mut it = s.chars();
+        match (it.next(), it.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(Error::new(format!("expected single char, got {s:?}"))),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Composite impls
+// ---------------------------------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_json_value(&self) -> Value {
+        (**self).to_json_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_json_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_json_value(),
+            None => Value::Null,
+        }
+    }
+}
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_json_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_json_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_json_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_json_value).collect())
+    }
+}
+impl<T: Serialize> Serialize for std::collections::VecDeque<T> {
+    fn to_json_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_json_value).collect())
+    }
+}
+impl<T: Deserialize> Deserialize for std::collections::VecDeque<T> {
+    fn from_json_value(v: &Value) -> Result<Self, Error> {
+        Vec::<T>::from_json_value(v).map(Into::into)
+    }
+}
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_json_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Array(items) => items
+                .iter()
+                .enumerate()
+                .map(|(i, item)| T::from_json_value(item).map_err(|e| e.at(&format!("[{i}]"))))
+                .collect(),
+            other => Err(Error::new(format!("expected array, got {}", other.kind()))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_json_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_json_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_json_value(&self) -> Value {
+        self[..].to_json_value()
+    }
+}
+impl<T: Deserialize + std::fmt::Debug, const N: usize> Deserialize for [T; N] {
+    fn from_json_value(v: &Value) -> Result<Self, Error> {
+        let items = Vec::<T>::from_json_value(v)?;
+        let len = items.len();
+        <[T; N]>::try_from(items)
+            .map_err(|_| Error::new(format!("expected array of {N}, got {len}")))
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident : $idx:tt),+)),*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_json_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_json_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_json_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::Array(items) => {
+                        let expect = [$($idx),+].len();
+                        if items.len() != expect {
+                            return Err(Error::new(format!(
+                                "expected {expect}-tuple, got {} items", items.len())));
+                        }
+                        Ok(($($name::from_json_value(&items[$idx])
+                            .map_err(|e| e.at(&format!("[{}]", $idx)))?,)+))
+                    }
+                    other => Err(Error::new(format!("expected array, got {}", other.kind()))),
+                }
+            }
+        }
+    )*};
+}
+impl_tuple!(
+    (A: 0),
+    (A: 0, B: 1),
+    (A: 0, B: 1, C: 2),
+    (A: 0, B: 1, C: 2, D: 3)
+);
+
+/// Map keys usable with JSON objects (rendered as strings, the way
+/// serde_json serializes integer-keyed maps).
+pub trait JsonKey: Sized + Ord {
+    /// Render the key.
+    fn to_key(&self) -> String;
+    /// Parse the key back.
+    fn from_key(s: &str) -> Result<Self, Error>;
+}
+
+impl JsonKey for String {
+    fn to_key(&self) -> String {
+        self.clone()
+    }
+    fn from_key(s: &str) -> Result<Self, Error> {
+        Ok(s.to_string())
+    }
+}
+
+macro_rules! impl_json_key_int {
+    ($($t:ty),*) => {$(
+        impl JsonKey for $t {
+            fn to_key(&self) -> String {
+                self.to_string()
+            }
+            fn from_key(s: &str) -> Result<Self, Error> {
+                s.parse().map_err(|_| Error::new(format!(
+                    "bad {} map key {s:?}", stringify!($t))))
+            }
+        }
+    )*};
+}
+impl_json_key_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl<K: JsonKey, V: Serialize, S> Serialize for std::collections::HashMap<K, V, S> {
+    fn to_json_value(&self) -> Value {
+        // Deterministic output: sort keys like a BTreeMap would.
+        let mut entries: Vec<(&K, &V)> = self.iter().collect();
+        entries.sort_by(|a, b| a.0.cmp(b.0));
+        let mut m = Map::new();
+        for (k, v) in entries {
+            m.insert(k.to_key(), v.to_json_value());
+        }
+        Value::Object(m)
+    }
+}
+impl<K: JsonKey + Eq + std::hash::Hash, V: Deserialize, S: std::hash::BuildHasher + Default>
+    Deserialize for std::collections::HashMap<K, V, S>
+{
+    fn from_json_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Object(m) => m
+                .iter()
+                .map(|(k, v)| Ok((K::from_key(k)?, V::from_json_value(v).map_err(|e| e.at(k))?)))
+                .collect(),
+            other => Err(Error::new(format!("expected object, got {}", other.kind()))),
+        }
+    }
+}
+
+impl<K: JsonKey, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn to_json_value(&self) -> Value {
+        let mut m = Map::new();
+        for (k, v) in self {
+            m.insert(k.to_key(), v.to_json_value());
+        }
+        Value::Object(m)
+    }
+}
+impl<K: JsonKey, V: Deserialize> Deserialize for std::collections::BTreeMap<K, V> {
+    fn from_json_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Object(m) => m
+                .iter()
+                .map(|(k, v)| Ok((K::from_key(k)?, V::from_json_value(v).map_err(|e| e.at(k))?)))
+                .collect(),
+            other => Err(Error::new(format!("expected object, got {}", other.kind()))),
+        }
+    }
+}
+
+impl Serialize for std::time::Duration {
+    fn to_json_value(&self) -> Value {
+        // Match serde's upstream representation: {"secs": .., "nanos": ..}.
+        let mut m = Map::new();
+        m.insert("secs".to_string(), self.as_secs().to_json_value());
+        m.insert("nanos".to_string(), self.subsec_nanos().to_json_value());
+        Value::Object(m)
+    }
+}
+impl Deserialize for std::time::Duration {
+    fn from_json_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Object(m) => {
+                let secs = u64::from_json_value(
+                    m.get("secs")
+                        .ok_or_else(|| Error::new("Duration missing `secs`"))?,
+                )?;
+                let nanos = u32::from_json_value(
+                    m.get("nanos")
+                        .ok_or_else(|| Error::new("Duration missing `nanos`"))?,
+                )?;
+                Ok(std::time::Duration::new(secs, nanos))
+            }
+            other => Err(Error::new(format!(
+                "expected Duration object, got {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl Serialize for Map {
+    fn to_json_value(&self) -> Value {
+        Value::Object(self.clone())
+    }
+}
+impl Deserialize for Map {
+    fn from_json_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Object(m) => Ok(m.clone()),
+            other => Err(Error::new(format!("expected object, got {}", other.kind()))),
+        }
+    }
+}
+
+impl Serialize for Value {
+    fn to_json_value(&self) -> Value {
+        self.clone()
+    }
+}
+impl Deserialize for Value {
+    fn from_json_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+    use std::time::Duration;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(u32::from_json_value(&7u32.to_json_value()).unwrap(), 7);
+        assert_eq!(i64::from_json_value(&(-3i64).to_json_value()).unwrap(), -3);
+        assert_eq!(f64::from_json_value(&1.5f64.to_json_value()).unwrap(), 1.5);
+        assert!(bool::from_json_value(&true.to_json_value()).unwrap());
+        assert_eq!(
+            String::from_json_value(&"hi".to_string().to_json_value()).unwrap(),
+            "hi"
+        );
+    }
+
+    #[test]
+    fn composites_round_trip() {
+        let v = vec![(1u32, 2.5f64), (3, 4.5)];
+        let back = Vec::<(u32, f64)>::from_json_value(&v.to_json_value()).unwrap();
+        assert_eq!(back, v);
+
+        let mut m = HashMap::new();
+        m.insert(5usize, "five".to_string());
+        let back = HashMap::<usize, String>::from_json_value(&m.to_json_value()).unwrap();
+        assert_eq!(back, m);
+
+        let d = Duration::new(3, 500);
+        assert_eq!(Duration::from_json_value(&d.to_json_value()).unwrap(), d);
+
+        let o: Option<u8> = None;
+        assert_eq!(
+            Option::<u8>::from_json_value(&o.to_json_value()).unwrap(),
+            None
+        );
+    }
+
+    #[test]
+    fn type_errors_name_the_problem() {
+        let err = u32::from_json_value(&Value::String("x".into())).unwrap_err();
+        assert!(err.to_string().contains("expected unsigned integer"));
+    }
+}

@@ -1,0 +1,485 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Generates impls of the vendored `serde::Serialize` /
+//! `serde::Deserialize` traits (which render to / read from a JSON
+//! value tree) for plain structs and enums. No `syn`/`quote` — the
+//! registry is unreachable in this build environment — so the input is
+//! walked directly as a `TokenStream`. Supported shapes, which cover
+//! every derive in this workspace:
+//!
+//! * structs with named fields (including empty)
+//! * unit structs and tuple structs
+//! * enums with unit, tuple and struct variants (externally tagged,
+//!   matching serde_json's default representation)
+//! * no generics, no `#[serde(...)]` attributes
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Field names of a braced body, or arity of a parenthesized one.
+enum Fields {
+    Unit,
+    Named(Vec<String>),
+    Tuple(usize),
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+enum Item {
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+/// Derive the vendored `Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let body = match &item {
+        Item::Struct { fields, .. } => serialize_fields_expr(fields, "self.", None),
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                match &v.fields {
+                    Fields::Unit => arms.push_str(&format!(
+                        "{name}::{v} => ::serde::Value::String(\"{v}\".to_string()),\n",
+                        v = v.name
+                    )),
+                    Fields::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let inner = if *n == 1 {
+                            "::serde::Serialize::to_json_value(__f0)".to_string()
+                        } else {
+                            format!(
+                                "::serde::Value::Array(vec![{}])",
+                                binds
+                                    .iter()
+                                    .map(|b| format!("::serde::Serialize::to_json_value({b})"))
+                                    .collect::<Vec<_>>()
+                                    .join(", ")
+                            )
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{v}({binds}) => {{\n\
+                             let mut __m = ::serde::Map::new();\n\
+                             __m.insert(\"{v}\".to_string(), {inner});\n\
+                             ::serde::Value::Object(__m)\n\
+                             }},\n",
+                            v = v.name,
+                            binds = binds.join(", ")
+                        ));
+                    }
+                    Fields::Named(names) => {
+                        let inner = serialize_fields_expr(&v.fields, "", None);
+                        arms.push_str(&format!(
+                            "{name}::{v} {{ {binds} }} => {{\n\
+                             let __inner = {inner};\n\
+                             let mut __m = ::serde::Map::new();\n\
+                             __m.insert(\"{v}\".to_string(), __inner);\n\
+                             ::serde::Value::Object(__m)\n\
+                             }},\n",
+                            v = v.name,
+                            binds = names.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}\n}}")
+        }
+    };
+    let name = item_name(&item);
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_json_value(&self) -> ::serde::Value {{\n{body}\n}}\n\
+         }}"
+    )
+    .parse()
+    .expect("generated Serialize impl parses")
+}
+
+/// Derive the vendored `Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let name = item_name(&item);
+    let body = match &item {
+        Item::Struct { fields, .. } => deserialize_fields_expr(name, name, fields, "__v"),
+        Item::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut keyed_arms = String::new();
+            for v in variants {
+                match &v.fields {
+                    Fields::Unit => unit_arms
+                        .push_str(&format!("\"{v}\" => return Ok({name}::{v}),\n", v = v.name)),
+                    Fields::Tuple(n) => {
+                        let expr = if *n == 1 {
+                            format!(
+                                "{name}::{v}(::serde::Deserialize::from_json_value(__inner)\
+                                 .map_err(|e| e.at(\"{v}\"))?)",
+                                v = v.name
+                            )
+                        } else {
+                            let elems: Vec<String> = (0..*n)
+                                .map(|i| {
+                                    format!(
+                                        "::serde::Deserialize::from_json_value(\
+                                         __items.get({i}).unwrap_or(&::serde::Value::Null))\
+                                         .map_err(|e| e.at(\"{v}[{i}]\"))?",
+                                        v = v.name
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{{\n\
+                                 let __items = __inner.as_array().ok_or_else(|| \
+                                 ::serde::Error::new(\"variant {v} expects an array\"))?;\n\
+                                 if __items.len() != {n} {{\n\
+                                 return Err(::serde::Error::new(format!(\
+                                 \"variant {v} expects {n} values, got {{}}\", __items.len())));\n\
+                                 }}\n\
+                                 {name}::{v}({elems})\n\
+                                 }}",
+                                v = v.name,
+                                elems = elems.join(", ")
+                            )
+                        };
+                        keyed_arms
+                            .push_str(&format!("\"{v}\" => return Ok({expr}),\n", v = v.name));
+                    }
+                    Fields::Named(_) => {
+                        let expr = deserialize_fields_expr(
+                            name,
+                            &format!("{name}::{v}", v = v.name),
+                            &v.fields,
+                            "__inner",
+                        );
+                        keyed_arms
+                            .push_str(&format!("\"{v}\" => return Ok({expr}?),\n", v = v.name));
+                    }
+                }
+            }
+            format!(
+                "match __v {{\n\
+                 ::serde::Value::String(__s) => match __s.as_str() {{\n\
+                 {unit_arms}\
+                 __other => Err(::serde::Error::new(format!(\
+                 \"unknown {name} variant {{__other:?}}\"))),\n\
+                 }},\n\
+                 ::serde::Value::Object(__m) if __m.len() == 1 => {{\n\
+                 let (__tag, __inner) = __m.iter().next().expect(\"len 1\");\n\
+                 match __tag.as_str() {{\n\
+                 {keyed_arms}\
+                 __other => Err(::serde::Error::new(format!(\
+                 \"unknown {name} variant {{__other:?}}\"))),\n\
+                 }}\n\
+                 }},\n\
+                 __other => Err(::serde::Error::new(format!(\
+                 \"expected {name} variant, got {{}}\", __other.kind()))),\n\
+                 }}"
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         #[allow(clippy::needless_question_mark)] // generated code favors one uniform Ok(..?) shape\n\
+         fn from_json_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+         {body}\n}}\n\
+         }}"
+    )
+    .parse()
+    .expect("generated Deserialize impl parses")
+}
+
+fn item_name(item: &Item) -> &str {
+    match item {
+        Item::Struct { name, .. } => name,
+        Item::Enum { name, .. } => name,
+    }
+}
+
+/// Expression producing a `Value` from fields reachable as
+/// `{prefix}{field}` (named) or `{prefix}{index}` (tuple).
+fn serialize_fields_expr(fields: &Fields, prefix: &str, _unused: Option<()>) -> String {
+    match fields {
+        Fields::Unit => "::serde::Value::Null".to_string(),
+        Fields::Named(names) => {
+            let mut out = String::from("{\nlet mut __m = ::serde::Map::new();\n");
+            for f in names {
+                out.push_str(&format!(
+                    "__m.insert(\"{f}\".to_string(), \
+                     ::serde::Serialize::to_json_value(&{prefix}{f}));\n"
+                ));
+            }
+            out.push_str("::serde::Value::Object(__m)\n}");
+            out
+        }
+        Fields::Tuple(n) => {
+            if *n == 1 {
+                format!("::serde::Serialize::to_json_value(&{prefix}0)")
+            } else {
+                let elems: Vec<String> = (0..*n)
+                    .map(|i| format!("::serde::Serialize::to_json_value(&{prefix}{i})"))
+                    .collect();
+                format!("::serde::Value::Array(vec![{}])", elems.join(", "))
+            }
+        }
+    }
+}
+
+/// Expression of type `Result<TypePath, Error>` building `ctor` from the
+/// value expression `src`.
+fn deserialize_fields_expr(type_name: &str, ctor: &str, fields: &Fields, src: &str) -> String {
+    match fields {
+        Fields::Unit => format!("{{\nlet _ = {src};\n::std::result::Result::Ok({ctor})\n}}"),
+        Fields::Named(names) => {
+            let mut out = format!(
+                "(|| -> ::std::result::Result<{type_name}, ::serde::Error> {{\nOk({ctor} {{\n"
+            );
+            for f in names {
+                out.push_str(&format!(
+                    "{f}: ::serde::Deserialize::from_json_value({src}.field(\"{f}\")?)\
+                     .map_err(|e| e.at(\"{f}\"))?,\n"
+                ));
+            }
+            out.push_str("})\n})()");
+            out
+        }
+        Fields::Tuple(1) => {
+            // Newtype structs serialize transparently (like serde).
+            format!(
+                "(|| -> ::std::result::Result<{type_name}, ::serde::Error> {{\n\
+                 Ok({ctor}(::serde::Deserialize::from_json_value({src})?))\n\
+                 }})()"
+            )
+        }
+        Fields::Tuple(n) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|i| {
+                    format!(
+                        "::serde::Deserialize::from_json_value(\
+                         __items.get({i}).unwrap_or(&::serde::Value::Null))\
+                         .map_err(|e| e.at(\"[{i}]\"))?"
+                    )
+                })
+                .collect();
+            format!(
+                "(|| -> ::std::result::Result<{type_name}, ::serde::Error> {{\n\
+                 let __items = {src}.as_array().ok_or_else(|| \
+                 ::serde::Error::new(\"expected array for tuple struct\"))?;\n\
+                 Ok({ctor}({elems}))\n\
+                 }})()",
+                elems = elems.join(", ")
+            )
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Token-walk parser
+// ---------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    // Skip attributes (`#[...]`, including doc comments) and visibility.
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                i += 2; // `#` + bracket group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                // `pub(crate)` etc.
+                if matches!(tokens.get(i), Some(TokenTree::Group(g))
+                    if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    i += 1;
+                }
+            }
+            _ => break,
+        }
+    }
+
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected `struct` or `enum`, got {other:?}"),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected type name, got {other:?}"),
+    };
+    i += 1;
+
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive (vendored): generic types are not supported ({name})");
+    }
+
+    match kind.as_str() {
+        "struct" => {
+            let fields = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Fields::Named(parse_named_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(count_tuple_fields(g.stream()))
+                }
+                // Unit struct: `struct Foo;`
+                _ => Fields::Unit,
+            };
+            Item::Struct { name, fields }
+        }
+        "enum" => {
+            let Some(TokenTree::Group(g)) = tokens.get(i) else {
+                panic!("serde_derive: enum {name} has no body");
+            };
+            Item::Enum {
+                name,
+                variants: parse_variants(g.stream()),
+            }
+        }
+        other => panic!("serde_derive: cannot derive for `{other}`"),
+    }
+}
+
+/// Parse `a: T, pub b: U, ...` → field names. Commas inside any
+/// bracketed group are invisible at this token-tree level, but commas
+/// inside generic angle brackets are not — track `<`/`>` depth.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let mut names = Vec::new();
+    let mut angle_depth = 0i32;
+    let mut at_field_start = true;
+    let mut tokens = stream.into_iter().peekable();
+    while let Some(tok) = tokens.next() {
+        match &tok {
+            TokenTree::Punct(p) => match p.as_char() {
+                '#' => {
+                    // Attribute on a field; skip the bracket group.
+                    tokens.next();
+                }
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                '-' => {
+                    // `->` in an fn-pointer type: swallow the `>` so the
+                    // depth stays balanced.
+                    if matches!(tokens.peek(), Some(TokenTree::Punct(q)) if q.as_char() == '>') {
+                        tokens.next();
+                    }
+                }
+                ',' if angle_depth == 0 => at_field_start = true,
+                _ => {}
+            },
+            TokenTree::Ident(id) if at_field_start && angle_depth == 0 => {
+                let s = id.to_string();
+                if s == "pub" {
+                    // Visibility; the name follows (possibly after a
+                    // `pub(...)` group, handled by the Group arm).
+                    continue;
+                }
+                // The name is the ident immediately before `:`.
+                if matches!(tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == ':') {
+                    names.push(s);
+                    at_field_start = false;
+                }
+            }
+            _ => {}
+        }
+    }
+    names
+}
+
+/// Count tuple-struct / tuple-variant fields: top-level commas + 1,
+/// ignoring a trailing comma, tracking angle-bracket depth.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut tokens = stream.into_iter().peekable();
+    if tokens.peek().is_none() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut angle_depth = 0i32;
+    let mut last_was_comma = false;
+    while let Some(tok) = tokens.next() {
+        last_was_comma = false;
+        if let TokenTree::Punct(p) = &tok {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                '-' => {
+                    if matches!(tokens.peek(), Some(TokenTree::Punct(q)) if q.as_char() == '>') {
+                        tokens.next();
+                    }
+                }
+                ',' if angle_depth == 0 => {
+                    count += 1;
+                    last_was_comma = true;
+                }
+                _ => {}
+            }
+        }
+    }
+    if last_was_comma {
+        count -= 1;
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut tokens = stream.into_iter().peekable();
+    loop {
+        // Skip attributes / doc comments.
+        while matches!(tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            tokens.next();
+            tokens.next();
+        }
+        let Some(tok) = tokens.next() else { break };
+        let TokenTree::Ident(id) = tok else {
+            panic!("serde_derive: expected variant name, got {tok:?}");
+        };
+        let name = id.to_string();
+        let fields = match tokens.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let f = Fields::Named(parse_named_fields(g.stream()));
+                tokens.next();
+                f
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let f = Fields::Tuple(count_tuple_fields(g.stream()));
+                tokens.next();
+                f
+            }
+            _ => Fields::Unit,
+        };
+        // Discriminant (`= expr`) then comma, or just comma / end.
+        let mut angle_depth = 0i32;
+        while let Some(tok) = tokens.peek() {
+            match tok {
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                    tokens.next();
+                    break;
+                }
+                TokenTree::Punct(p) if p.as_char() == '<' => {
+                    angle_depth += 1;
+                    tokens.next();
+                }
+                TokenTree::Punct(p) if p.as_char() == '>' => {
+                    angle_depth -= 1;
+                    tokens.next();
+                }
+                _ => {
+                    tokens.next();
+                }
+            }
+        }
+        variants.push(Variant { name, fields });
+    }
+    variants
+}

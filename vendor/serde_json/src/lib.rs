@@ -1,0 +1,164 @@
+//! Offline stand-in for `serde_json`, backed by the value model in the
+//! vendored `serde` crate.
+
+pub use serde::value::{Error, Map, Number, Value};
+
+/// Serialize to compact JSON text.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(value.to_json_value().to_json_string())
+}
+
+/// Serialize to pretty-printed JSON text (2-space indent).
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(value.to_json_value().to_json_string_pretty())
+}
+
+/// Parse JSON text into any deserializable type.
+pub fn from_str<T: serde::Deserialize>(s: &str) -> Result<T, Error> {
+    let value = serde::value::parse(s)?;
+    T::from_json_value(&value)
+}
+
+/// Convert any serializable value into a [`Value`] tree.
+pub fn to_value<T: serde::Serialize>(value: T) -> Result<Value, Error> {
+    Ok(value.to_json_value())
+}
+
+/// Convert a [`Value`] tree into any deserializable type.
+pub fn from_value<T: serde::Deserialize>(value: Value) -> Result<T, Error> {
+    T::from_json_value(&value)
+}
+
+/// Build a [`Value`] from JSON-looking syntax with interpolated
+/// expressions, mirroring `serde_json::json!`.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([ $($tt:tt)* ]) => { $crate::Value::Array($crate::json_array_internal!([] $($tt)*)) };
+    ({ $($tt:tt)* }) => {{
+        #[allow(unused_mut)]
+        let mut map = $crate::Map::new();
+        $crate::json_object_internal!(map () $($tt)*);
+        $crate::Value::Object(map)
+    }};
+    ($other:expr) => { $crate::to_value(&$other).expect("json! value") };
+}
+
+/// Internal: accumulate array elements. Not public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_array_internal {
+    // Done.
+    ([ $($elems:expr),* ]) => { vec![ $($elems),* ] };
+    ([ $($elems:expr),* ] ,) => { vec![ $($elems),* ] };
+    // Next element is a nested structure or literal; munch up to the
+    // next top-level comma.
+    ([ $($elems:expr),* ] null $(, $($rest:tt)*)?) => {
+        $crate::json_array_internal!([ $($elems,)* $crate::Value::Null ] $($($rest)*)?)
+    };
+    ([ $($elems:expr),* ] [ $($inner:tt)* ] $(, $($rest:tt)*)?) => {
+        $crate::json_array_internal!([ $($elems,)* $crate::json!([ $($inner)* ]) ] $($($rest)*)?)
+    };
+    ([ $($elems:expr),* ] { $($inner:tt)* } $(, $($rest:tt)*)?) => {
+        $crate::json_array_internal!([ $($elems,)* $crate::json!({ $($inner)* }) ] $($($rest)*)?)
+    };
+    ([ $($elems:expr),* ] $next:expr $(, $($rest:tt)*)?) => {
+        $crate::json_array_internal!([ $($elems,)* $crate::json!($next) ] $($($rest)*)?)
+    };
+}
+
+/// Internal: accumulate object entries. Not public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_object_internal {
+    // Done.
+    ($map:ident ()) => {};
+    ($map:ident () ,) => {};
+    // key : nested / literal value, then maybe more.
+    ($map:ident () $key:tt : null $(, $($rest:tt)*)?) => {
+        $map.insert($crate::json_key!($key), $crate::Value::Null);
+        $crate::json_object_internal!($map () $($($rest)*)?);
+    };
+    ($map:ident () $key:tt : [ $($inner:tt)* ] $(, $($rest:tt)*)?) => {
+        $map.insert($crate::json_key!($key), $crate::json!([ $($inner)* ]));
+        $crate::json_object_internal!($map () $($($rest)*)?);
+    };
+    ($map:ident () $key:tt : { $($inner:tt)* } $(, $($rest:tt)*)?) => {
+        $map.insert($crate::json_key!($key), $crate::json!({ $($inner)* }));
+        $crate::json_object_internal!($map () $($($rest)*)?);
+    };
+    ($map:ident () $key:tt : $value:expr $(, $($rest:tt)*)?) => {
+        $map.insert($crate::json_key!($key), $crate::json!($value));
+        $crate::json_object_internal!($map () $($($rest)*)?);
+    };
+}
+
+/// Internal: object keys may be string literals or parenthesized
+/// expressions. Not public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_key {
+    (($e:expr)) => {
+        ::std::string::ToString::to_string(&$e)
+    };
+    ($l:literal) => {
+        ::std::string::ToString::to_string(&$l)
+    };
+    ($i:ident) => {
+        ::std::string::ToString::to_string(stringify!($i))
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_macro_shapes() {
+        let name = "cell";
+        let v = json!({
+            "id": 3,
+            "name": name,
+            "ratio": 0.5,
+            "nested": { "flag": true, "list": [1, 2.5, "x", null] },
+            "empty_obj": {},
+            "empty_arr": [],
+        });
+        assert_eq!(v["id"].as_u64(), Some(3));
+        assert_eq!(v["name"].as_str(), Some("cell"));
+        assert_eq!(v["ratio"].as_f64(), Some(0.5));
+        assert_eq!(v["nested"]["flag"].as_bool(), Some(true));
+        assert_eq!(v["nested"]["list"][1].as_f64(), Some(2.5));
+        assert!(v["nested"]["list"][3].is_null());
+        assert_eq!(v["empty_obj"], json!({}));
+        assert_eq!(v["empty_arr"], json!([]));
+    }
+
+    #[test]
+    fn json_macro_interpolation() {
+        let xs = vec![1u32, 2, 3];
+        let v = json!({ "xs": xs, "opt": Option::<u32>::None });
+        assert_eq!(v["xs"][2].as_u64(), Some(3));
+        assert!(v["opt"].is_null());
+    }
+
+    #[test]
+    fn round_trip_through_text() {
+        let v = json!({ "a": [1, 2], "b": { "c": -4, "d": 1.25 } });
+        let text = to_string(&v).unwrap();
+        let back: Value = from_str(&text).unwrap();
+        assert_eq!(back, v);
+        let pretty = to_string_pretty(&v).unwrap();
+        let back: Value = from_str(&pretty).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn parenthesized_expression_keys() {
+        let label = "edf";
+        let mut m = Map::new();
+        m.insert(label.to_string(), json!(1));
+        let v = json!({ (label): 1 });
+        assert_eq!(v, Value::Object(m));
+    }
+}
