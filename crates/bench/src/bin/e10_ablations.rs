@@ -8,7 +8,7 @@
 
 use std::time::Duration;
 
-use bench::{fmt_duration, save_json, Table};
+use bench::{fmt_duration, Report, Table};
 use pran_ilp::BnbConfig;
 use pran_sched::placement::dimensioning::GopsConverter;
 use pran_sched::placement::heuristics::{place, Heuristic};
@@ -29,6 +29,7 @@ fn instance(cells: usize, seed: u64, step: usize) -> PlacementInstance {
 }
 
 fn main() {
+    bench::telemetry::init_from_env();
     println!("E10: ablations\n");
     let mut json = serde_json::Map::new();
 
@@ -178,5 +179,9 @@ fn main() {
         }),
     );
 
-    save_json("e10_ablations", &serde_json::Value::Object(json));
+    let mut report = Report::new("e10_ablations");
+    for (key, value) in json.iter() {
+        report = report.section(key, value.clone());
+    }
+    report.save();
 }

@@ -11,7 +11,7 @@
 
 use std::time::Duration;
 
-use bench::{save_json, Table};
+use bench::{Report, Table};
 use pran_fronthaul::{edge_regional, FunctionalSplit};
 use pran_ilp::BnbConfig;
 use pran_sched::placement::admission::{admit_greedy, AdmissionRequest};
@@ -21,6 +21,7 @@ use pran_sched::placement::{ilp, CellDemand, PlacementInstance, ServerSpec};
 use pran_traces::{generate, TraceConfig};
 
 fn main() {
+    bench::telemetry::init_from_env();
     let cells = 12;
     // Per-cell demand at the evening peak.
     let mut tcfg = TraceConfig::default_day(cells, 1111);
@@ -152,5 +153,9 @@ fn main() {
          edge and, when the edge tier is too small, shed cells via admission."
     );
 
-    save_json("e11_deployment", &serde_json::json!({ "rows": json_rows }));
+    Report::new("e11_deployment")
+        .meta("cells", serde_json::json!(cells))
+        .meta("seed", serde_json::json!(1111))
+        .section("rows", serde_json::json!(json_rows))
+        .save();
 }

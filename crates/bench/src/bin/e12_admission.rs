@@ -10,12 +10,13 @@
 
 use std::time::{Duration, Instant};
 
-use bench::{fmt_duration, save_json, Table};
+use bench::{fmt_duration, Report, Table};
 use pran_sched::placement::admission::{admit_exact, admit_greedy, AdmissionRequest};
 use pran_sched::placement::dimensioning::GopsConverter;
 use pran_traces::{generate, TraceConfig};
 
 fn main() {
+    bench::telemetry::init_from_env();
     let servers = 4;
     let capacity = 400.0;
     println!("E12: admission under overload ({servers} × {capacity} GOPS pool)\n");
@@ -99,5 +100,9 @@ fn main() {
         worst * 100.0
     );
 
-    save_json("e12_admission", &serde_json::json!({ "rows": json_rows }));
+    Report::new("e12_admission")
+        .meta("servers", serde_json::json!(servers))
+        .meta("server_capacity_gops", serde_json::json!(capacity))
+        .section("rows", serde_json::json!(json_rows))
+        .save();
 }

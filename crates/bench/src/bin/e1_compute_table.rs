@@ -6,12 +6,13 @@
 //! while the sample-domain stages stay flat. The headline shape: **turbo
 //! decoding dominates uplink** (≈half the budget at full load).
 
-use bench::{save_json, Table};
+use bench::{Report, Table};
 use pran_phy::compute::{CellWorkload, ComputeModel, Stage};
 use pran_phy::frame::Direction;
 use pran_phy::mcs::Mcs;
 
 fn main() {
+    bench::telemetry::init_from_env();
     let model = ComputeModel::calibrated();
 
     println!("E1: per-subframe compute budget (GOPS), 20 MHz / 4 ant / 2 layers, full load\n");
@@ -81,8 +82,10 @@ fn main() {
          this model's UL total is {ours:.0} GOPS (same order, finer structure)"
     );
 
-    save_json(
-        "e1_compute_table",
-        &serde_json::json!({ "stages": json_stages, "mcs_sweep": json_sweep }),
-    );
+    Report::new("e1_compute_table")
+        .meta("bandwidth_mhz", serde_json::json!(20))
+        .meta("antennas", serde_json::json!("4x2"))
+        .section("stages", serde_json::json!(json_stages))
+        .section("mcs_sweep", serde_json::json!(json_sweep))
+        .save();
 }

@@ -9,7 +9,7 @@
 //! core); the paper's testbed numbers differ by a constant factor — see
 //! DESIGN.md's substitution table.
 
-use bench::{fmt_duration, save_json, Table};
+use bench::{fmt_duration, Report, Table};
 use pran_phy::compute::Stage;
 use pran_phy::frame::Bandwidth;
 use pran_phy::kernels::turbo::{turbo_decode, turbo_encode, QppInterleaver, SoftCodeword};
@@ -21,6 +21,7 @@ use rand::SeedableRng;
 use std::time::{Duration, Instant};
 
 fn main() {
+    bench::telemetry::init_from_env();
     let cfg = PipelineConfig {
         bandwidth: Bandwidth::Mhz20,
         code_block_bits: 1024,
@@ -234,12 +235,12 @@ fn main() {
         fmt_duration(service)
     );
 
-    save_json(
-        "e2_proc_time",
-        &serde_json::json!({
-            "vs_prbs": json_prbs,
-            "vs_mcs": json_mcs,
-            "parallel_decode": json_par,
-        }),
-    );
+    Report::new("e2_proc_time")
+        .meta("code_block_bits", serde_json::json!(1024))
+        .meta("decoder_iterations", serde_json::json!(5))
+        .meta("reps", serde_json::json!(reps))
+        .section("vs_prbs", serde_json::json!(json_prbs))
+        .section("vs_mcs", serde_json::json!(json_mcs))
+        .section("parallel_decode", serde_json::json!(json_par))
+        .save();
 }

@@ -6,10 +6,11 @@
 //! traces; this regenerates the same *statistics* from the synthetic
 //! generator — see DESIGN.md's substitution table.)
 
-use bench::{save_json, Table};
+use bench::{Report, Table};
 use pran_traces::{generate, pearson, CellClass, DiurnalProfile, TraceConfig};
 
 fn main() {
+    bench::telemetry::init_from_env();
     println!("E3: per-cell load over a day (synthetic operator traces)\n");
 
     // Per-class profile characteristics.
@@ -118,15 +119,17 @@ fn main() {
     let self_r = pearson(&agg, &agg);
     assert!((self_r - 1.0).abs() < 1e-9);
 
-    save_json(
-        "e3_traces",
-        &serde_json::json!({
-            "classes": json_classes,
-            "multiplexing_gain": trace.multiplexing_gain(),
-            "pooling_saving": trace.pooling_saving(),
-            "same_class_corr": mean(&same),
-            "cross_class_corr": mean(&cross),
-            "hourly_aggregate": hourly,
-        }),
-    );
+    Report::new("e3_traces")
+        .meta("cells", serde_json::json!(60))
+        .meta("seed", serde_json::json!(2014))
+        .section("classes", serde_json::json!(json_classes))
+        .section(
+            "multiplexing_gain",
+            serde_json::json!(trace.multiplexing_gain()),
+        )
+        .section("pooling_saving", serde_json::json!(trace.pooling_saving()))
+        .section("same_class_corr", serde_json::json!(mean(&same)))
+        .section("cross_class_corr", serde_json::json!(mean(&cross)))
+        .section("hourly_aggregate", serde_json::json!(hourly))
+        .save();
 }

@@ -6,13 +6,14 @@
 //! binary sweeps deployment sizes, dimensions both strategies over 24-hour
 //! traces, and reports savings (expected band: ~30–60 % at city scale).
 
-use bench::{save_json, Table};
+use bench::{Report, Table};
 use pran_sched::placement::dimensioning::{
     dedicated_servers, pooled_servers, pooling_saving, GopsConverter,
 };
 use pran_traces::{generate, TraceConfig};
 
 fn main() {
+    bench::telemetry::init_from_env();
     let conv = GopsConverter::default_eval();
     let capacity = 400.0;
     let seeds = [11u64, 22, 33];
@@ -103,8 +104,10 @@ fn main() {
     t.print();
     println!("(stronger shared shocks → more correlated peaks → smaller pooling gain)");
 
-    save_json(
-        "e4_multiplexing",
-        &serde_json::json!({ "sweep": json_rows, "correlation_sensitivity": json_sens }),
-    );
+    Report::new("e4_multiplexing")
+        .meta("server_capacity_gops", serde_json::json!(capacity))
+        .meta("seeds", serde_json::json!(seeds.to_vec()))
+        .section("sweep", serde_json::json!(json_rows))
+        .section("correlation_sensitivity", serde_json::json!(json_sens))
+        .save();
 }

@@ -8,7 +8,7 @@
 
 use std::time::{Duration, Instant};
 
-use bench::{fmt_duration, save_json, Table};
+use bench::{fmt_duration, Report, Table};
 use pran_ilp::BnbConfig;
 use pran_sched::placement::dimensioning::GopsConverter;
 use pran_sched::placement::heuristics::{place, Heuristic};
@@ -27,6 +27,7 @@ fn instance(cells: usize, seed: u64, hour: f64) -> PlacementInstance {
 }
 
 fn main() {
+    bench::telemetry::init_from_env();
     println!("E5: exact (branch & bound) vs heuristic placement\n");
     let bnb = BnbConfig {
         max_nodes: 60_000,
@@ -91,6 +92,8 @@ fn main() {
             "bfd_servers": bfd_srv,
             "gap": gap,
             "ilp_time_us": ilp_time.as_micros() as u64,
+            "ilp_nodes": exact.nodes,
+            "presolve_vars_fixed": exact.presolve.vars_fixed,
             "ffd_time_us": ffd_time.as_micros() as u64,
             "time_cut": cut,
         }));
@@ -113,8 +116,9 @@ fn main() {
         min_cut * 100.0
     );
 
-    save_json(
-        "e5_ilp_vs_heuristic",
-        &serde_json::json!({ "rows": json_rows }),
-    );
+    Report::new("e5_ilp_vs_heuristic")
+        .meta("bnb_max_nodes", serde_json::json!(60_000))
+        .meta("bnb_time_limit_s", serde_json::json!(20))
+        .section("rows", serde_json::json!(json_rows))
+        .save();
 }

@@ -7,11 +7,71 @@
 //! distributed-RAN stand-in) fall off far sooner because per-cell skew
 //! cannot be absorbed.
 
-use bench::{save_json, Table};
+use bench::{Report, Table};
 use pran_sched::realtime::workload::{generate, TaskSetConfig};
 use pran_sched::realtime::{simulate, ParallelConfig, ParallelExecutor, Policy};
 
+/// `--sample`: a small deterministic run that exercises the telemetry
+/// path end to end — simulated-clock tracing on, one analytic and one
+/// (non-stealing, hence deterministic) parallel-executor pass, trace
+/// written to `results/e6_deadlines_sample.trace.jsonl` and validated
+/// against the exporter schema. CI's smoke job runs this.
+fn sample() {
+    pran_telemetry::configure(pran_telemetry::TelemetryConfig::sim());
+    pran_telemetry::metrics::global().clear();
+    println!("E6 (sample mode): deterministic telemetry smoke run\n");
+
+    let (cells, ttis, cores, util) = (8, 100, 4, 0.9);
+    let mut cfg = TaskSetConfig::default_eval(cells, ttis, cores, util);
+    cfg.seed = 0xE6;
+    let set = generate(&cfg);
+    let analytic = simulate(&set.tasks, cores, Policy::GlobalEdf);
+    let exec = ParallelExecutor::new(ParallelConfig {
+        cores,
+        batch: 1,
+        steal: false,
+    });
+    let parallel = exec.execute(&set.tasks);
+    println!(
+        "analytic EDF miss ratio {:.2}%, parallel (pinned) {:.2}%",
+        analytic.miss_ratio() * 100.0,
+        parallel.miss_ratio() * 100.0
+    );
+
+    Report::new("e6_deadlines_sample")
+        .meta("mode", serde_json::json!("sample"))
+        .meta("cells", serde_json::json!(cells))
+        .meta("ttis", serde_json::json!(ttis))
+        .meta("cores", serde_json::json!(cores))
+        .meta("target_utilization", serde_json::json!(util))
+        .meta("seed", serde_json::json!(cfg.seed))
+        .section(
+            "analytic_miss_ratio",
+            serde_json::json!(analytic.miss_ratio()),
+        )
+        .section(
+            "parallel_miss_ratio",
+            serde_json::json!(parallel.miss_ratio()),
+        )
+        .save();
+
+    let path = "results/e6_deadlines_sample.trace.jsonl";
+    let text = std::fs::read_to_string(path).expect("sample run must write a trace");
+    match pran_telemetry::export::validate_jsonl(&text) {
+        Ok(n) => println!("[trace validated: {n} events conform to the exporter schema]"),
+        Err(e) => {
+            eprintln!("trace validation failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
 fn main() {
+    if std::env::args().any(|a| a == "--sample") {
+        sample();
+        return;
+    }
+    bench::telemetry::init_from_env();
     let cells = 12;
     let ttis = 400;
     let cores = 4;
@@ -163,13 +223,13 @@ fn main() {
     }
     t.print();
 
-    save_json(
-        "e6_deadlines",
-        &serde_json::json!({
-            "sweep": json_rows,
-            "knees": knees,
-            "parallel_sweep": parallel_rows,
-            "batch_sweep": batch_rows,
-        }),
-    );
+    Report::new("e6_deadlines")
+        .meta("cells", serde_json::json!(cells))
+        .meta("ttis", serde_json::json!(ttis))
+        .meta("cores", serde_json::json!(cores))
+        .section("sweep", serde_json::json!(json_rows))
+        .section("knees", serde_json::Value::Object(knees))
+        .section("parallel_sweep", serde_json::json!(parallel_rows))
+        .section("batch_sweep", serde_json::json!(batch_rows))
+        .save();
 }

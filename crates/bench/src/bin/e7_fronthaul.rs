@@ -6,12 +6,13 @@
 //! becomes load-proportional, and higher splits trade poolable compute for
 //! further reduction.
 
-use bench::{save_json, Table};
+use bench::{Report, Table};
 use pran_fronthaul::{CpriConfig, FunctionalSplit};
 use pran_phy::frame::{AntennaConfig, Bandwidth};
 use pran_phy::mcs::Mcs;
 
 fn main() {
+    bench::telemetry::init_from_env();
     let bw = Bandwidth::Mhz20;
     let mcs = Mcs::new(20);
     println!(
@@ -119,12 +120,11 @@ fn main() {
         cpri.required_option(bw, 4).expect("within options")
     );
 
-    save_json(
-        "e7_fronthaul",
-        &serde_json::json!({
-            "antenna_sweep": json_ant,
-            "load_sweep": json_load,
-            "pool_aggregate": json_pool,
-        }),
-    );
+    Report::new("e7_fronthaul")
+        .meta("bandwidth", serde_json::json!(bw.to_string()))
+        .meta("mcs", serde_json::json!(mcs.index()))
+        .section("antenna_sweep", serde_json::json!(json_ant))
+        .section("load_sweep", serde_json::json!(json_load))
+        .section("pool_aggregate", serde_json::json!(json_pool))
+        .save();
 }

@@ -9,7 +9,7 @@
 
 use std::time::Duration;
 
-use bench::{fmt_duration, save_json, Table};
+use bench::{fmt_duration, Report, Table};
 use pran_sched::realtime::ParallelConfig;
 use pran_sim::{FailureSpec, PoolConfig, PoolSimulator};
 use pran_traces::{generate, TraceConfig};
@@ -22,6 +22,7 @@ fn day_trace(cells: usize, seed: u64) -> pran_traces::Trace {
 }
 
 fn main() {
+    bench::telemetry::init_from_env();
     println!("E8: failover outage and adaptation churn\n");
 
     // --- detection-delay sweep ---
@@ -183,13 +184,12 @@ fn main() {
          churn stays ≪ 1 move/cell/epoch (incremental repack, not re-solve)."
     );
 
-    save_json(
-        "e8_failover",
-        &serde_json::json!({
-            "detection_sweep": json_detect,
-            "spare_capacity_sweep": json_spare,
-            "adaptation_churn": json_churn,
-            "executor_comparison": json_exec,
-        }),
-    );
+    Report::new("e8_failover")
+        .meta("trace_hours", serde_json::json!(8))
+        .meta("trace_step_s", serde_json::json!(120))
+        .section("detection_sweep", serde_json::json!(json_detect))
+        .section("spare_capacity_sweep", serde_json::json!(json_spare))
+        .section("adaptation_churn", serde_json::json!(json_churn))
+        .section("executor_comparison", serde_json::json!(json_exec))
+        .save();
 }

@@ -7,12 +7,13 @@
 //! provisioned GOPS headroom vs the fraction of steps where actual demand
 //! exceeded the provisioned level.
 
-use bench::{save_json, Table};
+use bench::{Report, Table};
 use pran_sched::placement::dimensioning::GopsConverter;
 use pran_sched::predict::{evaluate, Ewma, HoltLinear, Predictor, SlidingMax};
 use pran_traces::{generate, TraceConfig};
 
 fn main() {
+    bench::telemetry::init_from_env();
     let mut cfg = TraceConfig::default_day(30, 909);
     cfg.step_seconds = 300.0;
     let trace = generate(&cfg);
@@ -111,8 +112,11 @@ fn main() {
          controller's default configuration encodes."
     );
 
-    save_json(
-        "e9_predictors",
-        &serde_json::json!({ "scores": json_scores, "headroom": json_headroom }),
-    );
+    Report::new("e9_predictors")
+        .meta("cells", serde_json::json!(30))
+        .meta("seed", serde_json::json!(909))
+        .meta("step_s", serde_json::json!(300))
+        .section("scores", serde_json::json!(json_scores))
+        .section("headroom", serde_json::json!(json_headroom))
+        .save();
 }

@@ -1,0 +1,56 @@
+//! Validate a JSONL trace artifact against the telemetry exporter schema.
+//!
+//! ```text
+//! telemetry_check <trace.jsonl> [--require-subframes]
+//! ```
+//!
+//! Exits non-zero when the file is missing, any line violates the schema,
+//! or (with `--require-subframes`) the trace contains no `subframe` events
+//! to reconstruct a latency breakdown from. CI's smoke job runs this over
+//! the sample-mode trace.
+
+use pran_telemetry::export::{breakdown_from_jsonl, breakdown_table, validate_jsonl};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let require_subframes = args.iter().any(|a| a == "--require-subframes");
+    let path = match args.iter().find(|a| !a.starts_with("--")) {
+        Some(p) => p.clone(),
+        None => {
+            eprintln!("usage: telemetry_check <trace.jsonl> [--require-subframes]");
+            std::process::exit(2);
+        }
+    };
+
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("telemetry_check: cannot read {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    match validate_jsonl(&text) {
+        Ok(n) => println!("{path}: {n} events, schema ok"),
+        Err(e) => {
+            eprintln!("telemetry_check: {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+
+    match breakdown_from_jsonl(&text) {
+        Ok(b) if b.tasks > 0 => {
+            println!("subframe latency breakdown ({} tasks):", b.tasks);
+            print!("{}", breakdown_table(&b));
+        }
+        Ok(_) if require_subframes => {
+            eprintln!("telemetry_check: {path}: no subframe events in trace");
+            std::process::exit(1);
+        }
+        Ok(_) => println!("(no subframe events; breakdown skipped)"),
+        Err(e) => {
+            eprintln!("telemetry_check: {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+}

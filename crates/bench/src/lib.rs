@@ -70,6 +70,123 @@ pub fn save_json(name: &str, value: &serde_json::Value) {
     println!("\n[results written to {}]", path.display());
 }
 
+/// Version stamp of the result-document layout written by [`Report`].
+pub const REPORT_SCHEMA: &str = "pran-bench/1";
+
+/// Builder for an experiment's machine-readable result document.
+///
+/// Every `e*` binary emits the same envelope — experiment name, schema
+/// version, workload/config metadata, then named result sections — so
+/// downstream tooling (EXPERIMENTS.md citation checks, plots) can consume
+/// any experiment uniformly:
+///
+/// ```json
+/// { "experiment": "e6_deadlines", "schema": "pran-bench/1",
+///   "meta": { "cells": 12, ... }, "results": { "sweep": [...], ... } }
+/// ```
+///
+/// [`Report::save`] also drains any telemetry captured during the run into
+/// `results/<name>.trace.jsonl` (see [`telemetry::flush_artifacts`]).
+pub struct Report {
+    name: String,
+    meta: serde_json::Map,
+    results: serde_json::Map,
+}
+
+impl Report {
+    /// Start a report for experiment `name` (the `results/<name>.json` stem).
+    pub fn new(name: &str) -> Self {
+        Report {
+            name: name.to_string(),
+            meta: serde_json::Map::new(),
+            results: serde_json::Map::new(),
+        }
+    }
+
+    /// Stamp one workload/config metadata entry (cells, seeds, cores, …).
+    pub fn meta(mut self, key: &str, value: serde_json::Value) -> Self {
+        self.meta.insert(key.to_string(), value);
+        self
+    }
+
+    /// Add a named result section.
+    pub fn section(mut self, key: &str, value: serde_json::Value) -> Self {
+        self.results.insert(key.to_string(), value);
+        self
+    }
+
+    /// Write `results/<name>.json` and flush telemetry artifacts.
+    pub fn save(self) {
+        let mut doc = serde_json::Map::new();
+        doc.insert(
+            "experiment".to_string(),
+            serde_json::Value::String(self.name.clone()),
+        );
+        doc.insert(
+            "schema".to_string(),
+            serde_json::Value::String(REPORT_SCHEMA.to_string()),
+        );
+        doc.insert("meta".to_string(), serde_json::Value::Object(self.meta));
+        doc.insert(
+            "results".to_string(),
+            serde_json::Value::Object(self.results),
+        );
+        save_json(&self.name, &serde_json::Value::Object(doc));
+        telemetry::flush_artifacts(&self.name);
+    }
+}
+
+/// Telemetry wiring for bench binaries: env-driven activation and
+/// end-of-run artifact export.
+pub mod telemetry {
+    use std::path::PathBuf;
+
+    use pran_telemetry::{export, metrics, trace, TelemetryConfig};
+
+    /// Configure the global tracer from the `PRAN_TELEMETRY` environment
+    /// variable (`off` | `sim` | `full`; anything else means off) and
+    /// reset the metrics registry. Returns the applied configuration so
+    /// binaries can stamp it into their report metadata.
+    pub fn init_from_env() -> TelemetryConfig {
+        let cfg = match std::env::var("PRAN_TELEMETRY").as_deref() {
+            Ok("sim") => TelemetryConfig::sim(),
+            Ok("full") => TelemetryConfig::full(),
+            _ => TelemetryConfig::disabled(),
+        };
+        pran_telemetry::configure(cfg);
+        metrics::global().clear();
+        cfg
+    }
+
+    /// Drain captured telemetry into `results/<name>.trace.jsonl` and
+    /// print the metrics summary table. Returns the trace path, or `None`
+    /// when nothing was captured (telemetry off).
+    pub fn flush_artifacts(name: &str) -> Option<PathBuf> {
+        let events = trace::drain();
+        let snapshot = metrics::global().snapshot();
+        if events.is_empty() && snapshot.instruments.is_empty() {
+            return None;
+        }
+        if !snapshot.instruments.is_empty() {
+            println!("\n== telemetry: metrics ==");
+            print!("{}", export::summary_table(&snapshot));
+        }
+        if events.is_empty() {
+            return None;
+        }
+        let breakdown = export::subframe_breakdown(&events);
+        if breakdown.tasks > 0 {
+            println!("\n== telemetry: per-subframe latency breakdown ==");
+            print!("{}", export::breakdown_table(&breakdown));
+        }
+        let path = PathBuf::from("results").join(format!("{name}.trace.jsonl"));
+        std::fs::create_dir_all("results").expect("create results dir");
+        let lines = export::write_jsonl(&path, &events).expect("write trace");
+        println!("[trace: {lines} events written to {}]", path.display());
+        Some(path)
+    }
+}
+
 /// Format a `std::time::Duration` in engineering style.
 pub fn fmt_duration(d: std::time::Duration) -> String {
     let s = d.as_secs_f64();

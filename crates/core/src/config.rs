@@ -5,6 +5,7 @@ use std::time::Duration;
 use pran_phy::frame::{AntennaConfig, Bandwidth};
 use pran_phy::mcs::Mcs;
 use pran_sched::realtime::{ParallelConfig, Policy};
+use pran_telemetry::TelemetryConfig;
 use serde::{Deserialize, Serialize};
 
 /// Shape of the server pool.
@@ -48,6 +49,10 @@ pub struct SystemConfig {
     pub epoch: Duration,
     /// Demand headroom multiplier used when placing.
     pub headroom: f64,
+    /// Telemetry capture settings (tracing + metrics). Off by default so
+    /// the hot path stays branch-predictable; call
+    /// [`pran_telemetry::configure`] with this to activate it.
+    pub telemetry: TelemetryConfig,
 }
 
 impl SystemConfig {
@@ -72,6 +77,7 @@ impl SystemConfig {
             },
             epoch: Duration::from_secs(60),
             headroom: 1.1,
+            telemetry: TelemetryConfig::disabled(),
         }
     }
 }

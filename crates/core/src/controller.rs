@@ -362,8 +362,12 @@ impl Controller {
     /// Execute one placement epoch at time `now`.
     pub fn run_epoch(&mut self, now: Duration) -> EpochReport {
         self.now = now;
+        let predict_span = pran_telemetry::trace::span("ctrl.predict");
         let instance = self.placement_instance();
+        predict_span.finish_with(&[("cells", instance.cells.len().into())]);
+        let repack_span = pran_telemetry::trace::span("ctrl.repack");
         let (new_placement, plan) = incremental_repack(&instance, &self.placement);
+        repack_span.finish_with(&[("migrations", plan.len().into())]);
         self.placement = new_placement;
         self.stats.epochs += 1;
         self.stats.migrations += plan.len() as u64;
@@ -373,8 +377,24 @@ impl Controller {
         let servers_used = instance.servers_used(&self.placement);
 
         // Apps act on the post-placement view.
+        let apps_span = pran_telemetry::trace::span("ctrl.apps");
         let (applied, rejected) = self.run_apps_epoch();
+        apps_span.finish_with(&[("applied", applied.into()), ("rejected", rejected.into())]);
         let epoch = self.stats.epochs;
+        if pran_telemetry::enabled() {
+            pran_telemetry::trace::sim_event(
+                "ctrl.epoch",
+                now.as_micros() as u64,
+                &[
+                    ("epoch", epoch.into()),
+                    ("migrations", plan.len().into()),
+                    ("servers_used", servers_used.into()),
+                    ("unplaced", unplaced.into()),
+                    ("applied", applied.into()),
+                    ("rejected", rejected.into()),
+                ],
+            );
+        }
         self.dispatch_event(PoolEvent::EpochCompleted {
             epoch,
             migrations: plan.len(),

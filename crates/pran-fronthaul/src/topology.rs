@@ -128,7 +128,7 @@ impl Topology {
 
     /// The `allowed[cell][server]` matrix the placement layer consumes.
     pub fn allowed_matrix(&self, service_time: Duration) -> Vec<Vec<bool>> {
-        (0..self.front_ends.len())
+        let matrix: Vec<Vec<bool>> = (0..self.front_ends.len())
             .map(|cell| {
                 self.sites
                     .iter()
@@ -138,7 +138,23 @@ impl Topology {
                     })
                     .collect()
             })
-            .collect()
+            .collect();
+        if pran_telemetry::enabled() {
+            let feasible_pairs: usize = matrix
+                .iter()
+                .map(|row| row.iter().filter(|&&ok| ok).count())
+                .sum();
+            pran_telemetry::trace::mono_event(
+                "fronthaul.allowed",
+                &[
+                    ("cells", self.front_ends.len().into()),
+                    ("servers", self.total_servers().into()),
+                    ("feasible_pairs", feasible_pairs.into()),
+                    ("service_us", (service_time.as_micros() as u64).into()),
+                ],
+            );
+        }
+        matrix
     }
 
     /// Per-server `(capacity_gops, cost)` pairs in global server order.

@@ -76,6 +76,8 @@ pub struct BnbStats {
     pub best_bound: f64,
     /// Incumbent objective, if any.
     pub incumbent: Option<f64>,
+    /// What presolve accomplished before the search started.
+    pub presolve: crate::presolve::PresolveStats,
 }
 
 impl BnbStats {
@@ -143,6 +145,7 @@ impl Ord for Prioritized {
 pub fn solve_ilp(model: &Model, config: &BnbConfig) -> IlpResult {
     let start = Instant::now();
     let reduced;
+    let presolve_stats;
     let model = match crate::presolve::presolve(model) {
         crate::presolve::Presolved::Infeasible => {
             return IlpResult {
@@ -154,11 +157,13 @@ pub fn solve_ilp(model: &Model, config: &BnbConfig) -> IlpResult {
                     elapsed: start.elapsed(),
                     best_bound: f64::NAN,
                     incumbent: None,
+                    presolve: crate::presolve::PresolveStats::default(),
                 },
             }
         }
-        crate::presolve::Presolved::Reduced { model: m, .. } => {
+        crate::presolve::Presolved::Reduced { model: m, stats } => {
             reduced = m;
+            presolve_stats = stats;
             &reduced
         }
     };
@@ -174,6 +179,7 @@ pub fn solve_ilp(model: &Model, config: &BnbConfig) -> IlpResult {
         elapsed: Duration::ZERO,
         best_bound: f64::NEG_INFINITY,
         incumbent: None,
+        presolve: presolve_stats,
     };
 
     let mut incumbent: Option<Solution> = None;

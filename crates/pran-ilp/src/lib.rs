@@ -9,7 +9,7 @@
 //! * [`simplex`] — dense two-phase primal simplex for LP relaxations;
 //! * [`branch_bound`] — best-bound branch & bound for the integer problem;
 //! * [`linearize`] — Fortet / big-M reformulation of bilinear terms;
-//! * [`presolve`] — singleton-row folding, bound tightening, fixed-var
+//! * [`mod@presolve`] — singleton-row folding, bound tightening, fixed-var
 //!   detection (fixed-point, optimum-preserving);
 //! * [`knapsack`] — exact & greedy knapsack plus bin-packing lower bounds
 //!   (the placement problem's combinatorial core).

@@ -393,6 +393,8 @@ pub fn turbo_decode_with_scale(
     let k = soft.message_len();
     assert_eq!(interleaver.len(), k, "interleaver size mismatch");
     assert!(max_iterations >= 1);
+    // Inactive (no clock read) unless full-clock telemetry is on.
+    let decode_span = pran_telemetry::trace::span("phy.turbo_decode");
 
     // Decoder-2's systematic input: interleaved message LLRs + its own tail.
     let sys_msg = &soft.systematic[..k];
@@ -440,6 +442,7 @@ pub fn turbo_decode_with_scale(
         prev_bits = Some(bits);
     }
 
+    decode_span.finish_with(&[("k", k.into()), ("half_iterations", half_iterations.into())]);
     DecodeResult {
         bits: prev_bits.unwrap_or_default(),
         llrs: final_llrs,

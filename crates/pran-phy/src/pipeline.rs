@@ -357,13 +357,32 @@ pub fn run_uplink_subframe<R: Rng + ?Sized>(
     let payload_ok =
         decoded_bytes.len() >= original.len() && decoded_bytes[..original.len()] == original[..];
 
-    UplinkRun {
+    let run = UplinkRun {
         crc_ok,
         payload_ok,
         timings,
         info_bits: payload_bytes * 8,
         coded_bits: coded_capacity,
+    };
+    if pran_telemetry::enabled() {
+        let stage_us = |s: Stage| pran_telemetry::FieldValue::U64(run.stage(s).as_micros() as u64);
+        pran_telemetry::trace::mono_event(
+            "phy.subframe",
+            &[
+                ("prbs", prbs.into()),
+                ("mcs", u64::from(mcs.index()).into()),
+                ("crc_ok", run.crc_ok.into()),
+                ("fft_us", stage_us(Stage::Fft)),
+                ("chest_us", stage_us(Stage::ChannelEstimation)),
+                ("eq_us", stage_us(Stage::Equalization)),
+                ("demod_us", stage_us(Stage::Demodulation)),
+                ("decode_us", stage_us(Stage::TurboDecode)),
+                ("crc_us", stage_us(Stage::CrcCheck)),
+                ("total_us", (run.total().as_micros() as u64).into()),
+            ],
+        );
     }
+    run
 }
 
 #[cfg(test)]

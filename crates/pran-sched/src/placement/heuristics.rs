@@ -62,6 +62,7 @@ impl HeuristicResult {
 /// the heuristic's rule; a new server is opened (cheapest first) only when
 /// no used server fits.
 pub fn place(instance: &PlacementInstance, heuristic: Heuristic) -> HeuristicResult {
+    let solve_span = pran_telemetry::trace::span("sched.place");
     let mut order: Vec<usize> = (0..instance.cells.len()).collect();
     order.sort_by(|&a, &b| {
         instance.cells[b]
@@ -145,8 +146,21 @@ pub fn place(instance: &PlacementInstance, heuristic: Heuristic) -> HeuristicRes
         }
     }
 
+    let placement = Placement { assignment };
+    if pran_telemetry::enabled() {
+        let registry = pran_telemetry::metrics::global();
+        let labels = [("heuristic", heuristic.label())];
+        registry.inc("sched.place.solves", &labels, 1);
+        registry.inc("sched.place.unplaced", &labels, unplaced.len() as u64);
+        solve_span.finish_with(&[
+            ("heuristic", heuristic.label().into()),
+            ("cells", instance.cells.len().into()),
+            ("servers_used", instance.servers_used(&placement).into()),
+            ("unplaced", unplaced.len().into()),
+        ]);
+    }
     HeuristicResult {
-        placement: Placement { assignment },
+        placement,
         unplaced,
     }
 }

@@ -15,7 +15,7 @@
 
 use std::time::Duration;
 
-use pran_ilp::{solve_ilp, BnbConfig, Cmp, IlpStatus, LinExpr, Model, Sense, VarId};
+use pran_ilp::{solve_ilp, BnbConfig, Cmp, IlpStatus, LinExpr, Model, PresolveStats, Sense, VarId};
 
 use super::{Placement, PlacementInstance};
 
@@ -32,6 +32,8 @@ pub struct IlpPlacement {
     pub nodes: usize,
     /// Wall-clock solve time.
     pub elapsed: Duration,
+    /// Presolve reductions performed before the search.
+    pub presolve: PresolveStats,
 }
 
 /// Solver switches, exposed so the ablation experiment can isolate the
@@ -155,8 +157,10 @@ pub fn solve_with(
             cost: Some(0.0),
             nodes: 0,
             elapsed: Duration::ZERO,
+            presolve: PresolveStats::default(),
         };
     }
+    let solve_span = pran_telemetry::trace::span("sched.ilp");
     let (model, x, y) = build_model_with(instance, options);
     let mut config = config.clone();
     if config.initial.is_none() && options.warm_start {
@@ -189,12 +193,42 @@ pub fn solve_with(
             .collect();
         Placement { assignment }
     });
+    if pran_telemetry::enabled() {
+        let registry = pran_telemetry::metrics::global();
+        registry.inc("sched.ilp.solves", &[], 1);
+        registry.inc("sched.ilp.nodes", &[], result.stats.nodes as u64);
+        registry.inc(
+            "sched.ilp.lp_iterations",
+            &[],
+            result.stats.lp_iterations as u64,
+        );
+        registry.observe("sched.ilp.solve_time", &[], result.stats.elapsed);
+        solve_span.finish_with(&[
+            ("cells", instance.cells.len().into()),
+            ("nodes", result.stats.nodes.into()),
+            ("lp_iterations", result.stats.lp_iterations.into()),
+            ("optimal", (result.status == IlpStatus::Optimal).into()),
+            (
+                "presolve_rows_removed",
+                result.stats.presolve.rows_removed.into(),
+            ),
+            (
+                "presolve_bounds_tightened",
+                result.stats.presolve.bounds_tightened.into(),
+            ),
+            (
+                "presolve_vars_fixed",
+                result.stats.presolve.vars_fixed.into(),
+            ),
+        ]);
+    }
     IlpPlacement {
         placement,
         optimal: result.status == IlpStatus::Optimal,
         cost: result.solution.as_ref().map(|s| s.objective),
         nodes: result.stats.nodes,
         elapsed: result.stats.elapsed,
+        presolve: result.stats.presolve,
     }
 }
 

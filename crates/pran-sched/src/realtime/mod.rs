@@ -132,7 +132,7 @@ pub fn simulate(tasks: &[RtTask], cores: usize, policy: Policy) -> SimOutcome {
         assert!(t.id < n, "task id {} out of range", t.id);
     }
 
-    match policy {
+    let out = match policy {
         Policy::Partitioned => {
             // Split by cell % cores and run each partition on one core.
             let mut finish = vec![Duration::ZERO; n];
@@ -174,7 +174,28 @@ pub fn simulate(tasks: &[RtTask], cores: usize, policy: Policy) -> SimOutcome {
             simulate_global(tasks, cores, SelectBy::Release),
             cores,
         ),
+    };
+    if pran_telemetry::enabled() {
+        // Non-preemptive dispatch: each task runs contiguously, so its
+        // start on the simulated timeline is finish − service.
+        for t in tasks {
+            let finish = out.finish[t.id].as_micros() as u64;
+            let service = t.service.as_micros() as u64;
+            pran_telemetry::trace::sim_event(
+                "subframe",
+                finish,
+                &[
+                    ("cell", t.cell.into()),
+                    ("release_us", (t.release.as_micros() as u64).into()),
+                    ("start_us", finish.saturating_sub(service).into()),
+                    ("finish_us", finish.into()),
+                    ("deadline_us", (t.deadline.as_micros() as u64).into()),
+                    ("policy", policy.label().into()),
+                ],
+            );
+        }
     }
+    out
 }
 
 fn from_global(tasks: &[RtTask], g: GlobalOutcome, _cores: usize) -> SimOutcome {

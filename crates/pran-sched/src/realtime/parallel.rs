@@ -349,8 +349,18 @@ fn run_worker<F>(
         }
 
         for batch in &grabbed {
-            if batch.home != core {
+            let stolen = batch.home != core;
+            if stolen {
                 steals.fetch_add(1, Ordering::Relaxed);
+                pran_telemetry::trace::sim_event(
+                    "rt.steal",
+                    clock,
+                    &[
+                        ("thief", core.into()),
+                        ("home", batch.home.into()),
+                        ("tasks", batch.tasks.len().into()),
+                    ],
+                );
             }
 
             // Account the whole batch on the virtual timeline *before*
@@ -364,13 +374,26 @@ fn run_worker<F>(
                 busy += service;
                 clock = finish;
                 let deadline = t.deadline.as_micros() as u64;
+                pran_telemetry::trace::sim_event(
+                    "subframe",
+                    finish,
+                    &[
+                        ("cell", t.cell.into()),
+                        ("release_us", release.into()),
+                        ("start_us", start.into()),
+                        ("finish_us", finish.into()),
+                        ("deadline_us", deadline.into()),
+                        ("core", core.into()),
+                        ("stolen", stolen.into()),
+                    ],
+                );
                 outcomes.push(TaskOutcome {
                     id: t.id,
                     finish: Duration::from_micros(finish),
                     slack_us: deadline as i64 - finish as i64,
                     missed: finish > deadline,
                     core,
-                    stolen: batch.home != core,
+                    stolen,
                 });
             }
             clocks[core].store(clock, Ordering::Release);

@@ -1,104 +1,14 @@
 //! Simulation metrics: counters and log-scale histograms.
 //!
-//! Deliberately simple and allocation-light: a fixed-bucket base-2 log
-//! histogram covers the microsecond-to-minute range PRAN's latencies span,
-//! and everything serializes to JSON so the experiment harness can emit
-//! machine-readable results.
+//! The base-2 [`LogHistogram`] now lives in `pran-telemetry` (it is the
+//! registry's histogram instrument) and is re-exported here so existing
+//! `pran_sim::LogHistogram` users keep working. [`PoolMetrics`] remains
+//! the pool simulation's own aggregate, serialized to JSON so the
+//! experiment harness can emit machine-readable results.
 
 use serde::{Deserialize, Serialize};
-use std::time::Duration;
 
-/// A base-2 logarithmic histogram over microsecond values.
-///
-/// Bucket `i` counts samples in `[2^i, 2^(i+1))` µs; bucket 0 also absorbs
-/// sub-microsecond samples. 40 buckets reach ~12.7 days.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
-pub struct LogHistogram {
-    buckets: Vec<u64>,
-    count: u64,
-    /// Sum in microseconds (for the mean).
-    sum_us: u64,
-    max_us: u64,
-}
-
-const BUCKETS: usize = 40;
-
-impl LogHistogram {
-    /// Empty histogram.
-    pub fn new() -> Self {
-        LogHistogram {
-            buckets: vec![0; BUCKETS],
-            count: 0,
-            sum_us: 0,
-            max_us: 0,
-        }
-    }
-
-    /// Record a duration.
-    pub fn record(&mut self, d: Duration) {
-        let us = d.as_micros() as u64;
-        let idx = if us == 0 {
-            0
-        } else {
-            (63 - us.leading_zeros() as usize).min(BUCKETS - 1)
-        };
-        self.buckets[idx] += 1;
-        self.count += 1;
-        self.sum_us += us;
-        self.max_us = self.max_us.max(us);
-    }
-
-    /// Number of samples.
-    pub fn count(&self) -> u64 {
-        self.count
-    }
-
-    /// Mean of recorded durations.
-    pub fn mean(&self) -> Duration {
-        match self.sum_us.checked_div(self.count) {
-            Some(mean) => Duration::from_micros(mean),
-            None => Duration::ZERO,
-        }
-    }
-
-    /// Maximum recorded duration.
-    pub fn max(&self) -> Duration {
-        Duration::from_micros(self.max_us)
-    }
-
-    /// Approximate quantile (upper bucket edge of the q-quantile bucket).
-    pub fn quantile(&self, q: f64) -> Duration {
-        assert!((0.0..=1.0).contains(&q), "quantile must be in [0,1]");
-        if self.count == 0 {
-            return Duration::ZERO;
-        }
-        let target = (q * self.count as f64).ceil().max(1.0) as u64;
-        let mut seen = 0u64;
-        for (i, &b) in self.buckets.iter().enumerate() {
-            seen += b;
-            if seen >= target {
-                return Duration::from_micros(1u64 << (i + 1));
-            }
-        }
-        self.max()
-    }
-
-    /// Merge another histogram into this one.
-    pub fn merge(&mut self, other: &LogHistogram) {
-        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
-            *a += b;
-        }
-        self.count += other.count;
-        self.sum_us += other.sum_us;
-        self.max_us = self.max_us.max(other.max_us);
-    }
-}
-
-impl Default for LogHistogram {
-    fn default() -> Self {
-        Self::new()
-    }
-}
+pub use pran_telemetry::metrics::LogHistogram;
 
 /// Top-level metrics a pool simulation produces.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
@@ -163,62 +73,10 @@ impl PoolMetrics {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::time::Duration;
 
     fn us(x: u64) -> Duration {
         Duration::from_micros(x)
-    }
-
-    #[test]
-    fn histogram_basic_stats() {
-        let mut h = LogHistogram::new();
-        for &v in &[10u64, 20, 40, 80] {
-            h.record(us(v));
-        }
-        assert_eq!(h.count(), 4);
-        assert_eq!(h.mean(), us(37));
-        assert_eq!(h.max(), us(80));
-    }
-
-    #[test]
-    fn histogram_quantiles_monotone() {
-        let mut h = LogHistogram::new();
-        for i in 1..=1000u64 {
-            h.record(us(i));
-        }
-        let q50 = h.quantile(0.5);
-        let q99 = h.quantile(0.99);
-        assert!(q50 <= q99);
-        // Median of 1..=1000 ≈ 500 µs → bucket edge within [512, 1024].
-        assert!(q50 >= us(256) && q50 <= us(1024), "q50 {q50:?}");
-    }
-
-    #[test]
-    fn histogram_zero_and_huge() {
-        let mut h = LogHistogram::new();
-        h.record(Duration::ZERO);
-        h.record(Duration::from_secs(3600));
-        assert_eq!(h.count(), 2);
-        assert!(
-            h.quantile(1.0) >= Duration::from_secs(3600) || h.max() >= Duration::from_secs(3600)
-        );
-    }
-
-    #[test]
-    fn histogram_merge() {
-        let mut a = LogHistogram::new();
-        let mut b = LogHistogram::new();
-        a.record(us(5));
-        b.record(us(500));
-        a.merge(&b);
-        assert_eq!(a.count(), 2);
-        assert_eq!(a.max(), us(500));
-    }
-
-    #[test]
-    fn empty_histogram_safe() {
-        let h = LogHistogram::new();
-        assert_eq!(h.mean(), Duration::ZERO);
-        assert_eq!(h.quantile(0.99), Duration::ZERO);
     }
 
     #[test]

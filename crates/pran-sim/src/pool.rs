@@ -195,7 +195,8 @@ impl PoolSimulator {
         let cores = cfg.parallel.map_or(cfg.cores_per_server, |p| p.cores);
         let core_gops = cfg.server_capacity_gops / cores as f64;
 
-        while let Some((_, event)) = engine.next() {
+        while let Some((now, event)) = engine.next() {
+            let now_us = now.to_duration().as_micros() as u64;
             match event {
                 Event::EpochStart(e) => {
                     let first = e * cfg.epoch_steps;
@@ -227,13 +228,23 @@ impl PoolSimulator {
                         allowed: (0..num_cells).map(|_| alive.clone()).collect(),
                     };
                     let (new_placement, plan) = incremental_repack(&instance, &placement);
+                    let servers_used = instance.servers_used(&new_placement);
+                    let demand_gops = instance.total_gops();
                     metrics.migrations += plan.len() as u64;
                     metrics.epochs += 1;
-                    metrics
-                        .servers_used
-                        .push(instance.servers_used(&new_placement));
-                    metrics.demand_gops.push(instance.total_gops());
+                    metrics.servers_used.push(servers_used);
+                    metrics.demand_gops.push(demand_gops);
                     placement = new_placement;
+                    pran_telemetry::trace::sim_event(
+                        "pool.epoch",
+                        now_us,
+                        &[
+                            ("epoch", (e as u64).into()),
+                            ("migrations", plan.len().into()),
+                            ("servers_used", servers_used.into()),
+                            ("demand_gops", demand_gops.into()),
+                        ],
+                    );
 
                     // Simulate sampled TTIs of every step in the epoch.
                     self.simulate_epoch(first, last, &placement, &alive, core_gops, &mut metrics);
@@ -291,12 +302,27 @@ impl PoolSimulator {
                         outage,
                     });
                     placement = new_placement;
+                    pran_telemetry::trace::sim_event(
+                        "pool.fail",
+                        now_us,
+                        &[
+                            ("server", s.into()),
+                            ("displaced", displaced.len().into()),
+                            ("replaced", replaced.into()),
+                            ("outage_us", (outage.as_micros() as u64).into()),
+                        ],
+                    );
                     if let Some(delay) = recover_after {
                         engine.schedule_in(delay, Event::ServerRecover(s));
                     }
                 }
                 Event::ServerRecover(s) => {
                     alive[s] = true;
+                    pran_telemetry::trace::sim_event(
+                        "pool.recover",
+                        now_us,
+                        &[("server", s.into())],
+                    );
                 }
             }
         }

@@ -1,0 +1,396 @@
+//! Exporters: JSON-lines trace dumps, schema validation, the
+//! per-subframe latency breakdown and human-readable summary tables.
+//!
+//! The JSONL export is canonical: events are serialized with a fixed key
+//! order and sorted by `(timestamp, serialized text)`, so the byte output
+//! is independent of which thread drained which buffer first. Two
+//! deterministic simulated runs therefore produce byte-identical files.
+
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+use std::time::Duration;
+
+use serde_json::{Map, Number, Value};
+
+use crate::metrics::{InstrumentValue, LogHistogram, RegistrySnapshot};
+use crate::trace::{FieldValue, TraceEvent};
+
+/// Serialize one event as a JSON object with fixed key order
+/// (`ts_us`, `domain`, `name`, `fields`).
+pub fn event_to_value(event: &TraceEvent) -> Value {
+    let mut fields = Map::new();
+    for (k, v) in event.fields() {
+        let value = match v {
+            FieldValue::U64(x) => Value::Number(Number::U64(*x)),
+            FieldValue::I64(x) => Value::Number(Number::I64(*x)),
+            FieldValue::F64(x) => Value::Number(Number::F64(*x)),
+            FieldValue::Bool(x) => Value::Bool(*x),
+            FieldValue::Str(x) => Value::String((*x).to_string()),
+        };
+        fields.insert((*k).to_string(), value);
+    }
+    let mut obj = Map::new();
+    obj.insert("ts_us".to_string(), Value::Number(Number::U64(event.ts_us)));
+    obj.insert(
+        "domain".to_string(),
+        Value::String(event.domain.label().to_string()),
+    );
+    obj.insert("name".to_string(), Value::String(event.name.to_string()));
+    obj.insert("fields".to_string(), Value::Object(fields));
+    Value::Object(obj)
+}
+
+/// Render events as canonical JSON-lines text (sorted, trailing newline;
+/// empty string for no events).
+pub fn to_jsonl(events: &[TraceEvent]) -> String {
+    let mut lines: Vec<(u64, String)> = events
+        .iter()
+        .map(|e| (e.ts_us, event_to_value(e).to_json_string()))
+        .collect();
+    lines.sort();
+    let mut out = String::new();
+    for (_, line) in &lines {
+        out.push_str(line);
+        out.push('\n');
+    }
+    out
+}
+
+/// Write events as canonical JSONL to `path`; returns the event count.
+pub fn write_jsonl(path: impl AsRef<Path>, events: &[TraceEvent]) -> io::Result<usize> {
+    std::fs::write(path, to_jsonl(events))?;
+    Ok(events.len())
+}
+
+fn check_line(line_no: usize, line: &str) -> Result<(), String> {
+    let value: Value =
+        serde_json::from_str(line).map_err(|e| format!("line {line_no}: not valid JSON: {e:?}"))?;
+    let obj = value
+        .as_object()
+        .ok_or_else(|| format!("line {line_no}: not a JSON object"))?;
+    obj.get("ts_us")
+        .and_then(Value::as_u64)
+        .ok_or_else(|| format!("line {line_no}: missing unsigned `ts_us`"))?;
+    let domain = obj
+        .get("domain")
+        .and_then(Value::as_str)
+        .ok_or_else(|| format!("line {line_no}: missing string `domain`"))?;
+    if domain != "sim" && domain != "mono" {
+        return Err(format!("line {line_no}: bad domain {domain:?}"));
+    }
+    let name = obj
+        .get("name")
+        .and_then(Value::as_str)
+        .ok_or_else(|| format!("line {line_no}: missing string `name`"))?;
+    if name.is_empty() {
+        return Err(format!("line {line_no}: empty event name"));
+    }
+    let fields = obj
+        .get("fields")
+        .and_then(Value::as_object)
+        .ok_or_else(|| format!("line {line_no}: missing object `fields`"))?;
+    for (key, field) in fields.iter() {
+        let ok = matches!(field, Value::Number(_) | Value::Bool(_) | Value::String(_));
+        if !ok {
+            return Err(format!("line {line_no}: field {key:?} is not scalar"));
+        }
+    }
+    if name == "subframe" {
+        for required in ["cell", "release_us", "start_us", "finish_us", "deadline_us"] {
+            if fields.get(required).and_then(Value::as_u64).is_none() {
+                return Err(format!(
+                    "line {line_no}: subframe event missing numeric {required:?}"
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Validate JSONL text against the exporter schema; returns the event
+/// count, or a message naming the first offending line.
+///
+/// Schema: every line is an object with unsigned `ts_us`, `domain` of
+/// `"sim"`/`"mono"`, non-empty string `name` and an object `fields` of
+/// scalar values; `subframe` events additionally carry numeric `cell`,
+/// `release_us`, `start_us`, `finish_us` and `deadline_us`.
+pub fn validate_jsonl(text: &str) -> Result<usize, String> {
+    let mut count = 0usize;
+    for (idx, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        check_line(idx + 1, line)?;
+        count += 1;
+    }
+    Ok(count)
+}
+
+/// Per-subframe latency decomposition reconstructed from `subframe`
+/// trace events: where each task's HARQ budget went.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LatencyBreakdown {
+    /// Subframe tasks seen.
+    pub tasks: u64,
+    /// Tasks finishing past their deadline.
+    pub misses: u64,
+    /// Queue wait: task start − release.
+    pub queue: LogHistogram,
+    /// Kernel compute: task finish − start.
+    pub service: LogHistogram,
+    /// Deadline slack of on-time tasks: deadline − finish.
+    pub slack: LogHistogram,
+}
+
+fn accumulate(
+    breakdown: &mut LatencyBreakdown,
+    release: u64,
+    start: u64,
+    finish: u64,
+    deadline: u64,
+) {
+    breakdown.tasks += 1;
+    breakdown
+        .queue
+        .record(Duration::from_micros(start.saturating_sub(release)));
+    breakdown
+        .service
+        .record(Duration::from_micros(finish.saturating_sub(start)));
+    if finish > deadline {
+        breakdown.misses += 1;
+    } else {
+        breakdown
+            .slack
+            .record(Duration::from_micros(deadline - finish));
+    }
+}
+
+/// Build the latency breakdown from in-memory `subframe` events.
+pub fn subframe_breakdown(events: &[TraceEvent]) -> LatencyBreakdown {
+    let mut breakdown = LatencyBreakdown::default();
+    for event in events.iter().filter(|e| e.name == "subframe") {
+        let (Some(release), Some(start), Some(finish), Some(deadline)) = (
+            event.field_u64("release_us"),
+            event.field_u64("start_us"),
+            event.field_u64("finish_us"),
+            event.field_u64("deadline_us"),
+        ) else {
+            continue;
+        };
+        accumulate(&mut breakdown, release, start, finish, deadline);
+    }
+    breakdown
+}
+
+/// Build the latency breakdown back from exported JSONL text.
+pub fn breakdown_from_jsonl(text: &str) -> Result<LatencyBreakdown, String> {
+    let mut breakdown = LatencyBreakdown::default();
+    for (idx, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let value: Value = serde_json::from_str(line)
+            .map_err(|e| format!("line {}: not valid JSON: {e:?}", idx + 1))?;
+        if value.get("name").and_then(Value::as_str) != Some("subframe") {
+            continue;
+        }
+        let fields = value
+            .get("fields")
+            .and_then(Value::as_object)
+            .ok_or_else(|| format!("line {}: subframe without fields", idx + 1))?;
+        let num = |key: &str| {
+            fields
+                .get(key)
+                .and_then(Value::as_u64)
+                .ok_or_else(|| format!("line {}: subframe missing {key:?}", idx + 1))
+        };
+        accumulate(
+            &mut breakdown,
+            num("release_us")?,
+            num("start_us")?,
+            num("finish_us")?,
+            num("deadline_us")?,
+        );
+    }
+    Ok(breakdown)
+}
+
+fn fmt_us(d: Duration) -> String {
+    let us = d.as_micros();
+    if us >= 1_000_000 {
+        format!("{:.2}s", d.as_secs_f64())
+    } else if us >= 1_000 {
+        format!("{:.2}ms", us as f64 / 1000.0)
+    } else {
+        format!("{us}µs")
+    }
+}
+
+fn histogram_row(out: &mut String, label: &str, h: &LogHistogram) {
+    let _ = writeln!(
+        out,
+        "{label:<18} {:>8} {:>9} {:>9} {:>9} {:>9} {:>9}",
+        h.count(),
+        fmt_us(h.mean()),
+        fmt_us(h.quantile(0.50)),
+        fmt_us(h.quantile(0.95)),
+        fmt_us(h.quantile(0.99)),
+        fmt_us(h.max()),
+    );
+}
+
+fn histogram_header(out: &mut String) {
+    let _ = writeln!(
+        out,
+        "{:<18} {:>8} {:>9} {:>9} {:>9} {:>9} {:>9}",
+        "", "count", "mean", "p50", "p95", "p99", "max"
+    );
+}
+
+/// Render a registry snapshot as a human-readable table; histograms get
+/// count/mean/p50/p95/p99/max columns.
+pub fn summary_table(snapshot: &RegistrySnapshot) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "== telemetry summary ==");
+    if snapshot.instruments.is_empty() {
+        let _ = writeln!(out, "(no instruments)");
+        return out;
+    }
+    let mut wrote_histogram_header = false;
+    for inst in &snapshot.instruments {
+        let mut name = inst.name.clone();
+        if !inst.labels.is_empty() {
+            let labels: Vec<String> = inst
+                .labels
+                .iter()
+                .map(|l| format!("{}={}", l.key, l.value))
+                .collect();
+            let _ = write!(name, "{{{}}}", labels.join(","));
+        }
+        match &inst.value {
+            InstrumentValue::Counter(c) => {
+                let _ = writeln!(out, "{name:<40} counter {c}");
+            }
+            InstrumentValue::Gauge(g) => {
+                let _ = writeln!(out, "{name:<40} gauge   {g}");
+            }
+            InstrumentValue::Histogram(h) => {
+                if !wrote_histogram_header {
+                    histogram_header(&mut out);
+                    wrote_histogram_header = true;
+                }
+                histogram_row(&mut out, &name, h);
+            }
+        }
+    }
+    out
+}
+
+/// Render the latency breakdown as a human-readable table.
+pub fn breakdown_table(breakdown: &LatencyBreakdown) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "== subframe latency breakdown ({} tasks, {} deadline misses) ==",
+        breakdown.tasks, breakdown.misses
+    );
+    histogram_header(&mut out);
+    histogram_row(&mut out, "queue wait", &breakdown.queue);
+    histogram_row(&mut out, "kernel compute", &breakdown.service);
+    histogram_row(&mut out, "deadline slack", &breakdown.slack);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::Domain;
+    use crate::Registry;
+
+    fn subframe(ts: u64, cell: u64, release: u64, start: u64, finish: u64, dl: u64) -> TraceEvent {
+        TraceEvent::new(
+            ts,
+            Domain::Sim,
+            "subframe",
+            &[
+                ("cell", cell.into()),
+                ("release_us", release.into()),
+                ("start_us", start.into()),
+                ("finish_us", finish.into()),
+                ("deadline_us", dl.into()),
+            ],
+        )
+    }
+
+    #[test]
+    fn jsonl_is_sorted_and_valid() {
+        let events = vec![
+            subframe(500, 1, 400, 450, 500, 2400),
+            subframe(100, 0, 0, 20, 100, 2000),
+            TraceEvent::new(100, Domain::Sim, "pool.epoch", &[("epoch", 1u64.into())]),
+        ];
+        let text = to_jsonl(&events);
+        assert_eq!(validate_jsonl(&text).unwrap(), 3);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        // Sorted by timestamp first; ties broken by serialized text.
+        assert!(lines[0].contains("\"ts_us\":100"));
+        assert!(lines[2].contains("\"ts_us\":500"));
+        // Shuffled input yields byte-identical output.
+        let shuffled = vec![events[2], events[0], events[1]];
+        assert_eq!(to_jsonl(&shuffled), text);
+    }
+
+    #[test]
+    fn validation_rejects_bad_lines() {
+        assert!(validate_jsonl("not json\n").is_err());
+        assert!(validate_jsonl("{\"ts_us\":1}\n").is_err());
+        let missing_field =
+            "{\"ts_us\":1,\"domain\":\"sim\",\"name\":\"subframe\",\"fields\":{}}\n";
+        let err = validate_jsonl(missing_field).unwrap_err();
+        assert!(err.contains("cell"), "{err}");
+        let bad_domain = "{\"ts_us\":1,\"domain\":\"cpu\",\"name\":\"x\",\"fields\":{}}\n";
+        assert!(validate_jsonl(bad_domain).is_err());
+        assert_eq!(validate_jsonl("").unwrap(), 0);
+    }
+
+    #[test]
+    fn breakdown_reconstructs_from_jsonl() {
+        let events = vec![
+            // queue 50, service 150, slack 1800
+            subframe(200, 0, 0, 50, 200, 2000),
+            // queue 100, service 400, miss (finish 2500 > deadline 2400)
+            subframe(2500, 1, 2000, 2100, 2500, 2400),
+        ];
+        let direct = subframe_breakdown(&events);
+        let text = to_jsonl(&events);
+        let from_text = breakdown_from_jsonl(&text).unwrap();
+        assert_eq!(direct, from_text);
+        assert_eq!(direct.tasks, 2);
+        assert_eq!(direct.misses, 1);
+        assert_eq!(direct.queue.count(), 2);
+        assert_eq!(direct.service.count(), 2);
+        assert_eq!(direct.slack.count(), 1);
+        assert_eq!(direct.slack.quantile(0.5), Duration::from_micros(1800));
+        let table = breakdown_table(&direct);
+        assert!(table.contains("2 tasks"));
+        assert!(table.contains("queue wait"));
+    }
+
+    #[test]
+    fn summary_table_renders_all_kinds() {
+        let r = Registry::new();
+        r.inc("ilp.nodes", &[("policy", "bnb")], 42);
+        r.gauge("pool.util", &[], 0.5);
+        r.observe("place.time", &[], Duration::from_micros(1234));
+        let table = summary_table(&r.snapshot());
+        assert!(table.contains("ilp.nodes{policy=bnb}"));
+        assert!(table.contains("counter 42"));
+        assert!(table.contains("p99"));
+        assert!(summary_table(&RegistrySnapshot {
+            instruments: vec![]
+        })
+        .contains("no instruments"));
+    }
+}

@@ -1,0 +1,115 @@
+//! `pran-telemetry` — unified tracing, metrics and profiling for the pool.
+//!
+//! PRAN's argument is quantitative (multiplexing gains, ≈2 ms HARQ compute
+//! budgets, heuristic-vs-ILP gaps), so every layer must report through one
+//! substrate or cross-layer questions like "where did a missed subframe's
+//! 2 ms go?" stay unanswerable. This crate provides that substrate:
+//!
+//! * [`trace`] — a lightweight span/event facade with per-thread buffers
+//!   and a zero-allocation fast path (one relaxed atomic load when
+//!   disabled). Events carry either *simulated* timestamps supplied by the
+//!   caller (deterministic under the virtual-clock executor) or *monotonic*
+//!   wall-clock timestamps for real execution;
+//! * [`metrics`] — a registry of named, labeled counters, gauges and
+//!   [`metrics::LogHistogram`]s (promoted here from `pran-sim`);
+//! * [`export`] — JSON-lines trace dumps, human-readable summary tables
+//!   and the per-subframe latency breakdown (queue wait → kernel compute →
+//!   HARQ deadline slack) reconstructed from a trace.
+//!
+//! The crate is dependency-free within the workspace (only the vendored
+//! `serde`/`parking_lot` stand-ins), so every layer can emit into it
+//! without cycles.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod export;
+pub mod metrics;
+pub mod trace;
+
+use serde::{Deserialize, Serialize};
+
+pub use metrics::{LogHistogram, Registry, RegistrySnapshot};
+pub use trace::{Domain, FieldValue, TraceClock, TraceEvent};
+
+/// Telemetry knobs, wired through `pran::config` and the bench binaries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TelemetryConfig {
+    /// Master switch. Off, every record call is one relaxed atomic load.
+    pub enabled: bool,
+    /// Which clock domains are recorded. [`TraceClock::SimOnly`] keeps
+    /// traces byte-identical across same-seed runs by dropping wall-clock
+    /// events; [`TraceClock::Full`] records both domains.
+    pub clock: TraceClock,
+    /// Per-thread buffer length (events) before spilling to the shared
+    /// sink. Larger buffers lock less; each buffered event is ~128 bytes.
+    pub buffer_events: usize,
+}
+
+impl TelemetryConfig {
+    /// Telemetry off (the default; the fast path costs one atomic load).
+    pub fn disabled() -> Self {
+        TelemetryConfig {
+            enabled: false,
+            clock: TraceClock::SimOnly,
+            buffer_events: 8192,
+        }
+    }
+
+    /// Deterministic tracing: simulated-clock events only.
+    pub fn sim() -> Self {
+        TelemetryConfig {
+            enabled: true,
+            ..Self::disabled()
+        }
+    }
+
+    /// Full tracing: simulated and monotonic wall-clock events.
+    pub fn full() -> Self {
+        TelemetryConfig {
+            enabled: true,
+            clock: TraceClock::Full,
+            ..Self::disabled()
+        }
+    }
+}
+
+impl Default for TelemetryConfig {
+    fn default() -> Self {
+        Self::disabled()
+    }
+}
+
+/// Apply a configuration to the global tracer: resets the event sink,
+/// invalidates per-thread buffers from earlier runs and flips the enable
+/// switch. See [`trace::configure`].
+pub fn configure(config: TelemetryConfig) {
+    trace::configure(config);
+}
+
+/// Disable tracing (buffered events stay drainable).
+pub fn disable() {
+    trace::disable();
+}
+
+/// Whether tracing is currently enabled (the fast-path check).
+pub fn enabled() -> bool {
+    trace::enabled()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_presets_and_roundtrip() {
+        assert!(!TelemetryConfig::default().enabled);
+        assert!(TelemetryConfig::sim().enabled);
+        assert_eq!(TelemetryConfig::sim().clock, TraceClock::SimOnly);
+        assert_eq!(TelemetryConfig::full().clock, TraceClock::Full);
+        let c = TelemetryConfig::full();
+        let json = serde_json::to_string(&c).unwrap();
+        let back: TelemetryConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, c);
+    }
+}

@@ -1,0 +1,443 @@
+//! Metrics: the log-scale histogram (promoted from `pran-sim`) and a
+//! registry of named, labeled instruments.
+//!
+//! The registry is a process-wide, lock-protected map from
+//! `(name, sorted labels)` to an instrument (counter, gauge or
+//! [`LogHistogram`]). Snapshots are deterministic — instruments come out
+//! sorted by name then labels — and serde round-trippable so bench
+//! binaries can stamp them into result files.
+
+use std::collections::BTreeMap;
+use std::sync::OnceLock;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+const BUCKETS: usize = 40;
+
+/// A base-2 logarithmic histogram over microsecond values.
+///
+/// Bucket `i` counts samples in `[2^i, 2^(i+1))` µs; bucket 0 also absorbs
+/// sub-microsecond samples. 40 buckets reach ~12.7 days. Tracking the
+/// observed min/max lets [`LogHistogram::quantile`] interpolate inside the
+/// edge buckets, so single-valued histograms report the true value rather
+/// than a power-of-two edge.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LogHistogram {
+    buckets: Vec<u64>,
+    count: u64,
+    /// Sum in microseconds (for the mean).
+    sum_us: u64,
+    max_us: u64,
+    min_us: u64,
+}
+
+impl LogHistogram {
+    /// Empty histogram.
+    pub fn new() -> Self {
+        LogHistogram {
+            buckets: vec![0; BUCKETS],
+            count: 0,
+            sum_us: 0,
+            max_us: 0,
+            min_us: 0,
+        }
+    }
+
+    /// Record a duration.
+    pub fn record(&mut self, d: Duration) {
+        let us = d.as_micros() as u64;
+        let idx = if us == 0 {
+            0
+        } else {
+            (63 - us.leading_zeros() as usize).min(BUCKETS - 1)
+        };
+        self.buckets[idx] += 1;
+        self.min_us = if self.count == 0 {
+            us
+        } else {
+            self.min_us.min(us)
+        };
+        self.count += 1;
+        self.sum_us += us;
+        self.max_us = self.max_us.max(us);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean of recorded durations.
+    pub fn mean(&self) -> Duration {
+        match self.sum_us.checked_div(self.count) {
+            Some(mean) => Duration::from_micros(mean),
+            None => Duration::ZERO,
+        }
+    }
+
+    /// Maximum recorded duration.
+    pub fn max(&self) -> Duration {
+        Duration::from_micros(self.max_us)
+    }
+
+    /// Minimum recorded duration ([`Duration::ZERO`] when empty).
+    pub fn min(&self) -> Duration {
+        Duration::from_micros(self.min_us)
+    }
+
+    /// Approximate quantile with linear interpolation inside the bucket.
+    ///
+    /// The q-quantile sample's bucket is located by cumulative count, then
+    /// the estimate interpolates between the bucket edges, tightened by
+    /// the observed min/max so the extreme buckets don't overshoot.
+    /// Accurate to the bucket's base-2 resolution; exact for empty and
+    /// single-valued histograms.
+    pub fn quantile(&self, q: f64) -> Duration {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0,1]");
+        if self.count == 0 {
+            return Duration::ZERO;
+        }
+        let target = (q * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &b) in self.buckets.iter().enumerate() {
+            if b == 0 {
+                continue;
+            }
+            if seen + b >= target {
+                let lo_edge = if i == 0 { 0 } else { 1u64 << i };
+                let hi_edge = if i == BUCKETS - 1 {
+                    self.max_us.saturating_add(1)
+                } else {
+                    1u64 << (i + 1)
+                };
+                let hi = hi_edge.min(self.max_us.saturating_add(1)).max(1);
+                let lo = lo_edge.max(self.min_us).min(hi - 1);
+                let frac = (target - seen) as f64 / b as f64;
+                let v = lo as f64 + frac * (hi - lo) as f64;
+                let v = (v.round() as u64).clamp(lo, hi - 1);
+                return Duration::from_micros(v);
+            }
+            seen += b;
+        }
+        self.max()
+    }
+
+    /// Merge another histogram into this one.
+    pub fn merge(&mut self, other: &LogHistogram) {
+        if other.count == 0 {
+            return;
+        }
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.min_us = if self.count == 0 {
+            other.min_us
+        } else {
+            self.min_us.min(other.min_us)
+        };
+        self.count += other.count;
+        self.sum_us += other.sum_us;
+        self.max_us = self.max_us.max(other.max_us);
+    }
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------
+
+/// One instrument in the registry.
+#[derive(Debug, Clone, PartialEq)]
+enum Instrument {
+    Counter(u64),
+    Gauge(f64),
+    Histogram(LogHistogram),
+}
+
+type Key = (String, Vec<(String, String)>);
+
+fn key(name: &str, labels: &[(&str, &str)]) -> Key {
+    let mut labels: Vec<(String, String)> = labels
+        .iter()
+        .map(|(k, v)| (k.to_string(), v.to_string()))
+        .collect();
+    labels.sort();
+    (name.to_string(), labels)
+}
+
+/// A registry of named, labeled instruments.
+///
+/// Lookups allocate the key, so the registry suits per-solve and
+/// per-epoch granularity, not per-sample hot loops — aggregate locally
+/// (e.g. in a [`LogHistogram`]) and merge in afterwards.
+#[derive(Debug, Default)]
+pub struct Registry {
+    instruments: Mutex<BTreeMap<Key, Instrument>>,
+}
+
+impl Registry {
+    /// Empty registry.
+    pub fn new() -> Self {
+        Registry {
+            instruments: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// Add `by` to a counter, creating it at zero.
+    pub fn inc(&self, name: &str, labels: &[(&str, &str)], by: u64) {
+        let mut map = self.instruments.lock();
+        match map
+            .entry(key(name, labels))
+            .or_insert(Instrument::Counter(0))
+        {
+            Instrument::Counter(c) => *c += by,
+            other => *other = Instrument::Counter(by),
+        }
+    }
+
+    /// Set a gauge to its latest value.
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)], value: f64) {
+        self.instruments
+            .lock()
+            .insert(key(name, labels), Instrument::Gauge(value));
+    }
+
+    /// Record a duration into a histogram instrument.
+    pub fn observe(&self, name: &str, labels: &[(&str, &str)], d: Duration) {
+        let mut map = self.instruments.lock();
+        match map
+            .entry(key(name, labels))
+            .or_insert_with(|| Instrument::Histogram(LogHistogram::new()))
+        {
+            Instrument::Histogram(h) => h.record(d),
+            other => {
+                let mut h = LogHistogram::new();
+                h.record(d);
+                *other = Instrument::Histogram(h);
+            }
+        }
+    }
+
+    /// Merge a locally-aggregated histogram into a histogram instrument.
+    pub fn merge_histogram(&self, name: &str, labels: &[(&str, &str)], h: &LogHistogram) {
+        let mut map = self.instruments.lock();
+        match map
+            .entry(key(name, labels))
+            .or_insert_with(|| Instrument::Histogram(LogHistogram::new()))
+        {
+            Instrument::Histogram(existing) => existing.merge(h),
+            other => *other = Instrument::Histogram(h.clone()),
+        }
+    }
+
+    /// Deterministic snapshot: instruments sorted by name, then labels.
+    pub fn snapshot(&self) -> RegistrySnapshot {
+        let map = self.instruments.lock();
+        RegistrySnapshot {
+            instruments: map
+                .iter()
+                .map(|((name, labels), instrument)| InstrumentSnapshot {
+                    name: name.clone(),
+                    labels: labels
+                        .iter()
+                        .map(|(k, v)| Label {
+                            key: k.clone(),
+                            value: v.clone(),
+                        })
+                        .collect(),
+                    value: match instrument {
+                        Instrument::Counter(c) => InstrumentValue::Counter(*c),
+                        Instrument::Gauge(g) => InstrumentValue::Gauge(*g),
+                        Instrument::Histogram(h) => InstrumentValue::Histogram(h.clone()),
+                    },
+                })
+                .collect(),
+        }
+    }
+
+    /// Remove every instrument.
+    pub fn clear(&self) {
+        self.instruments.lock().clear();
+    }
+}
+
+/// The process-wide registry instrumented code records into.
+pub fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::new)
+}
+
+/// One label key/value pair in a snapshot.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Label {
+    /// Label key.
+    pub key: String,
+    /// Label value.
+    pub value: String,
+}
+
+/// The value a snapshotted instrument held.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum InstrumentValue {
+    /// Monotonic counter.
+    Counter(u64),
+    /// Latest-value gauge.
+    Gauge(f64),
+    /// Duration distribution.
+    Histogram(LogHistogram),
+}
+
+/// One instrument captured by [`Registry::snapshot`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InstrumentSnapshot {
+    /// Instrument name.
+    pub name: String,
+    /// Sorted labels.
+    pub labels: Vec<Label>,
+    /// Captured value.
+    pub value: InstrumentValue,
+}
+
+/// A point-in-time capture of a whole [`Registry`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RegistrySnapshot {
+    /// Instruments sorted by name, then labels.
+    pub instruments: Vec<InstrumentSnapshot>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn us(x: u64) -> Duration {
+        Duration::from_micros(x)
+    }
+
+    #[test]
+    fn histogram_basic_stats() {
+        let mut h = LogHistogram::new();
+        for &v in &[10u64, 20, 40, 80] {
+            h.record(us(v));
+        }
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.mean(), us(37));
+        assert_eq!(h.max(), us(80));
+        assert_eq!(h.min(), us(10));
+    }
+
+    #[test]
+    fn histogram_quantiles_monotone() {
+        let mut h = LogHistogram::new();
+        for i in 1..=1000u64 {
+            h.record(us(i));
+        }
+        let q50 = h.quantile(0.5);
+        let q99 = h.quantile(0.99);
+        assert!(q50 <= q99);
+        // Median of 1..=1000 ≈ 500 µs; interpolation should land close.
+        assert!(q50 >= us(256) && q50 <= us(1024), "q50 {q50:?}");
+        assert!(q50 >= us(450) && q50 <= us(550), "q50 {q50:?}");
+        // p99 of 1..=1000 ≈ 990 µs, inside bucket [512, 1024).
+        assert!(q99 >= us(900) && q99 <= us(1000), "q99 {q99:?}");
+    }
+
+    #[test]
+    fn empty_histogram_safe() {
+        let h = LogHistogram::new();
+        assert_eq!(h.mean(), Duration::ZERO);
+        assert_eq!(h.quantile(0.99), Duration::ZERO);
+        assert_eq!(h.quantile(0.0), Duration::ZERO);
+    }
+
+    #[test]
+    fn single_value_quantiles_are_exact() {
+        let mut h = LogHistogram::new();
+        h.record(Duration::from_millis(50));
+        for q in [0.0, 0.5, 0.95, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), Duration::from_millis(50), "q={q}");
+        }
+    }
+
+    #[test]
+    fn saturated_bucket_quantile() {
+        let mut h = LogHistogram::new();
+        // 2^45 µs lands past the last bucket edge and must saturate into
+        // bucket 39 without overshooting the observed max.
+        h.record(Duration::from_micros(1 << 45));
+        h.record(Duration::from_micros(1 << 45));
+        assert_eq!(h.quantile(0.5), Duration::from_micros(1 << 45));
+        assert_eq!(h.quantile(1.0), Duration::from_micros(1 << 45));
+    }
+
+    #[test]
+    fn histogram_zero_and_huge() {
+        let mut h = LogHistogram::new();
+        h.record(Duration::ZERO);
+        h.record(Duration::from_secs(3600));
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.min(), Duration::ZERO);
+        assert!(h.quantile(1.0) >= Duration::from_secs(3600));
+    }
+
+    #[test]
+    fn histogram_merge_tracks_min_max() {
+        let mut a = LogHistogram::new();
+        let mut b = LogHistogram::new();
+        a.record(us(5));
+        b.record(us(500));
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.max(), us(500));
+        assert_eq!(a.min(), us(5));
+        let mut empty = LogHistogram::new();
+        empty.merge(&a);
+        assert_eq!(empty.min(), us(5));
+        a.merge(&LogHistogram::new());
+        assert_eq!(a.count(), 2);
+    }
+
+    #[test]
+    fn histogram_serde_roundtrip() {
+        let mut h = LogHistogram::new();
+        h.record(us(123));
+        h.record(us(456_789));
+        let json = serde_json::to_string(&h).unwrap();
+        let back: LogHistogram = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, h);
+    }
+
+    #[test]
+    fn registry_snapshot_is_deterministic_and_roundtrips() {
+        let r = Registry::new();
+        r.inc("solves", &[("kind", "ffd")], 2);
+        r.inc("solves", &[("kind", "bfd")], 1);
+        r.gauge("utilization", &[], 0.75);
+        r.observe("solve_time", &[("kind", "ffd")], us(1500));
+        r.observe("solve_time", &[("kind", "ffd")], us(2500));
+        // Label order at the call site must not matter.
+        r.inc("multi", &[("b", "2"), ("a", "1")], 1);
+        r.inc("multi", &[("a", "1"), ("b", "2")], 1);
+
+        let snap = r.snapshot();
+        let names: Vec<&str> = snap.instruments.iter().map(|i| i.name.as_str()).collect();
+        let mut sorted = names.clone();
+        sorted.sort();
+        assert_eq!(names, sorted);
+        let multi = snap.instruments.iter().find(|i| i.name == "multi").unwrap();
+        assert_eq!(multi.value, InstrumentValue::Counter(2));
+
+        let json = serde_json::to_string(&snap).unwrap();
+        let back: RegistrySnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, snap);
+
+        r.clear();
+        assert!(r.snapshot().instruments.is_empty());
+    }
+}

@@ -1,0 +1,476 @@
+//! The tracing facade: events, clock domains and per-thread buffers.
+//!
+//! Recording is designed for hot paths. When disabled, every entry point
+//! is a single relaxed atomic load. When enabled, an event is a fixed-size
+//! `Copy` record (static name/key strings, no owned allocations) pushed
+//! into a preallocated thread-local buffer; buffers spill into one shared
+//! sink when full and stay reachable from a global list, so [`drain`]
+//! sees the work-stealing executor's worker events even if those scoped
+//! threads have not finished tearing down yet.
+//!
+//! Two clock domains keep determinism and profiling from fighting:
+//!
+//! * **Sim** events carry caller-supplied timestamps in simulated
+//!   microseconds (`SimTime` / virtual core clocks), so a deterministic
+//!   simulation produces a deterministic trace;
+//! * **Mono** events are stamped from a process-wide monotonic epoch and
+//!   carry real wall-clock timings. Under [`TraceClock::SimOnly`] they are
+//!   dropped at the recording site, which is what makes two same-seed
+//!   simulated runs export byte-identical traces.
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+use crate::TelemetryConfig;
+
+/// Which clock stamped an event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Domain {
+    /// Simulated time (caller-supplied microseconds).
+    Sim,
+    /// Monotonic wall-clock time since the process trace epoch.
+    Mono,
+}
+
+impl Domain {
+    /// Stable lowercase label used in exports.
+    pub fn label(self) -> &'static str {
+        match self {
+            Domain::Sim => "sim",
+            Domain::Mono => "mono",
+        }
+    }
+}
+
+/// Which clock domains the tracer records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TraceClock {
+    /// Record only simulated-clock events (deterministic traces).
+    SimOnly,
+    /// Record simulated and monotonic wall-clock events.
+    Full,
+}
+
+/// Maximum fields per event; excess fields are truncated.
+pub const MAX_FIELDS: usize = 12;
+
+/// A field value. Strings are `&'static str` so recording never allocates.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FieldValue {
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed integer (e.g. signed deadline slack).
+    I64(i64),
+    /// Floating point.
+    F64(f64),
+    /// Boolean flag.
+    Bool(bool),
+    /// Static string (labels, policy names).
+    Str(&'static str),
+}
+
+impl From<u64> for FieldValue {
+    fn from(v: u64) -> Self {
+        FieldValue::U64(v)
+    }
+}
+impl From<usize> for FieldValue {
+    fn from(v: usize) -> Self {
+        FieldValue::U64(v as u64)
+    }
+}
+impl From<u32> for FieldValue {
+    fn from(v: u32) -> Self {
+        FieldValue::U64(u64::from(v))
+    }
+}
+impl From<i64> for FieldValue {
+    fn from(v: i64) -> Self {
+        FieldValue::I64(v)
+    }
+}
+impl From<f64> for FieldValue {
+    fn from(v: f64) -> Self {
+        FieldValue::F64(v)
+    }
+}
+impl From<bool> for FieldValue {
+    fn from(v: bool) -> Self {
+        FieldValue::Bool(v)
+    }
+}
+impl From<&'static str> for FieldValue {
+    fn from(v: &'static str) -> Self {
+        FieldValue::Str(v)
+    }
+}
+
+/// One trace record: timestamp, clock domain, static name and up to
+/// [`MAX_FIELDS`] key/value fields. `Copy`, 100-odd bytes, no heap.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceEvent {
+    /// Timestamp in microseconds within the event's clock domain.
+    pub ts_us: u64,
+    /// Which clock stamped it.
+    pub domain: Domain,
+    /// Event name (dot-separated convention, e.g. `"subframe"`,
+    /// `"pool.epoch"`, `"phy.turbo_decode"`).
+    pub name: &'static str,
+    fields: [(&'static str, FieldValue); MAX_FIELDS],
+    len: u8,
+}
+
+impl TraceEvent {
+    /// Build an event, truncating fields beyond [`MAX_FIELDS`].
+    pub fn new(
+        ts_us: u64,
+        domain: Domain,
+        name: &'static str,
+        fields: &[(&'static str, FieldValue)],
+    ) -> Self {
+        let mut stored = [("", FieldValue::U64(0)); MAX_FIELDS];
+        let len = fields.len().min(MAX_FIELDS);
+        stored[..len].copy_from_slice(&fields[..len]);
+        TraceEvent {
+            ts_us,
+            domain,
+            name,
+            fields: stored,
+            len: len as u8,
+        }
+    }
+
+    /// The recorded fields, in recording order.
+    pub fn fields(&self) -> &[(&'static str, FieldValue)] {
+        &self.fields[..self.len as usize]
+    }
+
+    /// Look up a field by key.
+    pub fn field(&self, key: &str) -> Option<FieldValue> {
+        self.fields()
+            .iter()
+            .find_map(|(k, v)| (*k == key).then_some(*v))
+    }
+
+    /// Look up a numeric field as `u64` (accepts `U64` and non-negative
+    /// `I64`).
+    pub fn field_u64(&self, key: &str) -> Option<u64> {
+        match self.field(key)? {
+            FieldValue::U64(v) => Some(v),
+            FieldValue::I64(v) => u64::try_from(v).ok(),
+            _ => None,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Global tracer state
+// ---------------------------------------------------------------------
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static RECORD_MONO: AtomicBool = AtomicBool::new(false);
+static FLUSH_AT: AtomicUsize = AtomicUsize::new(8192);
+
+type SharedBuffer = Arc<Mutex<Vec<TraceEvent>>>;
+
+fn sink() -> &'static Mutex<Vec<TraceEvent>> {
+    static SINK: OnceLock<Mutex<Vec<TraceEvent>>> = OnceLock::new();
+    SINK.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// Every live thread buffer, so [`drain`] and [`configure`] can reach
+/// buffers of threads that have not exited yet. `thread::scope` may
+/// return to the spawner before a worker's thread-local destructors have
+/// run, so exit-time flushing alone would race with a post-run drain.
+fn buffers() -> &'static Mutex<Vec<SharedBuffer>> {
+    static BUFFERS: OnceLock<Mutex<Vec<SharedBuffer>>> = OnceLock::new();
+    BUFFERS.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+fn mono_epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// Microseconds since the process trace epoch (first use).
+pub fn mono_now_us() -> u64 {
+    mono_epoch().elapsed().as_micros() as u64
+}
+
+struct ThreadSlot {
+    buffer: SharedBuffer,
+}
+
+impl Drop for ThreadSlot {
+    fn drop(&mut self) {
+        let mut events = std::mem::take(&mut *self.buffer.lock());
+        if !events.is_empty() {
+            sink().lock().append(&mut events);
+        }
+        buffers().lock().retain(|b| !Arc::ptr_eq(b, &self.buffer));
+    }
+}
+
+thread_local! {
+    static LOCAL: RefCell<Option<ThreadSlot>> = const { RefCell::new(None) };
+}
+
+/// Apply a configuration: clears the sink and every live thread buffer,
+/// then flips the recording switches.
+pub fn configure(config: TelemetryConfig) {
+    for buffer in buffers().lock().iter() {
+        buffer.lock().clear();
+    }
+    sink().lock().clear();
+    FLUSH_AT.store(config.buffer_events.clamp(1, 1 << 20), Ordering::Relaxed);
+    RECORD_MONO.store(matches!(config.clock, TraceClock::Full), Ordering::Relaxed);
+    ENABLED.store(config.enabled, Ordering::Release);
+}
+
+/// Stop recording. Buffered events remain drainable via [`drain`].
+pub fn disable() {
+    ENABLED.store(false, Ordering::Release);
+}
+
+/// The fast-path check: one relaxed atomic load.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+#[inline]
+fn push(event: TraceEvent) {
+    LOCAL.with(|slot| {
+        let mut slot = slot.borrow_mut();
+        let slot = slot.get_or_insert_with(|| {
+            let buffer: SharedBuffer = Arc::new(Mutex::new(Vec::new()));
+            buffers().lock().push(Arc::clone(&buffer));
+            ThreadSlot { buffer }
+        });
+        let flush_at = FLUSH_AT.load(Ordering::Relaxed);
+        let mut events = slot.buffer.lock();
+        if events.capacity() == 0 {
+            events.reserve(flush_at);
+        }
+        events.push(event);
+        if events.len() >= flush_at {
+            let mut spilled = std::mem::take(&mut *events);
+            drop(events);
+            sink().lock().append(&mut spilled);
+        }
+    });
+}
+
+/// Record a simulated-clock event at `ts_us` simulated microseconds.
+#[inline]
+pub fn sim_event(name: &'static str, ts_us: u64, fields: &[(&'static str, FieldValue)]) {
+    if !enabled() {
+        return;
+    }
+    push(TraceEvent::new(ts_us, Domain::Sim, name, fields));
+}
+
+/// Record a monotonic wall-clock event (dropped under
+/// [`TraceClock::SimOnly`]).
+#[inline]
+pub fn mono_event(name: &'static str, fields: &[(&'static str, FieldValue)]) {
+    if !enabled() || !RECORD_MONO.load(Ordering::Relaxed) {
+        return;
+    }
+    push(TraceEvent::new(mono_now_us(), Domain::Mono, name, fields));
+}
+
+/// A monotonic-clock span guard. Inactive (and free) when mono recording
+/// is off; otherwise emits one event named after the span with a `dur_us`
+/// field on [`Span::finish_with`] or drop.
+#[must_use = "a span records its duration when finished or dropped"]
+pub struct Span {
+    name: &'static str,
+    start_us: u64,
+    active: bool,
+}
+
+/// Start a monotonic span (see [`Span`]).
+#[inline]
+pub fn span(name: &'static str) -> Span {
+    let active = enabled() && RECORD_MONO.load(Ordering::Relaxed);
+    Span {
+        name,
+        start_us: if active { mono_now_us() } else { 0 },
+        active,
+    }
+}
+
+impl Span {
+    fn emit(&mut self, extra: &[(&'static str, FieldValue)]) {
+        if !self.active {
+            return;
+        }
+        self.active = false;
+        let mut fields = [("", FieldValue::U64(0)); MAX_FIELDS];
+        fields[0] = (
+            "dur_us",
+            FieldValue::U64(mono_now_us().saturating_sub(self.start_us)),
+        );
+        let extra_len = extra.len().min(MAX_FIELDS - 1);
+        fields[1..1 + extra_len].copy_from_slice(&extra[..extra_len]);
+        push(TraceEvent::new(
+            self.start_us,
+            Domain::Mono,
+            self.name,
+            &fields[..1 + extra_len],
+        ));
+    }
+
+    /// Finish the span with extra fields attached.
+    pub fn finish_with(mut self, extra: &[(&'static str, FieldValue)]) {
+        self.emit(extra);
+    }
+
+    /// Finish the span.
+    pub fn finish(self) {
+        self.finish_with(&[]);
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        self.emit(&[]);
+    }
+}
+
+/// Flush the calling thread's buffer into the shared sink.
+pub fn flush() {
+    LOCAL.with(|slot| {
+        if let Some(slot) = slot.borrow().as_ref() {
+            let mut events = std::mem::take(&mut *slot.buffer.lock());
+            if !events.is_empty() {
+                sink().lock().append(&mut events);
+            }
+        }
+    });
+}
+
+/// Take every event collected so far: the shared sink plus the contents
+/// of every live thread buffer (so worker threads need not have exited).
+pub fn drain() -> Vec<TraceEvent> {
+    let mut out = std::mem::take(&mut *sink().lock());
+    for buffer in buffers().lock().iter() {
+        out.append(&mut buffer.lock());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Global tracer state is shared; serialize the tests that touch it.
+    pub(crate) fn lock_tracer() -> parking_lot::MutexGuard<'static, ()> {
+        static GUARD: OnceLock<Mutex<()>> = OnceLock::new();
+        GUARD.get_or_init(|| Mutex::new(())).lock()
+    }
+
+    #[test]
+    fn disabled_records_nothing() {
+        let _g = lock_tracer();
+        configure(TelemetryConfig::disabled());
+        sim_event("x", 1, &[]);
+        mono_event("y", &[]);
+        assert!(drain().is_empty());
+    }
+
+    #[test]
+    fn sim_only_drops_mono_events() {
+        let _g = lock_tracer();
+        configure(TelemetryConfig::sim());
+        sim_event("kept", 10, &[("a", 1u64.into())]);
+        mono_event("dropped", &[]);
+        span("dropped_span").finish();
+        let events = drain();
+        disable();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].name, "kept");
+        assert_eq!(events[0].ts_us, 10);
+        assert_eq!(events[0].field_u64("a"), Some(1));
+    }
+
+    #[test]
+    fn full_mode_records_mono_and_spans() {
+        let _g = lock_tracer();
+        configure(TelemetryConfig::full());
+        mono_event("m", &[("k", "v".into())]);
+        let s = span("s");
+        s.finish_with(&[("n", 3u64.into())]);
+        let events = drain();
+        disable();
+        assert_eq!(events.len(), 2);
+        let span_ev = events.iter().find(|e| e.name == "s").unwrap();
+        assert!(span_ev.field_u64("dur_us").is_some());
+        assert_eq!(span_ev.field_u64("n"), Some(3));
+        assert!(events.iter().all(|e| e.domain == Domain::Mono));
+    }
+
+    #[test]
+    fn worker_thread_events_flush_on_exit() {
+        let _g = lock_tracer();
+        configure(TelemetryConfig::sim());
+        std::thread::scope(|scope| {
+            for worker in 0..4u64 {
+                scope.spawn(move || {
+                    for i in 0..100u64 {
+                        sim_event("w", worker * 1000 + i, &[("worker", worker.into())]);
+                    }
+                });
+            }
+        });
+        let events = drain();
+        disable();
+        assert_eq!(events.len(), 400);
+    }
+
+    #[test]
+    fn reconfigure_discards_stale_buffers() {
+        let _g = lock_tracer();
+        configure(TelemetryConfig::sim());
+        sim_event("old", 1, &[]);
+        // Not flushed yet; a reconfigure must invalidate it.
+        configure(TelemetryConfig::sim());
+        sim_event("new", 2, &[]);
+        let events = drain();
+        disable();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].name, "new");
+    }
+
+    #[test]
+    fn buffer_spills_at_threshold() {
+        let _g = lock_tracer();
+        let mut cfg = TelemetryConfig::sim();
+        cfg.buffer_events = 8;
+        configure(cfg);
+        for i in 0..20u64 {
+            sim_event("e", i, &[]);
+        }
+        // 16 events spilled by threshold crossings; 4 still local until
+        // the explicit flush inside drain().
+        assert!(sink().lock().len() >= 16);
+        let events = drain();
+        disable();
+        assert_eq!(events.len(), 20);
+    }
+
+    #[test]
+    fn field_truncation_is_bounded() {
+        let fields: Vec<(&'static str, FieldValue)> = (0..MAX_FIELDS + 3)
+            .map(|_| ("k", FieldValue::U64(1)))
+            .collect();
+        let ev = TraceEvent::new(0, Domain::Sim, "t", &fields);
+        assert_eq!(ev.fields().len(), MAX_FIELDS);
+    }
+}

@@ -147,6 +147,7 @@ impl TraceConfig {
 pub fn generate(cfg: &TraceConfig) -> Trace {
     assert!(cfg.num_cells > 0, "need at least one cell");
     assert!(cfg.step_seconds > 0.0 && cfg.duration_seconds > 0.0);
+    let gen_span = pran_telemetry::trace::span("traces.generate");
     let mut rng = SmallRng::seed_from_u64(cfg.seed);
 
     // Cells: positions, classes, scales.
@@ -223,6 +224,12 @@ pub fn generate(cfg: &TraceConfig) -> Trace {
         samples,
     };
     debug_assert!(trace.validate().is_ok());
+    gen_span.finish_with(&[
+        ("cells", cfg.num_cells.into()),
+        ("steps", steps.into()),
+        ("seed", cfg.seed.into()),
+        ("flash_crowds", cfg.flash_crowds.len().into()),
+    ]);
     trace
 }
 

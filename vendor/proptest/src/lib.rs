@@ -251,7 +251,7 @@ pub mod collection {
     use rand::Rng;
     use std::ops::Range;
 
-    /// Acceptable size arguments for [`vec`]: a fixed size or a range.
+    /// Acceptable size arguments for [`vec()`]: a fixed size or a range.
     pub struct SizeRange {
         lo: usize,
         hi_exclusive: usize,
@@ -284,7 +284,7 @@ pub mod collection {
         }
     }
 
-    /// Strategy returned by [`vec`].
+    /// Strategy returned by [`vec()`].
     pub struct VecStrategy<S> {
         element: S,
         size: SizeRange,
