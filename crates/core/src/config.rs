@@ -28,6 +28,44 @@ impl PoolSpec {
     }
 }
 
+/// Bounds and failover timing the chaos subsystem checks every epoch
+/// (see `pran-chaos`). Part of [`SystemConfig`] so a scenario's safety
+/// envelope travels with the system it applies to — and survives a
+/// controller snapshot/restore.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ChaosConfig {
+    /// Maximum tolerated per-cell outage after a failure.
+    pub outage_bound: Duration,
+    /// Maximum tolerated deadline-miss ratio over a run.
+    pub miss_ratio_bound: f64,
+    /// Failure detection delay (heartbeat timeout) charged per failover.
+    pub detection_delay: Duration,
+    /// Controller replanning overhead charged per failover.
+    pub replan_overhead: Duration,
+    /// State-transfer time charged per migrated cell.
+    pub migration_time_per_cell: Duration,
+}
+
+impl ChaosConfig {
+    /// Evaluation defaults: the E8 failover timing model (20 ms detection
+    /// plus 5 ms replan plus 25 ms migration = 50 ms outage) with a
+    /// 200 ms outage bound and a 1 % miss-ratio bound.
+    pub fn default_eval() -> Self {
+        ChaosConfig {
+            outage_bound: Duration::from_millis(200),
+            miss_ratio_bound: 0.01,
+            detection_delay: Duration::from_millis(20),
+            replan_overhead: Duration::from_millis(5),
+            migration_time_per_cell: Duration::from_millis(25),
+        }
+    }
+
+    /// Outage charged when a failover re-places one displaced cell.
+    pub fn failover_outage(&self) -> Duration {
+        self.detection_delay + self.replan_overhead + self.migration_time_per_cell
+    }
+}
+
 /// Full system configuration.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SystemConfig {
@@ -53,6 +91,8 @@ pub struct SystemConfig {
     /// the hot path stays branch-predictable; call
     /// [`pran_telemetry::configure`] with this to activate it.
     pub telemetry: TelemetryConfig,
+    /// Safety bounds and failover timing checked by the chaos subsystem.
+    pub chaos: ChaosConfig,
 }
 
 impl SystemConfig {
@@ -78,6 +118,7 @@ impl SystemConfig {
             epoch: Duration::from_secs(60),
             headroom: 1.1,
             telemetry: TelemetryConfig::disabled(),
+            chaos: ChaosConfig::default_eval(),
         }
     }
 }
@@ -95,6 +136,8 @@ mod tests {
         // Placement and realtime feasibility must model the same machine.
         assert_eq!(c.parallel.cores, c.pool.cores);
         c.parallel.validate();
+        assert!(c.chaos.outage_bound >= c.chaos.failover_outage());
+        assert_eq!(c.chaos.failover_outage(), Duration::from_millis(50));
     }
 
     #[test]

@@ -611,25 +611,43 @@ impl Controller {
     /// Panics if the snapshot is internally inconsistent (placement length
     /// vs cell count, server indices out of range) — snapshots come from
     /// [`Controller::snapshot`] or its serialized form, so inconsistency
-    /// means corruption.
+    /// means corruption. Callers that must survive a corrupt snapshot
+    /// (e.g. chaos injection treating it as a checkable fault) use
+    /// [`Controller::try_restore`].
     pub fn restore(snapshot: Snapshot) -> Self {
-        assert_eq!(
-            snapshot.placement.len(),
-            snapshot.cells.len(),
-            "snapshot placement/cell mismatch"
-        );
-        assert_eq!(
-            snapshot.servers.len(),
-            snapshot.config.pool.servers,
-            "snapshot server-count mismatch"
-        );
-        for a in snapshot.placement.iter().flatten() {
-            assert!(
-                *a < snapshot.servers.len(),
-                "snapshot server index out of range"
-            );
+        match Self::try_restore(snapshot) {
+            Ok(c) => c,
+            Err(e) => panic!("{e}"),
         }
-        Controller {
+    }
+
+    /// Rebuild a controller from a snapshot, rejecting an internally
+    /// inconsistent one with a [`SnapshotError`] instead of panicking.
+    pub fn try_restore(snapshot: Snapshot) -> Result<Self, SnapshotError> {
+        if snapshot.placement.len() != snapshot.cells.len() {
+            return Err(SnapshotError::PlacementCellMismatch {
+                placement: snapshot.placement.len(),
+                cells: snapshot.cells.len(),
+            });
+        }
+        if snapshot.servers.len() != snapshot.config.pool.servers {
+            return Err(SnapshotError::ServerCountMismatch {
+                snapshot: snapshot.servers.len(),
+                config: snapshot.config.pool.servers,
+            });
+        }
+        for (cell, a) in snapshot.placement.iter().enumerate() {
+            if let Some(server) = *a {
+                if server >= snapshot.servers.len() {
+                    return Err(SnapshotError::ServerIndexOutOfRange {
+                        cell,
+                        server,
+                        servers: snapshot.servers.len(),
+                    });
+                }
+            }
+        }
+        Ok(Controller {
             config: snapshot.config,
             model: ComputeModel::calibrated(),
             cells: snapshot.cells,
@@ -642,9 +660,64 @@ impl Controller {
             now: snapshot.now,
             topology: snapshot.topology,
             audit: VecDeque::new(),
+        })
+    }
+}
+
+/// Why [`Controller::try_restore`] rejected a snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SnapshotError {
+    /// The placement vector's length disagrees with the cell table.
+    PlacementCellMismatch {
+        /// Placement entries in the snapshot.
+        placement: usize,
+        /// Cells in the snapshot.
+        cells: usize,
+    },
+    /// The server table's length disagrees with the embedded config.
+    ServerCountMismatch {
+        /// Servers in the snapshot's state table.
+        snapshot: usize,
+        /// Servers per the snapshot's own `config.pool.servers`.
+        config: usize,
+    },
+    /// A placement entry points past the server table.
+    ServerIndexOutOfRange {
+        /// The cell whose assignment is bad.
+        cell: usize,
+        /// The out-of-range server index.
+        server: usize,
+        /// Servers actually in the snapshot.
+        servers: usize,
+    },
+}
+
+impl std::fmt::Display for SnapshotError {
+    // The phrasing matches the historical `restore` panic messages, which
+    // callers (and tests) match on.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapshotError::PlacementCellMismatch { placement, cells } => write!(
+                f,
+                "snapshot placement/cell mismatch: {placement} placement entries for {cells} cells"
+            ),
+            SnapshotError::ServerCountMismatch { snapshot, config } => write!(
+                f,
+                "snapshot server-count mismatch: {snapshot} server states, config says {config}"
+            ),
+            SnapshotError::ServerIndexOutOfRange {
+                cell,
+                server,
+                servers,
+            } => write!(
+                f,
+                "snapshot server index out of range: cell {cell} on server {server} of {servers}"
+            ),
         }
     }
 }
+
+impl std::error::Error for SnapshotError {}
 
 /// Serializable controller state (see [`Controller::snapshot`]).
 #[derive(Debug, Clone, Serialize, Deserialize)]

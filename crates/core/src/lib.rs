@@ -57,9 +57,9 @@ pub mod config;
 pub mod controller;
 
 pub use api::{Action, ActionError, CellView, ControlApp, PoolEvent, PoolView, ServerView};
-pub use config::{PoolSpec, SystemConfig};
+pub use config::{ChaosConfig, PoolSpec, SystemConfig};
 pub use controller::{
-    AuditEntry, Controller, ControllerStats, EpochReport, FailureReport, Snapshot,
+    AuditEntry, Controller, ControllerStats, EpochReport, FailureReport, Snapshot, SnapshotError,
 };
 
 pub use pran_fronthaul as fronthaul;

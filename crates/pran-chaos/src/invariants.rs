@@ -1,0 +1,344 @@
+//! System-wide safety invariants, checked every epoch.
+//!
+//! The checker owns the run's verdict: the harness feeds it controller
+//! views, failover outages and restore results as the scenario unfolds,
+//! and it records a [`Violation`] — plus a structured
+//! `chaos.violation` telemetry event — whenever a bound from
+//! [`ChaosConfig`] is exceeded. The five invariants are the paper's
+//! safety envelope:
+//!
+//! 1. **Placement validity** — every live cell sits on a live server;
+//! 2. **Capacity** — no server is loaded beyond
+//!    [`ServerSpec::fits`]'s tolerance;
+//! 3. **Outage** — per-cell outage after a failure stays under
+//!    `ChaosConfig::outage_bound`;
+//! 4. **Miss ratio** — deadline misses among *executed* tasks stay under
+//!    `ChaosConfig::miss_ratio_bound` (fronthaul-lost reports are a
+//!    transport fault we injected on purpose and are accounted
+//!    separately in `PoolMetrics::reports_lost`);
+//! 5. **Restore fidelity** — restoring a snapshot reproduces the
+//!    pre-snapshot view exactly, and a corrupted snapshot is rejected.
+
+use std::time::Duration;
+
+use pran::{ChaosConfig, PoolView, SnapshotError};
+use pran_sched::placement::ServerSpec;
+use pran_sim::PoolMetrics;
+
+/// Which safety invariant was violated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum InvariantKind {
+    /// A live cell is unplaced or sits on a dead server.
+    PlacementValid,
+    /// A server's predicted load exceeds its capacity tolerance.
+    CapacityBound,
+    /// A cell's failover outage exceeded the configured bound.
+    OutageExceeded,
+    /// The executed-task deadline-miss ratio exceeded the bound.
+    MissRatioExceeded,
+    /// Snapshot restore diverged from (or a corrupt snapshot slipped
+    /// past) the controller's restore contract.
+    RestoreFidelity,
+}
+
+impl InvariantKind {
+    /// Stable label for telemetry fields and report tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            InvariantKind::PlacementValid => "placement_valid",
+            InvariantKind::CapacityBound => "capacity_bound",
+            InvariantKind::OutageExceeded => "outage_exceeded",
+            InvariantKind::MissRatioExceeded => "miss_ratio_exceeded",
+            InvariantKind::RestoreFidelity => "restore_fidelity",
+        }
+    }
+
+    /// All invariant kinds, for report tables.
+    pub fn all() -> [InvariantKind; 5] {
+        [
+            InvariantKind::PlacementValid,
+            InvariantKind::CapacityBound,
+            InvariantKind::OutageExceeded,
+            InvariantKind::MissRatioExceeded,
+            InvariantKind::RestoreFidelity,
+        ]
+    }
+}
+
+/// One recorded invariant violation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Violation {
+    /// Which invariant broke.
+    pub kind: InvariantKind,
+    /// Simulated time of detection.
+    pub at: Duration,
+    /// Human-readable specifics (cell/server ids, measured vs bound).
+    pub detail: String,
+}
+
+/// Evaluates the safety envelope over a scenario run.
+#[derive(Debug)]
+pub struct InvariantChecker {
+    bounds: ChaosConfig,
+    violations: Vec<Violation>,
+}
+
+impl InvariantChecker {
+    /// A checker enforcing the given bounds.
+    pub fn new(bounds: ChaosConfig) -> Self {
+        InvariantChecker {
+            bounds,
+            violations: Vec::new(),
+        }
+    }
+
+    /// The bounds in force.
+    pub fn bounds(&self) -> &ChaosConfig {
+        &self.bounds
+    }
+
+    /// Record a violation detected by the harness itself (conditions that
+    /// don't fit one of the structured check methods, e.g. a snapshot
+    /// that fails to re-parse).
+    pub fn flag(&mut self, kind: InvariantKind, at: Duration, detail: String) {
+        self.record(kind, at, detail);
+    }
+
+    fn record(&mut self, kind: InvariantKind, at: Duration, detail: String) {
+        pran_telemetry::trace::sim_event(
+            "chaos.violation",
+            at.as_micros() as u64,
+            &[("kind", kind.label().into())],
+        );
+        self.violations.push(Violation { kind, at, detail });
+    }
+
+    /// Epoch check: placement validity and capacity on a controller view.
+    ///
+    /// The harness contract is that every cell in the view is live (it
+    /// never deregisters cells), so an unplaced cell or a cell on a dead
+    /// server is a safety violation, not housekeeping.
+    pub fn check_view(&mut self, at: Duration, view: &PoolView) {
+        for cell in &view.cells {
+            match cell.server {
+                None => self.record(
+                    InvariantKind::PlacementValid,
+                    at,
+                    format!("cell {} unplaced at epoch check", cell.id),
+                ),
+                Some(s) if !view.servers[s].alive => self.record(
+                    InvariantKind::PlacementValid,
+                    at,
+                    format!("cell {} placed on dead server {s}", cell.id),
+                ),
+                Some(_) => {}
+            }
+        }
+        for server in &view.servers {
+            let spec = ServerSpec {
+                id: server.id,
+                capacity_gops: server.capacity_gops,
+                cost: 1.0,
+            };
+            if !spec.fits(server.load_gops) {
+                self.record(
+                    InvariantKind::CapacityBound,
+                    at,
+                    format!(
+                        "server {} loaded {:.1} GOPS over {:.1} GOPS capacity",
+                        server.id, server.load_gops, server.capacity_gops
+                    ),
+                );
+            }
+        }
+    }
+
+    /// Per-cell outage check after a failover.
+    pub fn check_outage(&mut self, at: Duration, cell: usize, outage: Duration) {
+        if outage > self.bounds.outage_bound {
+            self.record(
+                InvariantKind::OutageExceeded,
+                at,
+                format!(
+                    "cell {cell} outage {:?} exceeds bound {:?}",
+                    outage, self.bounds.outage_bound
+                ),
+            );
+        }
+    }
+
+    /// End-of-run deadline-miss check over the data-plane metrics.
+    pub fn check_miss_ratio(&mut self, at: Duration, metrics: &PoolMetrics) {
+        let executed = metrics.tasks_total.saturating_sub(metrics.tasks_lost);
+        if executed == 0 {
+            return;
+        }
+        let ratio = metrics.deadline_misses as f64 / executed as f64;
+        if ratio > self.bounds.miss_ratio_bound {
+            self.record(
+                InvariantKind::MissRatioExceeded,
+                at,
+                format!(
+                    "executed-task miss ratio {ratio:.4} exceeds bound {:.4} \
+                     ({} misses / {executed} executed)",
+                    self.bounds.miss_ratio_bound, metrics.deadline_misses
+                ),
+            );
+        }
+    }
+
+    /// Restore-fidelity check: `restored` is the outcome of
+    /// `Controller::try_restore` on a snapshot that was (`corrupt`) or
+    /// was not damaged in flight; `before` is the pre-snapshot view and
+    /// `after` the restored controller's view when restore succeeded.
+    pub fn check_restore(
+        &mut self,
+        at: Duration,
+        corrupt: bool,
+        before: &PoolView,
+        restored: Result<&PoolView, &SnapshotError>,
+    ) {
+        match (corrupt, restored) {
+            (false, Ok(after)) => {
+                if after != before {
+                    self.record(
+                        InvariantKind::RestoreFidelity,
+                        at,
+                        "restored view diverges from pre-snapshot view".into(),
+                    );
+                }
+            }
+            (false, Err(e)) => self.record(
+                InvariantKind::RestoreFidelity,
+                at,
+                format!("intact snapshot rejected: {e}"),
+            ),
+            (true, Ok(_)) => self.record(
+                InvariantKind::RestoreFidelity,
+                at,
+                "corrupt snapshot accepted by try_restore".into(),
+            ),
+            // Corrupt snapshot rejected: exactly the contract.
+            (true, Err(_)) => {}
+        }
+    }
+
+    /// Violations recorded so far.
+    pub fn violations(&self) -> &[Violation] {
+        &self.violations
+    }
+
+    /// Consume the checker, yielding all violations.
+    pub fn into_violations(self) -> Vec<Violation> {
+        self.violations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pran::apps::FailoverApp;
+    use pran::{Controller, SystemConfig};
+
+    fn live_view(servers: usize) -> (Controller, PoolView) {
+        let mut c = Controller::new(SystemConfig::default_eval(servers));
+        c.install_app(Box::new(FailoverApp::new()));
+        for i in 0..4 {
+            c.register_cell();
+            c.report_load(i, 0.5).unwrap();
+        }
+        c.run_epoch(Duration::from_secs(60));
+        let v = c.view();
+        (c, v)
+    }
+
+    #[test]
+    fn healthy_view_passes() {
+        let (_c, view) = live_view(6);
+        let mut chk = InvariantChecker::new(ChaosConfig::default_eval());
+        chk.check_view(Duration::from_secs(60), &view);
+        assert!(chk.violations().is_empty(), "{:?}", chk.violations());
+    }
+
+    #[test]
+    fn unplaced_cell_is_flagged() {
+        let (_c, mut view) = live_view(6);
+        view.cells[0].server = None;
+        let mut chk = InvariantChecker::new(ChaosConfig::default_eval());
+        chk.check_view(Duration::from_secs(60), &view);
+        assert_eq!(chk.violations().len(), 1);
+        assert_eq!(chk.violations()[0].kind, InvariantKind::PlacementValid);
+    }
+
+    #[test]
+    fn overloaded_server_is_flagged() {
+        let (_c, mut view) = live_view(6);
+        let target = view.cells[0].server.unwrap();
+        view.servers[target].load_gops = view.servers[target].capacity_gops * 1.5;
+        let mut chk = InvariantChecker::new(ChaosConfig::default_eval());
+        chk.check_view(Duration::from_secs(60), &view);
+        assert!(chk
+            .violations()
+            .iter()
+            .any(|v| v.kind == InvariantKind::CapacityBound));
+    }
+
+    #[test]
+    fn outage_bound_zero_flags_any_failover() {
+        let mut bounds = ChaosConfig::default_eval();
+        bounds.outage_bound = Duration::ZERO;
+        let outage = bounds.failover_outage();
+        let mut chk = InvariantChecker::new(bounds);
+        chk.check_outage(Duration::from_secs(1), 3, outage);
+        assert_eq!(chk.violations()[0].kind, InvariantKind::OutageExceeded);
+        // The default bound tolerates the standard failover.
+        let mut chk = InvariantChecker::new(ChaosConfig::default_eval());
+        chk.check_outage(Duration::from_secs(1), 3, outage);
+        assert!(chk.violations().is_empty());
+    }
+
+    #[test]
+    fn miss_ratio_counts_executed_tasks_only() {
+        let mut m = PoolMetrics {
+            tasks_total: 1000,
+            tasks_lost: 500,
+            reports_lost: 500,
+            deadline_misses: 4,
+            ..Default::default()
+        };
+        let mut chk = InvariantChecker::new(ChaosConfig::default_eval());
+        // 4 / 500 = 0.008 < 0.01: transport loss alone must not trip it.
+        chk.check_miss_ratio(Duration::from_secs(600), &m);
+        assert!(chk.violations().is_empty());
+        m.deadline_misses = 6; // 6 / 500 = 0.012 > 0.01
+        chk.check_miss_ratio(Duration::from_secs(600), &m);
+        assert_eq!(chk.violations()[0].kind, InvariantKind::MissRatioExceeded);
+    }
+
+    #[test]
+    fn restore_contract_both_directions() {
+        let (c, view) = live_view(6);
+        let mut chk = InvariantChecker::new(ChaosConfig::default_eval());
+        // Faithful restore: fine.
+        let restored = Controller::try_restore(c.snapshot()).unwrap();
+        chk.check_restore(Duration::from_secs(1), false, &view, Ok(&restored.view()));
+        assert!(chk.violations().is_empty());
+        // Corrupt snapshot accepted: violation.
+        chk.check_restore(Duration::from_secs(2), true, &view, Ok(&restored.view()));
+        assert_eq!(chk.violations().len(), 1);
+        // Corrupt snapshot rejected: fine.
+        let err = SnapshotError::ServerCountMismatch {
+            snapshot: 6,
+            config: 99,
+        };
+        chk.check_restore(Duration::from_secs(3), true, &view, Err(&err));
+        assert_eq!(chk.violations().len(), 1);
+        // Intact snapshot rejected: violation.
+        chk.check_restore(Duration::from_secs(4), false, &view, Err(&err));
+        assert_eq!(chk.violations().len(), 2);
+        assert!(chk
+            .violations()
+            .iter()
+            .all(|v| v.kind == InvariantKind::RestoreFidelity));
+    }
+}

@@ -1,0 +1,355 @@
+//! The scenario DSL: a serde-loadable, timed fault schedule.
+//!
+//! A [`Scenario`] is the unit of chaos: a named, seeded description of a
+//! deployment (cells, servers, horizon) plus a list of [`TimedEvent`]s
+//! composing every fault class the workspace models — server
+//! crash/recovery (`pran-sim::pool`), fronthaul degradation
+//! (`pran-fronthaul::fault`), flash-crowd load spikes (`pran-traces`) and
+//! mid-run controller snapshot/restore (`pran::Controller`). Scenarios
+//! round-trip through JSON, which is what makes a shrunk failing schedule
+//! a durable artifact: the explorer writes it, a bug report quotes it,
+//! and [`crate::explore::replay`] re-runs it bit-for-bit.
+
+use std::time::Duration;
+
+use serde::{Deserialize, Serialize};
+
+use pran_fronthaul::fault::FaultConfig;
+use pran_traces::{FlashCrowd, Point};
+
+/// One fault class at one instant. Every variant maps onto an existing
+/// subsystem's fault surface; the DSL adds composition and timing only.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ChaosEvent {
+    /// Kill a server (`pran::Controller::server_failed` on the control
+    /// plane, a `pran-sim` `FailureSpec` on the data plane).
+    ServerCrash {
+        /// The server to kill.
+        server: usize,
+    },
+    /// Bring a crashed server back (`Controller::server_recovered`).
+    ServerRecover {
+        /// The server to revive.
+        server: usize,
+    },
+    /// Degrade every cell's fronthaul link from this instant on
+    /// (loss / jitter / token-bucket rate limit, per
+    /// `pran-fronthaul::fault::FaultConfig`).
+    LinkDegrade {
+        /// Probability of dropping an uplink report, in `[0, 1]`.
+        drop_prob: f64,
+        /// Maximum extra queueing jitter per delivered report.
+        max_jitter: Duration,
+        /// Token-bucket capacity in reports (0 disables rate limiting).
+        bucket_capacity: u32,
+        /// Tokens added per refill.
+        refill_per_interval: u32,
+        /// Simulated-time spacing of refills (the shared-tick clock).
+        refill_interval: Duration,
+    },
+    /// Restore clean fronthaul links.
+    LinkRestore,
+    /// A flash crowd: localized load spike compiled into the trace
+    /// (`pran-traces::FlashCrowd`) starting at this event's time.
+    FlashCrowd {
+        /// Epicenter east coordinate, meters.
+        x_m: f64,
+        /// Epicenter north coordinate, meters.
+        y_m: f64,
+        /// Decay radius in meters.
+        radius_m: f64,
+        /// How long the crowd lasts.
+        duration: Duration,
+        /// Peak added utilization at the epicenter, in `[0, 1]`.
+        boost: f64,
+    },
+    /// Snapshot the controller, serialize, (optionally corrupt,) and
+    /// restore — the controller-failover drill. With `corrupt` the
+    /// snapshot's placement is damaged in flight and
+    /// `Controller::try_restore` must reject it.
+    SnapshotRestore {
+        /// Damage the serialized snapshot before restoring.
+        corrupt: bool,
+    },
+}
+
+impl ChaosEvent {
+    /// Stable label for telemetry and tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ChaosEvent::ServerCrash { .. } => "server_crash",
+            ChaosEvent::ServerRecover { .. } => "server_recover",
+            ChaosEvent::LinkDegrade { .. } => "link_degrade",
+            ChaosEvent::LinkRestore => "link_restore",
+            ChaosEvent::FlashCrowd { .. } => "flash_crowd",
+            ChaosEvent::SnapshotRestore { .. } => "snapshot_restore",
+        }
+    }
+
+    /// The fronthaul fault parameters of a `LinkDegrade`, if that is what
+    /// this event is.
+    pub fn fault_config(&self) -> Option<FaultConfig> {
+        match *self {
+            ChaosEvent::LinkDegrade {
+                drop_prob,
+                max_jitter,
+                bucket_capacity,
+                refill_per_interval,
+                refill_interval,
+            } => Some(FaultConfig {
+                drop_prob,
+                corrupt_prob: 0.0,
+                max_jitter,
+                bucket_capacity,
+                refill_per_tick: refill_per_interval,
+                refill_interval,
+            }),
+            _ => None,
+        }
+    }
+}
+
+/// An event pinned to a simulated instant (relative to scenario start).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TimedEvent {
+    /// When the event fires.
+    pub at: Duration,
+    /// What happens.
+    pub event: ChaosEvent,
+}
+
+/// A complete chaos scenario: deployment shape, seed, horizon, schedule.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Scenario {
+    /// Human-readable name (carried into reports).
+    pub name: String,
+    /// Seed for the load trace and every derived RNG stream — two runs of
+    /// the same scenario are bit-identical.
+    pub seed: u64,
+    /// Cells in the deployment.
+    pub cells: usize,
+    /// Servers in the pool.
+    pub servers: usize,
+    /// Simulated run length.
+    pub horizon: Duration,
+    /// The fault schedule. Order is not significant; events are sorted by
+    /// time (stable) before injection.
+    pub events: Vec<TimedEvent>,
+}
+
+impl Scenario {
+    /// A quiet scenario: no faults, just the seeded load trace.
+    pub fn baseline(name: &str, seed: u64, cells: usize, servers: usize) -> Self {
+        Scenario {
+            name: name.to_string(),
+            seed,
+            cells,
+            servers,
+            horizon: Duration::from_secs(600),
+            events: Vec::new(),
+        }
+    }
+
+    /// Structural validation: indices in range, probabilities in `[0, 1]`,
+    /// events inside the horizon.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.cells == 0 {
+            return Err("scenario needs at least one cell".into());
+        }
+        if self.servers == 0 {
+            return Err("scenario needs at least one server".into());
+        }
+        if self.horizon.is_zero() {
+            return Err("scenario horizon must be positive".into());
+        }
+        for (i, te) in self.events.iter().enumerate() {
+            if te.at > self.horizon {
+                return Err(format!(
+                    "event {i} ({}) at {:?} is past the horizon {:?}",
+                    te.event.label(),
+                    te.at,
+                    self.horizon
+                ));
+            }
+            match &te.event {
+                ChaosEvent::ServerCrash { server } | ChaosEvent::ServerRecover { server } => {
+                    if *server >= self.servers {
+                        return Err(format!(
+                            "event {i}: server {server} out of range (pool has {})",
+                            self.servers
+                        ));
+                    }
+                }
+                ChaosEvent::LinkDegrade { drop_prob, .. } => {
+                    if !(0.0..=1.0).contains(drop_prob) {
+                        return Err(format!("event {i}: drop_prob {drop_prob} outside [0, 1]"));
+                    }
+                }
+                ChaosEvent::FlashCrowd {
+                    boost, radius_m, ..
+                } => {
+                    if !(0.0..=1.0).contains(boost) {
+                        return Err(format!("event {i}: boost {boost} outside [0, 1]"));
+                    }
+                    if *radius_m <= 0.0 {
+                        return Err(format!("event {i}: radius {radius_m} must be positive"));
+                    }
+                }
+                ChaosEvent::LinkRestore | ChaosEvent::SnapshotRestore { .. } => {}
+            }
+        }
+        Ok(())
+    }
+
+    /// Events sorted by time (stable: ties keep schedule order).
+    pub fn sorted_events(&self) -> Vec<TimedEvent> {
+        let mut evs = self.events.clone();
+        evs.sort_by_key(|e| e.at);
+        evs
+    }
+
+    /// The scenario's flash crowds as `pran-traces` events, for compiling
+    /// into the load trace at generation time.
+    pub fn flash_crowds(&self) -> Vec<FlashCrowd> {
+        self.events
+            .iter()
+            .filter_map(|te| match te.event {
+                ChaosEvent::FlashCrowd {
+                    x_m,
+                    y_m,
+                    radius_m,
+                    duration,
+                    boost,
+                } => Some(FlashCrowd {
+                    epicenter: Point { x: x_m, y: y_m },
+                    radius_m,
+                    start_s: te.at.as_secs_f64(),
+                    duration_s: duration.as_secs_f64(),
+                    boost,
+                }),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Serialize to pretty JSON (the replay artifact format).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("scenario serializes")
+    }
+
+    /// Parse a scenario from JSON and validate it.
+    pub fn from_json(json: &str) -> Result<Self, String> {
+        let s: Scenario = serde_json::from_str(json).map_err(|e| e.to_string())?;
+        s.validate()?;
+        Ok(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Scenario {
+        Scenario {
+            name: "crash-then-degrade".into(),
+            seed: 42,
+            cells: 6,
+            servers: 8,
+            horizon: Duration::from_secs(600),
+            events: vec![
+                TimedEvent {
+                    at: Duration::from_secs(120),
+                    event: ChaosEvent::ServerCrash { server: 2 },
+                },
+                TimedEvent {
+                    at: Duration::from_secs(300),
+                    event: ChaosEvent::ServerRecover { server: 2 },
+                },
+                TimedEvent {
+                    at: Duration::from_secs(60),
+                    event: ChaosEvent::LinkDegrade {
+                        drop_prob: 0.1,
+                        max_jitter: Duration::from_micros(80),
+                        bucket_capacity: 0,
+                        refill_per_interval: 0,
+                        refill_interval: Duration::ZERO,
+                    },
+                },
+                TimedEvent {
+                    at: Duration::from_secs(200),
+                    event: ChaosEvent::FlashCrowd {
+                        x_m: 5_000.0,
+                        y_m: 5_000.0,
+                        radius_m: 2_000.0,
+                        duration: Duration::from_secs(120),
+                        boost: 0.3,
+                    },
+                },
+                TimedEvent {
+                    at: Duration::from_secs(400),
+                    event: ChaosEvent::SnapshotRestore { corrupt: false },
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn json_round_trip_is_identity() {
+        let s = sample();
+        let back = Scenario::from_json(&s.to_json()).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn sorted_events_order_by_time() {
+        let evs = sample().sorted_events();
+        for w in evs.windows(2) {
+            assert!(w[0].at <= w[1].at);
+        }
+        assert_eq!(evs[0].event.label(), "link_degrade");
+    }
+
+    #[test]
+    fn validate_rejects_bad_scenarios() {
+        let mut s = sample();
+        s.events[0].event = ChaosEvent::ServerCrash { server: 99 };
+        assert!(s.validate().unwrap_err().contains("out of range"));
+
+        let mut s = sample();
+        s.events[0].at = Duration::from_secs(601);
+        assert!(s.validate().unwrap_err().contains("past the horizon"));
+
+        let mut s = sample();
+        s.events[2].event = ChaosEvent::LinkDegrade {
+            drop_prob: 1.5,
+            max_jitter: Duration::ZERO,
+            bucket_capacity: 0,
+            refill_per_interval: 0,
+            refill_interval: Duration::ZERO,
+        };
+        assert!(s.validate().unwrap_err().contains("drop_prob"));
+
+        let mut s = sample();
+        s.servers = 0;
+        assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn flash_crowds_compile_to_trace_events() {
+        let crowds = sample().flash_crowds();
+        assert_eq!(crowds.len(), 1);
+        assert_eq!(crowds[0].start_s, 200.0);
+        assert_eq!(crowds[0].duration_s, 120.0);
+        assert_eq!(crowds[0].boost, 0.3);
+    }
+
+    #[test]
+    fn link_degrade_maps_onto_fault_config() {
+        let s = sample();
+        let cfg = s.events[2].event.fault_config().unwrap();
+        assert_eq!(cfg.drop_prob, 0.1);
+        assert_eq!(cfg.corrupt_prob, 0.0);
+        assert_eq!(cfg.max_jitter, Duration::from_micros(80));
+        assert!(s.events[0].event.fault_config().is_none());
+    }
+}

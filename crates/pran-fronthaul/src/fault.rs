@@ -24,6 +24,13 @@ pub struct FaultConfig {
     pub bucket_capacity: u32,
     /// Tokens refilled per [`FaultInjector::tick`].
     pub refill_per_tick: u32,
+    /// Simulated-time spacing of refills for [`FaultInjector::advance_to`]
+    /// (`ZERO` = clock-free mode: only manual [`FaultInjector::tick`]
+    /// calls refill). Composed scenarios must set this and drive every
+    /// injector from the one simulation clock, so fronthaul queues and
+    /// `pran-sim` failure/recovery events advance in lockstep instead of
+    /// each component counting its own calls.
+    pub refill_interval: Duration,
 }
 
 impl FaultConfig {
@@ -35,6 +42,7 @@ impl FaultConfig {
             max_jitter: Duration::ZERO,
             bucket_capacity: 0,
             refill_per_tick: 0,
+            refill_interval: Duration::ZERO,
         }
     }
 
@@ -46,6 +54,7 @@ impl FaultConfig {
             max_jitter: Duration::from_micros(50),
             bucket_capacity: 0,
             refill_per_tick: 0,
+            refill_interval: Duration::ZERO,
         }
     }
 }
@@ -90,6 +99,9 @@ pub struct FaultInjector {
     rng: SmallRng,
     tokens: u32,
     stats: FaultStats,
+    /// Simulated time of the last clock-driven refill (see
+    /// [`FaultInjector::advance_to`]).
+    refilled_at: Duration,
 }
 
 impl FaultInjector {
@@ -100,6 +112,7 @@ impl FaultInjector {
             rng: SmallRng::seed_from_u64(seed),
             tokens: config.bucket_capacity,
             stats: FaultStats::default(),
+            refilled_at: Duration::ZERO,
         }
     }
 
@@ -109,6 +122,35 @@ impl FaultInjector {
             self.tokens =
                 (self.tokens + self.config.refill_per_tick).min(self.config.bucket_capacity);
         }
+    }
+
+    /// Advance the injector's clock to simulated time `now`, applying
+    /// every refill whose instant has passed since the last call.
+    ///
+    /// Refills land at exact multiples of `refill_interval`, so the token
+    /// state at any simulated time is a pure function of that time — not
+    /// of how many times or in what step pattern callers advanced the
+    /// clock. This is the shared-tick contract that keeps fronthaul
+    /// queues in lockstep with `pran-sim`'s `SimTime`-scheduled failure
+    /// and recovery events when scenarios compose both. No-op when
+    /// `refill_interval` is zero (clock-free mode) or `now` is not past
+    /// the next refill instant; time never moves backwards.
+    pub fn advance_to(&mut self, now: Duration) {
+        let interval = self.config.refill_interval;
+        if interval.is_zero() || now <= self.refilled_at {
+            return;
+        }
+        let elapsed = now - self.refilled_at;
+        let refills = (elapsed.as_nanos() / interval.as_nanos()) as u32;
+        if refills == 0 {
+            return;
+        }
+        if self.config.bucket_capacity > 0 {
+            let added = (self.config.refill_per_tick as u64 * refills as u64)
+                .min(self.config.bucket_capacity as u64) as u32;
+            self.tokens = (self.tokens + added).min(self.config.bucket_capacity);
+        }
+        self.refilled_at += interval * refills;
     }
 
     /// Pass one frame through the faulty link.
@@ -305,6 +347,89 @@ mod tests {
         }
         assert_eq!(after, 2, "one refill's worth");
         assert_eq!(inj.stats().rate_limited, 14);
+    }
+
+    #[test]
+    fn advance_to_refills_on_sim_time_not_call_pattern() {
+        // The lockstep regression: token state at time T must not depend
+        // on whether the clock was advanced in one jump or many.
+        let cfg = FaultConfig {
+            bucket_capacity: 10,
+            refill_per_tick: 1,
+            refill_interval: Duration::from_millis(1),
+            ..FaultConfig::clean()
+        };
+        let drain = |inj: &mut FaultInjector| {
+            let mut n = 0;
+            while matches!(
+                inj.offer(Bytes::from_static(b"x")),
+                Outcome::Delivered { .. }
+            ) {
+                n += 1;
+            }
+            n
+        };
+        // One big jump to 5 ms.
+        let mut a = FaultInjector::new(cfg, 1);
+        assert_eq!(drain(&mut a), 10, "initial bucket");
+        a.advance_to(Duration::from_millis(5));
+        // Ten ragged jumps to the same instant.
+        let mut b = FaultInjector::new(cfg, 1);
+        assert_eq!(drain(&mut b), 10);
+        for us in [300, 800, 1100, 1900, 2500, 3100, 3300, 4200, 4999, 5000] {
+            b.advance_to(Duration::from_micros(us));
+        }
+        assert_eq!(drain(&mut a), 5, "5 ms at 1 token/ms");
+        assert_eq!(drain(&mut b), 5, "same sim time, same tokens");
+    }
+
+    #[test]
+    fn advance_to_is_monotone_and_remembers_partial_intervals() {
+        let cfg = FaultConfig {
+            bucket_capacity: 100,
+            refill_per_tick: 1,
+            refill_interval: Duration::from_millis(2),
+            ..FaultConfig::clean()
+        };
+        let mut inj = FaultInjector::new(cfg, 2);
+        // Drain the initial bucket.
+        for _ in 0..100 {
+            inj.offer(Bytes::from_static(b"x"));
+        }
+        // 3 ms = one whole 2 ms interval; the half-finished second
+        // interval must complete at 4 ms, not restart from 3 ms.
+        inj.advance_to(Duration::from_millis(3));
+        inj.advance_to(Duration::from_millis(4));
+        let mut delivered = 0;
+        for _ in 0..10 {
+            if matches!(
+                inj.offer(Bytes::from_static(b"x")),
+                Outcome::Delivered { .. }
+            ) {
+                delivered += 1;
+            }
+        }
+        assert_eq!(delivered, 2, "refills at t=2ms and t=4ms exactly");
+        // Going backwards is a no-op, not a panic or a refund.
+        inj.advance_to(Duration::from_millis(1));
+    }
+
+    #[test]
+    fn advance_to_noop_in_clock_free_mode() {
+        let cfg = FaultConfig {
+            bucket_capacity: 4,
+            refill_per_tick: 2,
+            ..FaultConfig::clean()
+        };
+        let mut inj = FaultInjector::new(cfg, 3);
+        for _ in 0..4 {
+            inj.offer(Bytes::from_static(b"x"));
+        }
+        inj.advance_to(Duration::from_secs(10));
+        assert!(
+            matches!(inj.offer(Bytes::from_static(b"x")), Outcome::RateLimited),
+            "refill_interval ZERO means only manual tick() refills"
+        );
     }
 
     #[test]

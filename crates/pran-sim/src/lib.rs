@@ -24,4 +24,4 @@ pub mod ue;
 
 pub use engine::{Engine, SimTime};
 pub use metrics::{LogHistogram, PoolMetrics};
-pub use pool::{FailoverRecord, FailureSpec, PoolConfig, PoolSimulator, SimReport};
+pub use pool::{FailoverRecord, FailureSpec, LinkFault, PoolConfig, PoolSimulator, SimReport};

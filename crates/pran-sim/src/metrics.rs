@@ -19,6 +19,10 @@ pub struct PoolMetrics {
     pub deadline_misses: u64,
     /// Tasks never run (their server was down).
     pub tasks_lost: u64,
+    /// Subset of `tasks_lost` whose uplink subframe report was dropped or
+    /// rate-limited by the fronthaul fault model (zero when no
+    /// [`LinkFault`](crate::pool::LinkFault) is configured).
+    pub reports_lost: u64,
     /// Cell migrations executed.
     pub migrations: u64,
     /// Batches executed away from their home core (parallel executor

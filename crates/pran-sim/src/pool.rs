@@ -10,6 +10,8 @@
 
 use std::time::Duration;
 
+use bytes::Bytes;
+use pran_fronthaul::fault::{FaultConfig, FaultInjector, Outcome};
 use pran_phy::compute::{CellWorkload, ComputeModel};
 use pran_phy::frame::{AntennaConfig, Bandwidth, Direction, COMPUTE_DEADLINE, TTI};
 use pran_phy::mcs::Mcs;
@@ -55,6 +57,25 @@ pub struct PoolConfig {
     pub antennas: AntennaConfig,
     /// Assumed traffic-weighted MCS.
     pub mcs: Mcs,
+    /// Optional per-cell fronthaul fault model applied to uplink subframe
+    /// transport (`None` = ideal fronthaul, the pre-existing behaviour).
+    pub fronthaul: Option<LinkFault>,
+}
+
+/// Per-cell fronthaul degradation for a pool run.
+///
+/// Each cell gets its own [`FaultInjector`] seeded `seed + cell`, so loss
+/// streams are independent across cells yet fully reproducible. Injector
+/// token buckets advance on the simulation clock ([`FaultInjector::advance_to`]
+/// at each task's absolute release instant), not on call counts, keeping
+/// fronthaul queues in lockstep with the engine-scheduled failure and
+/// recovery events when scenarios compose both.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkFault {
+    /// Fault parameters shared by every cell's link.
+    pub config: FaultConfig,
+    /// Base RNG seed; cell `c` draws from stream `seed + c`.
+    pub seed: u64,
 }
 
 impl PoolConfig {
@@ -78,6 +99,7 @@ impl PoolConfig {
             bandwidth: Bandwidth::Mhz20,
             antennas: AntennaConfig::pran_default(),
             mcs: Mcs::new(20),
+            fronthaul: None,
         }
     }
 }
@@ -190,6 +212,12 @@ impl PoolSimulator {
         let mut placement = Placement::empty(num_cells);
         let mut metrics = PoolMetrics::default();
         let mut failovers = Vec::new();
+        let mut links: Vec<FaultInjector> = match &cfg.fronthaul {
+            Some(lf) => (0..num_cells)
+                .map(|c| FaultInjector::new(lf.config, lf.seed.wrapping_add(c as u64)))
+                .collect(),
+            None => Vec::new(),
+        };
         // The executor model's core count wins when both are configured:
         // service times must reflect the machine that actually runs them.
         let cores = cfg.parallel.map_or(cfg.cores_per_server, |p| p.cores);
@@ -247,7 +275,15 @@ impl PoolSimulator {
                     );
 
                     // Simulate sampled TTIs of every step in the epoch.
-                    self.simulate_epoch(first, last, &placement, &alive, core_gops, &mut metrics);
+                    self.simulate_epoch(
+                        first,
+                        last,
+                        &placement,
+                        &alive,
+                        core_gops,
+                        &mut links,
+                        &mut metrics,
+                    );
                 }
                 Event::ServerFail(s, recover_after) => {
                     if !alive[s] {
@@ -332,6 +368,7 @@ impl PoolSimulator {
 
     /// Simulate the sampled TTIs of `[first, last)` trace steps under the
     /// current placement.
+    #[allow(clippy::too_many_arguments)]
     fn simulate_epoch(
         &self,
         first: usize,
@@ -339,11 +376,13 @@ impl PoolSimulator {
         placement: &Placement,
         alive: &[bool],
         core_gops: f64,
+        links: &mut [FaultInjector],
         metrics: &mut PoolMetrics,
     ) {
         let cfg = &self.config;
         for step in first..last {
             let row = &self.trace.samples[step];
+            let step_start = Duration::from_secs_f64(step as f64 * self.trace.step_seconds);
             // Tasks lost: cells unplaced or on a dead server.
             // Group tasks per server.
             let mut per_server: Vec<Vec<RtTask>> = vec![Vec::new(); cfg.servers];
@@ -354,14 +393,35 @@ impl PoolSimulator {
                     metrics.tasks_total += 1;
                     match placement.assignment[cell] {
                         Some(s) if alive[s] => {
-                            let release = TTI * tti as u32;
+                            let base = TTI * tti as u32;
+                            let mut release = base;
+                            if !links.is_empty() {
+                                // The subframe report crosses the cell's
+                                // fronthaul link first; its bucket refills
+                                // on absolute simulated time.
+                                let link = &mut links[cell];
+                                link.advance_to(step_start + base);
+                                match link.offer(Bytes::from_static(&[0u8; 32])) {
+                                    Outcome::Delivered { extra_delay, .. } => {
+                                        // Jitter delays arrival but the HARQ
+                                        // deadline stays pinned to the TTI,
+                                        // so jitter eats compute slack.
+                                        release += extra_delay;
+                                    }
+                                    Outcome::Dropped | Outcome::RateLimited => {
+                                        metrics.tasks_lost += 1;
+                                        metrics.reports_lost += 1;
+                                        continue;
+                                    }
+                                }
+                            }
                             let id = next_id[s];
                             next_id[s] += 1;
                             per_server[s].push(RtTask {
                                 id,
                                 cell,
                                 release,
-                                deadline: release + COMPUTE_DEADLINE,
+                                deadline: base + COMPUTE_DEADLINE,
                                 service,
                             });
                         }
@@ -614,6 +674,91 @@ mod tests {
             report.metrics.miss_ratio() < 0.05,
             "{}",
             report.metrics.miss_ratio()
+        );
+    }
+
+    #[test]
+    fn fronthaul_loss_strands_tasks_deterministically() {
+        let run = || {
+            let mut cfg = PoolConfig::default_eval(10);
+            cfg.fronthaul = Some(LinkFault {
+                config: FaultConfig {
+                    drop_prob: 0.2,
+                    ..FaultConfig::clean()
+                },
+                seed: 11,
+            });
+            let mut s = PoolSimulator::new(small_trace(12, 1), cfg);
+            let r = s.run();
+            (
+                r.metrics.tasks_total,
+                r.metrics.tasks_lost,
+                r.metrics.reports_lost,
+            )
+        };
+        let (total, lost, reports) = run();
+        assert!(reports > 0, "20 % drop must lose some reports");
+        assert_eq!(lost, reports, "only fronthaul losses in a healthy pool");
+        let frac = reports as f64 / total as f64;
+        assert!((frac - 0.2).abs() < 0.05, "loss fraction {frac}");
+        assert_eq!(run(), (total, lost, reports), "seeded faults replay");
+    }
+
+    #[test]
+    fn fronthaul_rate_limit_refills_on_sim_time() {
+        // The lockstep regression for the composed path: bucket refills
+        // must land at simulated-time multiples of refill_interval, so a
+        // 1-token bucket refilled every 2 TTIs passes every other TTI of a
+        // step regardless of how the epoch loop batches its calls.
+        let mut cfg = PoolConfig::default_eval(10);
+        cfg.fronthaul = Some(LinkFault {
+            config: FaultConfig {
+                bucket_capacity: 1,
+                refill_per_tick: 1,
+                refill_interval: TTI * 2,
+                ..FaultConfig::clean()
+            },
+            seed: 5,
+        });
+        let mut s = PoolSimulator::new(small_trace(6, 2), cfg);
+        let r = s.run();
+        let m = &r.metrics;
+        // 4 TTIs per step at 1 ms spacing, refill every 2 ms: TTI 0 spends
+        // the initial/carried token, TTI 2 the refilled one; TTIs 1 and 3
+        // are rate-limited. Exactly half the reports survive.
+        assert_eq!(
+            m.reports_lost * 2,
+            m.tasks_total,
+            "time-based refill must pass every other TTI (lost {} of {})",
+            m.reports_lost,
+            m.tasks_total
+        );
+    }
+
+    #[test]
+    fn fronthaul_jitter_shifts_release_not_deadline() {
+        let mut cfg = PoolConfig::default_eval(10);
+        cfg.fronthaul = Some(LinkFault {
+            config: FaultConfig {
+                max_jitter: Duration::from_micros(100),
+                ..FaultConfig::clean()
+            },
+            seed: 9,
+        });
+        let mut s = PoolSimulator::new(small_trace(12, 3), cfg);
+        let r = s.run();
+        let m = &r.metrics;
+        assert_eq!(m.tasks_lost, 0, "jitter alone loses nothing");
+        assert_eq!(m.reports_lost, 0);
+        assert!(
+            m.miss_ratio() < 0.01,
+            "100 µs of jitter fits the 2 ms budget, ratio {}",
+            m.miss_ratio()
+        );
+        assert_eq!(
+            m.response_times.count(),
+            m.tasks_total,
+            "every delivered task still scores a response time"
         );
     }
 

@@ -211,3 +211,92 @@ fn actions_are_validated_not_trusted() {
     assert_eq!(report.actions_rejected, 3);
     assert_eq!(report.unplaced, 0, "rogue app cannot break placement");
 }
+
+#[test]
+fn snapshot_round_trips_through_serde_and_restores_identically() {
+    let trace = day_trace(8);
+    let mut ctl = Controller::new(SystemConfig::default_eval(6));
+    ctl.install_app(Box::new(FailoverApp::new()));
+    let cells: Vec<usize> = (0..8).map(|_| ctl.register_cell()).collect();
+    drive(&mut ctl, &trace, &cells, 0..12);
+
+    let json = serde_json::to_string(&ctl.snapshot()).expect("snapshot serializes");
+    let snap: pran::Snapshot = serde_json::from_str(&json).expect("snapshot parses");
+    let restored = Controller::try_restore(snap).expect("intact snapshot restores");
+    assert_eq!(restored.view(), ctl.view(), "restore reproduces the view");
+    assert_eq!(restored.placement(), ctl.placement());
+    assert_eq!(restored.stats().epochs, ctl.stats().epochs);
+}
+
+#[test]
+fn try_restore_rejects_truncated_placement() {
+    let mut ctl = Controller::new(SystemConfig::default_eval(6));
+    ctl.install_app(Box::new(FailoverApp::new()));
+    for i in 0..4 {
+        ctl.register_cell();
+        ctl.report_load(i, 0.5).unwrap();
+    }
+    ctl.run_epoch(Duration::from_secs(60));
+
+    // Corrupt the serialized form: drop the last placement entry so the
+    // placement no longer covers every cell.
+    let mut value = serde_json::to_value(ctl.snapshot()).expect("snapshot serializes");
+    match &mut value {
+        serde_json::Value::Object(map) => match map.remove("placement") {
+            Some(serde_json::Value::Array(mut placement)) => {
+                placement.pop().expect("placement is non-empty");
+                map.insert("placement".to_string(), serde_json::Value::Array(placement));
+            }
+            other => panic!("placement should be an array, got {other:?}"),
+        },
+        other => panic!("snapshot should be an object, got {other:?}"),
+    }
+    let snap: pran::Snapshot = serde_json::from_value(value).expect("still parses");
+    match Controller::try_restore(snap) {
+        Err(pran::SnapshotError::PlacementCellMismatch { placement, cells }) => {
+            assert_eq!(placement, 3);
+            assert_eq!(cells, 4);
+        }
+        Err(other) => panic!("expected PlacementCellMismatch, got {other:?}"),
+        Ok(_) => panic!("truncated placement must be rejected"),
+    }
+}
+
+#[test]
+fn try_restore_rejects_out_of_range_server_index() {
+    let mut ctl = Controller::new(SystemConfig::default_eval(6));
+    ctl.install_app(Box::new(FailoverApp::new()));
+    for i in 0..4 {
+        ctl.register_cell();
+        ctl.report_load(i, 0.5).unwrap();
+    }
+    ctl.run_epoch(Duration::from_secs(60));
+
+    // Point a placement entry at a server the pool does not have. The
+    // snapshot still parses; the consistency check must catch it.
+    let mut value = serde_json::to_value(ctl.snapshot()).expect("snapshot serializes");
+    match &mut value {
+        serde_json::Value::Object(map) => match map.remove("placement") {
+            Some(serde_json::Value::Array(mut placement)) => {
+                placement[0] = serde_json::Value::Number(serde_json::Number::U64(999));
+                map.insert("placement".to_string(), serde_json::Value::Array(placement));
+            }
+            other => panic!("placement should be an array, got {other:?}"),
+        },
+        other => panic!("snapshot should be an object, got {other:?}"),
+    }
+    let snap: pran::Snapshot = serde_json::from_value(value).expect("still parses");
+    match Controller::try_restore(snap) {
+        Err(pran::SnapshotError::ServerIndexOutOfRange {
+            cell,
+            server,
+            servers,
+        }) => {
+            assert_eq!(cell, 0);
+            assert_eq!(server, 999);
+            assert_eq!(servers, 6);
+        }
+        Err(other) => panic!("expected ServerIndexOutOfRange, got {other:?}"),
+        Ok(_) => panic!("out-of-range server index must be rejected"),
+    }
+}

@@ -1,0 +1,221 @@
+//! Offline stand-in for the `rand_chacha` crate.
+//!
+//! Provides [`ChaCha8Rng`] and [`ChaCha20Rng`]: seedable, portable RNGs
+//! built on the ChaCha stream cipher (RFC 8439 block function, 32-bit
+//! block counter, all-zero nonce, counter starting at 0). The keystream
+//! is **bit-exact with the RFC 8439 ChaCha20 cipher** for the same key —
+//! the known-answer test below pins the first block against an
+//! independent implementation — so value streams are stable across
+//! platforms, compiler versions and releases of this workspace. That
+//! stability is the reason the chaos explorer uses ChaCha rather than
+//! `SmallRng`: a shrunk failing schedule cited in a bug report must
+//! regenerate from its seed forever.
+//!
+//! Word order follows upstream `rand_chacha`: the 16 output words of a
+//! block are consumed in order; `next_u64` glues two consecutive words
+//! little-endian (low word first). Seeding via `seed_from_u64` goes
+//! through the vendored `rand`'s SplitMix64 expansion.
+
+use rand::{RngCore, SeedableRng};
+
+/// ChaCha constants: `"expand 32-byte k"` as four little-endian words.
+const CONSTANTS: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+
+#[inline(always)]
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+/// One ChaCha block: `rounds` must be even (8, 12 or 20).
+fn block(key: &[u32; 8], counter: u32, rounds: u32) -> [u32; 16] {
+    let mut state = [0u32; 16];
+    state[..4].copy_from_slice(&CONSTANTS);
+    state[4..12].copy_from_slice(key);
+    state[12] = counter;
+    // state[13..16]: all-zero 96-bit nonce.
+    let mut working = state;
+    for _ in 0..rounds / 2 {
+        // Column round.
+        quarter_round(&mut working, 0, 4, 8, 12);
+        quarter_round(&mut working, 1, 5, 9, 13);
+        quarter_round(&mut working, 2, 6, 10, 14);
+        quarter_round(&mut working, 3, 7, 11, 15);
+        // Diagonal round.
+        quarter_round(&mut working, 0, 5, 10, 15);
+        quarter_round(&mut working, 1, 6, 11, 12);
+        quarter_round(&mut working, 2, 7, 8, 13);
+        quarter_round(&mut working, 3, 4, 9, 14);
+    }
+    for (w, s) in working.iter_mut().zip(&state) {
+        *w = w.wrapping_add(*s);
+    }
+    working
+}
+
+macro_rules! chacha_rng {
+    ($name:ident, $rounds:expr, $doc:expr) => {
+        #[doc = $doc]
+        #[derive(Debug, Clone, PartialEq, Eq)]
+        pub struct $name {
+            key: [u32; 8],
+            counter: u32,
+            buffer: [u32; 16],
+            /// Next unconsumed word in `buffer`; 16 means "refill".
+            index: usize,
+        }
+
+        impl $name {
+            fn refill(&mut self) {
+                self.buffer = block(&self.key, self.counter, $rounds);
+                self.counter = self.counter.wrapping_add(1);
+                self.index = 0;
+            }
+
+            #[inline]
+            fn next_word(&mut self) -> u32 {
+                if self.index == 16 {
+                    self.refill();
+                }
+                let w = self.buffer[self.index];
+                self.index += 1;
+                w
+            }
+        }
+
+        impl RngCore for $name {
+            fn next_u32(&mut self) -> u32 {
+                self.next_word()
+            }
+
+            fn next_u64(&mut self) -> u64 {
+                let lo = self.next_word() as u64;
+                let hi = self.next_word() as u64;
+                lo | (hi << 32)
+            }
+        }
+
+        impl SeedableRng for $name {
+            type Seed = [u8; 32];
+
+            fn from_seed(seed: Self::Seed) -> Self {
+                let mut key = [0u32; 8];
+                for (i, word) in key.iter_mut().enumerate() {
+                    let mut bytes = [0u8; 4];
+                    bytes.copy_from_slice(&seed[i * 4..(i + 1) * 4]);
+                    *word = u32::from_le_bytes(bytes);
+                }
+                $name {
+                    key,
+                    counter: 0,
+                    buffer: [0; 16],
+                    index: 16,
+                }
+            }
+        }
+    };
+}
+
+chacha_rng!(
+    ChaCha8Rng,
+    8,
+    "ChaCha with 8 rounds: the fast profile for bulk schedule sampling."
+);
+chacha_rng!(
+    ChaCha20Rng,
+    20,
+    "ChaCha with the full 20 rounds (RFC 8439 keystream for the same key)."
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    /// RFC 8439 ChaCha20 keystream with key 00..1f, zero nonce, counter 0,
+    /// cross-checked against pyca/cryptography's ChaCha20.
+    #[test]
+    fn chacha20_known_answer() {
+        let mut seed = [0u8; 32];
+        for (i, b) in seed.iter_mut().enumerate() {
+            *b = i as u8;
+        }
+        let mut rng = ChaCha20Rng::from_seed(seed);
+        assert_eq!(rng.next_u32(), 0x7d2b_fd39);
+        assert_eq!(rng.next_u32(), 0x6a19_c5d9);
+        assert_eq!(rng.next_u32(), 0x7703_bd8d);
+        assert_eq!(rng.next_u32(), 0x494a_dcb8);
+        assert_eq!(rng.next_u32(), 0x6fd8_358a);
+        assert_eq!(rng.next_u32(), 0xcc6a_debc);
+        assert_eq!(rng.next_u32(), 0x4c7d_ccb2);
+        assert_eq!(rng.next_u32(), 0x9224_ead8);
+    }
+
+    /// Same key through `next_u64`: two consecutive words, low word first.
+    #[test]
+    fn next_u64_is_two_words_low_first() {
+        let mut seed = [0u8; 32];
+        for (i, b) in seed.iter_mut().enumerate() {
+            *b = i as u8;
+        }
+        let mut rng = ChaCha20Rng::from_seed(seed);
+        assert_eq!(rng.next_u64(), 0x6a19_c5d9_7d2b_fd39);
+        assert_eq!(rng.next_u64(), 0x494a_dcb8_7703_bd8d);
+    }
+
+    /// `seed_from_u64` goes through the vendored SplitMix64 expansion;
+    /// the resulting stream is pinned (cross-checked with pyca).
+    #[test]
+    fn seed_from_u64_stream_pinned() {
+        let mut rng = ChaCha20Rng::seed_from_u64(7);
+        assert_eq!(rng.next_u64(), 0x1843_cd2c_5d94_2b5b);
+        assert_eq!(rng.next_u64(), 0x71a3_5992_ccf5_be10);
+    }
+
+    #[test]
+    fn deterministic_and_seed_sensitive() {
+        let draw = |seed: u64| {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            (0..64).map(|_| rng.next_u64()).collect::<Vec<_>>()
+        };
+        assert_eq!(draw(1), draw(1));
+        assert_ne!(draw(1), draw(2));
+    }
+
+    #[test]
+    fn crosses_block_boundaries_cleanly() {
+        // 16 words per block: draw 40 words via mixed u32/u64 calls and
+        // compare against a pure-u32 reference stream.
+        let mut a = ChaCha8Rng::seed_from_u64(9);
+        let mut b = ChaCha8Rng::seed_from_u64(9);
+        let mut ref_words = Vec::new();
+        for _ in 0..40 {
+            ref_words.push(a.next_u32());
+        }
+        let mut got = Vec::new();
+        while got.len() + 2 <= 40 {
+            let v = b.next_u64();
+            got.push(v as u32);
+            got.push((v >> 32) as u32);
+        }
+        assert_eq!(&got[..], &ref_words[..40 / 2 * 2]);
+    }
+
+    #[test]
+    fn works_with_rand_facade() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        for _ in 0..1000 {
+            let x: usize = rng.gen_range(0..10);
+            assert!(x < 10);
+            let p = rng.gen::<f64>();
+            assert!((0.0..1.0).contains(&p));
+            rng.gen_bool(0.25);
+        }
+    }
+}
