@@ -1,0 +1,199 @@
+//! `bench-gate` — the regression gate over `pran-bench/1` result
+//! envelopes (see `pran-insight::gate`).
+//!
+//! Two modes:
+//!
+//! ```text
+//! bench-gate <baseline.json> <candidate.json>     # one experiment
+//! bench-gate --baseline-dir <dir> --dir <dir>     # every shared envelope
+//! ```
+//!
+//! Both print a human summary and a machine-readable `pran-gate/1`
+//! verdict (to `--out <path>` when given, stdout otherwise). Exit code
+//! 0 means every compared metric stayed inside tolerance, 1 means at
+//! least one regression (or a baseline envelope the candidate dropped),
+//! 2 means usage or I/O error. Tolerances are the CI defaults: >10 %
+//! relative on miss-ratio metrics, >15 % on latency quantiles.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use pran_insight::gate::{compare_envelopes, GateConfig, GateReport, GATE_SCHEMA};
+use serde_json::{Map, Value};
+
+const USAGE: &str = "usage: bench-gate <baseline.json> <candidate.json> [--out <path>]\n\
+       bench-gate --baseline-dir <dir> --dir <dir> [--out <path>]";
+
+fn fail_usage(msg: &str) -> ExitCode {
+    eprintln!("bench-gate: {msg}\n{USAGE}");
+    ExitCode::from(2)
+}
+
+fn load_envelope(path: &Path) -> Result<Value, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    serde_json::from_str(&text).map_err(|e| format!("{}: parse error: {e}", path.display()))
+}
+
+/// `pran-bench/1` envelopes in `dir`, as sorted `(file stem, path)`
+/// pairs. Non-envelope JSON (gate verdicts, ad-hoc files) is skipped so
+/// a results directory can hold more than bench output.
+fn envelopes_in(dir: &Path) -> Result<Vec<(String, PathBuf)>, String> {
+    let mut found = Vec::new();
+    let entries = std::fs::read_dir(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+    for entry in entries {
+        let path = entry.map_err(|e| format!("{}: {e}", dir.display()))?.path();
+        if path.extension().and_then(|e| e.to_str()) != Some("json") {
+            continue;
+        }
+        let Ok(doc) = load_envelope(&path) else {
+            continue;
+        };
+        if doc.get("schema").and_then(Value::as_str) != Some(pran_insight::gate::BENCH_SCHEMA) {
+            continue;
+        }
+        let stem = path
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .unwrap_or_default()
+            .to_string();
+        found.push((stem, path));
+    }
+    found.sort();
+    Ok(found)
+}
+
+/// Write or print the combined verdict document.
+fn emit_verdict(reports: &[GateReport], missing: &[String], out: Option<&Path>) {
+    let ok = missing.is_empty() && reports.iter().all(GateReport::ok);
+    let mut doc = Map::new();
+    doc.insert("schema".into(), Value::String(GATE_SCHEMA.into()));
+    doc.insert("ok".into(), Value::Bool(ok));
+    doc.insert(
+        "experiments".into(),
+        Value::Array(reports.iter().map(GateReport::to_json).collect()),
+    );
+    doc.insert(
+        "missing_envelopes".into(),
+        Value::Array(missing.iter().cloned().map(Value::String).collect()),
+    );
+    let text = serde_json::to_string_pretty(&Value::Object(doc)).expect("serialize verdict");
+    match out {
+        Some(path) => {
+            std::fs::write(path, &text).expect("write verdict");
+            println!("[verdict written to {}]", path.display());
+        }
+        None => println!("{text}"),
+    }
+}
+
+fn main() -> ExitCode {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let out = match args.iter().position(|a| a == "--out") {
+        Some(i) => {
+            if i + 1 >= args.len() {
+                return fail_usage("--out needs a path");
+            }
+            args.remove(i);
+            Some(PathBuf::from(args.remove(i)))
+        }
+        None => None,
+    };
+    let config = GateConfig::default();
+
+    // Directory mode: gate every baseline envelope against its
+    // same-named candidate.
+    if args.iter().any(|a| a == "--baseline-dir" || a == "--dir") {
+        let mut take = |flag: &str| -> Result<PathBuf, String> {
+            let i = args
+                .iter()
+                .position(|a| a == flag)
+                .ok_or(format!("{flag} is required in directory mode"))?;
+            if i + 1 >= args.len() {
+                return Err(format!("{flag} needs a path"));
+            }
+            args.remove(i);
+            Ok(PathBuf::from(args.remove(i)))
+        };
+        let baseline_dir = match take("--baseline-dir") {
+            Ok(d) => d,
+            Err(e) => return fail_usage(&e),
+        };
+        let candidate_dir = match take("--dir") {
+            Ok(d) => d,
+            Err(e) => return fail_usage(&e),
+        };
+        if !args.is_empty() {
+            return fail_usage(&format!("unexpected arguments: {args:?}"));
+        }
+        let baselines = match envelopes_in(&baseline_dir) {
+            Ok(b) => b,
+            Err(e) => return fail_usage(&e),
+        };
+        if baselines.is_empty() {
+            return fail_usage(&format!(
+                "no pran-bench envelopes in {}",
+                baseline_dir.display()
+            ));
+        }
+        let mut reports = Vec::new();
+        let mut missing = Vec::new();
+        for (stem, base_path) in &baselines {
+            let cand_path = candidate_dir.join(format!("{stem}.json"));
+            let Ok(candidate) = load_envelope(&cand_path) else {
+                missing.push(stem.clone());
+                println!("== bench gate: {stem} — FAIL (candidate envelope missing) ==");
+                continue;
+            };
+            let baseline = match load_envelope(base_path) {
+                Ok(b) => b,
+                Err(e) => return fail_usage(&e),
+            };
+            match compare_envelopes(&baseline, &candidate, &config) {
+                Ok(report) => {
+                    print!("{}", report.summary());
+                    reports.push(report);
+                }
+                Err(e) => return fail_usage(&format!("{stem}: {e}")),
+            }
+        }
+        let ok = missing.is_empty() && reports.iter().all(GateReport::ok);
+        emit_verdict(&reports, &missing, out.as_deref());
+        println!(
+            "bench-gate: {} ({} envelopes, {} missing)",
+            if ok { "PASS" } else { "FAIL" },
+            reports.len(),
+            missing.len()
+        );
+        return if ok {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::from(1)
+        };
+    }
+
+    // File mode: exactly two envelopes.
+    if args.len() != 2 {
+        return fail_usage("expected exactly two envelope paths");
+    }
+    let baseline = match load_envelope(Path::new(&args[0])) {
+        Ok(v) => v,
+        Err(e) => return fail_usage(&e),
+    };
+    let candidate = match load_envelope(Path::new(&args[1])) {
+        Ok(v) => v,
+        Err(e) => return fail_usage(&e),
+    };
+    match compare_envelopes(&baseline, &candidate, &config) {
+        Ok(report) => {
+            print!("{}", report.summary());
+            let ok = report.ok();
+            emit_verdict(&[report], &[], out.as_deref());
+            if ok {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(1)
+            }
+        }
+        Err(e) => fail_usage(&e),
+    }
+}

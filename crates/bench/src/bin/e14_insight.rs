@@ -1,0 +1,238 @@
+//! E14 — the insight pipeline under injected chaos: does the online SLO
+//! monitor see what the post-hoc chaos invariants prove?
+//!
+//! The chaos harness gives ground truth: `run_scenario` checks every
+//! epoch against the safety envelope and reports violations after the
+//! fact. The `pran-insight` SLO monitor rides inside the same data
+//! plane and raises edge-triggered alerts *during* the run. This
+//! experiment measures how well the online signal predicts the offline
+//! verdict:
+//!
+//! - **Phase 1 (clean)** — sampled fault schedules at stock bounds must
+//!   produce zero invariant violations; any SLO alerts raised are the
+//!   monitor's false-alarm envelope under tolerable faults.
+//! - **Phase 2 (stressed)** — the outage bound is tightened to zero on
+//!   both sides (chaos invariant and SLO policy), so every crash outage
+//!   is simultaneously a violation and an alertable breach. Per-scenario
+//!   agreement yields a confusion matrix and alert precision/recall.
+//! - **Traced demo** — one stressed scenario reruns with simulated-clock
+//!   tracing on: `insight.alert` and `chaos.violation` events land in
+//!   `results/e14_insight.trace.jsonl` (validated against the exporter
+//!   schema) and the metrics registry renders in OpenMetrics text.
+//!
+//! Exit status is non-zero on phase-1 violations, a stressed phase with
+//! no true positives, or an invalid trace — CI runs this binary.
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use bench::{Report, Table};
+use pran::SystemConfig;
+use pran_chaos::{run_scenario, sample_scenario, ExploreConfig, InvariantKind};
+use pran_insight::SloMetric;
+
+fn main() -> ExitCode {
+    let mut scenarios = 24usize;
+    let mut seed = 0xE14u64;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--scenarios" => {
+                scenarios = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--scenarios needs a positive integer");
+            }
+            "--seed" => {
+                seed = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--seed needs an integer");
+            }
+            other => {
+                eprintln!("unknown argument: {other} (known: --scenarios N, --seed S)");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    println!("E14: online SLO alerts vs chaos ground truth ({scenarios} scenarios)\n");
+    let cfg = ExploreConfig::default_eval(scenarios, seed);
+    let mut sys = SystemConfig::default_eval(cfg.servers);
+    // Chaos schedules inject fronthaul transport loss by design; lost
+    // reports are the fault being studied, not an SLO incident, so that
+    // objective is waived for this experiment.
+    sys.slo.reports_lost_max = u64::MAX;
+
+    // --- phase 1: stock bounds — zero violations, alerts are noise ---
+    println!("== phase 1: stock bounds (outage ≤ 200 ms, miss ratio ≤ 1%) ==");
+    let mut clean_violations = 0usize;
+    let mut clean_alert_scenarios = 0usize;
+    let mut clean_alerts_by_metric = vec![0usize; SloMetric::all().len()];
+    for index in 0..scenarios {
+        let scenario = sample_scenario(&cfg, index);
+        let report = run_scenario(&scenario, &sys).expect("sampled schedule runs");
+        clean_violations += report.violations.len();
+        if !report.alerts.is_empty() {
+            clean_alert_scenarios += 1;
+        }
+        for alert in &report.alerts {
+            for (i, m) in SloMetric::all().into_iter().enumerate() {
+                if alert.metric == m {
+                    clean_alerts_by_metric[i] += 1;
+                }
+            }
+        }
+    }
+    let phase1_ok = clean_violations == 0;
+    println!(
+        "{scenarios} scenarios: {clean_violations} invariant violations, \
+         {clean_alert_scenarios} scenarios raised SLO alerts"
+    );
+    let mut t = Table::new(&["slo metric", "alerts"]);
+    for (i, m) in SloMetric::all().into_iter().enumerate() {
+        t.row(&[m.label().to_string(), clean_alerts_by_metric[i].to_string()]);
+    }
+    t.print();
+
+    // --- phase 2: zero outage tolerance on both sides ---
+    println!("\n== phase 2: outage bound 0 — alert vs violation agreement ==");
+    let mut tight = sys.clone();
+    tight.chaos.outage_bound = Duration::ZERO;
+    tight.slo.outage_p99_max = Duration::ZERO;
+    let (mut tp, mut fp, mut fneg, mut tn) = (0usize, 0usize, 0usize, 0usize);
+    let mut traced_index = None;
+    for index in 0..scenarios {
+        let scenario = sample_scenario(&cfg, index);
+        let report = run_scenario(&scenario, &tight).expect("sampled schedule runs");
+        let violated = report
+            .violations
+            .iter()
+            .any(|v| v.kind == InvariantKind::OutageExceeded);
+        let alerted = report
+            .alerts
+            .iter()
+            .any(|a| a.metric == SloMetric::OutageP99);
+        match (violated, alerted) {
+            (true, true) => {
+                tp += 1;
+                traced_index.get_or_insert(index);
+            }
+            (false, true) => fp += 1,
+            (true, false) => fneg += 1,
+            (false, false) => tn += 1,
+        }
+    }
+    let precision = (tp + fp > 0).then(|| tp as f64 / (tp + fp) as f64);
+    let recall = (tp + fneg > 0).then(|| tp as f64 / (tp + fneg) as f64);
+    let mut t = Table::new(&["", "violated", "held"]);
+    t.row(&["alerted".to_string(), tp.to_string(), fp.to_string()]);
+    t.row(&["quiet".to_string(), fneg.to_string(), tn.to_string()]);
+    t.print();
+    let fmt_rate = |r: Option<f64>| match r {
+        Some(v) => format!("{:.3}", v),
+        None => "n/a".to_string(),
+    };
+    println!(
+        "alert precision {} recall {}",
+        fmt_rate(precision),
+        fmt_rate(recall)
+    );
+    let phase2_ok = tp > 0;
+
+    // --- traced demo: one stressed scenario with telemetry on ---
+    let Some(index) = traced_index else {
+        eprintln!("no scenario was both violated and alerted — sampler drifted?");
+        return ExitCode::FAILURE;
+    };
+    println!("\n== traced demo: scenario {index} with sim tracing on ==");
+    pran_telemetry::configure(pran_telemetry::TelemetryConfig::sim());
+    pran_telemetry::metrics::global().clear();
+    let scenario = sample_scenario(&cfg, index);
+    let traced = run_scenario(&scenario, &tight).expect("traced schedule runs");
+    println!(
+        "{} violation(s), {} alert(s) — first alert: {} at epoch {}",
+        traced.violations.len(),
+        traced.alerts.len(),
+        traced
+            .alerts
+            .first()
+            .map(|a| a.metric.label())
+            .unwrap_or("-"),
+        traced.alerts.first().map(|a| a.epoch).unwrap_or(0),
+    );
+    let snapshot = pran_telemetry::metrics::global().snapshot();
+    let openmetrics = pran_insight::openmetrics::render(&snapshot);
+    println!("\n-- OpenMetrics exposition (first lines) --");
+    for line in openmetrics.lines().take(8) {
+        println!("{line}");
+    }
+    println!("... ({} lines total)", openmetrics.lines().count());
+
+    Report::new("e14_insight")
+        .meta("scenarios", serde_json::json!(scenarios))
+        .meta("seed", serde_json::json!(seed))
+        .meta("cells", serde_json::json!(cfg.cells))
+        .meta("servers", serde_json::json!(cfg.servers))
+        .meta("horizon_s", serde_json::json!(cfg.horizon.as_secs()))
+        .section(
+            "clean",
+            serde_json::json!({
+                "chaos_violations": clean_violations,
+                "scenarios_with_alerts": clean_alert_scenarios,
+                "alerts_by_metric": SloMetric::all()
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, m)| {
+                        serde_json::json!({"metric": m.label(), "count": clean_alerts_by_metric[i]})
+                    })
+                    .collect::<Vec<_>>(),
+            }),
+        )
+        .section(
+            "stressed",
+            serde_json::json!({
+                "true_positives": tp,
+                "false_positives": fp,
+                "false_negatives": fneg,
+                "true_negatives": tn,
+                "precision": precision,
+                "recall": recall,
+            }),
+        )
+        .section(
+            "traced_demo",
+            serde_json::json!({
+                "scenario": index,
+                "violations": traced.violations.len(),
+                "alerts": traced.alerts.len(),
+                "openmetrics_lines": openmetrics.lines().count(),
+            }),
+        )
+        .save();
+
+    // The flushed trace must conform to the exporter schema, including
+    // its `chaos.violation` and `insight.alert` events.
+    let path = "results/e14_insight.trace.jsonl";
+    let text = std::fs::read_to_string(path).expect("traced run must write a trace");
+    match pran_telemetry::export::validate_jsonl(&text) {
+        Ok(n) => println!("[trace validated: {n} events conform to the exporter schema]"),
+        Err(e) => {
+            eprintln!("trace validation failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    let has_alert = text.contains("\"name\":\"insight.alert\"");
+    let has_violation = text.contains("\"name\":\"chaos.violation\"");
+    println!("[trace carries insight.alert: {has_alert}, chaos.violation: {has_violation}]");
+
+    if phase1_ok && phase2_ok && has_alert && has_violation {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "E14 FAILED: phase1_ok={phase1_ok} phase2_ok={phase2_ok} \
+             has_alert={has_alert} has_violation={has_violation}"
+        );
+        ExitCode::FAILURE
+    }
+}

@@ -11,12 +11,44 @@ use bench::{Report, Table};
 use pran_sched::realtime::workload::{generate, TaskSetConfig};
 use pran_sched::realtime::{simulate, ParallelConfig, ParallelExecutor, Policy};
 
+/// `--critical-path`: read the sample trace back through
+/// `pran-insight` and print the per-stage attribution (fronthaul /
+/// queue / steal / compute) of every missed deadline. Runs after the
+/// normal sample flow so the committed artifacts stay byte-identical.
+fn critical_path_report(trace_path: &str) {
+    let text = std::fs::read_to_string(trace_path).expect("sample trace must exist");
+    let events = pran_insight::spans::parse_jsonl(&text).expect("sample trace must parse");
+    let paths = pran_insight::critical_paths(&events, pran_insight::DEFAULT_BUDGET_US);
+    if paths.is_empty() {
+        println!("\n(no deadline misses in this trace)");
+        return;
+    }
+    println!();
+    print!("{}", pran_insight::spans::attribution_table(&paths));
+    for p in &paths {
+        // The stages partition [arrival, finish], so attribution is
+        // exact by construction — assert it anyway so a drifted trace
+        // schema fails loudly here rather than silently mis-reporting.
+        assert_eq!(
+            p.attributed_us(),
+            p.latency_us,
+            "stage attribution must sum to the measured subframe latency"
+        );
+    }
+    println!(
+        "[attribution check: {} paths, stage sums match measured latency exactly]",
+        paths.len()
+    );
+}
+
 /// `--sample`: a small deterministic run that exercises the telemetry
 /// path end to end — simulated-clock tracing on, one analytic and one
 /// (non-stealing, hence deterministic) parallel-executor pass, trace
 /// written to `results/e6_deadlines_sample.trace.jsonl` and validated
-/// against the exporter schema. CI's smoke job runs this.
-fn sample() {
+/// against the exporter schema. CI's smoke job runs this. Add
+/// `--critical-path` to also analyze the written trace with
+/// `pran-insight` and print missed-deadline attribution.
+fn sample(critical_path: bool) {
     pran_telemetry::configure(pran_telemetry::TelemetryConfig::sim());
     pran_telemetry::metrics::global().clear();
     println!("E6 (sample mode): deterministic telemetry smoke run\n");
@@ -64,11 +96,21 @@ fn sample() {
             std::process::exit(1);
         }
     }
+    if critical_path {
+        critical_path_report(path);
+    }
 }
 
 fn main() {
-    if std::env::args().any(|a| a == "--sample") {
-        sample();
+    let args: Vec<String> = std::env::args().collect();
+    let critical_path = args.iter().any(|a| a == "--critical-path");
+    if args.iter().any(|a| a == "--sample") {
+        sample(critical_path);
+        return;
+    }
+    if critical_path {
+        // Analyze an existing sample trace without re-running anything.
+        critical_path_report("results/e6_deadlines_sample.trace.jsonl");
         return;
     }
     bench::telemetry::init_from_env();

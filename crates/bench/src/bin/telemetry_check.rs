@@ -1,56 +1,67 @@
-//! Validate a JSONL trace artifact against the telemetry exporter schema.
+//! Validate JSONL trace artifacts against the telemetry exporter schema.
 //!
 //! ```text
-//! telemetry_check <trace.jsonl> [--require-subframes]
+//! telemetry_check <trace.jsonl>... [--require-subframes]
 //! ```
 //!
-//! Exits non-zero when the file is missing, any line violates the schema,
-//! or (with `--require-subframes`) the trace contains no `subframe` events
-//! to reconstruct a latency breakdown from. CI's smoke job runs this over
-//! the sample-mode trace.
+//! Every path is validated in one pass — schema conformance covers all
+//! event kinds the exporter knows, including `chaos.violation` and
+//! `insight.alert`. Exits non-zero when any file is missing, any line
+//! violates the schema, or (with `--require-subframes`) no validated
+//! trace contains `subframe` events to reconstruct a latency breakdown
+//! from. CI's smoke job runs this over the sample-mode trace and a
+//! chaos trace together.
 
 use pran_telemetry::export::{breakdown_from_jsonl, breakdown_table, validate_jsonl};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let require_subframes = args.iter().any(|a| a == "--require-subframes");
-    let path = match args.iter().find(|a| !a.starts_with("--")) {
-        Some(p) => p.clone(),
-        None => {
-            eprintln!("usage: telemetry_check <trace.jsonl> [--require-subframes]");
-            std::process::exit(2);
-        }
-    };
+    let paths: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+    if paths.is_empty() {
+        eprintln!("usage: telemetry_check <trace.jsonl>... [--require-subframes]");
+        std::process::exit(2);
+    }
 
-    let text = match std::fs::read_to_string(&path) {
-        Ok(t) => t,
-        Err(e) => {
-            eprintln!("telemetry_check: cannot read {path}: {e}");
-            std::process::exit(1);
-        }
-    };
+    let mut subframe_tasks = 0u64;
+    for path in &paths {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("telemetry_check: cannot read {path}: {e}");
+                std::process::exit(1);
+            }
+        };
 
-    match validate_jsonl(&text) {
-        Ok(n) => println!("{path}: {n} events, schema ok"),
-        Err(e) => {
-            eprintln!("telemetry_check: {path}: {e}");
-            std::process::exit(1);
+        match validate_jsonl(&text) {
+            Ok(n) => println!("{path}: {n} events, schema ok"),
+            Err(e) => {
+                eprintln!("telemetry_check: {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+
+        match breakdown_from_jsonl(&text) {
+            Ok(b) if b.tasks > 0 => {
+                subframe_tasks += b.tasks;
+                println!("subframe latency breakdown ({} tasks):", b.tasks);
+                print!("{}", breakdown_table(&b));
+            }
+            Ok(_) => println!("(no subframe events; breakdown skipped)"),
+            Err(e) => {
+                eprintln!("telemetry_check: {path}: {e}");
+                std::process::exit(1);
+            }
         }
     }
 
-    match breakdown_from_jsonl(&text) {
-        Ok(b) if b.tasks > 0 => {
-            println!("subframe latency breakdown ({} tasks):", b.tasks);
-            print!("{}", breakdown_table(&b));
-        }
-        Ok(_) if require_subframes => {
-            eprintln!("telemetry_check: {path}: no subframe events in trace");
-            std::process::exit(1);
-        }
-        Ok(_) => println!("(no subframe events; breakdown skipped)"),
-        Err(e) => {
-            eprintln!("telemetry_check: {path}: {e}");
-            std::process::exit(1);
-        }
+    if require_subframes && subframe_tasks == 0 {
+        eprintln!("telemetry_check: no subframe events in any validated trace");
+        std::process::exit(1);
     }
+    println!(
+        "telemetry_check: {} file(s) ok, {} subframe task(s)",
+        paths.len(),
+        subframe_tasks
+    );
 }

@@ -2,6 +2,7 @@
 
 use std::time::Duration;
 
+use pran_insight::SloPolicy;
 use pran_phy::frame::{AntennaConfig, Bandwidth};
 use pran_phy::mcs::Mcs;
 use pran_sched::realtime::{ParallelConfig, Policy};
@@ -93,6 +94,10 @@ pub struct SystemConfig {
     pub telemetry: TelemetryConfig,
     /// Safety bounds and failover timing checked by the chaos subsystem.
     pub chaos: ChaosConfig,
+    /// Service-level objectives the online `pran-insight` monitor
+    /// enforces per epoch (miss ratio, utilization, outage, lost
+    /// reports, unplaced cells).
+    pub slo: SloPolicy,
 }
 
 impl SystemConfig {
@@ -119,6 +124,7 @@ impl SystemConfig {
             headroom: 1.1,
             telemetry: TelemetryConfig::disabled(),
             chaos: ChaosConfig::default_eval(),
+            slo: SloPolicy::default_eval(),
         }
     }
 }
@@ -138,6 +144,10 @@ mod tests {
         c.parallel.validate();
         assert!(c.chaos.outage_bound >= c.chaos.failover_outage());
         assert_eq!(c.chaos.failover_outage(), Duration::from_millis(50));
+        // The online SLO monitor and the chaos invariants must agree on
+        // what "unhealthy" means.
+        assert!((c.slo.miss_ratio_max - c.chaos.miss_ratio_bound).abs() < 1e-12);
+        assert_eq!(c.slo.outage_p99_max, c.chaos.outage_bound);
     }
 
     #[test]

@@ -12,6 +12,7 @@
 use std::collections::VecDeque;
 use std::time::Duration;
 
+use pran_insight::slo::{Alert, EpochSample, SloMonitor};
 use pran_phy::compute::{CellWorkload, ComputeModel};
 use pran_phy::frame::Direction;
 use pran_sched::placement::migration::incremental_repack;
@@ -121,6 +122,7 @@ pub struct Controller {
     now: Duration,
     topology: Option<TopologyBinding>,
     audit: VecDeque<AuditEntry>,
+    slo_monitor: SloMonitor,
 }
 
 impl Controller {
@@ -133,6 +135,7 @@ impl Controller {
             };
             config.pool.servers
         ];
+        let slo_monitor = SloMonitor::new(config.slo);
         Controller {
             config,
             model: ComputeModel::calibrated(),
@@ -144,6 +147,7 @@ impl Controller {
             now: Duration::ZERO,
             topology: None,
             audit: VecDeque::new(),
+            slo_monitor,
         }
     }
 
@@ -395,6 +399,27 @@ impl Controller {
                 ],
             );
         }
+        // Feed the online SLO monitor: placed demand over alive,
+        // undrained capacity, plus the unplaced-cell count. Breaches
+        // surface via `slo_alerts` and as `insight.alert` events.
+        let mut placed_gops = 0.0;
+        for c in 0..self.cells.len() {
+            if self.placement.assignment[c].is_some() {
+                placed_gops += self.predicted_gops(c);
+            }
+        }
+        let capacity_gops: f64 = (0..self.servers.len())
+            .filter(|&s| self.servers[s].alive && !self.servers[s].drained)
+            .map(|s| self.server_capacity(s))
+            .sum();
+        self.slo_monitor.observe_epoch(&EpochSample {
+            epoch,
+            at_us: now.as_micros() as u64,
+            utilization: (capacity_gops > 0.0).then(|| placed_gops / capacity_gops),
+            unplaced: Some(unplaced as u64),
+            ..EpochSample::default()
+        });
+
         self.dispatch_event(PoolEvent::EpochCompleted {
             epoch,
             migrations: plan.len(),
@@ -586,6 +611,18 @@ impl Controller {
         &self.config
     }
 
+    /// SLO alerts the per-epoch monitor has raised so far (see
+    /// [`SystemConfig`]'s `slo` policy). Alerts are edge-triggered: one
+    /// entry per incident, not per epoch in breach.
+    pub fn slo_alerts(&self) -> &[Alert] {
+        self.slo_monitor.alerts()
+    }
+
+    /// The online SLO monitor (EWMA state and breach flags).
+    pub fn slo_monitor(&self) -> &SloMonitor {
+        &self.slo_monitor
+    }
+
     /// Capture the controller's durable state.
     ///
     /// The snapshot covers everything needed to restart the control plane
@@ -647,6 +684,7 @@ impl Controller {
                 }
             }
         }
+        let slo_monitor = SloMonitor::new(snapshot.config.slo);
         Ok(Controller {
             config: snapshot.config,
             model: ComputeModel::calibrated(),
@@ -660,6 +698,7 @@ impl Controller {
             now: snapshot.now,
             topology: snapshot.topology,
             audit: VecDeque::new(),
+            slo_monitor,
         })
     }
 }
@@ -893,6 +932,39 @@ mod tests {
         assert!((v.cells[0].utilization - 0.7).abs() < 1e-12);
         let total_cells: usize = v.servers.iter().map(|s| s.cells).sum();
         assert_eq!(total_cells, 2);
+    }
+
+    #[test]
+    fn overload_raises_unplaced_slo_alert() {
+        use pran_insight::SloMetric;
+        // Six full-load cells cannot fit one 400-GOPS server: the epoch
+        // leaves cells unplaced and the SLO monitor flags it once.
+        let mut c = controller(6, 1);
+        for i in 0..6 {
+            c.report_load(i, 1.0).unwrap();
+        }
+        let r = c.run_epoch(Duration::from_secs(60));
+        assert!(r.unplaced > 0);
+        let alerts = c.slo_alerts();
+        assert_eq!(alerts.len(), 1);
+        assert_eq!(alerts[0].metric, SloMetric::Unplaced);
+        assert_eq!(alerts[0].epoch, 1);
+        assert!(c.slo_monitor().in_breach(SloMetric::Unplaced));
+        // Still unplaced next epoch: edge-triggered, no second alert.
+        c.run_epoch(Duration::from_secs(120));
+        assert_eq!(c.slo_alerts().len(), 1);
+    }
+
+    #[test]
+    fn healthy_epochs_raise_no_slo_alerts() {
+        let mut c = controller(4, 8);
+        for i in 0..4 {
+            c.report_load(i, 0.4).unwrap();
+        }
+        c.run_epoch(Duration::from_secs(60));
+        c.run_epoch(Duration::from_secs(120));
+        assert!(c.slo_alerts().is_empty());
+        assert_eq!(c.slo_monitor().epochs(), 2);
     }
 
     #[test]

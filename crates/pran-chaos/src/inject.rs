@@ -17,6 +17,7 @@ use bytes::Bytes;
 use pran::apps::FailoverApp;
 use pran::{Controller, Snapshot, SystemConfig};
 use pran_fronthaul::fault::{FaultInjector, Outcome};
+use pran_insight::slo::Alert;
 use pran_sim::engine::{Engine, SimTime};
 use pran_sim::pool::{FailureSpec, LinkFault, PoolConfig, PoolSimulator};
 use pran_sim::PoolMetrics;
@@ -219,6 +220,9 @@ pub struct HarnessReport {
     pub max_outage: Duration,
     /// Data-plane metrics from the `PoolSimulator` pass.
     pub metrics: PoolMetrics,
+    /// SLO alerts the online `pran-insight` monitor raised during the
+    /// data-plane pass, in epoch order.
+    pub alerts: Vec<Alert>,
 }
 
 impl HarnessReport {
@@ -390,6 +394,7 @@ pub fn run_scenario(scenario: &Scenario, sys: &SystemConfig) -> Result<HarnessRe
     pool_cfg.antennas = sys.antennas;
     pool_cfg.mcs = sys.mcs;
     pool_cfg.epoch_steps = ((epoch_len.as_secs_f64() / trace.step_seconds).round() as usize).max(1);
+    pool_cfg.slo = Some(sys.slo);
     pool_cfg.fronthaul = scenario
         .events
         .iter()
@@ -418,6 +423,7 @@ pub fn run_scenario(scenario: &Scenario, sys: &SystemConfig) -> Result<HarnessRe
         reports_dropped,
         max_outage,
         metrics: sim_report.metrics,
+        alerts: sim_report.alerts,
     })
 }
 

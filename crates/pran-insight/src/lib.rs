@@ -1,0 +1,32 @@
+//! `pran-insight`: turning recorded PRAN telemetry into answers.
+//!
+//! `pran-telemetry` records what happened; this crate explains it and
+//! guards it:
+//!
+//! - [`spans`] — parse exported JSONL back into events, rebuild span
+//!   trees for both clock domains, and attribute every missed subframe
+//!   deadline's 2 ms budget to fronthaul vs queue vs steal vs compute,
+//!   exactly.
+//! - [`slo`] — an online SLO monitor the pool simulator and controller
+//!   feed per epoch: EWMA tracking and edge-triggered threshold alerts
+//!   on miss ratio, utilization, outage, lost reports and unplaced
+//!   cells, emitted as `insight.alert` telemetry events.
+//! - [`openmetrics`] — render any metrics registry snapshot in
+//!   OpenMetrics text exposition format for external scrapers.
+//! - [`gate`] — a bench regression comparator over `pran-bench/1`
+//!   envelopes with per-metric-class tolerances, powering the
+//!   `bench-gate` binary and CI job.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod gate;
+pub mod openmetrics;
+pub mod slo;
+pub mod spans;
+
+pub use gate::{compare_envelopes, GateConfig, GateReport};
+pub use slo::{Alert, EpochSample, SloMetric, SloMonitor, SloPolicy};
+pub use spans::{
+    build_span_forest, critical_paths, CriticalPath, OwnedEvent, SpanNode, DEFAULT_BUDGET_US,
+};

@@ -1,0 +1,198 @@
+//! OpenMetrics text exposition of a metrics [`RegistrySnapshot`].
+//!
+//! Renders counters (`_total` suffix), gauges, and `LogHistogram`s as
+//! summaries (p50/p95/p99 `quantile` series plus `_count`/`_sum`), with
+//! metric names sanitized to the OpenMetrics charset and label values
+//! escaped — so any bench or sim run's registry can be scraped by
+//! standard tooling.
+
+use std::fmt::Write as _;
+
+use pran_telemetry::metrics::{InstrumentValue, Label, LogHistogram, RegistrySnapshot};
+
+/// Quantiles exposed for each histogram, matching the summary tables.
+const QUANTILES: [f64; 3] = [0.5, 0.95, 0.99];
+
+/// Map a registry instrument name to the OpenMetrics charset
+/// (`[a-zA-Z_:][a-zA-Z0-9_:]*`): dots and other illegal characters
+/// become underscores, and a leading digit gets one prepended.
+pub fn sanitize_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for (i, c) in name.chars().enumerate() {
+        let ok = c.is_ascii_alphabetic() || c == '_' || c == ':' || (i > 0 && c.is_ascii_digit());
+        if ok {
+            out.push(c);
+        } else if i == 0 && c.is_ascii_digit() {
+            out.push('_');
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
+}
+
+fn escape_label_value(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn label_set(labels: &[Label], extra: Option<(&str, String)>) -> String {
+    let mut parts: Vec<String> = labels
+        .iter()
+        .map(|l| {
+            format!(
+                "{}=\"{}\"",
+                sanitize_name(&l.key),
+                escape_label_value(&l.value)
+            )
+        })
+        .collect();
+    if let Some((key, value)) = extra {
+        parts.push(format!("{key}=\"{value}\""));
+    }
+    if parts.is_empty() {
+        String::new()
+    } else {
+        format!("{{{}}}", parts.join(","))
+    }
+}
+
+fn fmt_number(v: f64) -> String {
+    // OpenMetrics numbers: plain decimal; Rust's shortest round-trip
+    // format already fits.
+    format!("{v}")
+}
+
+fn write_histogram(out: &mut String, name: &str, labels: &[Label], h: &LogHistogram) {
+    for q in QUANTILES {
+        let value = h
+            .try_quantile(q)
+            .map(|d| d.as_secs_f64())
+            .unwrap_or(f64::NAN);
+        let _ = writeln!(
+            out,
+            "{name}{} {}",
+            label_set(labels, Some(("quantile", fmt_number(q)))),
+            fmt_number(value),
+        );
+    }
+    let _ = writeln!(out, "{name}_count{} {}", label_set(labels, None), h.count());
+    let _ = writeln!(
+        out,
+        "{name}_sum{} {}",
+        label_set(labels, None),
+        fmt_number(h.sum().as_secs_f64()),
+    );
+}
+
+/// Render a whole registry snapshot in OpenMetrics text exposition
+/// format, ending with the `# EOF` marker. Instruments keep the
+/// snapshot's deterministic order; histograms are exposed as
+/// summaries with seconds-valued quantiles.
+pub fn render(snapshot: &RegistrySnapshot) -> String {
+    let mut out = String::new();
+    let mut last_typed: Option<String> = None;
+    for inst in &snapshot.instruments {
+        let name = sanitize_name(&inst.name);
+        let (type_name, kind) = match &inst.value {
+            InstrumentValue::Counter(_) => (name.clone(), "counter"),
+            InstrumentValue::Gauge(_) => (name.clone(), "gauge"),
+            InstrumentValue::Histogram(_) => (name.clone(), "summary"),
+        };
+        if last_typed.as_deref() != Some(type_name.as_str()) {
+            let _ = writeln!(out, "# TYPE {type_name} {kind}");
+            last_typed = Some(type_name);
+        }
+        match &inst.value {
+            InstrumentValue::Counter(c) => {
+                let _ = writeln!(out, "{name}_total{} {c}", label_set(&inst.labels, None));
+            }
+            InstrumentValue::Gauge(g) => {
+                let _ = writeln!(
+                    out,
+                    "{name}{} {}",
+                    label_set(&inst.labels, None),
+                    fmt_number(*g)
+                );
+            }
+            InstrumentValue::Histogram(h) => {
+                write_histogram(&mut out, &name, &inst.labels, h);
+            }
+        }
+    }
+    out.push_str("# EOF\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pran_telemetry::Registry;
+    use std::time::Duration;
+
+    #[test]
+    fn sanitizes_names() {
+        assert_eq!(sanitize_name("pool.miss_ratio"), "pool_miss_ratio");
+        assert_eq!(sanitize_name("rt:steal"), "rt:steal");
+        assert_eq!(sanitize_name("9lives"), "_9lives");
+        assert_eq!(sanitize_name(""), "_");
+        assert_eq!(sanitize_name("a b/c"), "a_b_c");
+    }
+
+    #[test]
+    fn renders_all_instrument_kinds() {
+        let r = Registry::new();
+        r.inc("ilp.nodes", &[("policy", "bnb")], 42);
+        r.gauge("pool.utilization", &[], 0.75);
+        r.observe(
+            "solve.time",
+            &[("kind", "ffd")],
+            Duration::from_micros(2000),
+        );
+        r.observe(
+            "solve.time",
+            &[("kind", "ffd")],
+            Duration::from_micros(4000),
+        );
+        let text = render(&r.snapshot());
+        assert!(text.contains("# TYPE ilp_nodes counter"));
+        assert!(text.contains("ilp_nodes_total{policy=\"bnb\"} 42"));
+        assert!(text.contains("# TYPE pool_utilization gauge"));
+        assert!(text.contains("pool_utilization 0.75"));
+        assert!(text.contains("# TYPE solve_time summary"));
+        assert!(text.contains("solve_time{kind=\"ffd\",quantile=\"0.5\"}"));
+        assert!(text.contains("solve_time_count{kind=\"ffd\"} 2"));
+        assert!(text.contains("solve_time_sum{kind=\"ffd\"} 0.006"));
+        assert!(text.ends_with("# EOF\n"));
+        // One TYPE line per metric name even with several label sets.
+        r.inc("ilp.nodes", &[("policy", "ffd")], 1);
+        let text = render(&r.snapshot());
+        assert_eq!(text.matches("# TYPE ilp_nodes counter").count(), 1);
+    }
+
+    #[test]
+    fn escapes_label_values() {
+        let r = Registry::new();
+        r.inc("c", &[("path", "a\"b\\c\nd")], 1);
+        let text = render(&r.snapshot());
+        assert!(text.contains("c_total{path=\"a\\\"b\\\\c\\nd\"} 1"));
+    }
+
+    #[test]
+    fn empty_snapshot_is_just_eof() {
+        let r = Registry::new();
+        assert_eq!(render(&r.snapshot()), "# EOF\n");
+    }
+}

@@ -1,0 +1,469 @@
+//! Online SLO monitoring over the per-epoch metrics stream.
+//!
+//! A [`SloMonitor`] consumes one [`EpochSample`] per placement epoch —
+//! fed directly by `pran-sim::pool` and the controller, or read out of
+//! a metrics [`RegistrySnapshot`] — tracks an EWMA per metric, and
+//! raises edge-triggered [`Alert`]s when an instantaneous value crosses
+//! its [`SloPolicy`] threshold. Every alert is also emitted as a
+//! structured `insight.alert` telemetry event, so SLO breaches flow
+//! through the same substrate as `chaos.violation` invariants and land
+//! in the same JSONL artifacts.
+
+use std::time::Duration;
+
+use pran_telemetry::metrics::{InstrumentValue, RegistrySnapshot};
+use pran_telemetry::trace;
+use serde::{Deserialize, Serialize};
+
+/// The service-level objectives the monitor watches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SloMetric {
+    /// Deadline-miss ratio (missed + lost over total subframe tasks).
+    MissRatio,
+    /// Pool utilization: placed demand over alive capacity.
+    PoolUtilization,
+    /// 99th-percentile per-cell outage after failovers.
+    OutageP99,
+    /// Uplink reports lost to fronthaul faults (cumulative).
+    ReportsLost,
+    /// Cells the placement left unserved.
+    Unplaced,
+}
+
+impl SloMetric {
+    /// Stable label used in `insight.alert` events and reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            SloMetric::MissRatio => "miss_ratio",
+            SloMetric::PoolUtilization => "pool_utilization",
+            SloMetric::OutageP99 => "outage_p99_us",
+            SloMetric::ReportsLost => "reports_lost",
+            SloMetric::Unplaced => "unplaced",
+        }
+    }
+
+    /// All monitored metrics, in a stable order.
+    pub fn all() -> [SloMetric; 5] {
+        [
+            SloMetric::MissRatio,
+            SloMetric::PoolUtilization,
+            SloMetric::OutageP99,
+            SloMetric::ReportsLost,
+            SloMetric::Unplaced,
+        ]
+    }
+
+    fn index(self) -> usize {
+        match self {
+            SloMetric::MissRatio => 0,
+            SloMetric::PoolUtilization => 1,
+            SloMetric::OutageP99 => 2,
+            SloMetric::ReportsLost => 3,
+            SloMetric::Unplaced => 4,
+        }
+    }
+}
+
+/// Per-metric alert thresholds plus the EWMA smoothing factor.
+///
+/// Mirrors the `ChaosConfig` safety envelope (1 % miss ratio, 200 ms
+/// outage) so the online monitor and the post-hoc chaos invariants
+/// agree about what "unhealthy" means.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SloPolicy {
+    /// Maximum tolerated deadline-miss ratio.
+    pub miss_ratio_max: f64,
+    /// Maximum tolerated pool utilization (headroom exhaustion).
+    pub utilization_max: f64,
+    /// Maximum tolerated p99 failover outage.
+    pub outage_p99_max: Duration,
+    /// Maximum tolerated lost uplink reports over a run.
+    pub reports_lost_max: u64,
+    /// Maximum tolerated unplaced cells per epoch.
+    pub unplaced_max: u64,
+    /// EWMA smoothing factor in `(0, 1]`; 1 disables smoothing.
+    pub ewma_alpha: f64,
+}
+
+impl SloPolicy {
+    /// Evaluation defaults matching `ChaosConfig::default_eval`: 1 %
+    /// miss ratio, 95 % utilization, 200 ms p99 outage, zero lost
+    /// reports, zero unplaced cells, EWMA α = 0.3.
+    pub fn default_eval() -> Self {
+        SloPolicy {
+            miss_ratio_max: 0.01,
+            utilization_max: 0.95,
+            outage_p99_max: Duration::from_millis(200),
+            reports_lost_max: 0,
+            unplaced_max: 0,
+            ewma_alpha: 0.3,
+        }
+    }
+
+    /// The threshold for one metric, in that metric's alert units
+    /// (durations in microseconds).
+    pub fn threshold(&self, metric: SloMetric) -> f64 {
+        match metric {
+            SloMetric::MissRatio => self.miss_ratio_max,
+            SloMetric::PoolUtilization => self.utilization_max,
+            SloMetric::OutageP99 => self.outage_p99_max.as_micros() as f64,
+            SloMetric::ReportsLost => self.reports_lost_max as f64,
+            SloMetric::Unplaced => self.unplaced_max as f64,
+        }
+    }
+}
+
+impl Default for SloPolicy {
+    fn default() -> Self {
+        Self::default_eval()
+    }
+}
+
+/// One epoch's worth of observations; `None` fields are skipped (their
+/// EWMA and breach state carry over unchanged).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct EpochSample {
+    /// Epoch index.
+    pub epoch: u64,
+    /// Sim-clock timestamp of the observation.
+    pub at_us: u64,
+    /// Cumulative deadline-miss ratio.
+    pub miss_ratio: Option<f64>,
+    /// Pool utilization in `[0, 1+]`.
+    pub utilization: Option<f64>,
+    /// p99 failover outage so far (absent until a failover happened).
+    pub outage_p99: Option<Duration>,
+    /// Cumulative lost uplink reports.
+    pub reports_lost: Option<u64>,
+    /// Unplaced cells this epoch.
+    pub unplaced: Option<u64>,
+}
+
+/// A raised SLO alert: the metric, when, and the value that crossed
+/// the threshold.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Alert {
+    /// Which objective was breached.
+    pub metric: SloMetric,
+    /// Epoch of the breaching observation.
+    pub epoch: u64,
+    /// Sim-clock timestamp of the breaching observation.
+    pub at_us: u64,
+    /// The instantaneous value that crossed the threshold.
+    pub value: f64,
+    /// The EWMA after folding the breaching value in.
+    pub ewma: f64,
+    /// The policy threshold it crossed.
+    pub threshold: f64,
+}
+
+/// Online SLO monitor: EWMA tracking plus edge-triggered threshold
+/// alerts over [`EpochSample`] streams.
+///
+/// Alerts are edge-triggered — one alert when a metric crosses its
+/// threshold, nothing while it stays in breach, and the trigger re-arms
+/// once the metric recovers — so a run's alert list has one entry per
+/// distinct incident, not one per epoch.
+#[derive(Debug, Clone)]
+pub struct SloMonitor {
+    policy: SloPolicy,
+    ewma: [Option<f64>; 5],
+    breached: [bool; 5],
+    alerts: Vec<Alert>,
+    epochs: u64,
+}
+
+impl SloMonitor {
+    /// New monitor enforcing `policy`.
+    pub fn new(policy: SloPolicy) -> Self {
+        SloMonitor {
+            policy,
+            ewma: [None; 5],
+            breached: [false; 5],
+            alerts: Vec::new(),
+            epochs: 0,
+        }
+    }
+
+    /// The policy being enforced.
+    pub fn policy(&self) -> &SloPolicy {
+        &self.policy
+    }
+
+    /// Epochs observed so far.
+    pub fn epochs(&self) -> u64 {
+        self.epochs
+    }
+
+    /// All alerts raised so far, in observation order.
+    pub fn alerts(&self) -> &[Alert] {
+        &self.alerts
+    }
+
+    /// Drain the alert list (breach state and EWMAs are kept).
+    pub fn take_alerts(&mut self) -> Vec<Alert> {
+        std::mem::take(&mut self.alerts)
+    }
+
+    /// Whether a metric is currently past its threshold.
+    pub fn in_breach(&self, metric: SloMetric) -> bool {
+        self.breached[metric.index()]
+    }
+
+    /// Current EWMA of a metric (`None` until first observed).
+    pub fn ewma(&self, metric: SloMetric) -> Option<f64> {
+        self.ewma[metric.index()]
+    }
+
+    /// Fold in one epoch of observations; returns how many new alerts
+    /// it raised. Each alert is also emitted as an `insight.alert`
+    /// telemetry event (sim domain, stamped `sample.at_us`) when
+    /// tracing is enabled.
+    pub fn observe_epoch(&mut self, sample: &EpochSample) -> usize {
+        self.epochs += 1;
+        let before = self.alerts.len();
+        let observations = [
+            (SloMetric::MissRatio, sample.miss_ratio),
+            (SloMetric::PoolUtilization, sample.utilization),
+            (
+                SloMetric::OutageP99,
+                sample.outage_p99.map(|d| d.as_micros() as f64),
+            ),
+            (
+                SloMetric::ReportsLost,
+                sample.reports_lost.map(|n| n as f64),
+            ),
+            (SloMetric::Unplaced, sample.unplaced.map(|n| n as f64)),
+        ];
+        for (metric, value) in observations {
+            let Some(value) = value else { continue };
+            self.observe_value(metric, sample.epoch, sample.at_us, value);
+        }
+        self.alerts.len() - before
+    }
+
+    fn observe_value(&mut self, metric: SloMetric, epoch: u64, at_us: u64, value: f64) {
+        let slot = metric.index();
+        let alpha = self.policy.ewma_alpha.clamp(f64::EPSILON, 1.0);
+        let ewma = match self.ewma[slot] {
+            Some(prev) => prev + alpha * (value - prev),
+            None => value,
+        };
+        self.ewma[slot] = Some(ewma);
+        let threshold = self.policy.threshold(metric);
+        let breach = value > threshold;
+        if breach && !self.breached[slot] {
+            let alert = Alert {
+                metric,
+                epoch,
+                at_us,
+                value,
+                ewma,
+                threshold,
+            };
+            self.alerts.push(alert);
+            if trace::enabled() {
+                trace::sim_event(
+                    "insight.alert",
+                    at_us,
+                    &[
+                        ("metric", metric.label().into()),
+                        ("epoch", epoch.into()),
+                        ("value", value.into()),
+                        ("ewma", ewma.into()),
+                        ("threshold", threshold.into()),
+                    ],
+                );
+            }
+        }
+        self.breached[slot] = breach;
+    }
+
+    /// Fold in an epoch read from a metrics registry snapshot, using
+    /// the gauges the pool and controller publish per epoch
+    /// (`pool.miss_ratio`, `pool.utilization`, `pool.outage_p99_us`,
+    /// `pool.reports_lost`, `ctrl.unplaced`); a `pool.outage` histogram
+    /// serves as p99 fallback. Returns how many new alerts were raised.
+    pub fn observe_registry(
+        &mut self,
+        epoch: u64,
+        at_us: u64,
+        snapshot: &RegistrySnapshot,
+    ) -> usize {
+        let gauge = |name: &str| {
+            snapshot.instruments.iter().find_map(|i| {
+                if i.name != name {
+                    return None;
+                }
+                match &i.value {
+                    InstrumentValue::Gauge(g) => Some(*g),
+                    InstrumentValue::Counter(c) => Some(*c as f64),
+                    InstrumentValue::Histogram(_) => None,
+                }
+            })
+        };
+        let outage_p99 = gauge("pool.outage_p99_us")
+            .map(|us| Duration::from_micros(us.max(0.0) as u64))
+            .or_else(|| {
+                snapshot.instruments.iter().find_map(|i| {
+                    if i.name != "pool.outage" {
+                        return None;
+                    }
+                    match &i.value {
+                        InstrumentValue::Histogram(h) => h.try_quantile(0.99),
+                        _ => None,
+                    }
+                })
+            });
+        let sample = EpochSample {
+            epoch,
+            at_us,
+            miss_ratio: gauge("pool.miss_ratio"),
+            utilization: gauge("pool.utilization"),
+            outage_p99,
+            reports_lost: gauge("pool.reports_lost").map(|v| v.max(0.0) as u64),
+            unplaced: gauge("ctrl.unplaced").map(|v| v.max(0.0) as u64),
+        };
+        self.observe_epoch(&sample)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pran_telemetry::Registry;
+
+    fn quiet(epoch: u64) -> EpochSample {
+        EpochSample {
+            epoch,
+            at_us: epoch * 1000,
+            miss_ratio: Some(0.0),
+            utilization: Some(0.5),
+            outage_p99: None,
+            reports_lost: Some(0),
+            unplaced: Some(0),
+        }
+    }
+
+    #[test]
+    fn quiet_stream_raises_nothing() {
+        let mut m = SloMonitor::new(SloPolicy::default_eval());
+        for e in 0..20 {
+            assert_eq!(m.observe_epoch(&quiet(e)), 0);
+        }
+        assert!(m.alerts().is_empty());
+        assert_eq!(m.epochs(), 20);
+        assert_eq!(m.ewma(SloMetric::PoolUtilization), Some(0.5));
+        assert!(!m.in_breach(SloMetric::MissRatio));
+    }
+
+    #[test]
+    fn breach_is_edge_triggered_and_rearms() {
+        let mut m = SloMonitor::new(SloPolicy::default_eval());
+        m.observe_epoch(&quiet(0));
+        let mut bad = quiet(1);
+        bad.miss_ratio = Some(0.05);
+        assert_eq!(m.observe_epoch(&bad), 1);
+        assert!(m.in_breach(SloMetric::MissRatio));
+        // Still in breach: no duplicate alert.
+        bad.epoch = 2;
+        assert_eq!(m.observe_epoch(&bad), 0);
+        // Recovers, then breaches again: a second alert.
+        m.observe_epoch(&quiet(3));
+        assert!(!m.in_breach(SloMetric::MissRatio));
+        bad.epoch = 4;
+        assert_eq!(m.observe_epoch(&bad), 1);
+        let alerts = m.alerts();
+        assert_eq!(alerts.len(), 2);
+        assert_eq!(alerts[0].metric, SloMetric::MissRatio);
+        assert_eq!(alerts[0].epoch, 1);
+        assert_eq!(alerts[1].epoch, 4);
+        assert!((alerts[0].value - 0.05).abs() < 1e-12);
+        assert!((alerts[0].threshold - 0.01).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ewma_tracks_toward_observations() {
+        let mut m = SloMonitor::new(SloPolicy {
+            ewma_alpha: 0.5,
+            ..SloPolicy::default_eval()
+        });
+        let mut s = quiet(0);
+        s.utilization = Some(0.0);
+        m.observe_epoch(&s);
+        s.utilization = Some(1.0);
+        s.epoch = 1;
+        m.observe_epoch(&s);
+        assert_eq!(m.ewma(SloMetric::PoolUtilization), Some(0.5));
+        s.epoch = 2;
+        m.observe_epoch(&s);
+        assert_eq!(m.ewma(SloMetric::PoolUtilization), Some(0.75));
+    }
+
+    #[test]
+    fn absent_fields_are_skipped() {
+        let mut m = SloMonitor::new(SloPolicy::default_eval());
+        let sample = EpochSample {
+            epoch: 0,
+            at_us: 0,
+            ..EpochSample::default()
+        };
+        assert_eq!(m.observe_epoch(&sample), 0);
+        assert_eq!(m.ewma(SloMetric::MissRatio), None);
+        assert_eq!(m.ewma(SloMetric::OutageP99), None);
+    }
+
+    #[test]
+    fn outage_and_counts_alert_in_their_units() {
+        let mut m = SloMonitor::new(SloPolicy::default_eval());
+        let sample = EpochSample {
+            epoch: 3,
+            at_us: 3000,
+            outage_p99: Some(Duration::from_millis(500)),
+            reports_lost: Some(2),
+            unplaced: Some(1),
+            ..EpochSample::default()
+        };
+        assert_eq!(m.observe_epoch(&sample), 3);
+        let metrics: Vec<SloMetric> = m.alerts().iter().map(|a| a.metric).collect();
+        assert!(metrics.contains(&SloMetric::OutageP99));
+        assert!(metrics.contains(&SloMetric::ReportsLost));
+        assert!(metrics.contains(&SloMetric::Unplaced));
+        let outage = m
+            .alerts()
+            .iter()
+            .find(|a| a.metric == SloMetric::OutageP99)
+            .unwrap();
+        assert!((outage.value - 500_000.0).abs() < 1e-9);
+        assert!((outage.threshold - 200_000.0).abs() < 1e-9);
+        assert_eq!(m.take_alerts().len(), 3);
+        assert!(m.alerts().is_empty());
+    }
+
+    #[test]
+    fn registry_snapshot_feeds_the_monitor() {
+        let r = Registry::new();
+        r.gauge("pool.miss_ratio", &[], 0.2);
+        r.gauge("pool.utilization", &[], 0.4);
+        r.gauge("pool.reports_lost", &[], 0.0);
+        r.observe("pool.outage", &[], Duration::from_millis(300));
+        let mut m = SloMonitor::new(SloPolicy::default_eval());
+        let raised = m.observe_registry(7, 7000, &r.snapshot());
+        // miss_ratio 0.2 > 0.01 and outage p99 300 ms > 200 ms.
+        assert_eq!(raised, 2);
+        assert_eq!(m.alerts()[0].epoch, 7);
+        // The explicit p99 gauge takes precedence over the histogram.
+        r.gauge("pool.outage_p99_us", &[], 1000.0);
+        let mut fresh = SloMonitor::new(SloPolicy::default_eval());
+        assert_eq!(fresh.observe_registry(0, 0, &r.snapshot()), 1);
+        assert!(!fresh.in_breach(SloMetric::OutageP99));
+    }
+
+    #[test]
+    fn policy_serde_roundtrips() {
+        let p = SloPolicy::default_eval();
+        let json = serde_json::to_string(&p).unwrap();
+        let back: SloPolicy = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, p);
+    }
+}

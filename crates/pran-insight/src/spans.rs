@@ -1,0 +1,789 @@
+//! Span-tree reconstruction and missed-deadline critical paths.
+//!
+//! The telemetry exporter flattens every span into a single event (sim
+//! spans carry `start_us`/`finish_us` fields, wall-clock spans carry a
+//! `dur_us` field at their start timestamp), so the tree structure has
+//! to be rebuilt from interval containment. This module parses exported
+//! JSONL back into owned events, nests them into per-domain span
+//! forests, and — the question PRAN actually cares about — attributes
+//! every missed subframe deadline's latency to fronthaul delay, queue
+//! wait, steal overhead and kernel compute, exactly.
+
+use std::fmt::Write as _;
+
+use pran_telemetry::trace::{Domain, FieldValue, TraceEvent};
+use serde_json::Value;
+
+/// The PRAN HARQ compute budget in microseconds: a subframe's deadline
+/// is its pool-arrival instant plus this budget.
+pub const DEFAULT_BUDGET_US: u64 = 2000;
+
+/// An owned scalar field value — the parsed form of
+/// [`pran_telemetry::trace::FieldValue`].
+///
+/// Values are kept in JSON-normal form: a non-negative signed integer
+/// becomes [`Scalar::U64`], matching what a JSONL round-trip produces.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Scalar {
+    /// Unsigned integer.
+    U64(u64),
+    /// Negative signed integer.
+    I64(i64),
+    /// Floating point.
+    F64(f64),
+    /// Boolean flag.
+    Bool(bool),
+    /// String label.
+    Str(String),
+}
+
+impl From<FieldValue> for Scalar {
+    fn from(v: FieldValue) -> Self {
+        match v {
+            FieldValue::U64(x) => Scalar::U64(x),
+            // JSON has one integer syntax; a non-negative i64 serializes
+            // to the same digits as a u64 and parses back as one.
+            FieldValue::I64(x) if x >= 0 => Scalar::U64(x as u64),
+            FieldValue::I64(x) => Scalar::I64(x),
+            FieldValue::F64(x) => Scalar::F64(x),
+            FieldValue::Bool(x) => Scalar::Bool(x),
+            FieldValue::Str(x) => Scalar::Str(x.to_string()),
+        }
+    }
+}
+
+/// An owned trace event: what [`pran_telemetry::trace::TraceEvent`]
+/// carries, detached from `&'static str` lifetimes so it can be parsed
+/// back out of an exported JSONL artifact.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OwnedEvent {
+    /// Event timestamp in its domain's microseconds.
+    pub ts_us: u64,
+    /// Clock domain that stamped the event.
+    pub domain: Domain,
+    /// Event name.
+    pub name: String,
+    /// Field key/value pairs, first-occurrence order, duplicate keys
+    /// collapsed last-value-wins (mirroring the JSON object the exporter
+    /// writes).
+    pub fields: Vec<(String, Scalar)>,
+}
+
+impl OwnedEvent {
+    /// Convert a live [`TraceEvent`], normalizing fields the same way a
+    /// JSONL round-trip would.
+    pub fn from_trace(event: &TraceEvent) -> Self {
+        let mut fields: Vec<(String, Scalar)> = Vec::with_capacity(event.fields().len());
+        for (k, v) in event.fields() {
+            let scalar = Scalar::from(*v);
+            match fields.iter_mut().find(|(key, _)| key == k) {
+                Some((_, slot)) => *slot = scalar,
+                None => fields.push(((*k).to_string(), scalar)),
+            }
+        }
+        OwnedEvent {
+            ts_us: event.ts_us,
+            domain: event.domain,
+            name: event.name.to_string(),
+            fields,
+        }
+    }
+
+    /// Look up a field by key.
+    pub fn field(&self, key: &str) -> Option<&Scalar> {
+        self.fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// Field as `u64` (accepts a non-negative signed value).
+    pub fn field_u64(&self, key: &str) -> Option<u64> {
+        match self.field(key)? {
+            Scalar::U64(x) => Some(*x),
+            Scalar::I64(x) if *x >= 0 => Some(*x as u64),
+            _ => None,
+        }
+    }
+
+    /// Field as `f64` (accepts any numeric value).
+    pub fn field_f64(&self, key: &str) -> Option<f64> {
+        match self.field(key)? {
+            Scalar::U64(x) => Some(*x as f64),
+            Scalar::I64(x) => Some(*x as f64),
+            Scalar::F64(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// Field as string.
+    pub fn field_str(&self, key: &str) -> Option<&str> {
+        match self.field(key)? {
+            Scalar::Str(s) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+
+    /// Field as bool.
+    pub fn field_bool(&self, key: &str) -> Option<bool> {
+        match self.field(key)? {
+            Scalar::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+}
+
+/// Convert a drained event buffer into owned events.
+pub fn events_from_trace(events: &[TraceEvent]) -> Vec<OwnedEvent> {
+    events.iter().map(OwnedEvent::from_trace).collect()
+}
+
+/// Parse canonical JSONL text (as written by
+/// [`pran_telemetry::export::write_jsonl`]) back into owned events.
+pub fn parse_jsonl(text: &str) -> Result<Vec<OwnedEvent>, String> {
+    let mut events = Vec::new();
+    for (idx, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let line_no = idx + 1;
+        let value: Value = serde_json::from_str(line)
+            .map_err(|e| format!("line {line_no}: not valid JSON: {e:?}"))?;
+        let ts_us = value
+            .get("ts_us")
+            .and_then(Value::as_u64)
+            .ok_or_else(|| format!("line {line_no}: missing unsigned `ts_us`"))?;
+        let domain = match value.get("domain").and_then(Value::as_str) {
+            Some("sim") => Domain::Sim,
+            Some("mono") => Domain::Mono,
+            other => return Err(format!("line {line_no}: bad domain {other:?}")),
+        };
+        let name = value
+            .get("name")
+            .and_then(Value::as_str)
+            .ok_or_else(|| format!("line {line_no}: missing string `name`"))?
+            .to_string();
+        let field_map = value
+            .get("fields")
+            .and_then(Value::as_object)
+            .ok_or_else(|| format!("line {line_no}: missing object `fields`"))?;
+        let mut fields = Vec::new();
+        for (key, field) in field_map.iter() {
+            let scalar = match field {
+                Value::Number(_) => {
+                    if let Some(u) = field.as_u64() {
+                        Scalar::U64(u)
+                    } else if let Some(i) = field.as_i64() {
+                        Scalar::I64(i)
+                    } else if let Some(f) = field.as_f64() {
+                        Scalar::F64(f)
+                    } else {
+                        return Err(format!("line {line_no}: field {key:?} bad number"));
+                    }
+                }
+                Value::Bool(b) => Scalar::Bool(*b),
+                Value::String(s) => Scalar::Str(s.clone()),
+                _ => return Err(format!("line {line_no}: field {key:?} is not scalar")),
+            };
+            fields.push((key.clone(), scalar));
+        }
+        events.push(OwnedEvent {
+            ts_us,
+            domain,
+            name,
+            fields,
+        });
+    }
+    Ok(events)
+}
+
+// ---------------------------------------------------------------------
+// Span forest
+// ---------------------------------------------------------------------
+
+/// One reconstructed span: an event re-read as a time interval, with
+/// the events it strictly contains nested beneath it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanNode {
+    /// Event name.
+    pub name: String,
+    /// Clock domain (children always share their parent's domain).
+    pub domain: Domain,
+    /// Interval start in domain microseconds.
+    pub start_us: u64,
+    /// Interval end in domain microseconds (equal to `start_us` for
+    /// instantaneous events).
+    pub end_us: u64,
+    /// The originating event's fields.
+    pub fields: Vec<(String, Scalar)>,
+    /// Spans nested inside this one, in start order.
+    pub children: Vec<SpanNode>,
+}
+
+impl SpanNode {
+    /// Interval length in microseconds.
+    pub fn duration_us(&self) -> u64 {
+        self.end_us - self.start_us
+    }
+
+    /// Total node count of this subtree, including self.
+    pub fn span_count(&self) -> usize {
+        1 + self
+            .children
+            .iter()
+            .map(SpanNode::span_count)
+            .sum::<usize>()
+    }
+}
+
+/// The interval an event covers, per the exporter's span encodings:
+/// `start_us`/`finish_us` fields (sim spans, e.g. `subframe`), a
+/// `dur_us` field starting at the event timestamp (wall-clock spans),
+/// or an instant at the timestamp otherwise.
+fn interval(event: &OwnedEvent) -> (u64, u64) {
+    if let (Some(start), Some(finish)) = (event.field_u64("start_us"), event.field_u64("finish_us"))
+    {
+        return (start, finish.max(start));
+    }
+    if let Some(dur) = event.field_u64("dur_us") {
+        return (event.ts_us, event.ts_us.saturating_add(dur));
+    }
+    (event.ts_us, event.ts_us)
+}
+
+/// Reconstruct the span forest of an event stream.
+///
+/// Events are grouped by clock domain (intervals in different domains
+/// are incomparable), then nested by interval containment: an event
+/// becomes a child of the tightest earlier-starting interval that fully
+/// contains it. Roots come out ordered sim-domain first, then by start
+/// time.
+pub fn build_span_forest(events: &[OwnedEvent]) -> Vec<SpanNode> {
+    let mut nodes: Vec<SpanNode> = events
+        .iter()
+        .map(|e| {
+            let (start_us, end_us) = interval(e);
+            SpanNode {
+                name: e.name.clone(),
+                domain: e.domain,
+                start_us,
+                end_us,
+                fields: e.fields.clone(),
+                children: Vec::new(),
+            }
+        })
+        .collect();
+    // Wider intervals first at equal start so a parent precedes the
+    // children it contains; name breaks exact ties deterministically.
+    nodes.sort_by(|a, b| {
+        (a.domain, a.start_us, std::cmp::Reverse(a.end_us), &a.name).cmp(&(
+            b.domain,
+            b.start_us,
+            std::cmp::Reverse(b.end_us),
+            &b.name,
+        ))
+    });
+
+    let mut roots: Vec<SpanNode> = Vec::new();
+    let mut stack: Vec<SpanNode> = Vec::new();
+    let close_until =
+        |stack: &mut Vec<SpanNode>, roots: &mut Vec<SpanNode>, node: Option<&SpanNode>| {
+            while let Some(top) = stack.last() {
+                let contains = node.is_some_and(|n| {
+                    n.domain == top.domain && n.start_us >= top.start_us && n.end_us <= top.end_us
+                });
+                if contains {
+                    break;
+                }
+                let closed = stack.pop().expect("stack non-empty");
+                match stack.last_mut() {
+                    Some(parent) => parent.children.push(closed),
+                    None => roots.push(closed),
+                }
+            }
+        };
+    for node in nodes {
+        close_until(&mut stack, &mut roots, Some(&node));
+        stack.push(node);
+    }
+    close_until(&mut stack, &mut roots, None);
+    roots
+}
+
+// ---------------------------------------------------------------------
+// Missed-deadline critical paths
+// ---------------------------------------------------------------------
+
+/// One stage of a missed subframe's critical path: a contiguous
+/// `[from_us, to_us]` slice of the task's life.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Stage {
+    /// Stage label: `"fronthaul"`, `"queue"`, `"steal"` or `"compute"`.
+    pub name: &'static str,
+    /// Stage start (sim µs).
+    pub from_us: u64,
+    /// Stage end (sim µs).
+    pub to_us: u64,
+}
+
+impl Stage {
+    /// Stage length in microseconds.
+    pub fn duration_us(&self) -> u64 {
+        self.to_us - self.from_us
+    }
+}
+
+/// The reconstructed critical path of one missed subframe deadline:
+/// where its compute budget went, stage by stage.
+///
+/// The stages are contiguous and partition `[arrival_us, finish_us]`,
+/// so their durations sum to [`CriticalPath::latency_us`] exactly.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CriticalPath {
+    /// Cell the subframe belongs to.
+    pub cell: u64,
+    /// When the subframe hit the pool boundary: `deadline − budget`
+    /// (clamped to the release time if fronthaul jitter also tightened
+    /// the deadline).
+    pub arrival_us: u64,
+    /// When its uplink report became available to the executor.
+    pub release_us: u64,
+    /// When a core started computing it.
+    pub start_us: u64,
+    /// When compute finished.
+    pub finish_us: u64,
+    /// Its HARQ deadline.
+    pub deadline_us: u64,
+    /// Core that executed it, if recorded (parallel executor only).
+    pub core: Option<u64>,
+    /// Whether the task was work-stolen to another core.
+    pub stolen: bool,
+    /// Contiguous stages partitioning `[arrival_us, finish_us]`:
+    /// fronthaul, queue, steal, compute.
+    pub stages: Vec<Stage>,
+    /// End-to-end latency: `finish_us − arrival_us`.
+    pub latency_us: u64,
+    /// Deadline overshoot: `finish_us − deadline_us`.
+    pub overshoot_us: u64,
+}
+
+impl CriticalPath {
+    /// Sum of the stage durations — always equals
+    /// [`CriticalPath::latency_us`].
+    pub fn attributed_us(&self) -> u64 {
+        self.stages.iter().map(Stage::duration_us).sum()
+    }
+
+    /// The longest stage: where the budget actually went.
+    pub fn dominant(&self) -> &Stage {
+        self.stages
+            .iter()
+            .max_by_key(|s| s.duration_us())
+            .expect("critical path always has stages")
+    }
+
+    /// Duration of the named stage (zero when absent).
+    pub fn stage_us(&self, name: &str) -> u64 {
+        self.stages
+            .iter()
+            .filter(|s| s.name == name)
+            .map(Stage::duration_us)
+            .sum()
+    }
+}
+
+/// Stage labels in pipeline order.
+pub const STAGE_NAMES: [&str; 4] = ["fronthaul", "queue", "steal", "compute"];
+
+/// Reconstruct the critical path of every missed subframe deadline in
+/// an event stream.
+///
+/// `budget_us` is the HARQ compute budget the deadlines were derived
+/// from ([`DEFAULT_BUDGET_US`] in every PRAN configuration). For each
+/// `subframe` event with `finish_us > deadline_us` the budget is
+/// attributed to:
+///
+/// - **fronthaul** — arrival (`deadline − budget`) → release: uplink
+///   transport delay and jitter;
+/// - **queue** — release → execution-start (or → steal instant for
+///   stolen tasks): waiting for a core;
+/// - **steal** — steal instant → start, for tasks a `rt.steal` event
+///   shows were grabbed by another core;
+/// - **compute** — start → finish: kernel execution.
+pub fn critical_paths(events: &[OwnedEvent], budget_us: u64) -> Vec<CriticalPath> {
+    // (thief core, steal timestamp) pairs, for matching stolen tasks.
+    let steals: Vec<(u64, u64)> = events
+        .iter()
+        .filter(|e| e.name == "rt.steal")
+        .filter_map(|e| Some((e.field_u64("thief")?, e.ts_us)))
+        .collect();
+
+    let mut paths = Vec::new();
+    for event in events.iter().filter(|e| e.name == "subframe") {
+        let (Some(cell), Some(release), Some(start), Some(finish), Some(deadline)) = (
+            event.field_u64("cell"),
+            event.field_u64("release_us"),
+            event.field_u64("start_us"),
+            event.field_u64("finish_us"),
+            event.field_u64("deadline_us"),
+        ) else {
+            continue;
+        };
+        if finish <= deadline {
+            continue;
+        }
+        let core = event.field_u64("core");
+        let stolen = event.field_bool("stolen").unwrap_or(false);
+        // Workloads with fronthaul-tightened deadlines can put
+        // `deadline − budget` past the release; clamp so the fronthaul
+        // stage never runs backwards.
+        let arrival = deadline.saturating_sub(budget_us).min(release);
+        let start = start.max(release).min(finish);
+
+        // Stolen tasks: the thief's `rt.steal` event (stamped at the
+        // grab instant on the thief's clock) splits the wait between
+        // home-queue time and steal/transfer overhead.
+        let steal_at = if stolen {
+            steals
+                .iter()
+                .filter(|(thief, ts)| Some(*thief) == core && *ts >= release && *ts <= start)
+                .map(|(_, ts)| *ts)
+                .max()
+        } else {
+            None
+        };
+        let queue_end = steal_at.unwrap_or(start);
+
+        let stages = vec![
+            Stage {
+                name: "fronthaul",
+                from_us: arrival,
+                to_us: release,
+            },
+            Stage {
+                name: "queue",
+                from_us: release,
+                to_us: queue_end,
+            },
+            Stage {
+                name: "steal",
+                from_us: queue_end,
+                to_us: start,
+            },
+            Stage {
+                name: "compute",
+                from_us: start,
+                to_us: finish,
+            },
+        ];
+        paths.push(CriticalPath {
+            cell,
+            arrival_us: arrival,
+            release_us: release,
+            start_us: start,
+            finish_us: finish,
+            deadline_us: deadline,
+            core,
+            stolen,
+            stages,
+            latency_us: finish - arrival,
+            overshoot_us: finish - deadline,
+        });
+    }
+    // Worst overshoot first; ties by deadline then cell for determinism.
+    paths.sort_by_key(|p| (std::cmp::Reverse(p.overshoot_us), p.deadline_us, p.cell));
+    paths
+}
+
+/// Total microseconds attributed to each stage across a set of paths,
+/// in [`STAGE_NAMES`] order.
+pub fn attribution_totals(paths: &[CriticalPath]) -> [(&'static str, u64); 4] {
+    let mut totals = [
+        ("fronthaul", 0u64),
+        ("queue", 0u64),
+        ("steal", 0u64),
+        ("compute", 0u64),
+    ];
+    for path in paths {
+        for stage in &path.stages {
+            if let Some(slot) = totals.iter_mut().find(|(name, _)| *name == stage.name) {
+                slot.1 += stage.duration_us();
+            }
+        }
+    }
+    totals
+}
+
+/// Render missed-deadline critical paths as a human-readable report:
+/// one row per miss (worst overshoot first) plus an aggregate
+/// where-did-the-budget-go footer.
+pub fn attribution_table(paths: &[CriticalPath]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "== missed-deadline critical paths ({} misses) ==",
+        paths.len()
+    );
+    if paths.is_empty() {
+        let _ = writeln!(out, "(no deadline misses — nothing to attribute)");
+        return out;
+    }
+    let _ = writeln!(
+        out,
+        "{:>4} {:>6} {:>11} {:>9} {:>10} {:>9} {:>9} {:>9} {:>9}  dominant",
+        "cell", "core", "deadline_us", "over_us", "fronthaul", "queue", "steal", "compute", "total"
+    );
+    for path in paths {
+        let core = path
+            .core
+            .map(|c| c.to_string())
+            .unwrap_or_else(|| "-".to_string());
+        let _ = writeln!(
+            out,
+            "{:>4} {:>6} {:>11} {:>9} {:>10} {:>9} {:>9} {:>9} {:>9}  {}",
+            path.cell,
+            core,
+            path.deadline_us,
+            path.overshoot_us,
+            path.stage_us("fronthaul"),
+            path.stage_us("queue"),
+            path.stage_us("steal"),
+            path.stage_us("compute"),
+            path.latency_us,
+            path.dominant().name,
+        );
+    }
+    let totals = attribution_totals(paths);
+    let grand: u64 = totals.iter().map(|(_, us)| us).sum();
+    let _ = writeln!(out, "-- budget attribution across all misses --");
+    for (name, us) in totals {
+        let pct = if grand == 0 {
+            0.0
+        } else {
+            100.0 * us as f64 / grand as f64
+        };
+        let _ = writeln!(out, "{name:<12} {us:>9} µs  {pct:>5.1}%");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sim(name: &'static str, ts: u64, fields: &[(&'static str, FieldValue)]) -> OwnedEvent {
+        OwnedEvent::from_trace(&TraceEvent::new(ts, Domain::Sim, name, fields))
+    }
+
+    #[test]
+    fn scalar_normalizes_nonnegative_i64() {
+        assert_eq!(Scalar::from(FieldValue::I64(5)), Scalar::U64(5));
+        assert_eq!(Scalar::from(FieldValue::I64(-5)), Scalar::I64(-5));
+        assert_eq!(Scalar::from(FieldValue::U64(7)), Scalar::U64(7));
+    }
+
+    #[test]
+    fn parse_jsonl_roundtrips_events() {
+        let events = vec![
+            TraceEvent::new(
+                10,
+                Domain::Sim,
+                "subframe",
+                &[
+                    ("cell", 3u64.into()),
+                    ("release_us", 10u64.into()),
+                    ("start_us", 12u64.into()),
+                    ("finish_us", 40u64.into()),
+                    ("deadline_us", 2010u64.into()),
+                ],
+            ),
+            TraceEvent::new(
+                5,
+                Domain::Mono,
+                "ctrl.predict",
+                &[("dur_us", 30u64.into()), ("ok", true.into())],
+            ),
+        ];
+        let text = pran_telemetry::export::to_jsonl(&events);
+        let parsed = parse_jsonl(&text).unwrap();
+        // to_jsonl sorts by (ts, text); our events sort mono-5 first.
+        assert_eq!(parsed.len(), 2);
+        let owned = events_from_trace(&events);
+        for event in owned {
+            assert!(parsed.contains(&event), "{event:?} lost in round-trip");
+        }
+        assert!(parse_jsonl("not json\n").is_err());
+    }
+
+    #[test]
+    fn forest_nests_by_containment() {
+        let events = vec![
+            sim(
+                "epoch",
+                0,
+                &[("start_us", 0u64.into()), ("finish_us", 100u64.into())],
+            ),
+            sim(
+                "solve",
+                0,
+                &[("start_us", 10u64.into()), ("finish_us", 50u64.into())],
+            ),
+            sim(
+                "kernel",
+                0,
+                &[("start_us", 20u64.into()), ("finish_us", 30u64.into())],
+            ),
+            sim(
+                "apply",
+                0,
+                &[("start_us", 60u64.into()), ("finish_us", 90u64.into())],
+            ),
+            sim("tick", 95, &[]),
+            sim(
+                "later",
+                0,
+                &[("start_us", 200u64.into()), ("finish_us", 250u64.into())],
+            ),
+        ];
+        let forest = build_span_forest(&events);
+        assert_eq!(forest.len(), 2);
+        let epoch = &forest[0];
+        assert_eq!(epoch.name, "epoch");
+        assert_eq!(epoch.span_count(), 5);
+        let names: Vec<&str> = epoch.children.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(names, ["solve", "apply", "tick"]);
+        assert_eq!(epoch.children[0].children[0].name, "kernel");
+        assert_eq!(forest[1].name, "later");
+    }
+
+    #[test]
+    fn forest_keeps_domains_apart() {
+        let events = vec![
+            sim(
+                "big",
+                0,
+                &[("start_us", 0u64.into()), ("finish_us", 100u64.into())],
+            ),
+            OwnedEvent::from_trace(&TraceEvent::new(
+                10,
+                Domain::Mono,
+                "wall",
+                &[("dur_us", 20u64.into())],
+            )),
+        ];
+        let forest = build_span_forest(&events);
+        // The mono span is inside [0,100] numerically but must not nest
+        // under a sim-domain parent.
+        assert_eq!(forest.len(), 2);
+        assert_eq!(forest[0].domain, Domain::Sim);
+        assert_eq!(forest[1].domain, Domain::Mono);
+        assert_eq!(forest[1].start_us, 10);
+        assert_eq!(forest[1].end_us, 30);
+    }
+
+    #[test]
+    fn critical_path_attribution_is_exact() {
+        let budget = DEFAULT_BUDGET_US;
+        let events = vec![
+            // On time: not reported.
+            sim(
+                "subframe",
+                900,
+                &[
+                    ("cell", 0u64.into()),
+                    ("release_us", 100u64.into()),
+                    ("start_us", 150u64.into()),
+                    ("finish_us", 900u64.into()),
+                    ("deadline_us", 2000u64.into()),
+                ],
+            ),
+            // Missed, not stolen: arrival 1000, fronthaul 120, queue
+            // 800, compute 1200 ⇒ finish 3120 > deadline 3000.
+            sim(
+                "subframe",
+                3120,
+                &[
+                    ("cell", 1u64.into()),
+                    ("release_us", 1120u64.into()),
+                    ("start_us", 1920u64.into()),
+                    ("finish_us", 3120u64.into()),
+                    ("deadline_us", 3000u64.into()),
+                    ("core", 2u64.into()),
+                    ("stolen", false.into()),
+                ],
+            ),
+            // Missed and stolen by core 3 at t=2500.
+            sim(
+                "rt.steal",
+                2500,
+                &[
+                    ("thief", 3u64.into()),
+                    ("home", 0u64.into()),
+                    ("tasks", 1u64.into()),
+                ],
+            ),
+            sim(
+                "subframe",
+                4400,
+                &[
+                    ("cell", 2u64.into()),
+                    ("release_us", 2100u64.into()),
+                    ("start_us", 2600u64.into()),
+                    ("finish_us", 4400u64.into()),
+                    ("deadline_us", 4000u64.into()),
+                    ("core", 3u64.into()),
+                    ("stolen", true.into()),
+                ],
+            ),
+        ];
+        let paths = critical_paths(&events, budget);
+        assert_eq!(paths.len(), 2);
+        // Sorted worst-first: cell 2 overshoots by 400, cell 1 by 120.
+        assert_eq!(paths[0].cell, 2);
+        assert_eq!(paths[1].cell, 1);
+
+        let miss = &paths[1];
+        assert_eq!(miss.arrival_us, 1000);
+        assert_eq!(miss.latency_us, 2120);
+        assert_eq!(miss.attributed_us(), miss.latency_us);
+        assert_eq!(miss.stage_us("fronthaul"), 120);
+        assert_eq!(miss.stage_us("queue"), 800);
+        assert_eq!(miss.stage_us("steal"), 0);
+        assert_eq!(miss.stage_us("compute"), 1200);
+        assert_eq!(miss.dominant().name, "compute");
+
+        let stolen = &paths[0];
+        assert_eq!(stolen.stage_us("fronthaul"), 100);
+        assert_eq!(stolen.stage_us("queue"), 400); // release 2100 → steal 2500
+        assert_eq!(stolen.stage_us("steal"), 100); // steal 2500 → start 2600
+        assert_eq!(stolen.stage_us("compute"), 1800);
+        assert_eq!(stolen.attributed_us(), stolen.latency_us);
+
+        let table = attribution_table(&paths);
+        assert!(table.contains("2 misses"));
+        assert!(table.contains("fronthaul"));
+        assert!(attribution_table(&[]).contains("no deadline misses"));
+        let totals = attribution_totals(&paths);
+        assert_eq!(totals[3], ("compute", 3000));
+    }
+
+    #[test]
+    fn tightened_deadline_clamps_arrival() {
+        // deadline − budget (2100) would land past release (2050):
+        // arrival clamps to release, fronthaul reads zero, and the
+        // attribution identity still holds.
+        let events = vec![sim(
+            "subframe",
+            4200,
+            &[
+                ("cell", 0u64.into()),
+                ("release_us", 2050u64.into()),
+                ("start_us", 2050u64.into()),
+                ("finish_us", 4200u64.into()),
+                ("deadline_us", 4100u64.into()),
+            ],
+        )];
+        let paths = critical_paths(&events, DEFAULT_BUDGET_US);
+        assert_eq!(paths.len(), 1);
+        assert_eq!(paths[0].arrival_us, 2050);
+        assert_eq!(paths[0].stage_us("fronthaul"), 0);
+        assert_eq!(paths[0].attributed_us(), paths[0].latency_us);
+    }
+}

@@ -12,6 +12,7 @@ use std::time::Duration;
 
 use bytes::Bytes;
 use pran_fronthaul::fault::{FaultConfig, FaultInjector, Outcome};
+use pran_insight::slo::{Alert, EpochSample, SloMonitor, SloPolicy};
 use pran_phy::compute::{CellWorkload, ComputeModel};
 use pran_phy::frame::{AntennaConfig, Bandwidth, Direction, COMPUTE_DEADLINE, TTI};
 use pran_phy::mcs::Mcs;
@@ -60,6 +61,12 @@ pub struct PoolConfig {
     /// Optional per-cell fronthaul fault model applied to uplink subframe
     /// transport (`None` = ideal fronthaul, the pre-existing behaviour).
     pub fronthaul: Option<LinkFault>,
+    /// When set, an online [`SloMonitor`] observes the pool once per
+    /// epoch (cumulative miss ratio, demand/capacity utilization, outage
+    /// p99, lost reports) and its alerts land in
+    /// [`SimReport::alerts`] — plus `insight.alert` trace events when
+    /// telemetry is on.
+    pub slo: Option<SloPolicy>,
 }
 
 /// Per-cell fronthaul degradation for a pool run.
@@ -100,6 +107,7 @@ impl PoolConfig {
             antennas: AntennaConfig::pran_default(),
             mcs: Mcs::new(20),
             fronthaul: None,
+            slo: None,
         }
     }
 }
@@ -151,6 +159,9 @@ pub struct SimReport {
     pub metrics: PoolMetrics,
     /// One record per handled server failure.
     pub failovers: Vec<FailoverRecord>,
+    /// SLO alerts raised by the per-epoch monitor (empty unless
+    /// [`PoolConfig::slo`] is set).
+    pub alerts: Vec<Alert>,
 }
 
 impl PoolSimulator {
@@ -212,6 +223,7 @@ impl PoolSimulator {
         let mut placement = Placement::empty(num_cells);
         let mut metrics = PoolMetrics::default();
         let mut failovers = Vec::new();
+        let mut slo_monitor = cfg.slo.map(SloMonitor::new);
         let mut links: Vec<FaultInjector> = match &cfg.fronthaul {
             Some(lf) => (0..num_cells)
                 .map(|c| FaultInjector::new(lf.config, lf.seed.wrapping_add(c as u64)))
@@ -284,6 +296,36 @@ impl PoolSimulator {
                         &mut links,
                         &mut metrics,
                     );
+
+                    // Per-epoch health observation: publish gauges for
+                    // scrapers and feed the online SLO monitor. Miss
+                    // ratio and lost reports are cumulative over the run.
+                    let alive_capacity =
+                        alive.iter().filter(|a| **a).count() as f64 * cfg.server_capacity_gops;
+                    let utilization = (alive_capacity > 0.0).then(|| demand_gops / alive_capacity);
+                    let outage_p99 = metrics.outages.try_quantile(0.99);
+                    if pran_telemetry::enabled() {
+                        let registry = pran_telemetry::metrics::global();
+                        registry.gauge("pool.miss_ratio", &[], metrics.miss_ratio());
+                        if let Some(u) = utilization {
+                            registry.gauge("pool.utilization", &[], u);
+                        }
+                        registry.gauge("pool.reports_lost", &[], metrics.reports_lost as f64);
+                        if let Some(p99) = outage_p99 {
+                            registry.gauge("pool.outage_p99_us", &[], p99.as_micros() as f64);
+                        }
+                    }
+                    if let Some(monitor) = slo_monitor.as_mut() {
+                        monitor.observe_epoch(&EpochSample {
+                            epoch: e as u64,
+                            at_us: now_us,
+                            miss_ratio: Some(metrics.miss_ratio()),
+                            utilization,
+                            outage_p99,
+                            reports_lost: Some(metrics.reports_lost),
+                            unplaced: None,
+                        });
+                    }
                 }
                 Event::ServerFail(s, recover_after) => {
                     if !alive[s] {
@@ -363,7 +405,15 @@ impl PoolSimulator {
             }
         }
 
-        SimReport { metrics, failovers }
+        let alerts = match slo_monitor.as_mut() {
+            Some(monitor) => monitor.take_alerts(),
+            None => Vec::new(),
+        };
+        SimReport {
+            metrics,
+            failovers,
+            alerts,
+        }
     }
 
     /// Simulate the sampled TTIs of `[first, last)` trace steps under the
@@ -760,6 +810,48 @@ mod tests {
             m.tasks_total,
             "every delivered task still scores a response time"
         );
+    }
+
+    #[test]
+    fn healthy_pool_with_slo_monitor_stays_quiet() {
+        let trace = small_trace(12, 1);
+        let mut cfg = PoolConfig::default_eval(10);
+        cfg.slo = Some(SloPolicy::default_eval());
+        let mut s = PoolSimulator::new(trace, cfg);
+        let report = s.run();
+        assert!(
+            report.alerts.is_empty(),
+            "healthy pool raised {:?}",
+            report.alerts
+        );
+    }
+
+    #[test]
+    fn starved_pool_raises_miss_ratio_alert() {
+        use pran_insight::SloMetric;
+        // The capacity-loss scenario: kill one of two servers so tasks
+        // are lost; the cumulative miss ratio crosses 1 % and the
+        // monitor alerts exactly once (edge-triggered).
+        let trace = small_trace(16, 4);
+        let mut cfg = PoolConfig::default_eval(2);
+        cfg.server_capacity_gops = 600.0;
+        cfg.slo = Some(SloPolicy::default_eval());
+        let mut s = PoolSimulator::new(trace, cfg);
+        s.inject_failure(FailureSpec {
+            server: 1,
+            at: Duration::from_secs(600),
+            recover_after: None,
+        });
+        let report = s.run();
+        assert!(report.metrics.miss_ratio() > 0.01);
+        let miss_alerts: Vec<_> = report
+            .alerts
+            .iter()
+            .filter(|a| a.metric == SloMetric::MissRatio)
+            .collect();
+        assert_eq!(miss_alerts.len(), 1, "alerts: {:?}", report.alerts);
+        assert!(miss_alerts[0].value > 0.01);
+        assert!((miss_alerts[0].threshold - 0.01).abs() < 1e-12);
     }
 
     #[test]

@@ -105,6 +105,38 @@ fn check_line(line_no: usize, line: &str) -> Result<(), String> {
             }
         }
     }
+    if name == "chaos.violation" {
+        const KINDS: [&str; 5] = [
+            "placement_valid",
+            "capacity_bound",
+            "outage_exceeded",
+            "miss_ratio_exceeded",
+            "restore_fidelity",
+        ];
+        let kind = fields
+            .get("kind")
+            .and_then(Value::as_str)
+            .ok_or_else(|| format!("line {line_no}: chaos.violation missing string `kind`"))?;
+        if !KINDS.contains(&kind) {
+            return Err(format!(
+                "line {line_no}: chaos.violation has unknown kind {kind:?}"
+            ));
+        }
+    }
+    if name == "insight.alert" {
+        if fields.get("metric").and_then(Value::as_str).is_none() {
+            return Err(format!(
+                "line {line_no}: insight.alert missing string `metric`"
+            ));
+        }
+        for required in ["value", "threshold"] {
+            if fields.get(required).and_then(Value::as_f64).is_none() {
+                return Err(format!(
+                    "line {line_no}: insight.alert missing numeric {required:?}"
+                ));
+            }
+        }
+    }
     Ok(())
 }
 
@@ -114,7 +146,10 @@ fn check_line(line_no: usize, line: &str) -> Result<(), String> {
 /// Schema: every line is an object with unsigned `ts_us`, `domain` of
 /// `"sim"`/`"mono"`, non-empty string `name` and an object `fields` of
 /// scalar values; `subframe` events additionally carry numeric `cell`,
-/// `release_us`, `start_us`, `finish_us` and `deadline_us`.
+/// `release_us`, `start_us`, `finish_us` and `deadline_us`;
+/// `chaos.violation` events carry a string `kind` naming one of the five
+/// chaos invariants; `insight.alert` events carry a string `metric` plus
+/// numeric `value` and `threshold`.
 pub fn validate_jsonl(text: &str) -> Result<usize, String> {
     let mut count = 0usize;
     for (idx, line) in text.lines().enumerate() {
@@ -353,6 +388,37 @@ mod tests {
         let bad_domain = "{\"ts_us\":1,\"domain\":\"cpu\",\"name\":\"x\",\"fields\":{}}\n";
         assert!(validate_jsonl(bad_domain).is_err());
         assert_eq!(validate_jsonl("").unwrap(), 0);
+    }
+
+    #[test]
+    fn validation_knows_chaos_violations() {
+        let good = "{\"ts_us\":5,\"domain\":\"sim\",\"name\":\"chaos.violation\",\
+                    \"fields\":{\"kind\":\"outage_exceeded\"}}\n";
+        assert_eq!(validate_jsonl(good).unwrap(), 1);
+        let missing_kind =
+            "{\"ts_us\":5,\"domain\":\"sim\",\"name\":\"chaos.violation\",\"fields\":{}}\n";
+        let err = validate_jsonl(missing_kind).unwrap_err();
+        assert!(err.contains("kind"), "{err}");
+        let unknown_kind = "{\"ts_us\":5,\"domain\":\"sim\",\"name\":\"chaos.violation\",\
+                            \"fields\":{\"kind\":\"pool_on_fire\"}}\n";
+        let err = validate_jsonl(unknown_kind).unwrap_err();
+        assert!(err.contains("unknown kind"), "{err}");
+    }
+
+    #[test]
+    fn validation_knows_insight_alerts() {
+        let good = "{\"ts_us\":9,\"domain\":\"sim\",\"name\":\"insight.alert\",\
+                    \"fields\":{\"metric\":\"miss_ratio\",\"epoch\":3,\
+                    \"value\":0.04,\"ewma\":0.02,\"threshold\":0.01}}\n";
+        assert_eq!(validate_jsonl(good).unwrap(), 1);
+        let missing_metric = "{\"ts_us\":9,\"domain\":\"sim\",\"name\":\"insight.alert\",\
+                              \"fields\":{\"value\":1.0,\"threshold\":0.5}}\n";
+        let err = validate_jsonl(missing_metric).unwrap_err();
+        assert!(err.contains("metric"), "{err}");
+        let missing_threshold = "{\"ts_us\":9,\"domain\":\"sim\",\"name\":\"insight.alert\",\
+                                 \"fields\":{\"metric\":\"miss_ratio\",\"value\":1.0}}\n";
+        let err = validate_jsonl(missing_threshold).unwrap_err();
+        assert!(err.contains("threshold"), "{err}");
     }
 
     #[test]

@@ -87,18 +87,43 @@ impl LogHistogram {
         Duration::from_micros(self.min_us)
     }
 
+    /// Sum of all recorded durations.
+    pub fn sum(&self) -> Duration {
+        Duration::from_micros(self.sum_us)
+    }
+
     /// Approximate quantile with linear interpolation inside the bucket.
+    ///
+    /// Convenience wrapper over [`LogHistogram::try_quantile`] that maps
+    /// the empty-histogram case to [`Duration::ZERO`]; callers that need
+    /// to distinguish "no samples" from "zero latency" should use
+    /// `try_quantile` directly.
+    pub fn quantile(&self, q: f64) -> Duration {
+        self.try_quantile(q).unwrap_or(Duration::ZERO)
+    }
+
+    /// Approximate quantile with linear interpolation inside the bucket,
+    /// or `None` when the histogram is empty.
     ///
     /// The q-quantile sample's bucket is located by cumulative count, then
     /// the estimate interpolates between the bucket edges, tightened by
     /// the observed min/max so the extreme buckets don't overshoot.
-    /// Accurate to the bucket's base-2 resolution; exact for empty and
-    /// single-valued histograms.
-    pub fn quantile(&self, q: f64) -> Duration {
+    /// Accurate to the bucket's base-2 resolution; exact (no
+    /// interpolation) for single-sample histograms.
+    pub fn try_quantile(&self, q: f64) -> Option<Duration> {
         assert!((0.0..=1.0).contains(&q), "quantile must be in [0,1]");
         if self.count == 0 {
-            return Duration::ZERO;
+            return None;
         }
+        if self.count == 1 {
+            // min == max == the one sample: return it exactly rather than
+            // interpolating against a power-of-two bucket edge.
+            return Some(Duration::from_micros(self.min_us));
+        }
+        Some(self.quantile_interpolated(q))
+    }
+
+    fn quantile_interpolated(&self, q: f64) -> Duration {
         let target = (q * self.count as f64).ceil().max(1.0) as u64;
         let mut seen = 0u64;
         for (i, &b) in self.buckets.iter().enumerate() {
@@ -352,8 +377,12 @@ mod tests {
     fn empty_histogram_safe() {
         let h = LogHistogram::new();
         assert_eq!(h.mean(), Duration::ZERO);
+        assert_eq!(h.sum(), Duration::ZERO);
         assert_eq!(h.quantile(0.99), Duration::ZERO);
         assert_eq!(h.quantile(0.0), Duration::ZERO);
+        assert_eq!(h.try_quantile(0.5), None);
+        assert_eq!(h.try_quantile(0.0), None);
+        assert_eq!(h.try_quantile(1.0), None);
     }
 
     #[test]
@@ -362,6 +391,67 @@ mod tests {
         h.record(Duration::from_millis(50));
         for q in [0.0, 0.5, 0.95, 0.99, 1.0] {
             assert_eq!(h.quantile(q), Duration::from_millis(50), "q={q}");
+            assert_eq!(h.try_quantile(q), Some(Duration::from_millis(50)), "q={q}");
+        }
+        // A single sample sitting on no bucket boundary must come back
+        // exactly, not as a bucket-edge interpolation.
+        let mut odd = LogHistogram::new();
+        odd.record(us(777));
+        assert_eq!(odd.try_quantile(0.5), Some(us(777)));
+        assert_eq!(odd.try_quantile(0.99), Some(us(777)));
+    }
+
+    #[test]
+    fn pinned_quantiles_uniform_distribution() {
+        // 1..=1000 µs uniform: exact p50 = 500, p95 = 950, p99 = 990.
+        // The log-histogram is accurate to base-2 bucket resolution with
+        // min/max tightening; pin each estimate to a window around truth.
+        let mut h = LogHistogram::new();
+        for i in 1..=1000u64 {
+            h.record(us(i));
+        }
+        let p50 = h.try_quantile(0.50).unwrap();
+        let p95 = h.try_quantile(0.95).unwrap();
+        let p99 = h.try_quantile(0.99).unwrap();
+        assert!(p50 >= us(450) && p50 <= us(550), "p50 {p50:?}");
+        assert!(p95 >= us(850) && p95 <= us(1000), "p95 {p95:?}");
+        assert!(p99 >= us(900) && p99 <= us(1000), "p99 {p99:?}");
+        assert!(p50 <= p95 && p95 <= p99);
+        assert_eq!(h.sum(), us(500_500));
+    }
+
+    #[test]
+    fn pinned_quantiles_bimodal_distribution() {
+        // 90 samples at 100 µs, 10 at 10 000 µs: p50 sits in the low
+        // mode's bucket [64,128) clamped below by min=100; p95 and p99
+        // interpolate inside the high mode's bucket [8192, 10001) capped
+        // above by max=10 000.
+        let mut h = LogHistogram::new();
+        for _ in 0..90 {
+            h.record(us(100));
+        }
+        for _ in 0..10 {
+            h.record(us(10_000));
+        }
+        let p50 = h.try_quantile(0.50).unwrap();
+        let p95 = h.try_quantile(0.95).unwrap();
+        let p99 = h.try_quantile(0.99).unwrap();
+        assert!(p50 >= us(100) && p50 < us(128), "p50 {p50:?}");
+        assert!(p95 >= us(8192) && p95 <= us(10_000), "p95 {p95:?}");
+        assert!(p99 >= us(8192) && p99 <= us(10_000), "p99 {p99:?}");
+        assert!(p50 <= p95 && p95 <= p99);
+    }
+
+    #[test]
+    fn pinned_quantiles_constant_distribution() {
+        // Every sample identical: min == max forces all quantiles to the
+        // constant regardless of bucket interpolation.
+        let mut h = LogHistogram::new();
+        for _ in 0..37 {
+            h.record(us(300));
+        }
+        for q in [0.0, 0.5, 0.95, 0.99, 1.0] {
+            assert_eq!(h.try_quantile(q), Some(us(300)), "q={q}");
         }
     }
 

@@ -1,0 +1,189 @@
+//! The insight pipeline end to end: record (telemetry) → analyze
+//! (`pran-insight`) → gate (`bench-gate` semantics).
+//!
+//! These are the PR's acceptance criteria: critical-path attribution of
+//! every missed deadline in a seeded E6 run must sum to the measured
+//! subframe latency within 1 µs, and the regression gate must pass a
+//! self-diff of the committed E6 envelope while failing a deliberate
+//! +20 % miss-ratio perturbation.
+
+use std::sync::Mutex;
+use std::time::Duration;
+
+use pran_insight::gate::{compare_envelopes, GateConfig, Verdict};
+use pran_insight::slo::SloMetric;
+use pran_insight::spans::{critical_paths, parse_jsonl, DEFAULT_BUDGET_US};
+use pran_sched::realtime::workload::{generate, TaskSetConfig};
+use pran_sched::realtime::{ParallelConfig, ParallelExecutor};
+use pran_telemetry::{export, TelemetryConfig};
+use serde_json::Value;
+
+/// The tracer is process-global; tests that reconfigure it must not
+/// interleave.
+static TRACER: Mutex<()> = Mutex::new(());
+
+/// The committed E6 sample envelope (`bench --bin e6_deadlines -- --sample`).
+fn committed_e6_envelope() -> Value {
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../results/e6_deadlines_sample.json"
+    );
+    let text = std::fs::read_to_string(path).expect("committed e6 sample envelope exists");
+    serde_json::from_str(&text).expect("committed envelope parses")
+}
+
+#[test]
+fn critical_path_attribution_is_exact_for_the_seeded_e6_run() {
+    let _guard = TRACER.lock().unwrap();
+    // The exact workload of `e6_deadlines --sample`: same generator, same
+    // seed, non-stealing executor, so the traced misses are deterministic.
+    pran_telemetry::configure(TelemetryConfig::sim());
+    let mut cfg = TaskSetConfig::default_eval(8, 100, 4, 0.9);
+    cfg.seed = 0xE6;
+    let set = generate(&cfg);
+    let exec = ParallelExecutor::new(ParallelConfig {
+        cores: 4,
+        batch: 1,
+        steal: false,
+    });
+    let out = exec.execute(&set.tasks);
+    let events = pran_telemetry::trace::drain();
+    pran_telemetry::disable();
+    assert!(out.miss_ratio() > 0.0, "the seeded run must miss deadlines");
+
+    // Analyze through the exported artifact, exactly as the CLI does.
+    let jsonl = export::to_jsonl(&events);
+    let parsed = parse_jsonl(&jsonl).expect("exported trace parses back");
+    let paths = critical_paths(&parsed, DEFAULT_BUDGET_US);
+
+    // Every missed subframe in the trace gets a critical path.
+    let misses = parsed
+        .iter()
+        .filter(|e| e.name == "subframe")
+        .filter(|e| {
+            let finish = e.field_u64("finish_us").unwrap();
+            let deadline = e.field_u64("deadline_us").unwrap();
+            finish > deadline
+        })
+        .count();
+    assert!(misses > 0);
+    assert_eq!(paths.len(), misses);
+
+    for p in &paths {
+        // The four stages partition [arrival, finish]: contiguous, in
+        // order, and their sum equals the measured latency within 1 µs
+        // (exactly, in fact — everything is integer microseconds).
+        assert_eq!(p.stages.len(), 4);
+        assert_eq!(p.stages[0].from_us, p.arrival_us);
+        for w in p.stages.windows(2) {
+            assert_eq!(w[0].to_us, w[1].from_us, "stages must be contiguous");
+        }
+        assert_eq!(p.stages.last().unwrap().to_us, p.finish_us);
+        let attributed = p.attributed_us();
+        assert!(
+            attributed.abs_diff(p.latency_us) <= 1,
+            "attribution {attributed} µs must match latency {} µs",
+            p.latency_us
+        );
+        assert_eq!(attributed, p.latency_us);
+        assert!(p.finish_us > p.deadline_us);
+        assert_eq!(p.overshoot_us, p.finish_us - p.deadline_us);
+    }
+
+    // Aggregate attribution is consistent with the per-path sums.
+    let totals = pran_insight::spans::attribution_totals(&paths);
+    let total_attributed: u64 = totals.iter().map(|(_, us)| us).sum();
+    let total_latency: u64 = paths.iter().map(|p| p.latency_us).sum();
+    assert_eq!(total_attributed, total_latency);
+}
+
+#[test]
+fn gate_passes_self_diff_of_the_committed_envelope() {
+    let envelope = committed_e6_envelope();
+    let report = compare_envelopes(&envelope, &envelope, &GateConfig::default())
+        .expect("committed envelope gates against itself");
+    assert!(report.ok(), "self-diff must report zero regressions");
+    assert!(report.regressions().is_empty());
+    assert!(!report.diffs.is_empty(), "the envelope has gated metrics");
+    assert!(report.diffs.iter().all(|d| d.verdict == Verdict::Within));
+    // Run the exact same comparison again: the verdict is stable.
+    let again = compare_envelopes(&envelope, &envelope, &GateConfig::default()).unwrap();
+    assert_eq!(again, report);
+}
+
+#[test]
+fn gate_fails_a_twenty_percent_miss_ratio_perturbation() {
+    let baseline = committed_e6_envelope();
+    let miss = baseline
+        .get("results")
+        .and_then(|r| r.get("parallel_miss_ratio"))
+        .and_then(Value::as_f64)
+        .expect("committed envelope has a parallel miss ratio");
+    assert!(miss > 0.0, "perturbing a zero miss ratio would be vacuous");
+
+    // Rebuild the envelope with the miss ratio inflated by 20 %.
+    let Value::Object(mut doc) = baseline.clone() else {
+        panic!("envelope is an object");
+    };
+    let Some(Value::Object(mut results)) = doc.get("results").cloned() else {
+        panic!("envelope has results");
+    };
+    results.insert(
+        "parallel_miss_ratio".to_string(),
+        Value::Number(serde_json::Number::F64(miss * 1.2)),
+    );
+    doc.insert("results".to_string(), Value::Object(results));
+    let candidate = Value::Object(doc);
+
+    let report = compare_envelopes(&baseline, &candidate, &GateConfig::default())
+        .expect("perturbed envelope still gates");
+    assert!(!report.ok(), "+20% miss ratio must fail the gate");
+    let regressions = report.regressions();
+    assert_eq!(regressions.len(), 1);
+    assert_eq!(regressions[0].path, "parallel_miss_ratio");
+    assert_eq!(regressions[0].verdict, Verdict::Regressed);
+    assert!((regressions[0].rel_change.unwrap() - 0.2).abs() < 1e-9);
+}
+
+#[test]
+fn chaos_harness_surfaces_slo_alerts_alongside_violations() {
+    let _guard = TRACER.lock().unwrap();
+    pran_telemetry::disable();
+    // One stressed scenario: zero outage tolerance on both the chaos
+    // invariant and the SLO policy, so a crash that charges any outage
+    // is a violation the online monitor must also alert on.
+    let cfg = pran_chaos::ExploreConfig::default_eval(24, 0xE14);
+    let mut sys = pran::SystemConfig::default_eval(cfg.servers);
+    sys.slo.reports_lost_max = u64::MAX;
+    sys.chaos.outage_bound = Duration::ZERO;
+    sys.slo.outage_p99_max = Duration::ZERO;
+    let reports: Vec<_> = (0..cfg.schedules)
+        .map(|i| pran_chaos::run_scenario(&pran_chaos::sample_scenario(&cfg, i), &sys).unwrap())
+        .collect();
+    let alerted: Vec<_> = reports
+        .iter()
+        .filter(|r| r.alerts.iter().any(|a| a.metric == SloMetric::OutageP99))
+        .collect();
+    assert!(
+        !alerted.is_empty(),
+        "some sampled schedule must raise an online outage alert"
+    );
+    // Every online outage alert corresponds to a proven invariant
+    // violation — the monitor's precision on this seeded sweep is 1.
+    for report in &alerted {
+        assert!(
+            report
+                .violations
+                .iter()
+                .any(|v| v.kind == pran_chaos::InvariantKind::OutageExceeded),
+            "an outage alert without an outage violation is a false positive"
+        );
+        let alert = report
+            .alerts
+            .iter()
+            .find(|a| a.metric == SloMetric::OutageP99)
+            .unwrap();
+        assert!(alert.value > 0.0);
+        assert_eq!(alert.threshold, 0.0);
+    }
+}
