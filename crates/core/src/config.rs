@@ -5,7 +5,9 @@ use std::time::Duration;
 use pran_insight::SloPolicy;
 use pran_phy::frame::{AntennaConfig, Bandwidth};
 use pran_phy::mcs::Mcs;
+use pran_sched::placement::WarmConfig;
 use pran_sched::realtime::{ParallelConfig, Policy};
+use pran_sim::MetroConfig;
 use pran_telemetry::TelemetryConfig;
 use serde::{Deserialize, Serialize};
 
@@ -98,6 +100,15 @@ pub struct SystemConfig {
     /// enforces per epoch (miss ratio, utilization, outage, lost
     /// reports, unplaced cells).
     pub slo: SloPolicy,
+    /// Warm-start placement with hysteresis. `None` (the default) keeps
+    /// the cold incremental repack that re-decides every cell each epoch;
+    /// `Some` makes the controller carry booked demands between epochs so
+    /// repack work scales with demand churn, not cell count (see
+    /// `pran_sched::placement::warm`).
+    pub warm: Option<WarmConfig>,
+    /// Metro-scale sharding shape for `pran_sim::MetroSimulator` runs
+    /// driven from this config. `None` means single-pool simulation.
+    pub metro: Option<MetroConfig>,
 }
 
 impl SystemConfig {
@@ -125,7 +136,19 @@ impl SystemConfig {
             telemetry: TelemetryConfig::disabled(),
             chaos: ChaosConfig::default_eval(),
             slo: SloPolicy::default_eval(),
+            warm: None,
+            metro: None,
         }
+    }
+
+    /// Metro-scale evaluation defaults: the single-pool defaults plus
+    /// warm-start placement and a sharding shape for `cells` cells in
+    /// `shards` per-pool shards.
+    pub fn default_metro(cells: usize, shards: usize) -> Self {
+        let mut c = Self::default_eval(8);
+        c.warm = Some(WarmConfig::default_eval());
+        c.metro = Some(MetroConfig::default_eval(cells, shards));
+        c
     }
 }
 

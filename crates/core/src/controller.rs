@@ -16,7 +16,7 @@ use pran_insight::slo::{Alert, EpochSample, SloMonitor};
 use pran_phy::compute::{CellWorkload, ComputeModel};
 use pran_phy::frame::Direction;
 use pran_sched::placement::migration::incremental_repack;
-use pran_sched::placement::{CellDemand, Placement, PlacementInstance, ServerSpec};
+use pran_sched::placement::{CellDemand, Placement, PlacementInstance, ServerSpec, WarmPlacer};
 
 use pran_fronthaul::topology::Topology;
 use serde::{Deserialize, Serialize};
@@ -67,6 +67,10 @@ pub struct EpochReport {
     pub servers_used: usize,
     /// Cells left unplaced (overload).
     pub unplaced: usize,
+    /// Cells whose demand crossed the warm-start hysteresis band and were
+    /// re-booked this epoch. Equals the cell count when warm-start
+    /// placement is off (the cold path re-decides every cell).
+    pub dirty: usize,
     /// App actions applied this epoch.
     pub actions_applied: usize,
     /// App actions rejected this epoch.
@@ -123,6 +127,7 @@ pub struct Controller {
     topology: Option<TopologyBinding>,
     audit: VecDeque<AuditEntry>,
     slo_monitor: SloMonitor,
+    warm: Option<WarmPlacer>,
 }
 
 impl Controller {
@@ -136,6 +141,7 @@ impl Controller {
             config.pool.servers
         ];
         let slo_monitor = SloMonitor::new(config.slo);
+        let warm = config.warm.map(WarmPlacer::new);
         Controller {
             config,
             model: ComputeModel::calibrated(),
@@ -148,6 +154,7 @@ impl Controller {
             topology: None,
             audit: VecDeque::new(),
             slo_monitor,
+            warm,
         }
     }
 
@@ -370,8 +377,21 @@ impl Controller {
         let instance = self.placement_instance();
         predict_span.finish_with(&[("cells", instance.cells.len().into())]);
         let repack_span = pran_telemetry::trace::span("ctrl.repack");
-        let (new_placement, plan) = incremental_repack(&instance, &self.placement);
-        repack_span.finish_with(&[("migrations", plan.len().into())]);
+        let (new_placement, plan, dirty) = match self.warm.as_mut() {
+            Some(w) => {
+                // App actions, drains and failovers may have moved cells
+                // since the last epoch; the warm state must start from
+                // the placement they produced, not its own last output.
+                w.adopt(&self.placement);
+                let (p, plan, stats) = w.epoch(&instance);
+                (p, plan, stats.dirty)
+            }
+            None => {
+                let (p, plan) = incremental_repack(&instance, &self.placement);
+                (p, plan, instance.cells.len())
+            }
+        };
+        repack_span.finish_with(&[("migrations", plan.len().into()), ("dirty", dirty.into())]);
         self.placement = new_placement;
         self.stats.epochs += 1;
         self.stats.migrations += plan.len() as u64;
@@ -392,6 +412,7 @@ impl Controller {
                 &[
                     ("epoch", epoch.into()),
                     ("migrations", plan.len().into()),
+                    ("dirty", dirty.into()),
                     ("servers_used", servers_used.into()),
                     ("unplaced", unplaced.into()),
                     ("applied", applied.into()),
@@ -430,6 +451,7 @@ impl Controller {
             migrations: plan.len(),
             servers_used,
             unplaced,
+            dirty,
             actions_applied: applied,
             actions_rejected: rejected,
         }
@@ -639,6 +661,7 @@ impl Controller {
             stats: self.stats,
             now: self.now,
             topology: self.topology.clone(),
+            warm: self.warm.clone(),
         }
     }
 
@@ -685,6 +708,11 @@ impl Controller {
             }
         }
         let slo_monitor = SloMonitor::new(snapshot.config.slo);
+        // Older snapshots carry no warm state; re-seed from the config so
+        // warm-start placement resumes (with a cold first epoch).
+        let warm = snapshot
+            .warm
+            .or_else(|| snapshot.config.warm.map(WarmPlacer::new));
         Ok(Controller {
             config: snapshot.config,
             model: ComputeModel::calibrated(),
@@ -699,6 +727,7 @@ impl Controller {
             topology: snapshot.topology,
             audit: VecDeque::new(),
             slo_monitor,
+            warm,
         })
     }
 }
@@ -771,6 +800,8 @@ pub struct Snapshot {
     /// Controller clock at capture time.
     pub now: Duration,
     topology: Option<TopologyBinding>,
+    /// Warm-start bookings + placement (absent in pre-warm snapshots).
+    warm: Option<WarmPlacer>,
 }
 
 #[cfg(test)]
@@ -798,6 +829,56 @@ mod tests {
         // Second epoch with same loads: no churn.
         let r2 = c.run_epoch(Duration::from_secs(120));
         assert_eq!(r2.migrations, 0);
+    }
+
+    #[test]
+    fn warm_controller_converges_and_tracks_dirty_cells() {
+        let mut cfg = SystemConfig::default_eval(8);
+        cfg.warm = Some(pran_sched::placement::WarmConfig::default_eval());
+        let mut c = Controller::new(cfg);
+        for i in 0..6 {
+            c.register_cell();
+            c.report_load(i, 0.5).unwrap();
+        }
+        let r = c.run_epoch(Duration::from_secs(60));
+        assert_eq!(r.unplaced, 0);
+        assert_eq!(r.migrations, 6, "first epoch places everyone");
+        assert_eq!(r.dirty, 6, "everything is dirty on the first epoch");
+        // Same loads: every cell stays in band, nothing moves.
+        let r2 = c.run_epoch(Duration::from_secs(120));
+        assert_eq!(r2.migrations, 0);
+        assert_eq!(r2.dirty, 0);
+        // A 3 % wobble stays inside the 10 % band — still no churn. The
+        // sliding-window max prediction keeps the predicted demand at the
+        // 0.5 peak, so bookings hold.
+        for i in 0..6 {
+            c.report_load(i, 0.485).unwrap();
+        }
+        let r3 = c.run_epoch(Duration::from_secs(180));
+        assert_eq!(r3.dirty, 0);
+        assert_eq!(r3.migrations, 0);
+    }
+
+    #[test]
+    fn warm_controller_survives_failover_and_apps() {
+        use crate::apps::FailoverApp;
+        let mut cfg = SystemConfig::default_eval(4);
+        cfg.warm = Some(pran_sched::placement::WarmConfig::default_eval());
+        let mut c = Controller::new(cfg);
+        c.install_app(Box::new(FailoverApp::new()));
+        for i in 0..6 {
+            c.register_cell();
+            c.report_load(i, 0.4).unwrap();
+        }
+        c.run_epoch(Duration::from_secs(60));
+        let victim = c.placement().assignment[0].unwrap();
+        c.server_failed(victim, Duration::from_secs(61)).unwrap();
+        // The failover app re-placed displaced cells; the next warm epoch
+        // must adopt those moves, keep everyone placed and avoid the dead
+        // server.
+        let r = c.run_epoch(Duration::from_secs(120));
+        assert_eq!(r.unplaced, 0);
+        assert!(c.placement().assignment.iter().all(|a| *a != Some(victim)));
     }
 
     #[test]
@@ -1027,6 +1108,28 @@ mod snapshot_tests {
             .all(|a| *a != Some(0)));
         // PRB cap survived the restart.
         assert_eq!(restored.view().cells[2].prb_cap, Some(25));
+    }
+
+    #[test]
+    fn warm_state_survives_snapshot_roundtrip() {
+        let mut cfg = SystemConfig::default_eval(4);
+        cfg.warm = Some(pran_sched::placement::WarmConfig::default_eval());
+        let mut c = Controller::new(cfg);
+        for i in 0..4 {
+            c.register_cell();
+            c.report_load(i, 0.5).unwrap();
+        }
+        c.run_epoch(Duration::from_secs(60));
+        let json = serde_json::to_string(&c.snapshot()).unwrap();
+        let mut restored = Controller::restore(serde_json::from_str(&json).unwrap());
+        for i in 0..4 {
+            restored.report_load(i, 0.5).unwrap();
+        }
+        // Bookings came back with the snapshot: steady-state epoch, no
+        // re-booking, no churn.
+        let r = restored.run_epoch(Duration::from_secs(120));
+        assert_eq!(r.dirty, 0, "bookings survived the restart");
+        assert_eq!(r.migrations, 0);
     }
 
     #[test]

@@ -274,7 +274,7 @@ pub fn shrink(scenario: &Scenario, sys: &SystemConfig, kind: InvariantKind) -> S
 /// This is the CI determinism check: two replays of the same JSON must
 /// produce identical violation lists.
 pub fn replay(json: &str, sys: &SystemConfig) -> Result<(Scenario, HarnessReport), String> {
-    let scenario = Scenario::from_json(json)?;
+    let scenario = Scenario::from_json(json).map_err(|e| e.to_string())?;
     let report = run_scenario(&scenario, sys)?;
     Ok((scenario, report))
 }

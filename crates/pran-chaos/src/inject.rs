@@ -272,7 +272,7 @@ fn next_epoch_after(now: Duration, epoch: Duration, horizon: Duration) -> Durati
 /// from the scenario's first `LinkDegrade` for the whole run) to measure
 /// the deadline-miss ratio under per-TTI execution.
 pub fn run_scenario(scenario: &Scenario, sys: &SystemConfig) -> Result<HarnessReport, String> {
-    scenario.validate()?;
+    scenario.validate().map_err(|e| e.to_string())?;
     let span = pran_telemetry::trace::span("chaos.scenario");
 
     // Shared substrate: the seeded trace with flash crowds compiled in.

@@ -37,4 +37,4 @@ pub use explore::{
 };
 pub use inject::{failure_specs, run_scenario, Applied, FaultTarget, HarnessReport, LinkBank};
 pub use invariants::{InvariantChecker, InvariantKind, Violation};
-pub use scenario::{ChaosEvent, Scenario, TimedEvent};
+pub use scenario::{ChaosEvent, Scenario, ScenarioError, TimedEvent};

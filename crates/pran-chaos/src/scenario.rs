@@ -152,47 +152,61 @@ impl Scenario {
 
     /// Structural validation: indices in range, probabilities in `[0, 1]`,
     /// events inside the horizon.
-    pub fn validate(&self) -> Result<(), String> {
+    pub fn validate(&self) -> Result<(), ScenarioError> {
         if self.cells == 0 {
-            return Err("scenario needs at least one cell".into());
+            return Err(ScenarioError::NoCells);
         }
         if self.servers == 0 {
-            return Err("scenario needs at least one server".into());
+            return Err(ScenarioError::NoServers);
         }
         if self.horizon.is_zero() {
-            return Err("scenario horizon must be positive".into());
+            return Err(ScenarioError::ZeroHorizon);
         }
         for (i, te) in self.events.iter().enumerate() {
             if te.at > self.horizon {
-                return Err(format!(
-                    "event {i} ({}) at {:?} is past the horizon {:?}",
-                    te.event.label(),
-                    te.at,
-                    self.horizon
-                ));
+                return Err(ScenarioError::EventPastHorizon {
+                    index: i,
+                    label: te.event.label(),
+                    at: te.at,
+                    horizon: self.horizon,
+                });
             }
             match &te.event {
                 ChaosEvent::ServerCrash { server } | ChaosEvent::ServerRecover { server } => {
                     if *server >= self.servers {
-                        return Err(format!(
-                            "event {i}: server {server} out of range (pool has {})",
-                            self.servers
-                        ));
+                        return Err(ScenarioError::ServerOutOfRange {
+                            index: i,
+                            server: *server,
+                            servers: self.servers,
+                        });
                     }
                 }
                 ChaosEvent::LinkDegrade { drop_prob, .. } => {
                     if !(0.0..=1.0).contains(drop_prob) {
-                        return Err(format!("event {i}: drop_prob {drop_prob} outside [0, 1]"));
+                        return Err(ScenarioError::ProbabilityOutOfRange {
+                            index: i,
+                            field: "drop_prob",
+                            value: *drop_prob,
+                        });
                     }
                 }
                 ChaosEvent::FlashCrowd {
                     boost, radius_m, ..
                 } => {
                     if !(0.0..=1.0).contains(boost) {
-                        return Err(format!("event {i}: boost {boost} outside [0, 1]"));
+                        return Err(ScenarioError::ProbabilityOutOfRange {
+                            index: i,
+                            field: "boost",
+                            value: *boost,
+                        });
                     }
-                    if *radius_m <= 0.0 {
-                        return Err(format!("event {i}: radius {radius_m} must be positive"));
+                    // NaN-safe: a NaN radius fails `<= 0.0`, so check it
+                    // explicitly rather than negating a partial comparison.
+                    if *radius_m <= 0.0 || radius_m.is_nan() {
+                        return Err(ScenarioError::NonPositiveRadius {
+                            index: i,
+                            radius_m: *radius_m,
+                        });
                     }
                 }
                 ChaosEvent::LinkRestore | ChaosEvent::SnapshotRestore { .. } => {}
@@ -237,13 +251,105 @@ impl Scenario {
         serde_json::to_string_pretty(self).expect("scenario serializes")
     }
 
-    /// Parse a scenario from JSON and validate it.
-    pub fn from_json(json: &str) -> Result<Self, String> {
-        let s: Scenario = serde_json::from_str(json).map_err(|e| e.to_string())?;
+    /// Parse a scenario from JSON and validate it. Malformed JSON and
+    /// structurally invalid scenarios both come back as a typed
+    /// [`ScenarioError`], never a panic.
+    pub fn from_json(json: &str) -> Result<Self, ScenarioError> {
+        let s: Scenario =
+            serde_json::from_str(json).map_err(|e| ScenarioError::Parse(e.to_string()))?;
         s.validate()?;
         Ok(s)
     }
 }
+
+/// Why a [`Scenario`] was rejected — by JSON parsing or by
+/// [`Scenario::validate`]. The `Display` phrasing matches the historical
+/// string errors, which replay artifacts and tests match on.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScenarioError {
+    /// The JSON did not parse into a [`Scenario`].
+    Parse(String),
+    /// `cells == 0`.
+    NoCells,
+    /// `servers == 0`.
+    NoServers,
+    /// The horizon is zero.
+    ZeroHorizon,
+    /// An event fires after the scenario ends.
+    EventPastHorizon {
+        /// Position in the schedule.
+        index: usize,
+        /// The event's [`ChaosEvent::label`].
+        label: &'static str,
+        /// When the event fires.
+        at: Duration,
+        /// The scenario horizon it overshoots.
+        horizon: Duration,
+    },
+    /// A crash/recover event names a server outside the pool.
+    ServerOutOfRange {
+        /// Position in the schedule.
+        index: usize,
+        /// The out-of-range server id.
+        server: usize,
+        /// Servers actually in the pool.
+        servers: usize,
+    },
+    /// A probability field (`drop_prob`, `boost`) is outside `[0, 1]`.
+    ProbabilityOutOfRange {
+        /// Position in the schedule.
+        index: usize,
+        /// Which field is bad.
+        field: &'static str,
+        /// The offending value (NaN included).
+        value: f64,
+    },
+    /// A flash crowd's decay radius is not positive (NaN included).
+    NonPositiveRadius {
+        /// Position in the schedule.
+        index: usize,
+        /// The offending radius.
+        radius_m: f64,
+    },
+}
+
+impl std::fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScenarioError::Parse(e) => write!(f, "{e}"),
+            ScenarioError::NoCells => write!(f, "scenario needs at least one cell"),
+            ScenarioError::NoServers => write!(f, "scenario needs at least one server"),
+            ScenarioError::ZeroHorizon => write!(f, "scenario horizon must be positive"),
+            ScenarioError::EventPastHorizon {
+                index,
+                label,
+                at,
+                horizon,
+            } => write!(
+                f,
+                "event {index} ({label}) at {at:?} is past the horizon {horizon:?}"
+            ),
+            ScenarioError::ServerOutOfRange {
+                index,
+                server,
+                servers,
+            } => write!(
+                f,
+                "event {index}: server {server} out of range (pool has {servers})"
+            ),
+            ScenarioError::ProbabilityOutOfRange {
+                index,
+                field,
+                value,
+            } => write!(f, "event {index}: {field} {value} outside [0, 1]"),
+            ScenarioError::NonPositiveRadius { index, radius_m } => {
+                write!(f, "event {index}: radius {radius_m} must be positive")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ScenarioError {}
 
 #[cfg(test)]
 mod tests {
@@ -313,11 +419,25 @@ mod tests {
     fn validate_rejects_bad_scenarios() {
         let mut s = sample();
         s.events[0].event = ChaosEvent::ServerCrash { server: 99 };
-        assert!(s.validate().unwrap_err().contains("out of range"));
+        let err = s.validate().unwrap_err();
+        assert_eq!(
+            err,
+            ScenarioError::ServerOutOfRange {
+                index: 0,
+                server: 99,
+                servers: 8
+            }
+        );
+        assert!(err.to_string().contains("out of range"));
 
         let mut s = sample();
         s.events[0].at = Duration::from_secs(601);
-        assert!(s.validate().unwrap_err().contains("past the horizon"));
+        let err = s.validate().unwrap_err();
+        assert!(matches!(
+            err,
+            ScenarioError::EventPastHorizon { index: 0, .. }
+        ));
+        assert!(err.to_string().contains("past the horizon"));
 
         let mut s = sample();
         s.events[2].event = ChaosEvent::LinkDegrade {
@@ -327,11 +447,80 @@ mod tests {
             refill_per_interval: 0,
             refill_interval: Duration::ZERO,
         };
-        assert!(s.validate().unwrap_err().contains("drop_prob"));
+        let err = s.validate().unwrap_err();
+        assert!(matches!(
+            err,
+            ScenarioError::ProbabilityOutOfRange {
+                field: "drop_prob",
+                ..
+            }
+        ));
+        assert!(err.to_string().contains("drop_prob"));
 
         let mut s = sample();
         s.servers = 0;
-        assert!(s.validate().is_err());
+        assert_eq!(s.validate(), Err(ScenarioError::NoServers));
+        let mut s = sample();
+        s.cells = 0;
+        assert_eq!(s.validate(), Err(ScenarioError::NoCells));
+        let mut s = sample();
+        s.horizon = Duration::ZERO;
+        // Every event is now past the zero horizon too, but the horizon
+        // check comes first.
+        assert_eq!(s.validate(), Err(ScenarioError::ZeroHorizon));
+    }
+
+    #[test]
+    fn validate_rejects_nan_fields() {
+        let mut s = sample();
+        s.events[3].event = ChaosEvent::FlashCrowd {
+            x_m: 0.0,
+            y_m: 0.0,
+            radius_m: f64::NAN,
+            duration: Duration::from_secs(60),
+            boost: 0.2,
+        };
+        assert!(matches!(
+            s.validate().unwrap_err(),
+            ScenarioError::NonPositiveRadius { index: 3, .. }
+        ));
+
+        let mut s = sample();
+        s.events[3].event = ChaosEvent::FlashCrowd {
+            x_m: 0.0,
+            y_m: 0.0,
+            radius_m: 100.0,
+            duration: Duration::from_secs(60),
+            boost: f64::NAN,
+        };
+        assert!(matches!(
+            s.validate().unwrap_err(),
+            ScenarioError::ProbabilityOutOfRange { field: "boost", .. }
+        ));
+    }
+
+    #[test]
+    fn malformed_json_is_a_typed_parse_error() {
+        for bad in [
+            "",
+            "{",
+            "null",
+            "[1, 2, 3]",
+            r#"{"name": "x"}"#,
+            r#"{"name": "x", "seed": -1, "cells": 1, "servers": 1, "horizon": {"secs": 1, "nanos": 0}, "events": []}"#,
+        ] {
+            match Scenario::from_json(bad) {
+                Err(ScenarioError::Parse(_)) => {}
+                other => panic!("{bad:?} must be a parse error, got {other:?}"),
+            }
+        }
+        // Well-formed JSON that fails *validation* is not a parse error.
+        let mut s = sample();
+        s.cells = 0;
+        assert_eq!(
+            Scenario::from_json(&s.to_json()),
+            Err(ScenarioError::NoCells)
+        );
     }
 
     #[test]

@@ -13,6 +13,9 @@ pub mod dimensioning;
 pub mod heuristics;
 pub mod ilp;
 pub mod migration;
+pub mod warm;
+
+pub use warm::{WarmConfig, WarmConfigError, WarmPlacer, WarmStats, WARM_GAP_FACTOR};
 
 use serde::{Deserialize, Serialize};
 use std::fmt;

@@ -8,6 +8,8 @@
 //!
 //! * [`engine`] — deterministic event queue and simulated clock;
 //! * [`metrics`] — counters and log-scale latency histograms, JSON-able;
+//! * [`metro`] — metro-scale sharded runs: 10,000+ cells partitioned into
+//!   per-pool shards on worker threads, merged deterministically;
 //! * [`pool`] — the pool simulator: epoch-driven placement, sampled per-TTI
 //!   task execution, failure injection and failover measurement;
 //! * [`ue`] — microscopic load: UE sessions + link geometry → utilization,
@@ -19,9 +21,13 @@
 
 pub mod engine;
 pub mod metrics;
+pub mod metro;
 pub mod pool;
 pub mod ue;
 
 pub use engine::{Engine, SimTime};
 pub use metrics::{LogHistogram, PoolMetrics};
-pub use pool::{FailoverRecord, FailureSpec, LinkFault, PoolConfig, PoolSimulator, SimReport};
+pub use metro::{MetroConfig, MetroConfigError, MetroError, MetroReport, MetroSimulator};
+pub use pool::{
+    FailoverRecord, FailureSpec, LinkFault, PoolConfig, PoolConfigError, PoolSimulator, SimReport,
+};

@@ -72,6 +72,39 @@ impl PoolMetrics {
     pub fn to_json(&self) -> String {
         serde_json::to_string_pretty(self).expect("metrics serialize")
     }
+
+    /// Fold another pool's metrics into this one (the metro merge).
+    ///
+    /// Counters add, histograms merge bucket-wise, and the per-epoch
+    /// series (`servers_used`, `demand_gops`) add element-wise so the
+    /// merged series reads "total across pools at epoch *e*". Shards of a
+    /// metro run share the epoch grid; when epoch counts differ the longer
+    /// tail is kept as-is. The operation is commutative and associative,
+    /// so the merged result is independent of merge order.
+    pub fn merge(&mut self, other: &PoolMetrics) {
+        self.tasks_total += other.tasks_total;
+        self.deadline_misses += other.deadline_misses;
+        self.tasks_lost += other.tasks_lost;
+        self.reports_lost += other.reports_lost;
+        self.migrations += other.migrations;
+        self.steals += other.steals;
+        self.epochs = self.epochs.max(other.epochs);
+        if self.servers_used.len() < other.servers_used.len() {
+            self.servers_used.resize(other.servers_used.len(), 0);
+        }
+        for (mine, theirs) in self.servers_used.iter_mut().zip(&other.servers_used) {
+            *mine += theirs;
+        }
+        if self.demand_gops.len() < other.demand_gops.len() {
+            self.demand_gops.resize(other.demand_gops.len(), 0.0);
+        }
+        for (mine, theirs) in self.demand_gops.iter_mut().zip(&other.demand_gops) {
+            *mine += theirs;
+        }
+        self.outages.merge(&other.outages);
+        self.response_times.merge(&other.response_times);
+        self.deadline_slack.merge(&other.deadline_slack);
+    }
 }
 
 #[cfg(test)]
@@ -95,6 +128,39 @@ mod tests {
         assert!((m.miss_ratio() - 0.05).abs() < 1e-12);
         assert!((m.mean_servers() - 4.0).abs() < 1e-12);
         assert_eq!(m.peak_servers(), 5);
+    }
+
+    #[test]
+    fn merge_is_order_independent() {
+        let mk = |t: u64, misses: u64, used: Vec<usize>, us_outage: u64| {
+            let mut m = PoolMetrics {
+                tasks_total: t,
+                deadline_misses: misses,
+                epochs: used.len() as u64,
+                servers_used: used,
+                ..Default::default()
+            };
+            m.outages.record(us(us_outage));
+            m
+        };
+        let parts = [
+            mk(100, 2, vec![3, 4], 500),
+            mk(50, 1, vec![1, 1], 900),
+            mk(75, 0, vec![2, 5], 1300),
+        ];
+        let mut fwd = PoolMetrics::default();
+        for p in &parts {
+            fwd.merge(p);
+        }
+        let mut rev = PoolMetrics::default();
+        for p in parts.iter().rev() {
+            rev.merge(p);
+        }
+        assert_eq!(fwd, rev);
+        assert_eq!(fwd.tasks_total, 225);
+        assert_eq!(fwd.servers_used, vec![6, 10]);
+        assert_eq!(fwd.epochs, 2);
+        assert_eq!(fwd.outages.count(), 3);
     }
 
     #[test]

@@ -17,6 +17,7 @@ use pran_phy::compute::{CellWorkload, ComputeModel};
 use pran_phy::frame::{AntennaConfig, Bandwidth, Direction, COMPUTE_DEADLINE, TTI};
 use pran_phy::mcs::Mcs;
 use pran_sched::placement::migration::incremental_repack;
+use pran_sched::placement::warm::{WarmConfig, WarmPlacer};
 use pran_sched::placement::{CellDemand, Placement, PlacementInstance, ServerSpec};
 use pran_sched::realtime::{simulate, ParallelConfig, ParallelExecutor, Policy, RtTask};
 use pran_traces::Trace;
@@ -67,6 +68,12 @@ pub struct PoolConfig {
     /// [`SimReport::alerts`] — plus `insight.alert` trace events when
     /// telemetry is on.
     pub slo: Option<SloPolicy>,
+    /// When set, epoch placement runs through the warm-start
+    /// [`WarmPlacer`] (hysteresis-banded bookings, repack work
+    /// proportional to band-crossing cells) instead of a full
+    /// [`incremental_repack`] against fresh demands. `None` preserves the
+    /// pre-existing cold-path behaviour.
+    pub warm: Option<WarmConfig>,
 }
 
 /// Per-cell fronthaul degradation for a pool run.
@@ -108,9 +115,102 @@ impl PoolConfig {
             mcs: Mcs::new(20),
             fronthaul: None,
             slo: None,
+            warm: None,
+        }
+    }
+
+    /// Structural validation of the knobs that would otherwise surface as
+    /// divide-by-zero, empty-histogram or deep-in-the-run panics:
+    /// zero counts, non-finite or non-positive capacities and headroom,
+    /// and nonsensical parallel-executor shapes.
+    pub fn validate(&self) -> Result<(), PoolConfigError> {
+        if self.servers == 0 {
+            return Err(PoolConfigError::NoServers);
+        }
+        if self.cores_per_server == 0 {
+            return Err(PoolConfigError::NoCores);
+        }
+        if !self.server_capacity_gops.is_finite() || self.server_capacity_gops <= 0.0 {
+            return Err(PoolConfigError::BadCapacity(self.server_capacity_gops));
+        }
+        if self.epoch_steps == 0 {
+            return Err(PoolConfigError::NoEpochSteps);
+        }
+        if self.ttis_per_step == 0 {
+            return Err(PoolConfigError::NoTtisPerStep);
+        }
+        if !self.headroom.is_finite() || self.headroom <= 0.0 {
+            return Err(PoolConfigError::BadHeadroom(self.headroom));
+        }
+        if let Some(p) = &self.parallel {
+            if p.cores == 0 {
+                return Err(PoolConfigError::ParallelNoCores);
+            }
+            if p.batch == 0 {
+                return Err(PoolConfigError::ParallelNoBatch);
+            }
+        }
+        if let Some(w) = &self.warm {
+            if w.validate().is_err() {
+                return Err(PoolConfigError::BadWarmBand(w.band));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Why a [`PoolConfig`] (or the trace paired with it) cannot drive a
+/// simulation. Returned by [`PoolSimulator::try_new`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PoolConfigError {
+    /// `servers == 0`: nothing to place on.
+    NoServers,
+    /// The trace has no cells, so the run would produce empty histograms.
+    NoCells,
+    /// `cores_per_server == 0`: per-core GOPS would divide by zero.
+    NoCores,
+    /// Server capacity is non-finite or not positive.
+    BadCapacity(f64),
+    /// `epoch_steps == 0`: the epoch grid is undefined.
+    NoEpochSteps,
+    /// `ttis_per_step == 0`: no tasks would ever be generated.
+    NoTtisPerStep,
+    /// Headroom multiplier is non-finite or not positive.
+    BadHeadroom(f64),
+    /// Parallel executor configured with zero cores.
+    ParallelNoCores,
+    /// Parallel executor configured with a zero batch size.
+    ParallelNoBatch,
+    /// Warm-start hysteresis band is negative, NaN or infinite.
+    BadWarmBand(f64),
+}
+
+impl std::fmt::Display for PoolConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PoolConfigError::NoServers => write!(f, "pool needs at least one server"),
+            PoolConfigError::NoCells => write!(f, "trace has no cells"),
+            PoolConfigError::NoCores => write!(f, "servers need at least one core"),
+            PoolConfigError::BadCapacity(c) => {
+                write!(f, "server capacity {c} GOPS must be finite and positive")
+            }
+            PoolConfigError::NoEpochSteps => write!(f, "epoch_steps must be at least 1"),
+            PoolConfigError::NoTtisPerStep => write!(f, "ttis_per_step must be at least 1"),
+            PoolConfigError::BadHeadroom(h) => {
+                write!(f, "headroom {h} must be finite and positive")
+            }
+            // Phrasing matches `ParallelConfig::validate`'s panics, which
+            // existing tests match on.
+            PoolConfigError::ParallelNoCores => write!(f, "need at least one core"),
+            PoolConfigError::ParallelNoBatch => write!(f, "batch must be at least 1"),
+            PoolConfigError::BadWarmBand(b) => {
+                write!(f, "warm-start hysteresis band {b} must be finite and ≥ 0")
+            }
         }
     }
 }
+
+impl std::error::Error for PoolConfigError {}
 
 /// A scheduled server failure (and optional recovery).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -132,7 +232,7 @@ enum Event {
 }
 
 /// One recorded failover.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct FailoverRecord {
     /// The failed server.
     pub server: usize,
@@ -153,7 +253,7 @@ pub struct PoolSimulator {
 }
 
 /// Full output of a run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct SimReport {
     /// Aggregate counters and histograms.
     pub metrics: PoolMetrics,
@@ -165,18 +265,32 @@ pub struct SimReport {
 }
 
 impl PoolSimulator {
-    /// Build a simulator over a trace.
-    pub fn new(trace: Trace, config: PoolConfig) -> Self {
-        assert!(config.servers > 0 && config.cores_per_server > 0);
-        assert!(config.epoch_steps > 0 && config.ttis_per_step > 0);
-        if let Some(p) = &config.parallel {
-            p.validate();
+    /// Build a simulator over a trace, rejecting configurations that
+    /// would otherwise panic mid-run (zero servers/cells/cores, zero
+    /// epoch or TTI counts, non-positive capacity or headroom) with a
+    /// typed [`PoolConfigError`].
+    pub fn try_new(trace: Trace, config: PoolConfig) -> Result<Self, PoolConfigError> {
+        config.validate()?;
+        if trace.num_cells() == 0 {
+            return Err(PoolConfigError::NoCells);
         }
-        PoolSimulator {
+        Ok(PoolSimulator {
             trace,
             config,
             failures: Vec::new(),
             model: ComputeModel::calibrated(),
+        })
+    }
+
+    /// Build a simulator over a trace.
+    ///
+    /// # Panics
+    /// Panics when the configuration is invalid; see
+    /// [`PoolSimulator::try_new`] for the checked variant.
+    pub fn new(trace: Trace, config: PoolConfig) -> Self {
+        match Self::try_new(trace, config) {
+            Ok(s) => s,
+            Err(e) => panic!("{e}"),
         }
     }
 
@@ -221,6 +335,7 @@ impl PoolSimulator {
 
         let mut alive = vec![true; cfg.servers];
         let mut placement = Placement::empty(num_cells);
+        let mut warm_placer = cfg.warm.map(WarmPlacer::new);
         let mut metrics = PoolMetrics::default();
         let mut failovers = Vec::new();
         let mut slo_monitor = cfg.slo.map(SloMonitor::new);
@@ -267,7 +382,17 @@ impl PoolSimulator {
                             .collect(),
                         allowed: (0..num_cells).map(|_| alive.clone()).collect(),
                     };
-                    let (new_placement, plan) = incremental_repack(&instance, &placement);
+                    let (new_placement, plan, dirty) = match warm_placer.as_mut() {
+                        Some(w) => {
+                            let (p, plan, stats) = w.epoch(&instance);
+                            (p, plan, stats.dirty)
+                        }
+                        None => {
+                            let (p, plan) = incremental_repack(&instance, &placement);
+                            // The cold path re-considers every cell.
+                            (p, plan, num_cells)
+                        }
+                    };
                     let servers_used = instance.servers_used(&new_placement);
                     let demand_gops = instance.total_gops();
                     metrics.migrations += plan.len() as u64;
@@ -283,6 +408,7 @@ impl PoolSimulator {
                             ("migrations", plan.len().into()),
                             ("servers_used", servers_used.into()),
                             ("demand_gops", demand_gops.into()),
+                            ("dirty", dirty.into()),
                         ],
                     );
 
@@ -306,13 +432,25 @@ impl PoolSimulator {
                     let outage_p99 = metrics.outages.try_quantile(0.99);
                     if pran_telemetry::enabled() {
                         let registry = pran_telemetry::metrics::global();
-                        registry.gauge("pool.miss_ratio", &[], metrics.miss_ratio());
+                        // Under a metro run each shard publishes its own
+                        // gauge series; without the label concurrent
+                        // shards would race on one last-writer-wins slot.
+                        let shard = pran_telemetry::trace::current_shard().map(|s| s.to_string());
+                        let shard_labels;
+                        let labels: &[(&str, &str)] = match &shard {
+                            Some(s) => {
+                                shard_labels = [("shard", s.as_str())];
+                                &shard_labels
+                            }
+                            None => &[],
+                        };
+                        registry.gauge("pool.miss_ratio", labels, metrics.miss_ratio());
                         if let Some(u) = utilization {
-                            registry.gauge("pool.utilization", &[], u);
+                            registry.gauge("pool.utilization", labels, u);
                         }
-                        registry.gauge("pool.reports_lost", &[], metrics.reports_lost as f64);
+                        registry.gauge("pool.reports_lost", labels, metrics.reports_lost as f64);
                         if let Some(p99) = outage_p99 {
-                            registry.gauge("pool.outage_p99_us", &[], p99.as_micros() as f64);
+                            registry.gauge("pool.outage_p99_us", labels, p99.as_micros() as f64);
                         }
                     }
                     if let Some(monitor) = slo_monitor.as_mut() {
@@ -362,7 +500,13 @@ impl PoolSimulator {
                             .collect(),
                         allowed: (0..num_cells).map(|_| alive.clone()).collect(),
                     };
-                    let (new_placement, plan) = incremental_repack(&instance, &placement);
+                    let (new_placement, plan) = match warm_placer.as_mut() {
+                        Some(w) => {
+                            let (p, plan, _) = w.epoch(&instance);
+                            (p, plan)
+                        }
+                        None => incremental_repack(&instance, &placement),
+                    };
                     metrics.migrations += plan.len() as u64;
                     let replaced = displaced
                         .iter()
@@ -864,5 +1008,124 @@ mod tests {
             steal: true,
         });
         PoolSimulator::new(small_trace(4, 3), cfg);
+    }
+
+    #[test]
+    fn warm_start_matches_cold_outcomes_on_healthy_pool() {
+        let cold = sim(12, 10, 1).run();
+        let mut cfg = PoolConfig::default_eval(10);
+        cfg.warm = Some(pran_sched::placement::WarmConfig::default_eval());
+        let warm = PoolSimulator::new(small_trace(12, 1), cfg).run();
+        assert_eq!(warm.metrics.tasks_total, cold.metrics.tasks_total);
+        assert_eq!(warm.metrics.tasks_lost, 0, "warm path must place all cells");
+        assert!(warm.metrics.miss_ratio() < 0.01);
+        // Hysteresis suppresses in-band churn: warm migrations must not
+        // exceed the cold path's, which re-decides every cell each epoch.
+        assert!(
+            warm.metrics.migrations <= cold.metrics.migrations,
+            "warm churn {} vs cold {}",
+            warm.metrics.migrations,
+            cold.metrics.migrations
+        );
+    }
+
+    #[test]
+    fn warm_start_survives_failover() {
+        let mut cfg = PoolConfig::default_eval(10);
+        cfg.warm = Some(pran_sched::placement::WarmConfig::default_eval());
+        let mut s = PoolSimulator::new(small_trace(12, 3), cfg);
+        s.inject_failure(FailureSpec {
+            server: 0,
+            at: Duration::from_secs(1800),
+            recover_after: Some(Duration::from_secs(600)),
+        });
+        let report = s.run();
+        assert_eq!(report.failovers.len(), 1);
+        let f = &report.failovers[0];
+        assert_eq!(f.displaced, f.replaced, "spares must absorb the failure");
+    }
+
+    // Satellite: zero counts must surface as typed errors at
+    // construction, not divide-by-zero / empty-histogram panics mid-run.
+
+    #[test]
+    fn try_new_rejects_zero_servers() {
+        let err = PoolSimulator::try_new(small_trace(4, 1), PoolConfig::default_eval(0));
+        assert_eq!(err.err(), Some(PoolConfigError::NoServers));
+    }
+
+    #[test]
+    fn try_new_rejects_empty_trace() {
+        let trace = Trace {
+            step_seconds: 60.0,
+            samples: vec![],
+            cells: vec![],
+        };
+        let err = PoolSimulator::try_new(trace, PoolConfig::default_eval(2));
+        assert_eq!(err.err(), Some(PoolConfigError::NoCells));
+    }
+
+    #[test]
+    fn try_new_rejects_degenerate_counts_and_values() {
+        type Case = (Box<dyn Fn(&mut PoolConfig)>, PoolConfigError);
+        let cases: Vec<Case> = vec![
+            (
+                Box::new(|c: &mut PoolConfig| c.cores_per_server = 0),
+                PoolConfigError::NoCores,
+            ),
+            (
+                Box::new(|c: &mut PoolConfig| c.epoch_steps = 0),
+                PoolConfigError::NoEpochSteps,
+            ),
+            (
+                Box::new(|c: &mut PoolConfig| c.ttis_per_step = 0),
+                PoolConfigError::NoTtisPerStep,
+            ),
+            (
+                Box::new(|c: &mut PoolConfig| c.server_capacity_gops = 0.0),
+                PoolConfigError::BadCapacity(0.0),
+            ),
+            (
+                Box::new(|c: &mut PoolConfig| c.server_capacity_gops = f64::NAN),
+                PoolConfigError::BadCapacity(f64::NAN),
+            ),
+            (
+                Box::new(|c: &mut PoolConfig| c.headroom = 0.0),
+                PoolConfigError::BadHeadroom(0.0),
+            ),
+            (
+                Box::new(|c: &mut PoolConfig| {
+                    c.parallel = Some(ParallelConfig {
+                        cores: 1,
+                        batch: 0,
+                        steal: false,
+                    })
+                }),
+                PoolConfigError::ParallelNoBatch,
+            ),
+            (
+                Box::new(|c: &mut PoolConfig| {
+                    c.warm = Some(pran_sched::placement::WarmConfig { band: -1.0 })
+                }),
+                PoolConfigError::BadWarmBand(-1.0),
+            ),
+        ];
+        for (mutate, expected) in cases {
+            let mut cfg = PoolConfig::default_eval(2);
+            mutate(&mut cfg);
+            let got = PoolSimulator::try_new(small_trace(4, 1), cfg).err();
+            // NaN != NaN, so compare debug strings for the NaN case.
+            assert_eq!(
+                format!("{got:?}"),
+                format!("{:?}", Some(expected)),
+                "mutation must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one server")]
+    fn new_panics_on_zero_servers() {
+        PoolSimulator::new(small_trace(4, 1), PoolConfig::default_eval(0));
     }
 }

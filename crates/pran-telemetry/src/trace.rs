@@ -218,6 +218,54 @@ impl Drop for ThreadSlot {
 
 thread_local! {
     static LOCAL: RefCell<Option<ThreadSlot>> = const { RefCell::new(None) };
+    /// Shard context: when set, every event recorded on this thread gets a
+    /// trailing `("shard", id)` field (see [`set_shard`]).
+    static SHARD: std::cell::Cell<Option<u64>> = const { std::cell::Cell::new(None) };
+}
+
+/// Set (or clear) the calling thread's shard context.
+///
+/// While set, every event this thread records is stamped with a trailing
+/// `("shard", id)` field — unless the event already carries [`MAX_FIELDS`]
+/// fields, in which case the stamp is dropped rather than displacing a
+/// caller field. The metro simulator sets this around each shard's run so
+/// merged traces stay attributable (and sortable) per shard.
+pub fn set_shard(shard: Option<u64>) {
+    SHARD.with(|s| s.set(shard));
+}
+
+/// The calling thread's shard context, if any.
+pub fn current_shard() -> Option<u64> {
+    SHARD.with(|s| s.get())
+}
+
+/// Reorder every buffered event into canonical per-shard order: events
+/// without a shard field first (in recording order), then each shard's
+/// events in ascending shard id (each keeping its recording order).
+///
+/// Shard runs execute on whichever worker thread picks them up, so the
+/// raw sink interleaves shards by spill timing — nondeterministic across
+/// worker counts. Because one shard runs entirely on one thread, its
+/// events keep their relative order through spills, and this stable sort
+/// therefore yields the same byte sequence for any worker count or shard
+/// execution order. Call after the workers have joined, before
+/// [`drain`]/export.
+pub fn canonicalize_by_shard() {
+    // Hold the sink lock across take → merge → write-back. A worker
+    // thread's exit-time flush ([`ThreadSlot`]'s `Drop`) may run after
+    // `thread::scope` has returned to the caller; with the lock held
+    // there is no window where such a straggler's append lands between
+    // our take and the write-back only to be overwritten (lost update).
+    // The straggler either flushes before (we take it, via sink or its
+    // still-registered buffer) or blocks and appends after the
+    // canonical block — late, but never lost.
+    let mut sink_guard = sink().lock();
+    let mut events = std::mem::take(&mut *sink_guard);
+    for buffer in buffers().lock().iter() {
+        events.append(&mut buffer.lock());
+    }
+    events.sort_by_key(|e| e.field_u64("shard").map_or((0u8, 0u64), |s| (1, s)));
+    *sink_guard = events;
 }
 
 /// Apply a configuration: clears the sink and every live thread buffer,
@@ -244,7 +292,14 @@ pub fn enabled() -> bool {
 }
 
 #[inline]
-fn push(event: TraceEvent) {
+fn push(mut event: TraceEvent) {
+    if let Some(shard) = current_shard() {
+        let len = event.len as usize;
+        if len < MAX_FIELDS {
+            event.fields[len] = ("shard", FieldValue::U64(shard));
+            event.len += 1;
+        }
+    }
     LOCAL.with(|slot| {
         let mut slot = slot.borrow_mut();
         let slot = slot.get_or_insert_with(|| {
@@ -463,6 +518,73 @@ mod tests {
         let events = drain();
         disable();
         assert_eq!(events.len(), 20);
+    }
+
+    #[test]
+    fn shard_context_stamps_events() {
+        let _g = lock_tracer();
+        configure(TelemetryConfig::sim());
+        set_shard(Some(3));
+        sim_event("tagged", 1, &[("a", 1u64.into())]);
+        set_shard(None);
+        sim_event("untagged", 2, &[]);
+        let events = drain();
+        disable();
+        assert_eq!(events[0].field_u64("shard"), Some(3));
+        assert_eq!(events[0].field_u64("a"), Some(1), "caller fields kept");
+        assert_eq!(events[1].field("shard"), None);
+    }
+
+    #[test]
+    fn shard_stamp_never_displaces_caller_fields() {
+        let _g = lock_tracer();
+        configure(TelemetryConfig::sim());
+        let full: Vec<(&'static str, FieldValue)> =
+            (0..MAX_FIELDS).map(|_| ("k", FieldValue::U64(1))).collect();
+        set_shard(Some(7));
+        sim_event("full", 1, &full);
+        set_shard(None);
+        let events = drain();
+        disable();
+        assert_eq!(events[0].fields().len(), MAX_FIELDS);
+        assert_eq!(events[0].field("shard"), None, "stamp dropped, not a field");
+    }
+
+    #[test]
+    fn canonicalize_groups_shards_in_stable_order() {
+        let _g = lock_tracer();
+        configure(TelemetryConfig::sim());
+        sim_event("main", 0, &[]);
+        // Two "workers" interleaving their spills in opposite shard order.
+        std::thread::scope(|scope| {
+            for &shard in &[2u64, 1u64] {
+                scope.spawn(move || {
+                    set_shard(Some(shard));
+                    for i in 0..3u64 {
+                        sim_event("w", i, &[("i", i.into())]);
+                    }
+                    flush();
+                    set_shard(None);
+                });
+            }
+        });
+        canonicalize_by_shard();
+        let events = drain();
+        disable();
+        let shards: Vec<Option<u64>> = events.iter().map(|e| e.field_u64("shard")).collect();
+        assert_eq!(
+            shards,
+            vec![None, Some(1), Some(1), Some(1), Some(2), Some(2), Some(2)]
+        );
+        // Within a shard, recording order survives.
+        for shard in [1u64, 2] {
+            let ts: Vec<u64> = events
+                .iter()
+                .filter(|e| e.field_u64("shard") == Some(shard))
+                .map(|e| e.ts_us)
+                .collect();
+            assert_eq!(ts, vec![0, 1, 2]);
+        }
     }
 
     #[test]

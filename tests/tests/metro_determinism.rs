@@ -1,0 +1,127 @@
+//! Metro-scale determinism: the merged report and the telemetry export
+//! are pure functions of the root seed — independent of how many worker
+//! threads ran the shards and of the order shards were handed out
+//! (ISSUE 5 satellite 2).
+
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+use pran_sched::placement::WarmConfig;
+use pran_sim::{MetroConfig, MetroSimulator, PoolConfig};
+use pran_telemetry::export::to_jsonl;
+use pran_telemetry::TelemetryConfig;
+use pran_traces::TraceConfig;
+
+/// The tracer is process-global; tests in this binary run on parallel
+/// threads, so everything that configures/drains it takes this lock.
+fn lock_tracer() -> MutexGuard<'static, ()> {
+    static GUARD: OnceLock<Mutex<()>> = OnceLock::new();
+    GUARD
+        .get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+}
+
+/// A small-but-real metro: 72 cells in 8 shards, 2 simulated hours.
+fn metro(workers: usize) -> MetroSimulator {
+    let config = MetroConfig {
+        cells: 72,
+        shards: 8,
+        workers,
+        servers_per_shard: 5,
+        seed: 2026,
+    };
+    let mut pool = PoolConfig::default_eval(config.servers_per_shard);
+    pool.warm = Some(WarmConfig::default_eval());
+    let mut trace = TraceConfig::default_day(config.cells, config.seed);
+    trace.duration_seconds = 2.0 * 3600.0;
+    trace.step_seconds = 120.0;
+    MetroSimulator::with_pool(config, pool, trace).unwrap()
+}
+
+/// Run with tracing on; return (serialized report, canonical JSONL export).
+fn traced_run(workers: usize, order: Option<&[usize]>) -> (String, String) {
+    pran_telemetry::configure(TelemetryConfig::sim());
+    let sim = metro(workers);
+    let report = match order {
+        Some(o) => sim.run_ordered(o),
+        None => sim.run(),
+    };
+    let events = pran_telemetry::trace::drain();
+    pran_telemetry::disable();
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    (json, to_jsonl(&events))
+}
+
+#[test]
+fn merged_report_and_export_identical_across_worker_counts() {
+    let _g = lock_tracer();
+    let (report_1, export_1) = traced_run(1, None);
+    let (report_2, export_2) = traced_run(2, None);
+    let (report_8, export_8) = traced_run(8, None);
+    assert!(!export_1.is_empty(), "tracing must have captured events");
+    assert_eq!(report_1, report_2, "1 vs 2 workers: merged report differs");
+    assert_eq!(report_1, report_8, "1 vs 8 workers: merged report differs");
+    assert_eq!(
+        export_1, export_2,
+        "1 vs 2 workers: telemetry export differs"
+    );
+    assert_eq!(
+        export_1, export_8,
+        "1 vs 8 workers: telemetry export differs"
+    );
+}
+
+#[test]
+fn shard_execution_order_does_not_matter() {
+    let _g = lock_tracer();
+    let (report_fwd, export_fwd) = traced_run(4, None);
+    // A fixed adversarial permutation: reversed, then odd/even split.
+    let shuffled = [7usize, 3, 5, 1, 6, 0, 2, 4];
+    let (report_shuf, export_shuf) = traced_run(4, Some(&shuffled));
+    assert_eq!(report_fwd, report_shuf, "shard hand-out order leaked");
+    assert_eq!(
+        export_fwd, export_shuf,
+        "telemetry depends on hand-out order"
+    );
+}
+
+#[test]
+fn different_seeds_differ() {
+    // Sanity that the byte-compare above is not vacuous: a different root
+    // seed must change the merged metrics.
+    let _g = lock_tracer();
+    let sim_a = metro(4);
+    let a = sim_a.run();
+    let config_b = MetroConfig {
+        seed: 999,
+        ..sim_a.config()
+    };
+    let mut pool = PoolConfig::default_eval(config_b.servers_per_shard);
+    pool.warm = Some(WarmConfig::default_eval());
+    let mut trace = TraceConfig::default_day(config_b.cells, config_b.seed);
+    trace.duration_seconds = 2.0 * 3600.0;
+    trace.step_seconds = 120.0;
+    let b = MetroSimulator::with_pool(config_b, pool, trace)
+        .unwrap()
+        .run();
+    assert_ne!(
+        a.metrics.demand_gops, b.metrics.demand_gops,
+        "seed change must move the demand series"
+    );
+}
+
+#[test]
+fn shard_labels_cover_every_event() {
+    let _g = lock_tracer();
+    pran_telemetry::configure(TelemetryConfig::sim());
+    metro(3).run();
+    let events = pran_telemetry::trace::drain();
+    pran_telemetry::disable();
+    assert!(!events.is_empty());
+    for e in &events {
+        let shard = e
+            .field_u64("shard")
+            .unwrap_or_else(|| panic!("event {} missing shard label", e.name));
+        assert!(shard < 8, "shard label {shard} out of range");
+    }
+}

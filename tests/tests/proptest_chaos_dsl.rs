@@ -1,0 +1,161 @@
+//! Fuzzing the chaos scenario DSL (ISSUE 5 satellite 3): arbitrary valid
+//! scenarios round-trip through JSON bit-for-bit, and malformed or
+//! structurally invalid input comes back as a typed [`ScenarioError`] —
+//! never a panic.
+
+use std::time::Duration;
+
+use proptest::prelude::*;
+
+use pran_chaos::{ChaosEvent, Scenario, ScenarioError, TimedEvent};
+
+/// Raw material for one event: a kind selector plus generic knobs in
+/// `[0, 1)` that each kind interprets its own way (the vendored proptest
+/// has no `prop_oneof!`, so variants are decoded from plain tuples).
+type RawEvent = (u8, u64, f64, f64);
+
+fn decode_event(servers: usize, kind: u8, a: f64, b: f64) -> ChaosEvent {
+    match kind % 6 {
+        0 => ChaosEvent::ServerCrash {
+            server: ((a * servers as f64) as usize).min(servers - 1),
+        },
+        1 => ChaosEvent::ServerRecover {
+            server: ((a * servers as f64) as usize).min(servers - 1),
+        },
+        2 => ChaosEvent::LinkDegrade {
+            drop_prob: a,
+            max_jitter: Duration::from_micros((b * 1_000.0) as u64),
+            bucket_capacity: (b * 64.0) as u32,
+            refill_per_interval: (a * 16.0) as u32,
+            refill_interval: Duration::from_micros((a * 10_000_000.0) as u64),
+        },
+        3 => ChaosEvent::LinkRestore,
+        4 => ChaosEvent::FlashCrowd {
+            x_m: a * 10_000.0,
+            y_m: b * 10_000.0,
+            radius_m: 1.0 + b * 5_000.0,
+            duration: Duration::from_secs(1 + (a * 600.0) as u64),
+            boost: a,
+        },
+        _ => ChaosEvent::SnapshotRestore { corrupt: a < 0.5 },
+    }
+}
+
+fn build_scenario(cells: usize, servers: usize, horizon_s: u64, raw: &[RawEvent]) -> Scenario {
+    Scenario {
+        name: format!("fuzz-{cells}x{servers}"),
+        seed: cells as u64 * 31 + servers as u64,
+        cells,
+        servers,
+        horizon: Duration::from_secs(horizon_s),
+        events: raw
+            .iter()
+            .map(|&(kind, at_s, a, b)| TimedEvent {
+                at: Duration::from_secs(at_s % (horizon_s + 1)),
+                event: decode_event(servers, kind, a, b),
+            })
+            .collect(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Valid scenarios validate, serialize and come back identical.
+    #[test]
+    fn round_trip_is_identity(
+        cells in 1usize..32,
+        servers in 1usize..12,
+        horizon_s in 60u64..3_600,
+        raw in proptest::collection::vec((0u8..6, 0u64..4_000, 0.0f64..1.0, 0.0f64..1.0), 0..12),
+    ) {
+        let s = build_scenario(cells, servers, horizon_s, &raw);
+        prop_assert_eq!(s.validate(), Ok(()));
+        let json = s.to_json();
+        let back = Scenario::from_json(&json).unwrap();
+        prop_assert_eq!(back, s);
+    }
+
+    /// Arbitrary bytes never panic the parser: every outcome is a typed
+    /// error or (vanishingly unlikely) a valid scenario.
+    #[test]
+    fn arbitrary_input_never_panics(
+        bytes in proptest::collection::vec(any::<u8>(), 0..256),
+    ) {
+        let junk = String::from_utf8_lossy(&bytes);
+        match Scenario::from_json(&junk) {
+            Ok(s) => prop_assert_eq!(s.validate(), Ok(())),
+            Err(ScenarioError::Parse(msg)) => prop_assert!(!msg.is_empty()),
+            Err(_) => {} // parsed but structurally invalid: also fine
+        }
+    }
+
+    /// Truncating valid JSON anywhere yields a typed error, not a panic.
+    #[test]
+    fn truncated_json_rejected(
+        cells in 1usize..16,
+        servers in 1usize..8,
+        raw in proptest::collection::vec((0u8..6, 0u64..700, 0.0f64..1.0, 0.0f64..1.0), 1..8),
+        frac in 0.0f64..1.0,
+    ) {
+        let s = build_scenario(cells, servers, 600, &raw);
+        let json = s.to_json();
+        let mut cut = ((json.len() as f64 * frac) as usize).min(json.len() - 1);
+        while cut > 0 && !json.is_char_boundary(cut) {
+            cut -= 1;
+        }
+        match Scenario::from_json(&json[..cut]) {
+            Err(_) => {}
+            Ok(back) => prop_assert_eq!(back, s, "only the full text parses to s"),
+        }
+    }
+
+    /// Corrupting structured fields trips validation with the right
+    /// variant (differential: same scenario, one bad field).
+    #[test]
+    fn field_corruption_yields_typed_errors(
+        cells in 1usize..16,
+        servers in 1usize..8,
+        raw in proptest::collection::vec((0u8..6, 0u64..700, 0.0f64..1.0, 0.0f64..1.0), 0..8),
+        bad_server in 100usize..1_000,
+        bad_prob in 1.1f64..100.0,
+    ) {
+        let s = build_scenario(cells, servers, 600, &raw);
+
+        let mut crash = s.clone();
+        crash.events.push(TimedEvent {
+            at: Duration::ZERO,
+            event: ChaosEvent::ServerCrash { server: bad_server },
+        });
+        prop_assert!(matches!(
+            crash.validate(),
+            Err(ScenarioError::ServerOutOfRange { .. })
+        ));
+
+        let mut degrade = s.clone();
+        degrade.events.push(TimedEvent {
+            at: Duration::ZERO,
+            event: ChaosEvent::LinkDegrade {
+                drop_prob: bad_prob,
+                max_jitter: Duration::ZERO,
+                bucket_capacity: 0,
+                refill_per_interval: 0,
+                refill_interval: Duration::ZERO,
+            },
+        });
+        prop_assert!(matches!(
+            degrade.validate(),
+            Err(ScenarioError::ProbabilityOutOfRange { field: "drop_prob", .. })
+        ));
+
+        let mut late = s;
+        late.events.push(TimedEvent {
+            at: late.horizon + Duration::from_secs(1),
+            event: ChaosEvent::LinkRestore,
+        });
+        prop_assert!(matches!(
+            late.validate(),
+            Err(ScenarioError::EventPastHorizon { .. })
+        ));
+    }
+}
