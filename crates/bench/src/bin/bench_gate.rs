@@ -13,7 +13,10 @@
 //! 0 means every compared metric stayed inside tolerance, 1 means at
 //! least one regression (or a baseline envelope the candidate dropped),
 //! 2 means usage or I/O error. Tolerances are the CI defaults: >10 %
-//! relative on miss-ratio metrics, >15 % on latency quantiles.
+//! relative on miss-ratio metrics, >15 % on latency quantiles, and a
+//! ratcheting throughput floor — `tasks_per_sec` metrics regress when
+//! they drop >10 % *below* the baseline (gains pass and become the new
+//! floor once the baseline envelope is recommitted).
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;

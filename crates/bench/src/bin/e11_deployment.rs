@@ -68,7 +68,7 @@ fn main() {
                     cost,
                 })
                 .collect(),
-            allowed: allowed.clone(),
+            allowed: allowed.clone().into(),
         };
 
         // Cost-aware exact placement with a warm start; fall back to
@@ -119,7 +119,7 @@ fn main() {
             let inst = PlacementInstance {
                 cells: instance.cells.clone(),
                 servers: instance.servers[..edge_server_count].to_vec(),
-                allowed: Vec::new(),
+                allowed: pran_sched::placement::Allowed::All,
             };
             let r = place(&inst, Heuristic::FirstFitDecreasing);
             if r.complete() {

@@ -77,22 +77,34 @@ fn main() -> ExitCode {
     // --- curve 1: cells vs wall-clock at the headline shard count ---
     println!("== scaling: cells vs wall-clock at {headline_shards} shards ==");
     let mut scaling = Vec::new();
-    let mut t = Table::new(&["cells", "shards", "wall_ms", "cells/s", "miss_ratio"]);
+    let mut t = Table::new(&[
+        "cells",
+        "shards",
+        "wall_ms",
+        "cells/s",
+        "ns/task",
+        "miss_ratio",
+    ]);
     for div in [8usize, 4, 2, 1] {
         let n = (cells / div).max(headline_shards);
         let run = run_metro(n, headline_shards, seed);
         let m = &run.report.metrics;
+        let ns_per_task = run.wall_ms * 1e6 / m.tasks_total.max(1) as f64;
         t.row(&[
             n.to_string(),
             headline_shards.to_string(),
             format!("{:.0}", run.wall_ms),
             format!("{:.0}", n as f64 / (run.wall_ms / 1e3)),
+            format!("{ns_per_task:.0}"),
             format!("{:.6}", m.miss_ratio()),
         ]);
+        // `ns_per_task` is informational (host-dependent, Info class); the
+        // gated throughput floor lives on the headline run only.
         scaling.push(serde_json::json!({
             "cells": n,
             "shards": headline_shards,
             "wall_ms": run.wall_ms,
+            "ns_per_task": ns_per_task,
             "tasks_total": m.tasks_total,
             "miss_ratio": m.miss_ratio(),
             "migrations": m.migrations,
@@ -130,9 +142,12 @@ fn main() -> ExitCode {
     let head = run_metro(cells, headline_shards, seed);
     let m = &head.report.metrics;
     let cells_covered: usize = head.report.shards.iter().map(|s| s.cells).sum();
+    let ns_per_task = head.wall_ms * 1e6 / m.tasks_total.max(1) as f64;
+    let tasks_per_sec = m.tasks_total as f64 / (head.wall_ms / 1e3).max(1e-9);
     println!(
         "{} shards, {} cells, {} tasks, miss ratio {:.6}, \
-         peak servers {}, sharding gain {:.4}, {:.1} s wall",
+         peak servers {}, sharding gain {:.4}, {:.1} s wall \
+         ({ns_per_task:.0} ns/task, {:.2} Mtasks/s)",
         head.report.shards.len(),
         cells_covered,
         m.tasks_total,
@@ -140,6 +155,7 @@ fn main() -> ExitCode {
         m.peak_servers(),
         head.report.sharding_gain(),
         head.wall_ms / 1e3,
+        tasks_per_sec / 1e6,
     );
     let structure_ok = head.report.shards.len() == headline_shards
         && cells_covered == cells
@@ -175,6 +191,10 @@ fn main() -> ExitCode {
                 "peak_of_total_gops": head.report.peak_of_total(),
                 "sharding_gain": head.report.sharding_gain(),
                 "wall_ms": head.wall_ms,
+                "ns_per_task": ns_per_task,
+                // Gated by bench-gate's throughput floor: a committed
+                // baseline ratchets — drop >10 % below it and CI fails.
+                "tasks_per_sec": tasks_per_sec,
             }),
         )
         .save();

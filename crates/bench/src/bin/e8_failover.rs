@@ -162,14 +162,19 @@ fn main() {
         t.row(&[
             label.to_string(),
             format!("{:.3}%", m.miss_ratio() * 100.0),
-            fmt_duration(m.deadline_slack.quantile(0.5)),
+            match m.deadline_slack.try_quantile(0.5) {
+                Some(d) => fmt_duration(d),
+                None => "-".to_string(),
+            },
             m.steals.to_string(),
             format!("{}/{}", f.replaced, f.displaced),
         ]);
         json_exec.push(serde_json::json!({
             "executor": label,
             "miss_ratio": m.miss_ratio(),
-            "slack_p50_us": m.deadline_slack.quantile(0.5).as_micros() as u64,
+            // `null` when no slack samples exist — an absent quantile must
+            // not gate as a perfect p50 of zero.
+            "slack_p50_us": m.deadline_slack.try_quantile(0.5).map(|d| d.as_micros() as u64),
             "steals": m.steals,
             "replaced": f.replaced,
             "displaced": f.displaced,

@@ -305,7 +305,7 @@ impl Controller {
                 cost: self.server_cost(id),
             })
             .collect();
-        let allowed = (0..self.cells.len())
+        let allowed: Vec<Vec<bool>> = (0..self.cells.len())
             .map(|c| {
                 (0..self.servers.len())
                     .map(|s| {
@@ -320,7 +320,7 @@ impl Controller {
         PlacementInstance {
             cells,
             servers,
-            allowed,
+            allowed: allowed.into(),
         }
     }
 

@@ -6,9 +6,11 @@
 //! flattened metric path (`parallel.miss_ratio`,
 //! `latency.p99_us`, …). Paths are classified by name into miss-ratio
 //! metrics (default tolerance 10 % relative), latency metrics (15 %
-//! relative) or informational metrics (tracked, never gated); all gated
-//! metrics are higher-is-worse, so only increases past the tolerance
-//! count as regressions.
+//! relative), throughput metrics (10 % relative, *lower*-is-worse — the
+//! ratcheting tasks-per-second floor) or informational metrics (tracked,
+//! never gated). Miss-ratio and latency gates fire on increases past the
+//! tolerance; throughput gates fire on decreases, so performance wins
+//! committed to the baseline can never silently regress.
 
 use serde_json::{Map, Number, Value};
 use std::collections::BTreeMap;
@@ -33,6 +35,10 @@ pub struct GateConfig {
     /// Absolute floor for latency-class metrics, in the metric's own
     /// units (microseconds for the `_us` quantiles).
     pub latency_abs: f64,
+    /// Relative tolerance for throughput-class metrics: the candidate
+    /// regresses when it drops more than this fraction *below* the
+    /// baseline (lower-is-worse, unlike every other gated class).
+    pub throughput_rel: f64,
 }
 
 impl Default for GateConfig {
@@ -45,6 +51,7 @@ impl Default for GateConfig {
             miss_ratio_abs: 0.005,
             latency_rel: 0.15,
             latency_abs: 50.0,
+            throughput_rel: 0.10,
         }
     }
 }
@@ -56,6 +63,10 @@ pub enum MetricClass {
     MissRatio,
     /// Latency and outage quantiles: higher is worse.
     Latency,
+    /// Task throughput (tasks/second): *lower* is worse. The ratcheting
+    /// floor — once a speedup lands in the committed baseline, dropping
+    /// more than the tolerance below it fails the gate.
+    Throughput,
     /// Everything else: reported but never a regression.
     Info,
 }
@@ -66,6 +77,7 @@ impl MetricClass {
         match self {
             MetricClass::MissRatio => "miss_ratio",
             MetricClass::Latency => "latency",
+            MetricClass::Throughput => "throughput",
             MetricClass::Info => "info",
         }
     }
@@ -83,6 +95,12 @@ pub fn classify(path: &str) -> MetricClass {
     ];
     if LATENCY_KEYS.iter().any(|k| lower.contains(k)) {
         return MetricClass::Latency;
+    }
+    // `ns_per_task` stays Info: it is the reciprocal of `tasks_per_sec`,
+    // and gating both would double-count one measurement.
+    const THROUGHPUT_KEYS: [&str; 2] = ["tasks_per_sec", "throughput"];
+    if THROUGHPUT_KEYS.iter().any(|k| lower.contains(k)) {
+        return MetricClass::Throughput;
     }
     MetricClass::Info
 }
@@ -328,11 +346,18 @@ pub fn compare_envelopes(
             MetricClass::Latency => {
                 (config.latency_rel * baseline_value.abs()).max(config.latency_abs)
             }
+            MetricClass::Throughput => config.throughput_rel * baseline_value.abs(),
             MetricClass::Info => f64::INFINITY,
         };
-        let verdict = if delta > tolerance {
+        // Throughput is the one lower-is-worse class: a drop past the
+        // tolerance regresses, a gain improves.
+        let (worse, better) = match class {
+            MetricClass::Throughput => (-delta, delta),
+            _ => (delta, -delta),
+        };
+        let verdict = if worse > tolerance {
             Verdict::Regressed
-        } else if delta < -tolerance {
+        } else if better > tolerance {
             Verdict::Improved
         } else {
             Verdict::Within
@@ -386,6 +411,9 @@ mod tests {
         assert_eq!(classify("reports_lost"), MetricClass::MissRatio);
         assert_eq!(classify("latency.p99_us"), MetricClass::Latency);
         assert_eq!(classify("outage.mean_us"), MetricClass::Latency);
+        assert_eq!(classify("headline.tasks_per_sec"), MetricClass::Throughput);
+        assert_eq!(classify("shard.throughput"), MetricClass::Throughput);
+        assert_eq!(classify("headline.ns_per_task"), MetricClass::Info);
         assert_eq!(classify("servers_used"), MetricClass::Info);
     }
 
@@ -474,6 +502,35 @@ mod tests {
             .iter()
             .any(|d| d.verdict == Verdict::Missing));
         assert_eq!(report.added, vec!["fresh".to_string()]);
+    }
+
+    #[test]
+    fn throughput_floor_gates_drops_not_gains() {
+        let tput = |v: f64| {
+            envelope(
+                "e15",
+                serde_json::from_str(&format!("{{\"headline\":{{\"tasks_per_sec\":{v}}}}}"))
+                    .unwrap(),
+            )
+        };
+        let cfg = GateConfig::default();
+        let base = tput(5.0e6);
+        // 8 % drop: within the 10 % floor.
+        let report = compare_envelopes(&base, &tput(4.6e6), &cfg).unwrap();
+        assert!(report.ok());
+        assert!(report.diffs.iter().all(|d| d.verdict == Verdict::Within));
+        // 20 % drop: regressed — the direction is inverted vs latency.
+        let report = compare_envelopes(&base, &tput(4.0e6), &cfg).unwrap();
+        assert!(!report.ok());
+        let regs = report.regressions();
+        assert_eq!(regs.len(), 1);
+        assert_eq!(regs[0].path, "headline.tasks_per_sec");
+        assert_eq!(regs[0].class, MetricClass::Throughput);
+        // 2× speedup: improved, never a regression. The next baseline
+        // commit ratchets the floor up to the new value.
+        let report = compare_envelopes(&base, &tput(1.0e7), &cfg).unwrap();
+        assert!(report.ok());
+        assert!(report.diffs.iter().any(|d| d.verdict == Verdict::Improved));
     }
 
     #[test]

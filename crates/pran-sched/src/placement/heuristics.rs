@@ -215,7 +215,7 @@ mod tests {
     fn respects_fronthaul_restrictions() {
         let mut inst = PlacementInstance::uniform(&[50.0, 50.0], 2, 100.0);
         // Cell 0 may only use server 1, cell 1 only server 0.
-        inst.allowed = vec![vec![false, true], vec![true, false]];
+        inst.allowed = vec![vec![false, true], vec![true, false]].into();
         let r = place(&inst, Heuristic::FirstFitDecreasing);
         assert!(r.complete());
         assert_eq!(r.placement.assignment[0], Some(1));

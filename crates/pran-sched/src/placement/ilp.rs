@@ -264,7 +264,7 @@ mod tests {
     #[test]
     fn respects_fronthaul_matrix() {
         let mut inst = PlacementInstance::uniform(&[50.0, 50.0], 2, 100.0);
-        inst.allowed = vec![vec![false, true], vec![true, true]];
+        inst.allowed = vec![vec![false, true], vec![true, true]].into();
         let r = solve_default(&inst);
         let p = r.placement.unwrap();
         assert_eq!(p.assignment[0], Some(1));
@@ -300,7 +300,7 @@ mod tests {
         // coupling and swaps them.
         let mut inst = PlacementInstance::uniform(&[60.0, 60.0], 2, 100.0);
         inst.servers[1].capacity_gops = 60.0;
-        inst.allowed = vec![vec![true, true], vec![true, false]];
+        inst.allowed = vec![vec![true, true], vec![true, false]].into();
         let ffd = place(&inst, Heuristic::FirstFitDecreasing);
         assert!(!ffd.complete(), "greedy should strand cell 1");
         let ilp = solve_default(&inst);

@@ -249,7 +249,7 @@ mod tests {
     fn repack_handles_topology_shrink() {
         // Server 1 disappears (allowed matrix forbids it now).
         let mut inst = PlacementInstance::uniform(&[50.0, 40.0], 2, 100.0);
-        inst.allowed = vec![vec![true, false], vec![true, false]];
+        inst.allowed = vec![vec![true, false], vec![true, false]].into();
         let current = Placement {
             assignment: vec![Some(1), Some(0)],
         };

@@ -56,6 +56,54 @@ impl ServerSpec {
     }
 }
 
+/// Fronthaul-feasibility mask of a placement instance: which servers may
+/// serve which cells.
+///
+/// The common cases — "no restriction" and "one liveness mask shared by
+/// every cell" — used to be encoded as a dense `Vec<Vec<bool>>`, which
+/// cost O(cells × servers) heap churn per repack just to say "only live
+/// servers". The enum keeps those cases O(1)/O(servers) while the full
+/// per-cell matrix remains available for real topology constraints.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub enum Allowed {
+    /// Every cell may run on every server.
+    #[default]
+    All,
+    /// One server mask shared by every cell (e.g. "only live servers").
+    Uniform(Vec<bool>),
+    /// Full `matrix[cell][server]` feasibility.
+    PerCell(Vec<Vec<bool>>),
+}
+
+impl Allowed {
+    /// Whether `cell` may run on `server`.
+    #[inline]
+    pub fn is_allowed(&self, cell: usize, server: usize) -> bool {
+        match self {
+            Allowed::All => true,
+            Allowed::Uniform(mask) => mask[server],
+            Allowed::PerCell(m) => m[cell][server],
+        }
+    }
+
+    /// Whether the mask imposes no restriction at all.
+    pub fn is_all(&self) -> bool {
+        matches!(self, Allowed::All)
+    }
+}
+
+/// Dense matrices convert directly; an empty matrix means "all allowed"
+/// (the legacy `Vec<Vec<bool>>` sentinel).
+impl From<Vec<Vec<bool>>> for Allowed {
+    fn from(m: Vec<Vec<bool>>) -> Self {
+        if m.is_empty() {
+            Allowed::All
+        } else {
+            Allowed::PerCell(m)
+        }
+    }
+}
+
 /// A placement problem instance.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct PlacementInstance {
@@ -63,9 +111,9 @@ pub struct PlacementInstance {
     pub cells: Vec<CellDemand>,
     /// Pool servers.
     pub servers: Vec<ServerSpec>,
-    /// `allowed[cell][server]`: whether fronthaul latency permits serving
-    /// the cell from the server's site. Empty means "all allowed".
-    pub allowed: Vec<Vec<bool>>,
+    /// Whether fronthaul latency permits serving each cell from each
+    /// server's site.
+    pub allowed: Allowed,
 }
 
 /// A (partial) assignment of cells to servers.
@@ -138,13 +186,14 @@ impl PlacementInstance {
                     cost: 1.0,
                 })
                 .collect(),
-            allowed: Vec::new(),
+            allowed: Allowed::All,
         }
     }
 
     /// Whether `cell` may run on `server`.
+    #[inline]
     pub fn is_allowed(&self, cell: usize, server: usize) -> bool {
-        self.allowed.is_empty() || self.allowed[cell][server]
+        self.allowed.is_allowed(cell, server)
     }
 
     /// Check a placement against all constraints.
@@ -267,7 +316,7 @@ mod tests {
     #[test]
     fn validate_catches_disallowed() {
         let mut inst = instance();
-        inst.allowed = vec![vec![true, true, false]; 3];
+        inst.allowed = vec![vec![true, true, false]; 3].into();
         let p = Placement {
             assignment: vec![Some(2), Some(0), Some(1)],
         };

@@ -373,9 +373,7 @@ mod tests {
         let (p, _, _) = warm.epoch(&inst);
         let victim = p.assignment[0].unwrap();
         let mut shrunk = uniform(&base, 2, 200.0);
-        shrunk.allowed = (0..2)
-            .map(|_| (0..2).map(|s| s != victim).collect())
-            .collect();
+        shrunk.allowed = crate::placement::Allowed::Uniform((0..2).map(|s| s != victim).collect());
         let (p2, _, _) = warm.epoch(&shrunk);
         assert_ne!(p2.assignment[0], Some(victim));
         assert!(shrunk.validate(&p2).is_ok());

@@ -8,10 +8,12 @@
 //! distributed-RAN baseline, one cell bound to one core) — and reports
 //! deadline misses, the metric experiment E6 sweeps against utilization.
 
+pub mod batch;
 pub mod executor;
 pub mod parallel;
 pub mod workload;
 
+pub use batch::{simulate_into, BatchOutcome, SimScratch, TaskBatch};
 pub use parallel::{ParallelConfig, ParallelExecutor, ParallelOutcome};
 
 use serde::{Deserialize, Serialize};

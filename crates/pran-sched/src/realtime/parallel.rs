@@ -178,6 +178,16 @@ impl ParallelExecutor {
         self.execute_with(tasks, |_| {})
     }
 
+    /// Execute into a caller-owned outcome, reusing its record and
+    /// busy-time buffers — the repeated-call entry point for hot loops
+    /// (one executor per run, one outcome reused per server per step).
+    ///
+    /// # Panics
+    /// Panics if any task id is out of `0..tasks.len()`.
+    pub fn execute_into(&self, tasks: &[RtTask], out: &mut ParallelOutcome) {
+        self.execute_into_with(tasks, out, |_| {});
+    }
+
     /// Execute a task set, additionally running `payload` once per task
     /// (e.g. a real turbo decode). Payloads run concurrently on the host's
     /// physical cores; deadline accounting stays on the simulated-core
@@ -189,18 +199,37 @@ impl ParallelExecutor {
     where
         F: Fn(&RtTask) + Sync,
     {
+        let mut out = ParallelOutcome {
+            tasks: Vec::new(),
+            core_busy: Vec::new(),
+            makespan: Duration::ZERO,
+            steals: 0,
+        };
+        self.execute_into_with(tasks, &mut out, payload);
+        out
+    }
+
+    /// [`ParallelExecutor::execute_with`] writing into a caller-owned
+    /// outcome (see [`ParallelExecutor::execute_into`]).
+    ///
+    /// # Panics
+    /// Panics if any task id is out of `0..tasks.len()`.
+    pub fn execute_into_with<F>(&self, tasks: &[RtTask], out: &mut ParallelOutcome, payload: F)
+    where
+        F: Fn(&RtTask) + Sync,
+    {
         let cfg = self.config;
         let n = tasks.len();
         for t in tasks {
             assert!(t.id < n, "task id {} out of range", t.id);
         }
+        out.core_busy.clear();
+        out.core_busy.resize(cfg.cores, Duration::ZERO);
+        out.makespan = Duration::ZERO;
+        out.steals = 0;
         if n == 0 {
-            return ParallelOutcome {
-                tasks: Vec::new(),
-                core_busy: vec![Duration::ZERO; cfg.cores],
-                makespan: Duration::ZERO,
-                steals: 0,
-            };
+            out.tasks.clear();
+            return;
         }
 
         // Batch per cell, then queue each batch on its cell's home core in
@@ -217,7 +246,11 @@ impl ParallelExecutor {
         let clocks: Vec<AtomicU64> = (0..cfg.cores).map(|_| AtomicU64::new(0)).collect();
         let busy_us: Vec<AtomicU64> = (0..cfg.cores).map(|_| AtomicU64::new(0)).collect();
         let steals = AtomicU64::new(0);
-        let records: Mutex<Vec<TaskOutcome>> = Mutex::new(Vec::with_capacity(n));
+        // Reuse the caller's record buffer as the collection sink.
+        let mut record_buf = std::mem::take(&mut out.tasks);
+        record_buf.clear();
+        record_buf.reserve(n);
+        let records: Mutex<Vec<TaskOutcome>> = Mutex::new(record_buf);
 
         crossbeam::scope(|scope| {
             for core in 0..cfg.cores {
@@ -238,20 +271,16 @@ impl ParallelExecutor {
 
         let mut tasks = records.into_inner();
         tasks.sort_by_key(|t| t.id);
-        let makespan = tasks
+        out.makespan = tasks
             .iter()
             .map(|t| t.finish)
             .max()
             .unwrap_or(Duration::ZERO);
-        ParallelOutcome {
-            tasks,
-            core_busy: busy_us
-                .iter()
-                .map(|b| Duration::from_micros(b.load(Ordering::Relaxed)))
-                .collect(),
-            makespan,
-            steals: steals.load(Ordering::Relaxed),
+        for (slot, b) in out.core_busy.iter_mut().zip(&busy_us) {
+            *slot = Duration::from_micros(b.load(Ordering::Relaxed));
         }
+        out.steals = steals.load(Ordering::Relaxed);
+        out.tasks = tasks;
     }
 }
 
@@ -292,6 +321,9 @@ fn run_worker<F>(
 ) where
     F: Fn(&RtTask) + Sync,
 {
+    // Hoisted once per worker: when tracing is off, the loop below must
+    // not even build event field arrays.
+    let telemetry_on = pran_telemetry::enabled();
     let mut clock = 0u64;
     let mut busy = 0u64;
     loop {
@@ -352,15 +384,17 @@ fn run_worker<F>(
             let stolen = batch.home != core;
             if stolen {
                 steals.fetch_add(1, Ordering::Relaxed);
-                pran_telemetry::trace::sim_event(
-                    "rt.steal",
-                    clock,
-                    &[
-                        ("thief", core.into()),
-                        ("home", batch.home.into()),
-                        ("tasks", batch.tasks.len().into()),
-                    ],
-                );
+                if telemetry_on {
+                    pran_telemetry::trace::sim_event(
+                        "rt.steal",
+                        clock,
+                        &[
+                            ("thief", core.into()),
+                            ("home", batch.home.into()),
+                            ("tasks", batch.tasks.len().into()),
+                        ],
+                    );
+                }
             }
 
             // Account the whole batch on the virtual timeline *before*
@@ -374,19 +408,21 @@ fn run_worker<F>(
                 busy += service;
                 clock = finish;
                 let deadline = t.deadline.as_micros() as u64;
-                pran_telemetry::trace::sim_event(
-                    "subframe",
-                    finish,
-                    &[
-                        ("cell", t.cell.into()),
-                        ("release_us", release.into()),
-                        ("start_us", start.into()),
-                        ("finish_us", finish.into()),
-                        ("deadline_us", deadline.into()),
-                        ("core", core.into()),
-                        ("stolen", stolen.into()),
-                    ],
-                );
+                if telemetry_on {
+                    pran_telemetry::trace::sim_event(
+                        "subframe",
+                        finish,
+                        &[
+                            ("cell", t.cell.into()),
+                            ("release_us", release.into()),
+                            ("start_us", start.into()),
+                            ("finish_us", finish.into()),
+                            ("deadline_us", deadline.into()),
+                            ("core", core.into()),
+                            ("stolen", stolen.into()),
+                        ],
+                    );
+                }
                 outcomes.push(TaskOutcome {
                     id: t.id,
                     finish: Duration::from_micros(finish),

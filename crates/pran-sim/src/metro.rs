@@ -261,6 +261,15 @@ impl MetroSimulator {
         self.run_ordered(&order)
     }
 
+    /// Run every shard through [`PoolSimulator::run_reference`] — the
+    /// seed-faithful allocating epoch path — and merge. The differential
+    /// oracle for [`MetroSimulator::run`]: merged reports must be
+    /// byte-identical across the two paths and any worker count.
+    pub fn run_reference(&self) -> MetroReport {
+        let order: Vec<usize> = (0..self.config.shards).collect();
+        self.run_ordered_impl(&order, true)
+    }
+
     /// Run with an explicit shard hand-out order — a determinism test
     /// hook: any permutation of `0..shards` must produce the same merged
     /// report and telemetry export.
@@ -268,6 +277,10 @@ impl MetroSimulator {
     /// # Panics
     /// Panics when `order` is not a permutation of `0..shards`.
     pub fn run_ordered(&self, order: &[usize]) -> MetroReport {
+        self.run_ordered_impl(order, false)
+    }
+
+    fn run_ordered_impl(&self, order: &[usize], reference: bool) -> MetroReport {
         let shards = self.config.shards;
         {
             let mut seen = vec![false; shards];
@@ -287,7 +300,7 @@ impl MetroSimulator {
                     loop {
                         let i = next.fetch_add(1, Ordering::SeqCst);
                         let Some(&shard) = order.get(i) else { break };
-                        let report = self.run_shard(shard);
+                        let report = self.run_shard(shard, reference);
                         slots[shard].set(report).expect("one worker per shard");
                     }
                     // Flush this thread's buffer *inside* the closure:
@@ -319,7 +332,7 @@ impl MetroSimulator {
     }
 
     /// Run one shard's pool simulation on the calling thread.
-    fn run_shard(&self, shard: usize) -> ShardReport {
+    fn run_shard(&self, shard: usize, reference: bool) -> ShardReport {
         let cells = self.config.shard_cells(shard);
         let seed = self.config.shard_seed(shard);
         pran_telemetry::trace::set_shard(Some(shard as u64));
@@ -333,7 +346,12 @@ impl MetroSimulator {
             // shard would replay the same loss sequence.
             lf.seed ^= seed;
         }
-        let report = PoolSimulator::new(trace, pool_cfg).run();
+        let mut pool = PoolSimulator::new(trace, pool_cfg);
+        let report = if reference {
+            pool.run_reference()
+        } else {
+            pool.run()
+        };
         pran_telemetry::trace::set_shard(None);
         ShardReport {
             shard,

@@ -18,8 +18,11 @@ use pran_phy::frame::{AntennaConfig, Bandwidth, Direction, COMPUTE_DEADLINE, TTI
 use pran_phy::mcs::Mcs;
 use pran_sched::placement::migration::incremental_repack;
 use pran_sched::placement::warm::{WarmConfig, WarmPlacer};
-use pran_sched::placement::{CellDemand, Placement, PlacementInstance, ServerSpec};
-use pran_sched::realtime::{simulate, ParallelConfig, ParallelExecutor, Policy, RtTask};
+use pran_sched::placement::{Allowed, CellDemand, Placement, PlacementInstance, ServerSpec};
+use pran_sched::realtime::{
+    simulate, simulate_into, BatchOutcome, ParallelConfig, ParallelExecutor, ParallelOutcome,
+    Policy, RtTask, SimScratch, TaskBatch,
+};
 use pran_traces::Trace;
 
 use crate::engine::{Engine, SimTime};
@@ -252,6 +255,82 @@ pub struct PoolSimulator {
     model: ComputeModel,
 }
 
+/// Run-scoped scratch for the epoch hot path.
+///
+/// One instance lives for a whole [`PoolSimulator::run`]; every trace
+/// step reuses its buffers instead of reallocating per-server task
+/// vectors and scheduler state (the seed path's dominant cost at metro
+/// scale). Task times live as flat `u64` nanosecond columns
+/// ([`TaskBatch`]), so the per-task steady state performs zero heap
+/// allocations — `tests/tests/zero_alloc.rs` pins this with a counting
+/// allocator, and `tests/tests/pool_differential.rs` pins byte-identical
+/// reports against [`PoolSimulator::run_reference`].
+struct HotBuffers {
+    /// Per-server SoA task queues, cleared (capacity kept) every step.
+    batches: Vec<TaskBatch>,
+    /// Analytic-scheduler scratch: admission order and dispatch heaps.
+    scratch: SimScratch,
+    /// Analytic-scheduler output columns.
+    outcome: BatchOutcome,
+    /// Parallel executor built once per run (`parallel` configs only).
+    executor: Option<ParallelExecutor>,
+    /// Materialization buffer feeding [`ParallelExecutor::execute_into`].
+    par_tasks: Vec<RtTask>,
+    /// Reusable parallel outcome (records + busy columns).
+    par_out: ParallelOutcome,
+    /// Release offset of TTI `t` within a step, nanoseconds.
+    tti_release_ns: Vec<u64>,
+    /// Deadline offset of TTI `t` within a step, nanoseconds.
+    tti_deadline_ns: Vec<u64>,
+    /// Service time by PRB count. `cell_gops` depends on utilization only
+    /// through `round(prbs × util)` ([`CellWorkload::at_utilization`]), so
+    /// the whole compute-model walk plus the `Duration` conversion
+    /// collapses into one table lookup per cell-step. Entry `p` is built
+    /// with the exact reference expression, so results stay bit-equal.
+    service_ns_by_prb: Vec<u64>,
+    /// `f64::from(bandwidth.prbs())`, the `at_utilization` scale factor.
+    prbs_f: f64,
+}
+
+impl HotBuffers {
+    fn new(cfg: &PoolConfig, model: &ComputeModel) -> Self {
+        let core_gops = cfg.server_capacity_gops / cfg.cores_per_server as f64;
+        HotBuffers {
+            batches: (0..cfg.servers).map(|_| TaskBatch::new()).collect(),
+            scratch: SimScratch::new(),
+            outcome: BatchOutcome::new(),
+            executor: cfg.parallel.map(ParallelExecutor::new),
+            par_tasks: Vec::new(),
+            par_out: ParallelOutcome {
+                tasks: Vec::new(),
+                core_busy: Vec::new(),
+                makespan: Duration::ZERO,
+                steals: 0,
+            },
+            tti_release_ns: (0..cfg.ttis_per_step)
+                .map(|t| (TTI * t as u32).as_nanos() as u64)
+                .collect(),
+            tti_deadline_ns: (0..cfg.ttis_per_step)
+                .map(|t| (TTI * t as u32 + COMPUTE_DEADLINE).as_nanos() as u64)
+                .collect(),
+            service_ns_by_prb: (0..=cfg.bandwidth.prbs())
+                .map(|prbs_used| {
+                    let w = CellWorkload {
+                        bandwidth: cfg.bandwidth,
+                        antennas: cfg.antennas,
+                        prbs_used,
+                        mcs: cfg.mcs,
+                        direction: Direction::Uplink,
+                    };
+                    Duration::from_secs_f64(model.cell_gops(&w) * 1e-3 / core_gops).as_nanos()
+                        as u64
+                })
+                .collect(),
+            prbs_f: f64::from(cfg.bandwidth.prbs()),
+        }
+    }
+}
+
 /// Full output of a run.
 #[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct SimReport {
@@ -313,8 +392,23 @@ impl PoolSimulator {
         self.model.cell_gops(&w)
     }
 
-    /// Run to completion.
+    /// Run to completion (zero-allocation epoch hot path).
     pub fn run(&mut self) -> SimReport {
+        self.run_impl(false)
+    }
+
+    /// Run to completion through the seed-faithful allocating epoch path.
+    ///
+    /// Same event loop, same outputs: this keeps the original
+    /// per-step-allocating, `Duration`-typed epoch simulation alive as the
+    /// differential oracle for [`PoolSimulator::run`] — the two must
+    /// produce byte-identical [`SimReport`]s on any configuration whose
+    /// executor is deterministic (everything except `steal: true`).
+    pub fn run_reference(&mut self) -> SimReport {
+        self.run_impl(true)
+    }
+
+    fn run_impl(&mut self, reference: bool) -> SimReport {
         let cfg = &self.config;
         let num_cells = self.trace.num_cells();
         let step_seconds = self.trace.step_seconds;
@@ -349,6 +443,25 @@ impl PoolSimulator {
         // service times must reflect the machine that actually runs them.
         let cores = cfg.parallel.map_or(cfg.cores_per_server, |p| p.cores);
         let core_gops = cfg.server_capacity_gops / cores as f64;
+        let mut hot = (!reference).then(|| HotBuffers::new(cfg, &self.model));
+
+        // Epoch-demand twin of the hot path's service table: `cell_gops`
+        // varies only with `round(prbs × util)`, so one compute-model walk
+        // per PRB count serves every (epoch × cell) prediction. Shared by
+        // the reference path too — the table entries are the exact same
+        // f64s `cell_gops` returns, so both paths' outputs are unchanged.
+        let gops_by_prb: Vec<f64> = (0..=cfg.bandwidth.prbs())
+            .map(|prbs_used| {
+                self.model.cell_gops(&CellWorkload {
+                    bandwidth: cfg.bandwidth,
+                    antennas: cfg.antennas,
+                    prbs_used,
+                    mcs: cfg.mcs,
+                    direction: Direction::Uplink,
+                })
+            })
+            .collect();
+        let prbs_f = f64::from(cfg.bandwidth.prbs());
 
         while let Some((now, event)) = engine.next() {
             let now_us = now.to_duration().as_micros() as u64;
@@ -367,7 +480,8 @@ impl PoolSimulator {
                                 .fold(0.0f64, f64::max);
                             CellDemand {
                                 id: c,
-                                gops: self.cell_gops(peak) * cfg.headroom,
+                                gops: gops_by_prb[(prbs_f * peak.clamp(0.0, 1.0)).round() as usize]
+                                    * cfg.headroom,
                             }
                         })
                         .collect();
@@ -380,7 +494,9 @@ impl PoolSimulator {
                                 cost: 1.0,
                             })
                             .collect(),
-                        allowed: (0..num_cells).map(|_| alive.clone()).collect(),
+                        // One shared liveness mask — not a per-cell matrix
+                        // of `alive` clones (O(cells × servers) churn).
+                        allowed: Allowed::Uniform(alive.clone()),
                     };
                     let (new_placement, plan, dirty) = match warm_placer.as_mut() {
                         Some(w) => {
@@ -413,15 +529,26 @@ impl PoolSimulator {
                     );
 
                     // Simulate sampled TTIs of every step in the epoch.
-                    self.simulate_epoch(
-                        first,
-                        last,
-                        &placement,
-                        &alive,
-                        core_gops,
-                        &mut links,
-                        &mut metrics,
-                    );
+                    match hot.as_mut() {
+                        Some(hot) => self.simulate_epoch_hot(
+                            first,
+                            last,
+                            &placement,
+                            &alive,
+                            &mut links,
+                            &mut metrics,
+                            hot,
+                        ),
+                        None => self.simulate_epoch_reference(
+                            first,
+                            last,
+                            &placement,
+                            &alive,
+                            core_gops,
+                            &mut links,
+                            &mut metrics,
+                        ),
+                    }
 
                     // Per-epoch health observation: publish gauges for
                     // scrapers and feed the online SLO monitor. Miss
@@ -498,7 +625,7 @@ impl PoolSimulator {
                                 cost: 1.0,
                             })
                             .collect(),
-                        allowed: (0..num_cells).map(|_| alive.clone()).collect(),
+                        allowed: Allowed::Uniform(alive.clone()),
                     };
                     let (new_placement, plan) = match warm_placer.as_mut() {
                         Some(w) => {
@@ -561,9 +688,10 @@ impl PoolSimulator {
     }
 
     /// Simulate the sampled TTIs of `[first, last)` trace steps under the
-    /// current placement.
+    /// current placement — the seed-faithful allocating path kept as the
+    /// differential oracle (see [`PoolSimulator::run_reference`]).
     #[allow(clippy::too_many_arguments)]
-    fn simulate_epoch(
+    fn simulate_epoch_reference(
         &self,
         first: usize,
         last: usize,
@@ -650,6 +778,167 @@ impl PoolSimulator {
                             metrics
                                 .response_times
                                 .record(out.finish[t.id].saturating_sub(t.release));
+                            // On-time tasks contribute their remaining
+                            // budget — previously only the parallel branch
+                            // recorded slack, leaving the histogram
+                            // silently empty under the analytic model.
+                            if !out.missed[t.id] {
+                                metrics.deadline_slack.record(t.deadline - out.finish[t.id]);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// The zero-allocation twin of
+    /// [`simulate_epoch_reference`](Self::simulate_epoch_reference):
+    /// identical simulation, but per-server task queues live as reusable
+    /// struct-of-arrays nanosecond columns in [`HotBuffers`], the
+    /// analytic scheduler runs through
+    /// [`simulate_into`] on reusable heaps, and the parallel executor is
+    /// the run-scoped one. All arithmetic is `u64` nanoseconds, exact and
+    /// isomorphic to the reference's `Duration` math, so reports are
+    /// byte-identical.
+    #[allow(clippy::too_many_arguments)]
+    fn simulate_epoch_hot(
+        &self,
+        first: usize,
+        last: usize,
+        placement: &Placement,
+        alive: &[bool],
+        links: &mut [FaultInjector],
+        metrics: &mut PoolMetrics,
+        hot: &mut HotBuffers,
+    ) {
+        let cfg = &self.config;
+        let ttis = cfg.ttis_per_step;
+        let HotBuffers {
+            batches,
+            scratch,
+            outcome,
+            executor,
+            par_tasks,
+            par_out,
+            tti_release_ns,
+            tti_deadline_ns,
+            service_ns_by_prb,
+            prbs_f,
+        } = hot;
+        let prbs_f = *prbs_f;
+        for step in first..last {
+            let row = &self.trace.samples[step];
+            for b in batches.iter_mut() {
+                b.clear();
+            }
+            if links.is_empty() {
+                // Ideal-fronthaul fast path: releases are the fixed TTI
+                // grid, so the per-cell work is one compute-model call
+                // and `ttis` four-column pushes.
+                metrics.tasks_total += (row.len() * ttis) as u64;
+                for (cell, &util) in row.iter().enumerate() {
+                    match placement.assignment[cell] {
+                        Some(s) if alive[s] => {
+                            let service_ns =
+                                service_ns_by_prb[(prbs_f * util.clamp(0.0, 1.0)).round() as usize];
+                            batches[s].push_run(
+                                cell as u32,
+                                tti_release_ns,
+                                tti_deadline_ns,
+                                service_ns,
+                            );
+                        }
+                        _ => metrics.tasks_lost += ttis as u64,
+                    }
+                }
+            } else {
+                let step_start = Duration::from_secs_f64(step as f64 * self.trace.step_seconds);
+                for (cell, &util) in row.iter().enumerate() {
+                    match placement.assignment[cell] {
+                        Some(s) if alive[s] => {
+                            let service_ns =
+                                service_ns_by_prb[(prbs_f * util.clamp(0.0, 1.0)).round() as usize];
+                            let batch = &mut batches[s];
+                            for tti in 0..ttis {
+                                metrics.tasks_total += 1;
+                                // The subframe report crosses the cell's
+                                // fronthaul link first; its bucket refills
+                                // on absolute simulated time.
+                                let base = TTI * tti as u32;
+                                let link = &mut links[cell];
+                                link.advance_to(step_start + base);
+                                match link.offer(Bytes::from_static(&[0u8; 32])) {
+                                    Outcome::Delivered { extra_delay, .. } => {
+                                        // Jitter delays arrival but the HARQ
+                                        // deadline stays pinned to the TTI,
+                                        // so jitter eats compute slack.
+                                        batch.push(
+                                            cell as u32,
+                                            tti_release_ns[tti] + extra_delay.as_nanos() as u64,
+                                            tti_deadline_ns[tti],
+                                            service_ns,
+                                        );
+                                    }
+                                    Outcome::Dropped | Outcome::RateLimited => {
+                                        metrics.tasks_lost += 1;
+                                        metrics.reports_lost += 1;
+                                    }
+                                }
+                            }
+                        }
+                        _ => {
+                            metrics.tasks_total += ttis as u64;
+                            metrics.tasks_lost += ttis as u64;
+                        }
+                    }
+                }
+            }
+            for (s, batch) in batches.iter().enumerate() {
+                if batch.is_empty() || !alive[s] {
+                    continue;
+                }
+                match executor.as_ref() {
+                    Some(ex) => {
+                        // The executor consumes array-of-structs tasks;
+                        // materialize into the run-scoped buffer.
+                        par_tasks.clear();
+                        for i in 0..batch.len() {
+                            par_tasks.push(RtTask {
+                                id: i,
+                                cell: batch.cell[i] as usize,
+                                release: Duration::from_nanos(batch.release_ns[i]),
+                                deadline: Duration::from_nanos(batch.deadline_ns[i]),
+                                service: Duration::from_nanos(batch.service_ns[i]),
+                            });
+                        }
+                        ex.execute_into(par_tasks, par_out);
+                        metrics.deadline_misses += par_out.misses() as u64;
+                        metrics.steals += par_out.steals;
+                        for r in &par_out.tasks {
+                            metrics
+                                .response_times
+                                .record(r.finish.saturating_sub(par_tasks[r.id].release));
+                            if r.slack_us >= 0 {
+                                metrics
+                                    .deadline_slack
+                                    .record(Duration::from_micros(r.slack_us as u64));
+                            }
+                        }
+                    }
+                    None => {
+                        simulate_into(batch, cfg.cores_per_server, cfg.scheduler, scratch, outcome);
+                        metrics.deadline_misses += outcome.misses() as u64;
+                        for i in 0..batch.len() {
+                            let finish_ns = outcome.finish_ns[i];
+                            metrics
+                                .response_times
+                                .record_us((finish_ns - batch.release_ns[i]) / 1_000);
+                            if !outcome.missed[i] {
+                                metrics
+                                    .deadline_slack
+                                    .record_us((batch.deadline_ns[i] - finish_ns) / 1_000);
+                            }
                         }
                     }
                 }

@@ -263,14 +263,19 @@ fn fmt_us(d: Duration) -> String {
 }
 
 fn histogram_row(out: &mut String, label: &str, h: &LogHistogram) {
+    // `try_quantile` so an empty histogram renders "-", not a perfect 0.
+    let q = |q: f64| match h.try_quantile(q) {
+        Some(d) => fmt_us(d),
+        None => "-".to_string(),
+    };
     let _ = writeln!(
         out,
         "{label:<18} {:>8} {:>9} {:>9} {:>9} {:>9} {:>9}",
         h.count(),
         fmt_us(h.mean()),
-        fmt_us(h.quantile(0.50)),
-        fmt_us(h.quantile(0.95)),
-        fmt_us(h.quantile(0.99)),
+        q(0.50),
+        q(0.95),
+        q(0.99),
         fmt_us(h.max()),
     );
 }

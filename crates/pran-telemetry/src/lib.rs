@@ -93,6 +93,12 @@ pub fn disable() {
 }
 
 /// Whether tracing is currently enabled (the fast-path check).
+///
+/// One relaxed atomic load. Hot loops should hoist this once per
+/// epoch/worker and skip building event field arrays entirely when it is
+/// false — the arrays (not the guarded [`trace::sim_event`] call) are the
+/// off-mode cost.
+#[inline]
 pub fn enabled() -> bool {
     trace::enabled()
 }

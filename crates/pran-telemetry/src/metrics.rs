@@ -46,8 +46,17 @@ impl LogHistogram {
     }
 
     /// Record a duration.
+    #[inline]
     pub fn record(&mut self, d: Duration) {
-        let us = d.as_micros() as u64;
+        self.record_us(d.as_micros() as u64);
+    }
+
+    /// Record a value already truncated to whole microseconds — the
+    /// zero-conversion entry point for hot paths that keep time as
+    /// integer nanoseconds (`record_us(ns / 1000)` lands in exactly the
+    /// bucket `record(Duration::from_nanos(ns))` would).
+    #[inline]
+    pub fn record_us(&mut self, us: u64) {
         let idx = if us == 0 {
             0
         } else {
@@ -95,9 +104,10 @@ impl LogHistogram {
     /// Approximate quantile with linear interpolation inside the bucket.
     ///
     /// Convenience wrapper over [`LogHistogram::try_quantile`] that maps
-    /// the empty-histogram case to [`Duration::ZERO`]; callers that need
-    /// to distinguish "no samples" from "zero latency" should use
-    /// `try_quantile` directly.
+    /// the empty-histogram case to [`Duration::ZERO`]. Anything that
+    /// *emits* quantiles (bench envelopes, insight tables) must use
+    /// `try_quantile` and render the empty case as `null`/`-`: a masked
+    /// zero reads as a perfect p99 and sails through regression gates.
     pub fn quantile(&self, q: f64) -> Duration {
         self.try_quantile(q).unwrap_or(Duration::ZERO)
     }

@@ -182,6 +182,29 @@ pub fn generate(cfg: &TraceConfig) -> Trace {
     // Scale innovations so the stationary std-dev matches the config.
     let innov_scale = (1.0 - a * a).sqrt();
 
+    // `DiurnalProfile::at` and the weekly factor depend only on the cell
+    // *class* (for_class profiles are shared), so evaluate each once per
+    // step instead of once per cell — the bump Gaussians dominate the
+    // per-cell cost at metro scale. Same expressions, same f64 results.
+    const CLASSES: [CellClass; 4] = [
+        CellClass::Residential,
+        CellClass::Office,
+        CellClass::Transport,
+        CellClass::Entertainment,
+    ];
+    let class_profiles: Vec<DiurnalProfile> = CLASSES
+        .iter()
+        .map(|&class| DiurnalProfile::for_class(class))
+        .collect();
+    let class_of: Vec<usize> = cells
+        .iter()
+        .map(|meta| CLASSES.iter().position(|&k| k == meta.class).unwrap())
+        .collect();
+    debug_assert!(cells
+        .iter()
+        .zip(&class_of)
+        .all(|(meta, &k)| profiles[meta.id] == class_profiles[k]));
+
     for t in 0..steps {
         let t_s = t as f64 * cfg.step_seconds;
         let hour = (t_s / 3600.0) % 24.0;
@@ -190,14 +213,14 @@ pub fn generate(cfg: &TraceConfig) -> Trace {
         regional = a * regional + innov_scale * cfg.regional_sigma * standard_normal(&mut rng);
         let regional_factor = (1.0 + regional).max(0.0);
 
-        let mut row = Vec::with_capacity(cfg.num_cells);
-        for (c, meta) in cells.iter().enumerate() {
-            cell_noise[c] =
-                a * cell_noise[c] + innov_scale * cfg.cell_noise_sigma * standard_normal(&mut rng);
+        let mut envelope_at: [f64; 4] = [0.0; 4];
+        let mut weekly_of: [f64; 4] = [1.0; 4];
+        for (k, &class) in CLASSES.iter().enumerate() {
+            envelope_at[k] = class_profiles[k].at(hour);
             // Weekly seasonality: offices/commutes empty out on weekends,
             // homes and venues pick up part of the slack.
-            let weekly = if weekend && cfg.weekend_factor != 1.0 {
-                match meta.class {
+            weekly_of[k] = if weekend && cfg.weekend_factor != 1.0 {
+                match class {
                     CellClass::Office | CellClass::Transport => cfg.weekend_factor,
                     CellClass::Residential | CellClass::Entertainment => {
                         1.0 + (1.0 - cfg.weekend_factor) * 0.5
@@ -206,7 +229,14 @@ pub fn generate(cfg: &TraceConfig) -> Trace {
             } else {
                 1.0
             };
-            let envelope = profiles[c].at(hour) * meta.peak_utilization * weekly;
+        }
+
+        let mut row = Vec::with_capacity(cfg.num_cells);
+        for (c, meta) in cells.iter().enumerate() {
+            cell_noise[c] =
+                a * cell_noise[c] + innov_scale * cfg.cell_noise_sigma * standard_normal(&mut rng);
+            let k = class_of[c];
+            let envelope = envelope_at[k] * meta.peak_utilization * weekly_of[k];
             let crowd: f64 = cfg
                 .flash_crowds
                 .iter()

@@ -109,7 +109,7 @@ fn latency_budget_builds_the_reachability_matrix() {
     // sites even when the far site has infinite room.
     let demands = vec![200.0; 4];
     let mut inst = PlacementInstance::uniform(&demands, 3, 450.0);
-    inst.allowed = vec![allowed_row.clone(); 4];
+    inst.allowed = pran_sched::placement::Allowed::Uniform(allowed_row.clone());
     let r = place(&inst, Heuristic::BestFitDecreasing);
     assert!(r.complete());
     for (cell, a) in r.placement.assignment.iter().enumerate() {

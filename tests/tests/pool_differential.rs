@@ -1,0 +1,178 @@
+//! Differential layer for the zero-allocation epoch hot path (ISSUE 6).
+//!
+//! `PoolSimulator::run` executes epochs through the reusable
+//! [`HotBuffers`] scratch (flat `TaskBatch` SoA queues, `simulate_into`,
+//! `execute_into`); `run_reference` keeps the original allocate-per-step
+//! path. The two must be *byte-identical* after serde serialization —
+//! every finish time, histogram bucket, failover record and alert — for
+//! every feature that reaches the per-step loop: analytic scheduling,
+//! every policy, warm placement, fronthaul faults, server failures and
+//! the pinned (steal-free) parallel executor.
+//!
+//! Work stealing is intentionally absent: a stealing executor races
+//! cores against each other and is not deterministic, so it is outside
+//! the byte-identity contract (both paths share the same executor there
+//! anyway).
+
+use std::time::Duration;
+
+use pran_sched::placement::WarmConfig;
+use pran_sched::realtime::{ParallelConfig, Policy};
+use pran_sim::{FailureSpec, LinkFault, MetroConfig, MetroSimulator, PoolConfig, PoolSimulator};
+use pran_traces::{generate, Trace, TraceConfig};
+
+fn trace(cells: usize, seed: u64) -> Trace {
+    let mut cfg = TraceConfig::default_day(cells, seed);
+    cfg.duration_seconds = 2.0 * 3600.0;
+    cfg.step_seconds = 120.0;
+    generate(&cfg)
+}
+
+/// Serialize both paths for the same (trace, config, failures) and
+/// compare the exact bytes.
+fn assert_paths_identical(label: &str, cells: usize, cfg: PoolConfig, failures: &[FailureSpec]) {
+    let mut hot = PoolSimulator::new(trace(cells, 42), cfg.clone());
+    let mut reference = PoolSimulator::new(trace(cells, 42), cfg);
+    for &f in failures {
+        hot.inject_failure(f);
+        reference.inject_failure(f);
+    }
+    let hot_json = serde_json::to_string_pretty(&hot.run()).expect("hot report serializes");
+    let ref_json =
+        serde_json::to_string_pretty(&reference.run_reference()).expect("reference serializes");
+    assert_eq!(
+        hot_json, ref_json,
+        "{label}: hot path diverged from reference"
+    );
+}
+
+#[test]
+fn analytic_default_is_identical() {
+    let mut cfg = PoolConfig::default_eval(6);
+    cfg.epoch_steps = 10;
+    assert_paths_identical("analytic default", 16, cfg, &[]);
+}
+
+#[test]
+fn every_policy_is_identical() {
+    for policy in Policy::all() {
+        let mut cfg = PoolConfig::default_eval(5);
+        cfg.epoch_steps = 10;
+        cfg.scheduler = policy;
+        assert_paths_identical(&format!("policy {policy:?}"), 12, cfg, &[]);
+    }
+}
+
+#[test]
+fn warm_placement_is_identical() {
+    let mut cfg = PoolConfig::default_eval(6);
+    cfg.epoch_steps = 10;
+    cfg.warm = Some(WarmConfig::default_eval());
+    assert_paths_identical("warm placement", 16, cfg, &[]);
+}
+
+#[test]
+fn fronthaul_faults_are_identical() {
+    // Drops, jitter and a tight token bucket all at once: exercises the
+    // per-TTI link advance/offer ordering in the hot path.
+    let mut cfg = PoolConfig::default_eval(6);
+    cfg.epoch_steps = 10;
+    cfg.fronthaul = Some(LinkFault {
+        config: pran_fronthaul::fault::FaultConfig {
+            drop_prob: 0.08,
+            max_jitter: Duration::from_micros(400),
+            bucket_capacity: 3,
+            refill_per_tick: 2,
+            refill_interval: Duration::from_millis(1),
+            ..pran_fronthaul::fault::FaultConfig::clean()
+        },
+        seed: 7,
+    });
+    assert_paths_identical("fronthaul faults", 16, cfg, &[]);
+}
+
+#[test]
+fn server_failures_are_identical() {
+    let mut cfg = PoolConfig::default_eval(6);
+    cfg.epoch_steps = 10;
+    let failures = [
+        FailureSpec {
+            server: 1,
+            at: Duration::from_secs(1800),
+            recover_after: Some(Duration::from_secs(1200)),
+        },
+        FailureSpec {
+            server: 3,
+            at: Duration::from_secs(3600),
+            recover_after: None,
+        },
+    ];
+    assert_paths_identical("server failures", 16, cfg, &failures);
+}
+
+#[test]
+fn pinned_parallel_executor_is_identical() {
+    // steal = false keeps the executor deterministic (statically
+    // partitioned cores), so the byte contract extends to it.
+    let mut cfg = PoolConfig::default_eval(5);
+    cfg.epoch_steps = 10;
+    cfg.parallel = Some(ParallelConfig {
+        cores: cfg.cores_per_server,
+        batch: 1,
+        steal: false,
+    });
+    assert_paths_identical("pinned parallel", 12, cfg, &[]);
+}
+
+#[test]
+fn serial_path_records_deadline_slack() {
+    // ISSUE 6 satellite: the analytic branch used to skip
+    // `deadline_slack` entirely, so `analytic` rows rendered a fake
+    // p50 of zero. Every on-time executed task must record one slack
+    // sample; misses must not.
+    let mut cfg = PoolConfig::default_eval(6);
+    cfg.epoch_steps = 10;
+    assert!(
+        cfg.parallel.is_none(),
+        "this test targets the serial branch"
+    );
+    let report = PoolSimulator::new(trace(16, 42), cfg).run();
+    let m = &report.metrics;
+    let executed = m.tasks_total - m.tasks_lost;
+    assert!(executed > 0, "trace produced no executed tasks");
+    assert_eq!(
+        m.deadline_slack.count() + m.deadline_misses,
+        executed,
+        "slack samples + misses must cover every executed task"
+    );
+    assert!(m.deadline_slack.count() > 0, "no slack recorded at all");
+}
+
+/// Metro layer: the sharded driver must inherit byte-identity, and the
+/// hot path must stay independent of the worker crew size.
+#[test]
+fn metro_hot_path_matches_reference_across_worker_counts() {
+    let build = |workers: usize| {
+        let config = MetroConfig {
+            cells: 48,
+            shards: 6,
+            workers,
+            servers_per_shard: 4,
+            seed: 2026,
+        };
+        let mut pool = PoolConfig::default_eval(config.servers_per_shard);
+        pool.warm = Some(WarmConfig::default_eval());
+        let mut tc = TraceConfig::default_day(config.cells, config.seed);
+        tc.duration_seconds = 2.0 * 3600.0;
+        tc.step_seconds = 120.0;
+        MetroSimulator::with_pool(config, pool, tc).unwrap()
+    };
+    let reference = serde_json::to_string_pretty(&build(1).run_reference()).unwrap();
+    for workers in [1usize, 2, 8] {
+        let hot = serde_json::to_string_pretty(&build(workers).run()).unwrap();
+        assert_eq!(
+            hot, reference,
+            "metro hot path with {workers} workers diverged from reference"
+        );
+    }
+}
