@@ -1,25 +1,105 @@
-//! Validate JSONL trace artifacts against the telemetry exporter schema.
+//! Validate telemetry artifacts against their schemas.
 //!
 //! ```text
-//! telemetry_check <trace.jsonl>... [--require-subframes]
+//! telemetry_check <artifact>... [--require-subframes]
 //! ```
 //!
-//! Every path is validated in one pass — schema conformance covers all
-//! event kinds the exporter knows, including `chaos.violation` and
-//! `insight.alert`. Exits non-zero when any file is missing, any line
-//! violates the schema, or (with `--require-subframes`) no validated
-//! trace contains `subframe` events to reconstruct a latency breakdown
-//! from. CI's smoke job runs this over the sample-mode trace and a
-//! chaos trace together.
+//! Two artifact families, dispatched by extension:
+//!
+//! * `*.jsonl` — exporter traces: every line must conform to the event
+//!   schema (all kinds, including `chaos.violation` and `insight.alert`);
+//!   with `--require-subframes`, at least one validated trace must carry
+//!   `subframe` events to reconstruct a latency breakdown from.
+//! * `*.json` — structured documents, dispatched by their `schema` tag:
+//!   `pran-recorder/1` flight-recorder dumps (ring shape, capacity bound,
+//!   strictly increasing record epochs) and `pran-bench/1` envelopes
+//!   (E16's gets its `phases` / `overhead` / `alert` sections checked for
+//!   the soak self-profiling shape).
+//!
+//! Exits non-zero when any file is missing or violates its schema. CI's
+//! smoke job runs this over the sample-mode trace and a chaos trace;
+//! `bench-gate` runs it over `results/e16_soak*.json`.
 
 use pran_telemetry::export::{breakdown_from_jsonl, breakdown_table, validate_jsonl};
+
+/// Validate a structured `.json` artifact by its `schema` tag. Returns a
+/// one-line summary.
+fn validate_json_doc(path: &str, text: &str) -> Result<String, String> {
+    let doc: serde_json::Value =
+        serde_json::from_str(text).map_err(|e| format!("not valid JSON: {e}"))?;
+    let schema = doc
+        .field("schema")
+        .ok()
+        .and_then(|s| s.as_str())
+        .ok_or("no `schema` tag")?
+        .to_string();
+    match schema.as_str() {
+        "pran-recorder/1" => {
+            let n = pran_obs::validate_dump(&doc)?;
+            Ok(format!("flight-recorder dump, {n} record(s)"))
+        }
+        "pran-bench/1" => {
+            let experiment = doc
+                .field("experiment")
+                .ok()
+                .and_then(|e| e.as_str())
+                .ok_or("pran-bench/1 document without `experiment`")?
+                .to_string();
+            let results = doc.field("results").map_err(|e| e.to_string())?;
+            if experiment.starts_with("e16") {
+                validate_e16_sections(results)?;
+                Ok(format!("bench envelope ({experiment}), soak sections ok"))
+            } else {
+                Ok(format!("bench envelope ({experiment})"))
+            }
+        }
+        other => Err(format!("unknown schema tag {other:?} in {path}")),
+    }
+}
+
+/// E16 envelopes must carry the phase-timer and overhead shapes the soak
+/// self-profiling contract promises.
+fn validate_e16_sections(results: &serde_json::Value) -> Result<(), String> {
+    let phases = match results.field("phases").map_err(|e| e.to_string())? {
+        serde_json::Value::Array(a) if !a.is_empty() => a,
+        _ => return Err("`phases` must be a non-empty array".to_string()),
+    };
+    for (i, p) in phases.iter().enumerate() {
+        let name = p
+            .field("phase")
+            .ok()
+            .and_then(|v| v.as_str())
+            .ok_or_else(|| format!("phases[{i}] missing `phase` name"))?;
+        for key in ["wall_p50_us", "wall_p99_us", "wall_share_pct"] {
+            if p.field(key).ok().and_then(|v| v.as_f64()).is_none() {
+                return Err(format!("phase {name:?} missing numeric `{key}`"));
+            }
+        }
+    }
+    let overhead = results.field("overhead").map_err(|e| e.to_string())?;
+    if overhead
+        .field("telemetry_overhead_pct")
+        .ok()
+        .and_then(|v| v.as_f64())
+        .is_none()
+    {
+        return Err("`overhead.telemetry_overhead_pct` must be a number".to_string());
+    }
+    let alert = results.field("alert").map_err(|e| e.to_string())?;
+    for key in ["dump_schema_ok", "dump_matches_registry"] {
+        if alert.field(key).ok().and_then(|v| v.as_bool()) != Some(true) {
+            return Err(format!("`alert.{key}` must be true"));
+        }
+    }
+    Ok(())
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let require_subframes = args.iter().any(|a| a == "--require-subframes");
     let paths: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
     if paths.is_empty() {
-        eprintln!("usage: telemetry_check <trace.jsonl>... [--require-subframes]");
+        eprintln!("usage: telemetry_check <trace.jsonl | doc.json>... [--require-subframes]");
         std::process::exit(2);
     }
 
@@ -32,6 +112,19 @@ fn main() {
                 std::process::exit(1);
             }
         };
+
+        if path.ends_with(".json") {
+            match validate_json_doc(path, &text) {
+                Ok(summary) => {
+                    println!("{path}: {summary}");
+                    continue;
+                }
+                Err(e) => {
+                    eprintln!("telemetry_check: {path}: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
 
         match validate_jsonl(&text) {
             Ok(n) => println!("{path}: {n} events, schema ok"),

@@ -180,4 +180,26 @@ mod tests {
         let back: SystemConfig = serde_json::from_str(&json).unwrap();
         assert_eq!(back, c);
     }
+
+    #[test]
+    fn config_without_slo_hysteresis_fields_parses() {
+        // Soak deployments tune SLO sensitivity through serialized
+        // SystemConfigs; configs written before the hysteresis ratios
+        // existed must decode to the plain edge-triggered 1.0/1.0.
+        let c = SystemConfig::default_eval(4);
+        let mut v = serde_json::to_value(&c).unwrap();
+        if let serde_json::Value::Object(root) = &mut v {
+            let serde_json::Value::Object(mut slo) = root.remove("slo").expect("slo section")
+            else {
+                panic!("slo must serialize as an object");
+            };
+            assert!(slo.remove("trigger_ratio").is_some());
+            assert!(slo.remove("clear_ratio").is_some());
+            root.insert("slo".into(), serde_json::Value::Object(slo));
+        }
+        let back: SystemConfig = serde_json::from_str(&v.to_json_string()).unwrap();
+        assert_eq!(back.slo.trigger_ratio, 1.0);
+        assert_eq!(back.slo.clear_ratio, 1.0);
+        assert_eq!(back, c);
+    }
 }

@@ -39,6 +39,11 @@ pub struct GateConfig {
     /// regresses when it drops more than this fraction *below* the
     /// baseline (lower-is-worse, unlike every other gated class).
     pub throughput_rel: f64,
+    /// Absolute tolerance, in percentage points, for overhead-class
+    /// metrics (`*overhead_pct*`): telemetry overhead is a noisy
+    /// wall-clock ratio, so it is gated on absolute drift rather than
+    /// relative change.
+    pub overhead_abs_pts: f64,
 }
 
 impl Default for GateConfig {
@@ -52,6 +57,7 @@ impl Default for GateConfig {
             latency_rel: 0.15,
             latency_abs: 50.0,
             throughput_rel: 0.10,
+            overhead_abs_pts: 10.0,
         }
     }
 }
@@ -67,6 +73,9 @@ pub enum MetricClass {
     /// floor — once a speedup lands in the committed baseline, dropping
     /// more than the tolerance below it fails the gate.
     Throughput,
+    /// Self-measured overhead percentages (`telemetry_overhead_pct`):
+    /// higher is worse, gated on absolute percentage-point drift.
+    Overhead,
     /// Everything else: reported but never a regression.
     Info,
 }
@@ -78,6 +87,7 @@ impl MetricClass {
             MetricClass::MissRatio => "miss_ratio",
             MetricClass::Latency => "latency",
             MetricClass::Throughput => "throughput",
+            MetricClass::Overhead => "overhead",
             MetricClass::Info => "info",
         }
     }
@@ -86,6 +96,19 @@ impl MetricClass {
 /// Classify a flattened metric path by name.
 pub fn classify(path: &str) -> MetricClass {
     let lower = path.to_ascii_lowercase();
+    // Overhead first: `telemetry_overhead_pct` would otherwise never be
+    // gated (no miss/latency/throughput key matches it), and it needs
+    // its own absolute-drift tolerance.
+    if lower.contains("overhead_pct") {
+        return MetricClass::Overhead;
+    }
+    // Host wall-clock measurements (soak `wall_mean_us`, `scrape_p99_us`)
+    // vary with the runner and must stay informational even though their
+    // names contain latency keys.
+    const INFO_KEYS: [&str; 2] = ["wall", "scrape"];
+    if INFO_KEYS.iter().any(|k| lower.contains(k)) {
+        return MetricClass::Info;
+    }
     const MISS_KEYS: [&str; 5] = ["miss_ratio", "misses", "missed", "lost", "violations"];
     if MISS_KEYS.iter().any(|k| lower.contains(k)) {
         return MetricClass::MissRatio;
@@ -347,6 +370,7 @@ pub fn compare_envelopes(
                 (config.latency_rel * baseline_value.abs()).max(config.latency_abs)
             }
             MetricClass::Throughput => config.throughput_rel * baseline_value.abs(),
+            MetricClass::Overhead => config.overhead_abs_pts,
             MetricClass::Info => f64::INFINITY,
         };
         // Throughput is the one lower-is-worse class: a drop past the
@@ -415,6 +439,40 @@ mod tests {
         assert_eq!(classify("shard.throughput"), MetricClass::Throughput);
         assert_eq!(classify("headline.ns_per_task"), MetricClass::Info);
         assert_eq!(classify("servers_used"), MetricClass::Info);
+        // Overhead percentages get their own absolute-drift class.
+        assert_eq!(
+            classify("overhead.telemetry_overhead_pct"),
+            MetricClass::Overhead
+        );
+        // Host wall/scrape timings stay Info even with latency-looking
+        // suffixes — they track the runner, not the simulated system.
+        assert_eq!(classify("phases.execute_wall_p99_us"), MetricClass::Info);
+        assert_eq!(classify("scrape.latency_mean_us"), MetricClass::Info);
+        assert_eq!(classify("sustained.wall_ms"), MetricClass::Info);
+    }
+
+    #[test]
+    fn overhead_gates_on_absolute_point_drift() {
+        let ov = |v: f64| {
+            envelope(
+                "e16",
+                serde_json::from_str(&format!(
+                    "{{\"overhead\":{{\"telemetry_overhead_pct\":{v}}}}}"
+                ))
+                .unwrap(),
+            )
+        };
+        let cfg = GateConfig::default();
+        let base = ov(4.0);
+        // +8 points: inside the 10-point absolute band (even though it
+        // is a 3× relative increase).
+        assert!(compare_envelopes(&base, &ov(12.0), &cfg).unwrap().ok());
+        // +15 points: a real overhead regression.
+        let report = compare_envelopes(&base, &ov(19.0), &cfg).unwrap();
+        assert!(!report.ok());
+        assert_eq!(report.regressions()[0].class, MetricClass::Overhead);
+        // Negative overhead (timer noise at tiny scales) never trips.
+        assert!(compare_envelopes(&base, &ov(-3.0), &cfg).unwrap().ok());
     }
 
     #[test]

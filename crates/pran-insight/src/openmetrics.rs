@@ -70,9 +70,19 @@ fn label_set(labels: &[Label], extra: Option<(&str, String)>) -> String {
 }
 
 fn fmt_number(v: f64) -> String {
-    // OpenMetrics numbers: plain decimal; Rust's shortest round-trip
-    // format already fits.
-    format!("{v}")
+    // OpenMetrics numbers: plain decimal for finite values (Rust's
+    // shortest round-trip format fits), but the spec spells non-finite
+    // values `+Inf`/`-Inf`/`NaN` — Rust's `{}` prints `inf`, which
+    // scrapers reject.
+    if v.is_nan() {
+        "NaN".to_string()
+    } else if v == f64::INFINITY {
+        "+Inf".to_string()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".to_string()
+    } else {
+        format!("{v}")
+    }
 }
 
 fn write_histogram(out: &mut String, name: &str, labels: &[Label], h: &LogHistogram) {
@@ -180,6 +190,30 @@ mod tests {
         r.inc("ilp.nodes", &[("policy", "ffd")], 1);
         let text = render(&r.snapshot());
         assert_eq!(text.matches("# TYPE ilp_nodes counter").count(), 1);
+    }
+
+    #[test]
+    fn non_finite_numbers_use_openmetrics_spellings() {
+        assert_eq!(fmt_number(f64::NAN), "NaN");
+        assert_eq!(fmt_number(f64::INFINITY), "+Inf");
+        assert_eq!(fmt_number(f64::NEG_INFINITY), "-Inf");
+        assert_eq!(fmt_number(1.5), "1.5");
+        assert_eq!(fmt_number(-0.25), "-0.25");
+        // A rendered gauge carries the spec spelling end to end — `inf`
+        // (Rust's Display) would be rejected by scrapers.
+        let r = Registry::new();
+        r.gauge("edge.ratio", &[], f64::INFINITY);
+        let text = render(&r.snapshot());
+        assert!(text.contains("edge_ratio +Inf\n"), "got: {text}");
+        assert!(!text.contains(" inf"), "got: {text}");
+        // Empty histograms expose NaN quantiles, spelled per spec.
+        let r = Registry::new();
+        r.merge_histogram("empty.h", &[], &LogHistogram::new());
+        let text = render(&r.snapshot());
+        assert!(
+            text.contains("empty_h{quantile=\"0.5\"} NaN"),
+            "got: {text}"
+        );
     }
 
     #[test]

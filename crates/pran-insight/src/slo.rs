@@ -69,7 +69,7 @@ impl SloMetric {
 /// Mirrors the `ChaosConfig` safety envelope (1 % miss ratio, 200 ms
 /// outage) so the online monitor and the post-hoc chaos invariants
 /// agree about what "unhealthy" means.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
 pub struct SloPolicy {
     /// Maximum tolerated deadline-miss ratio.
     pub miss_ratio_max: f64,
@@ -83,6 +83,16 @@ pub struct SloPolicy {
     pub unplaced_max: u64,
     /// EWMA smoothing factor in `(0, 1]`; 1 disables smoothing.
     pub ewma_alpha: f64,
+    /// Trigger sensitivity: a metric enters breach when its value
+    /// exceeds `threshold × trigger_ratio`. 1.0 (the default, and what
+    /// older serialized configs decode to) keeps the pre-hysteresis
+    /// behavior.
+    pub trigger_ratio: f64,
+    /// Clear sensitivity: a breached metric re-arms only once its value
+    /// drops to `threshold × clear_ratio` or below. Set below
+    /// `trigger_ratio` for hysteresis (fewer flapping re-alerts); 1.0
+    /// (default) clears at the plain threshold.
+    pub clear_ratio: f64,
 }
 
 impl SloPolicy {
@@ -97,6 +107,8 @@ impl SloPolicy {
             reports_lost_max: 0,
             unplaced_max: 0,
             ewma_alpha: 0.3,
+            trigger_ratio: 1.0,
+            clear_ratio: 1.0,
         }
     }
 
@@ -116,6 +128,36 @@ impl SloPolicy {
 impl Default for SloPolicy {
     fn default() -> Self {
         Self::default_eval()
+    }
+}
+
+// Hand-written so configs serialized before the hysteresis ratios
+// existed still parse (the vendored derive has no `#[serde(default)]`):
+// absent `trigger_ratio`/`clear_ratio` fields decode to 1.0.
+impl Deserialize for SloPolicy {
+    fn from_json_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let ratio = |name: &str| -> Result<f64, serde::Error> {
+            match v.field(name)? {
+                serde::Value::Null => Ok(1.0),
+                other => Deserialize::from_json_value(other).map_err(|e| e.at(name)),
+            }
+        };
+        Ok(SloPolicy {
+            miss_ratio_max: Deserialize::from_json_value(v.field("miss_ratio_max")?)
+                .map_err(|e| e.at("miss_ratio_max"))?,
+            utilization_max: Deserialize::from_json_value(v.field("utilization_max")?)
+                .map_err(|e| e.at("utilization_max"))?,
+            outage_p99_max: Deserialize::from_json_value(v.field("outage_p99_max")?)
+                .map_err(|e| e.at("outage_p99_max"))?,
+            reports_lost_max: Deserialize::from_json_value(v.field("reports_lost_max")?)
+                .map_err(|e| e.at("reports_lost_max"))?,
+            unplaced_max: Deserialize::from_json_value(v.field("unplaced_max")?)
+                .map_err(|e| e.at("unplaced_max"))?,
+            ewma_alpha: Deserialize::from_json_value(v.field("ewma_alpha")?)
+                .map_err(|e| e.at("ewma_alpha"))?,
+            trigger_ratio: ratio("trigger_ratio")?,
+            clear_ratio: ratio("clear_ratio")?,
+        })
     }
 }
 
@@ -250,8 +292,16 @@ impl SloMonitor {
             None => value,
         };
         self.ewma[slot] = Some(ewma);
-        let threshold = self.policy.threshold(metric);
-        let breach = value > threshold;
+        let base = self.policy.threshold(metric);
+        // Hysteresis band: breach past `base × trigger_ratio`, re-arm only
+        // at or below `base × clear_ratio` (both 1.0 by default, which is
+        // the plain edge-triggered behavior).
+        let threshold = base * self.policy.trigger_ratio;
+        let breach = if self.breached[slot] {
+            value > base * self.policy.clear_ratio
+        } else {
+            value > threshold
+        };
         if breach && !self.breached[slot] {
             let alert = Alert {
                 metric,
@@ -465,5 +515,54 @@ mod tests {
         let json = serde_json::to_string(&p).unwrap();
         let back: SloPolicy = serde_json::from_str(&json).unwrap();
         assert_eq!(back, p);
+    }
+
+    #[test]
+    fn policy_without_hysteresis_fields_still_parses() {
+        // Configs serialized before trigger/clear ratios existed must
+        // decode to the plain edge-triggered behavior (both 1.0).
+        let json = r#"{
+            "miss_ratio_max": 0.02,
+            "utilization_max": 0.9,
+            "outage_p99_max": {"secs": 0, "nanos": 200000000},
+            "reports_lost_max": 0,
+            "unplaced_max": 0,
+            "ewma_alpha": 0.3
+        }"#;
+        let p: SloPolicy = serde_json::from_str(json).unwrap();
+        assert_eq!(p.trigger_ratio, 1.0);
+        assert_eq!(p.clear_ratio, 1.0);
+        assert!((p.miss_ratio_max - 0.02).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hysteresis_band_suppresses_flapping_realerts() {
+        // trigger at 2× threshold (0.02), clear at 0.5× (0.005): values
+        // oscillating between 0.008 and 0.03 alert once, not per epoch.
+        let mut m = SloMonitor::new(SloPolicy {
+            trigger_ratio: 2.0,
+            clear_ratio: 0.5,
+            ..SloPolicy::default_eval()
+        });
+        let with_miss = |epoch: u64, miss: f64| EpochSample {
+            miss_ratio: Some(miss),
+            ..quiet(epoch)
+        };
+        // Above base threshold but below the trigger: no breach.
+        assert_eq!(m.observe_epoch(&with_miss(0, 0.015)), 0);
+        assert!(!m.in_breach(SloMetric::MissRatio));
+        // Past the trigger: one alert, reporting the effective trigger.
+        assert_eq!(m.observe_epoch(&with_miss(1, 0.03)), 1);
+        assert!((m.alerts()[0].threshold - 0.02).abs() < 1e-12);
+        // Dips below base threshold but above clear: still in breach,
+        // so the rebound to 0.03 does not re-alert.
+        assert_eq!(m.observe_epoch(&with_miss(2, 0.008)), 0);
+        assert!(m.in_breach(SloMetric::MissRatio));
+        assert_eq!(m.observe_epoch(&with_miss(3, 0.03)), 0);
+        // Drops to the clear line: re-arms, next excursion re-alerts.
+        assert_eq!(m.observe_epoch(&with_miss(4, 0.005)), 0);
+        assert!(!m.in_breach(SloMetric::MissRatio));
+        assert_eq!(m.observe_epoch(&with_miss(5, 0.03)), 1);
+        assert_eq!(m.alerts().len(), 2);
     }
 }

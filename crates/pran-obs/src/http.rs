@@ -1,0 +1,272 @@
+//! A dependency-free scrape endpoint over `std::net`.
+//!
+//! The soak service publishes one immutable [`Published`] snapshot per
+//! epoch (an `Arc` swap behind a mutex — the simulation thread never
+//! renders text or serializes JSON for scrapers, and a slow scraper can
+//! never block an epoch). A single acceptor thread answers:
+//!
+//! * `GET /metrics`  — the registry snapshot in OpenMetrics text
+//!   exposition format (rendered on the HTTP thread, `# EOF` terminated);
+//! * `GET /healthz`  — liveness plus the current epoch counter;
+//! * `GET /recorder` — the flight recorder's current ring as a
+//!   `pran-recorder/1` JSON document.
+//!
+//! Everything speaks blocking HTTP/1.0-style request/response with
+//! `Connection: close` — exactly enough for `curl` and a Prometheus
+//! scraper, with zero dependencies beyond `std`.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use pran_insight::openmetrics;
+use pran_telemetry::RegistrySnapshot;
+
+/// What the simulation thread publishes once per epoch.
+#[derive(Debug, Clone)]
+pub struct Published {
+    /// Epochs completed when this snapshot was cut.
+    pub epoch: u64,
+    /// Metrics registry snapshot (rendered to OpenMetrics per scrape).
+    pub snapshot: Arc<RegistrySnapshot>,
+    /// Flight-recorder dump document (`pran-recorder/1`).
+    pub recorder: Arc<serde::Value>,
+}
+
+impl Published {
+    /// The pre-first-epoch snapshot: an empty registry and recorder.
+    pub fn empty() -> Self {
+        Published {
+            epoch: 0,
+            snapshot: Arc::new(RegistrySnapshot {
+                instruments: Vec::new(),
+            }),
+            recorder: Arc::new(serde::Value::Null),
+        }
+    }
+}
+
+struct Shared {
+    published: Mutex<Arc<Published>>,
+    stop: AtomicBool,
+}
+
+/// The scrape endpoint: a bound listener plus its acceptor thread.
+pub struct ObsServer {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ObsServer {
+    /// Bind `addr` (e.g. `"127.0.0.1:9184"`, port 0 for ephemeral) and
+    /// start the acceptor thread.
+    pub fn bind(addr: &str) -> std::io::Result<ObsServer> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            published: Mutex::new(Arc::new(Published::empty())),
+            stop: AtomicBool::new(false),
+        });
+        let worker = Arc::clone(&shared);
+        let handle = std::thread::Builder::new()
+            .name("pran-obs-http".to_string())
+            .spawn(move || {
+                for stream in listener.incoming() {
+                    if worker.stop.load(Ordering::Acquire) {
+                        break;
+                    }
+                    if let Ok(stream) = stream {
+                        // One request per connection; errors just drop it.
+                        let _ = serve_one(stream, &worker);
+                    }
+                }
+            })?;
+        Ok(ObsServer {
+            addr,
+            shared,
+            handle: Some(handle),
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Swap in this epoch's snapshot. Cheap for the caller: one `Arc`
+    /// allocation and a mutex-guarded pointer swap.
+    pub fn publish(&self, p: Published) {
+        *self.shared.published.lock().expect("publish lock") = Arc::new(p);
+    }
+
+    /// Stop the acceptor thread and release the port.
+    pub fn shutdown(mut self) {
+        self.stop_acceptor();
+    }
+
+    fn stop_acceptor(&mut self) {
+        if let Some(handle) = self.handle.take() {
+            self.shared.stop.store(true, Ordering::Release);
+            // Unblock the accept loop with a throwaway connection.
+            let _ = TcpStream::connect(self.addr);
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for ObsServer {
+    fn drop(&mut self) {
+        self.stop_acceptor();
+    }
+}
+
+fn serve_one(mut stream: TcpStream, shared: &Shared) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_secs(2)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(10)))?;
+    let path = match read_request_path(&mut stream)? {
+        Some(p) => p,
+        None => return Ok(()),
+    };
+    let published = Arc::clone(&shared.published.lock().expect("scrape lock"));
+    let (status, content_type, body) = match path.as_str() {
+        "/metrics" => (
+            "200 OK",
+            "application/openmetrics-text; version=1.0.0; charset=utf-8",
+            openmetrics::render(&published.snapshot),
+        ),
+        "/healthz" => (
+            "200 OK",
+            "text/plain; charset=utf-8",
+            format!("ok\nepoch {}\n", published.epoch),
+        ),
+        "/recorder" => (
+            "200 OK",
+            "application/json; charset=utf-8",
+            published.recorder.to_json_string_pretty(),
+        ),
+        _ => (
+            "404 Not Found",
+            "text/plain; charset=utf-8",
+            format!("no route for {path}\n"),
+        ),
+    };
+    let header = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(header.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+/// Read the request head and return the path of a `GET` request
+/// (`None` for anything unparseable — the connection is just dropped).
+fn read_request_path(stream: &mut TcpStream) -> std::io::Result<Option<String>> {
+    let mut buf = [0u8; 4096];
+    let mut used = 0;
+    loop {
+        // Stop once the request line is complete; ignore the rest of the
+        // head (scrapers send no body on GET).
+        if let Some(eol) = buf[..used].iter().position(|&b| b == b'\n') {
+            let line = String::from_utf8_lossy(&buf[..eol]);
+            let mut parts = line.split_whitespace();
+            let method = parts.next().unwrap_or("");
+            let path = parts.next().unwrap_or("");
+            if method != "GET" || path.is_empty() {
+                return Ok(None);
+            }
+            return Ok(Some(path.to_string()));
+        }
+        if used == buf.len() {
+            return Ok(None);
+        }
+        let n = stream.read(&mut buf[used..])?;
+        if n == 0 {
+            return Ok(None);
+        }
+        used += n;
+    }
+}
+
+/// Minimal blocking HTTP GET against the soak endpoint — for tests, the
+/// CI smoke job and the E16 scrape benchmark. Returns
+/// `(status_code, body)`.
+pub fn http_get(addr: SocketAddr, path: &str) -> std::io::Result<(u16, String)> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(10)))?;
+    write!(
+        stream,
+        "GET {path} HTTP/1.1\r\nHost: pran-soak\r\nConnection: close\r\n\r\n"
+    )?;
+    stream.flush()?;
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw)?;
+    let (head, body) = raw
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidData, "no header break"))?;
+    let status = head
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse::<u16>().ok())
+        .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidData, "no status code"))?;
+    Ok((status, body.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pran_telemetry::Registry;
+
+    #[test]
+    fn serves_metrics_healthz_recorder_and_404() {
+        let server = ObsServer::bind("127.0.0.1:0").unwrap();
+        let r = Registry::new();
+        r.inc("soak.epochs", &[], 3);
+        r.gauge("soak.miss_ratio", &[], 0.25);
+        server.publish(Published {
+            epoch: 3,
+            snapshot: Arc::new(r.snapshot()),
+            recorder: Arc::new(serde::Value::Array(Vec::new())),
+        });
+
+        let (code, metrics) = http_get(server.addr(), "/metrics").unwrap();
+        assert_eq!(code, 200);
+        assert!(metrics.contains("soak_epochs_total 3"), "{metrics}");
+        assert!(metrics.contains("soak_miss_ratio 0.25"), "{metrics}");
+        assert!(metrics.ends_with("# EOF\n"), "{metrics}");
+
+        let (code, health) = http_get(server.addr(), "/healthz").unwrap();
+        assert_eq!(code, 200);
+        assert!(health.contains("epoch 3"), "{health}");
+
+        let (code, rec) = http_get(server.addr(), "/recorder").unwrap();
+        assert_eq!(code, 200);
+        assert_eq!(rec.trim(), "[]");
+
+        let (code, _) = http_get(server.addr(), "/nope").unwrap();
+        assert_eq!(code, 404);
+        server.shutdown();
+    }
+
+    #[test]
+    fn publish_swaps_snapshots_between_scrapes() {
+        let server = ObsServer::bind("127.0.0.1:0").unwrap();
+        let (_, health0) = http_get(server.addr(), "/healthz").unwrap();
+        assert!(health0.contains("epoch 0"));
+        for epoch in 1..=3u64 {
+            server.publish(Published {
+                epoch,
+                snapshot: Arc::new(RegistrySnapshot {
+                    instruments: Vec::new(),
+                }),
+                recorder: Arc::new(serde::Value::Null),
+            });
+        }
+        let (_, health) = http_get(server.addr(), "/healthz").unwrap();
+        assert!(health.contains("epoch 3"), "{health}");
+        server.shutdown();
+    }
+}

@@ -1,0 +1,32 @@
+//! `pran-obs` — the live observability plane for a resident PRAN soak.
+//!
+//! `pran-telemetry` records, `pran-insight` explains; this crate makes a
+//! *running* deployment observable from the outside while it keeps
+//! running:
+//!
+//! - [`recorder`] — a flight recorder: fixed-capacity, allocation-free
+//!   ring of per-epoch records, dumped as `pran-recorder/1` JSON when an
+//!   SLO alert or safety violation fires;
+//! - [`phases`] — self-profiling of the epoch loop
+//!   (ingest / dispatch / execute / merge / telemetry wall-clock
+//!   histograms and the measured telemetry share);
+//! - [`http`] — a dependency-free scrape endpoint over `std::net`:
+//!   `GET /metrics` (OpenMetrics, `# EOF`-terminated), `/healthz`,
+//!   `/recorder`, answering from immutable per-epoch snapshots so
+//!   scrapers never block the simulation;
+//! - [`soak`] — the runner wiring a
+//!   [`ResidentMetro`](pran_sim::ResidentMetro) into all of the above,
+//!   one epoch at a time.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod http;
+pub mod phases;
+pub mod recorder;
+pub mod soak;
+
+pub use http::{http_get, ObsServer, Published};
+pub use phases::{Phase, PhaseProfiler};
+pub use recorder::{validate_dump, FlightRecorder};
+pub use soak::{SoakConfig, SoakEpoch, SoakRunner};

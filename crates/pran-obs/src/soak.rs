@@ -1,0 +1,349 @@
+//! The soak runner: a resident metro wired into the observability plane.
+//!
+//! [`SoakRunner`] owns one [`ResidentMetro`] plus the full observability
+//! stack — a metrics [`Registry`], a [`FlightRecorder`] of
+//! [`EpochRecord`]s, a [`PhaseProfiler`], and optionally an [`ObsServer`]
+//! scrape endpoint. Each [`SoakRunner::run_epoch`]:
+//!
+//! 1. steps the metro one epoch (ingest/dispatch/execute/merge, timed by
+//!    the service itself);
+//! 2. pushes the epoch's deterministic record into the flight recorder
+//!    (allocation-free);
+//! 3. updates the registry (counters, per-epoch gauges, phase
+//!    histograms) and publishes an immutable snapshot to the scrape
+//!    endpoint;
+//! 4. when the SLO monitor raised an alert — or a chaos-style safety
+//!    violation rose — dumps the recorder ring to a JSON file so the
+//!    incident's immediate history survives the soak.
+//!
+//! The whole step-3/4 block is timed as the *telemetry* phase, which is
+//! what E16's `telemetry_overhead_pct` gate measures.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Instant;
+
+use pran_sim::service::{EpochRecord, EpochStatus, ResidentMetro};
+use pran_telemetry::Registry;
+
+use crate::http::{ObsServer, Published};
+use crate::phases::{Phase, PhaseProfiler};
+use crate::recorder::FlightRecorder;
+
+/// Soak-specific knobs (the metro shape lives in the [`ResidentMetro`]).
+#[derive(Debug, Clone)]
+pub struct SoakConfig {
+    /// Flight-recorder ring capacity (last K epochs).
+    pub recorder_capacity: usize,
+    /// Where triggered recorder dumps are written (`None` = keep dumps
+    /// in memory only, see [`SoakRunner::last_dump`]).
+    pub dump_dir: Option<PathBuf>,
+    /// Dump filename prefix: `{prefix}_recorder_e{epoch}.json`.
+    pub dump_prefix: String,
+}
+
+impl Default for SoakConfig {
+    fn default() -> Self {
+        SoakConfig {
+            recorder_capacity: 256,
+            dump_dir: None,
+            dump_prefix: "soak".to_string(),
+        }
+    }
+}
+
+/// What one soak epoch produced beyond the service's own status.
+#[derive(Debug, Clone)]
+pub struct SoakEpoch {
+    /// The service's epoch status (record, alerts, phase timings).
+    pub status: EpochStatus,
+    /// Path of the recorder dump this epoch triggered, if any.
+    pub dumped: Option<PathBuf>,
+}
+
+/// A resident metro plus its observability plane.
+pub struct SoakRunner {
+    metro: ResidentMetro,
+    cfg: SoakConfig,
+    recorder: FlightRecorder<EpochRecord>,
+    profiler: PhaseProfiler,
+    registry: Registry,
+    server: Option<ObsServer>,
+    prev_violation: bool,
+    prev_telemetry_ns: u64,
+    /// The most recent triggered dump (document + path, path `None` when
+    /// `dump_dir` is unset).
+    last_dump: Option<(serde::Value, Option<PathBuf>)>,
+    dumps_written: u64,
+}
+
+impl SoakRunner {
+    /// Wrap a resident metro in the observability plane.
+    pub fn new(metro: ResidentMetro, cfg: SoakConfig) -> Self {
+        let recorder = FlightRecorder::new(cfg.recorder_capacity);
+        SoakRunner {
+            metro,
+            cfg,
+            recorder,
+            profiler: PhaseProfiler::new(),
+            registry: Registry::new(),
+            server: None,
+            prev_violation: false,
+            prev_telemetry_ns: 0,
+            last_dump: None,
+            dumps_written: 0,
+        }
+    }
+
+    /// Attach a scrape endpoint bound at `addr` (port 0 for ephemeral).
+    pub fn serve(&mut self, addr: &str) -> std::io::Result<std::net::SocketAddr> {
+        let server = ObsServer::bind(addr)?;
+        let bound = server.addr();
+        self.server = Some(server);
+        Ok(bound)
+    }
+
+    /// The resident metro (for fault injection: `kill_servers`, …).
+    pub fn metro_mut(&mut self) -> &mut ResidentMetro {
+        &mut self.metro
+    }
+
+    /// The resident metro.
+    pub fn metro(&self) -> &ResidentMetro {
+        &self.metro
+    }
+
+    /// The soak's metrics registry.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// The flight recorder.
+    pub fn recorder(&self) -> &FlightRecorder<EpochRecord> {
+        &self.recorder
+    }
+
+    /// The phase profiler.
+    pub fn profiler(&self) -> &PhaseProfiler {
+        &self.profiler
+    }
+
+    /// The most recent triggered dump document (and its file path when
+    /// `dump_dir` was configured).
+    pub fn last_dump(&self) -> Option<&(serde::Value, Option<PathBuf>)> {
+        self.last_dump.as_ref()
+    }
+
+    /// Triggered dumps so far.
+    pub fn dumps_written(&self) -> u64 {
+        self.dumps_written
+    }
+
+    /// Step one epoch through the full observability pipeline.
+    pub fn run_epoch(&mut self) -> SoakEpoch {
+        let status = self.metro.step_epoch();
+        let telemetry_start = Instant::now();
+        let rec = status.record;
+
+        // Flight recorder: allocation-free ring push.
+        self.recorder.push(rec);
+
+        // Phase profile: the service timed its own four phases; the
+        // telemetry phase is timed around this whole block.
+        self.profiler.record_ns(Phase::Ingest, status.ingest_ns);
+        self.profiler.record_ns(Phase::Dispatch, status.dispatch_ns);
+        self.profiler.record_ns(Phase::Execute, status.execute_ns);
+        self.profiler.record_ns(Phase::Merge, status.merge_ns);
+
+        // Registry: monotonic counters + per-epoch gauges.
+        let r = &self.registry;
+        r.inc("soak.epochs", &[], 1);
+        r.inc("soak.tasks", &[], rec.tasks);
+        r.inc("soak.misses", &[], rec.misses);
+        r.inc("soak.lost", &[], rec.lost);
+        r.inc("soak.reports_lost", &[], rec.reports_lost);
+        r.inc("soak.alerts", &[], status.alerts.len() as u64);
+        r.gauge("soak.epoch", &[], rec.epoch as f64);
+        r.gauge("soak.miss_ratio", &[], rec.miss_ratio);
+        r.gauge("soak.cum_miss_ratio", &[], rec.cum_miss_ratio);
+        r.gauge("soak.utilization", &[], rec.utilization);
+        r.gauge("soak.slack_p99_us", &[], rec.slack_p99_us as f64);
+        r.gauge("soak.peak_queue_depth", &[], rec.peak_queue_depth as f64);
+        r.gauge("soak.servers_used", &[], rec.servers_used as f64);
+        r.gauge("soak.alive_servers", &[], rec.alive_servers as f64);
+        r.gauge("soak.unplaced", &[], rec.unplaced as f64);
+        let phase_ns = [
+            ("ingest", status.ingest_ns),
+            ("dispatch", status.dispatch_ns),
+            ("execute", status.execute_ns),
+            ("merge", status.merge_ns),
+            // The telemetry phase is still running — publish the previous
+            // epoch's measurement (one-epoch lag, zero on the first).
+            ("telemetry", self.prev_telemetry_ns),
+        ];
+        for (name, ns) in phase_ns {
+            r.observe(
+                "soak.phase_wall",
+                &[("phase", name)],
+                std::time::Duration::from_nanos(ns),
+            );
+        }
+
+        // Triggered dump: on any SLO alert, or on a rising safety
+        // violation (level → edge so a sustained breach dumps once).
+        let reason = if !status.alerts.is_empty() {
+            Some("slo-alert")
+        } else if rec.violation && !self.prev_violation {
+            Some("violation")
+        } else {
+            None
+        };
+        self.prev_violation = rec.violation;
+        let mut dumped = None;
+        if let Some(reason) = reason {
+            let doc = self.recorder.dump(reason, rec.epoch);
+            let path = self.cfg.dump_dir.as_ref().map(|dir| {
+                dir.join(format!(
+                    "{}_recorder_e{}.json",
+                    self.cfg.dump_prefix, rec.epoch
+                ))
+            });
+            if let Some(p) = &path {
+                if let Some(parent) = p.parent() {
+                    let _ = std::fs::create_dir_all(parent);
+                }
+                if std::fs::write(p, doc.to_json_string_pretty()).is_ok() {
+                    self.dumps_written += 1;
+                    dumped = Some(p.clone());
+                }
+            } else {
+                self.dumps_written += 1;
+            }
+            r.inc("soak.recorder_dumps", &[], 1);
+            self.last_dump = Some((doc, path));
+        }
+
+        // Publish: immutable snapshot swap; scrapers render off-thread.
+        if let Some(server) = &self.server {
+            server.publish(Published {
+                epoch: rec.epoch + 1,
+                snapshot: Arc::new(r.snapshot()),
+                recorder: Arc::new(self.recorder.dump("scrape", rec.epoch)),
+            });
+        }
+
+        let telemetry_ns = telemetry_start.elapsed().as_nanos() as u64;
+        self.profiler.record_ns(Phase::Telemetry, telemetry_ns);
+        self.prev_telemetry_ns = telemetry_ns;
+
+        SoakEpoch { status, dumped }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::http::http_get;
+    use crate::recorder::validate_dump;
+    use pran_sim::{MetroConfig, ResidentMetro};
+
+    fn small_runner() -> SoakRunner {
+        let metro = ResidentMetro::try_new(MetroConfig::default_eval(16, 2)).unwrap();
+        SoakRunner::new(
+            metro,
+            SoakConfig {
+                recorder_capacity: 8,
+                dump_dir: None,
+                dump_prefix: "test".to_string(),
+            },
+        )
+    }
+
+    #[test]
+    fn epochs_flow_through_recorder_registry_and_endpoint() {
+        let mut runner = small_runner();
+        let addr = runner.serve("127.0.0.1:0").unwrap();
+        for _ in 0..3 {
+            runner.run_epoch();
+        }
+        assert_eq!(runner.recorder().len(), 3);
+        let (code, metrics) = http_get(addr, "/metrics").unwrap();
+        assert_eq!(code, 200);
+        assert!(metrics.contains("soak_epochs_total 3"), "{metrics}");
+        assert!(metrics.contains("soak_phase_wall"), "{metrics}");
+        assert!(metrics.ends_with("# EOF\n"));
+        let (_, rec) = http_get(addr, "/recorder").unwrap();
+        let doc: serde::Value = serde_json::from_str(&rec).unwrap();
+        assert_eq!(validate_dump(&doc), Ok(3));
+    }
+
+    #[test]
+    fn forced_degradation_triggers_a_dump_matching_the_registry() {
+        let mut runner = small_runner();
+        runner.run_epoch();
+        assert!(runner.last_dump().is_none());
+        let servers = {
+            let m = runner.metro();
+            m.config().servers_per_shard
+        };
+        runner.metro_mut().kill_servers(0, servers);
+        let epoch = runner.run_epoch();
+        assert!(
+            !epoch.status.alerts.is_empty() || epoch.status.record.violation,
+            "killing a whole shard must alert"
+        );
+        let (doc, path) = runner.last_dump().expect("a dump must be cut");
+        assert!(path.is_none(), "no dump_dir configured");
+        let n = validate_dump(doc).unwrap();
+        assert!(n >= 2);
+        // The dump's last record is the epoch the registry currently shows.
+        let records = match doc.field("records").unwrap() {
+            serde::Value::Array(a) => a,
+            _ => panic!("records array"),
+        };
+        let last = records.last().unwrap();
+        let snap = runner.registry().snapshot();
+        let gauge = |name: &str| -> f64 {
+            snap.instruments
+                .iter()
+                .find_map(|i| match (&i.name, &i.value) {
+                    (n, pran_telemetry::metrics::InstrumentValue::Gauge(g)) if n == name => {
+                        Some(*g)
+                    }
+                    _ => None,
+                })
+                .unwrap_or_else(|| panic!("gauge {name} missing"))
+        };
+        assert_eq!(
+            last.field("miss_ratio").unwrap().as_f64().unwrap(),
+            gauge("soak.miss_ratio")
+        );
+        assert_eq!(
+            last.field("epoch").unwrap().as_u64().unwrap() as f64,
+            gauge("soak.epoch")
+        );
+        assert_eq!(
+            last.field("alive_servers").unwrap().as_f64().unwrap(),
+            gauge("soak.alive_servers")
+        );
+    }
+
+    #[test]
+    fn sustained_violation_dumps_once_on_the_rising_edge() {
+        let mut runner = small_runner();
+        let servers = runner.metro().config().servers_per_shard;
+        let shards = runner.metro().config().shards;
+        for s in 0..shards {
+            runner.metro_mut().kill_servers(s, servers);
+        }
+        let mut dumps = 0;
+        for _ in 0..5 {
+            runner.run_epoch();
+            dumps = runner.dumps_written();
+        }
+        // Alerts are edge-triggered and the violation edge fires once; a
+        // 5-epoch sustained breach must not dump 5 times.
+        assert!(dumps >= 1, "the breach must dump at least once");
+        assert!(dumps <= 2, "sustained breach must not dump every epoch");
+    }
+}

@@ -12,6 +12,9 @@
 //!   per-pool shards on worker threads, merged deterministically;
 //! * [`pool`] — the pool simulator: epoch-driven placement, sampled per-TTI
 //!   task execution, failure injection and failover measurement;
+//! * [`service`] — the resident metro: epochs stepped one at a time
+//!   against streamed traces, for long-lived soak services that publish
+//!   per-epoch metrics while the simulation keeps running;
 //! * [`ue`] — microscopic load: UE sessions + link geometry → utilization,
 //!   traffic-weighted MCS and admission blocking (an alternative trace
 //!   source to `pran-traces`' macroscopic generator).
@@ -23,6 +26,7 @@ pub mod engine;
 pub mod metrics;
 pub mod metro;
 pub mod pool;
+pub mod service;
 pub mod ue;
 
 pub use engine::{Engine, SimTime};
@@ -31,3 +35,4 @@ pub use metro::{MetroConfig, MetroConfigError, MetroError, MetroReport, MetroSim
 pub use pool::{
     FailoverRecord, FailureSpec, LinkFault, PoolConfig, PoolConfigError, PoolSimulator, SimReport,
 };
+pub use service::{EpochRecord, EpochStatus, ResidentMetro};

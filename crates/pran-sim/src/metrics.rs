@@ -73,6 +73,25 @@ impl PoolMetrics {
         serde_json::to_string_pretty(self).expect("metrics serialize")
     }
 
+    /// Reset every counter, series and histogram in place, keeping all
+    /// allocations (histogram buckets, epoch-series capacity) — the
+    /// resident service reuses one instance per epoch without touching
+    /// the heap.
+    pub fn reset(&mut self) {
+        self.tasks_total = 0;
+        self.deadline_misses = 0;
+        self.tasks_lost = 0;
+        self.reports_lost = 0;
+        self.migrations = 0;
+        self.steals = 0;
+        self.epochs = 0;
+        self.servers_used.clear();
+        self.demand_gops.clear();
+        self.outages.reset();
+        self.response_times.reset();
+        self.deadline_slack.reset();
+    }
+
     /// Fold another pool's metrics into this one (the metro merge).
     ///
     /// Counters add, histograms merge bucket-wise, and the per-epoch

@@ -265,7 +265,7 @@ pub struct PoolSimulator {
 /// allocations — `tests/tests/zero_alloc.rs` pins this with a counting
 /// allocator, and `tests/tests/pool_differential.rs` pins byte-identical
 /// reports against [`PoolSimulator::run_reference`].
-struct HotBuffers {
+pub(crate) struct HotBuffers {
     /// Per-server SoA task queues, cleared (capacity kept) every step.
     batches: Vec<TaskBatch>,
     /// Analytic-scheduler scratch: admission order and dispatch heaps.
@@ -293,7 +293,7 @@ struct HotBuffers {
 }
 
 impl HotBuffers {
-    fn new(cfg: &PoolConfig, model: &ComputeModel) -> Self {
+    pub(crate) fn new(cfg: &PoolConfig, model: &ComputeModel) -> Self {
         let core_gops = cfg.server_capacity_gops / cfg.cores_per_server as f64;
         HotBuffers {
             batches: (0..cfg.servers).map(|_| TaskBatch::new()).collect(),
@@ -450,17 +450,7 @@ impl PoolSimulator {
         // per PRB count serves every (epoch × cell) prediction. Shared by
         // the reference path too — the table entries are the exact same
         // f64s `cell_gops` returns, so both paths' outputs are unchanged.
-        let gops_by_prb: Vec<f64> = (0..=cfg.bandwidth.prbs())
-            .map(|prbs_used| {
-                self.model.cell_gops(&CellWorkload {
-                    bandwidth: cfg.bandwidth,
-                    antennas: cfg.antennas,
-                    prbs_used,
-                    mcs: cfg.mcs,
-                    direction: Direction::Uplink,
-                })
-            })
-            .collect();
+        let gops_by_prb = gops_by_prb_table(cfg, &self.model);
         let prbs_f = f64::from(cfg.bandwidth.prbs());
 
         while let Some((now, event)) = engine.next() {
@@ -812,139 +802,193 @@ impl PoolSimulator {
         metrics: &mut PoolMetrics,
         hot: &mut HotBuffers,
     ) {
-        let cfg = &self.config;
-        let ttis = cfg.ttis_per_step;
-        let HotBuffers {
-            batches,
-            scratch,
-            outcome,
-            executor,
-            par_tasks,
-            par_out,
-            tti_release_ns,
-            tti_deadline_ns,
-            service_ns_by_prb,
-            prbs_f,
-        } = hot;
-        let prbs_f = *prbs_f;
-        for step in first..last {
-            let row = &self.trace.samples[step];
-            for b in batches.iter_mut() {
-                b.clear();
-            }
-            if links.is_empty() {
-                // Ideal-fronthaul fast path: releases are the fixed TTI
-                // grid, so the per-cell work is one compute-model call
-                // and `ttis` four-column pushes.
-                metrics.tasks_total += (row.len() * ttis) as u64;
-                for (cell, &util) in row.iter().enumerate() {
-                    match placement.assignment[cell] {
-                        Some(s) if alive[s] => {
-                            let service_ns =
-                                service_ns_by_prb[(prbs_f * util.clamp(0.0, 1.0)).round() as usize];
-                            batches[s].push_run(
-                                cell as u32,
-                                tti_release_ns,
-                                tti_deadline_ns,
-                                service_ns,
-                            );
-                        }
-                        _ => metrics.tasks_lost += ttis as u64,
+        simulate_steps_hot(
+            &self.config,
+            &self.trace.samples[first..last],
+            first,
+            self.trace.step_seconds,
+            placement,
+            alive,
+            links,
+            metrics,
+            hot,
+        );
+    }
+}
+
+/// Predicted uplink GOPS indexed by PRB count. `cell_gops` depends on
+/// utilization only through `round(prbs × util)`, so one compute-model
+/// walk per PRB count serves every (epoch × cell) demand prediction —
+/// table entries are the exact f64s `PoolSimulator::cell_gops` returns.
+pub(crate) fn gops_by_prb_table(cfg: &PoolConfig, model: &ComputeModel) -> Vec<f64> {
+    (0..=cfg.bandwidth.prbs())
+        .map(|prbs_used| {
+            model.cell_gops(&CellWorkload {
+                bandwidth: cfg.bandwidth,
+                antennas: cfg.antennas,
+                prbs_used,
+                mcs: cfg.mcs,
+                direction: Direction::Uplink,
+            })
+        })
+        .collect()
+}
+
+/// The step engine under every hot epoch: simulate the sampled TTIs of
+/// `rows` (consecutive trace steps starting at absolute index
+/// `first_step`) against a fixed placement, accumulating into `metrics`.
+/// Shared verbatim by [`PoolSimulator::run`]'s epoch arm and the
+/// resident service's incremental epochs, so the two cannot drift.
+///
+/// Returns the peak per-server task backlog observed (the largest
+/// single-server batch filled by any step) — the resident service's
+/// flight recorder exposes it as `peak_queue_depth`.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn simulate_steps_hot(
+    cfg: &PoolConfig,
+    rows: &[Vec<f64>],
+    first_step: usize,
+    step_seconds: f64,
+    placement: &Placement,
+    alive: &[bool],
+    links: &mut [FaultInjector],
+    metrics: &mut PoolMetrics,
+    hot: &mut HotBuffers,
+) -> u64 {
+    let ttis = cfg.ttis_per_step;
+    let HotBuffers {
+        batches,
+        scratch,
+        outcome,
+        executor,
+        par_tasks,
+        par_out,
+        tti_release_ns,
+        tti_deadline_ns,
+        service_ns_by_prb,
+        prbs_f,
+    } = hot;
+    let prbs_f = *prbs_f;
+    let mut peak_depth = 0u64;
+    for (offset, row) in rows.iter().enumerate() {
+        let step = first_step + offset;
+        for b in batches.iter_mut() {
+            b.clear();
+        }
+        if links.is_empty() {
+            // Ideal-fronthaul fast path: releases are the fixed TTI
+            // grid, so the per-cell work is one compute-model call
+            // and `ttis` four-column pushes.
+            metrics.tasks_total += (row.len() * ttis) as u64;
+            for (cell, &util) in row.iter().enumerate() {
+                match placement.assignment[cell] {
+                    Some(s) if alive[s] => {
+                        let service_ns =
+                            service_ns_by_prb[(prbs_f * util.clamp(0.0, 1.0)).round() as usize];
+                        batches[s].push_run(
+                            cell as u32,
+                            tti_release_ns,
+                            tti_deadline_ns,
+                            service_ns,
+                        );
                     }
+                    _ => metrics.tasks_lost += ttis as u64,
                 }
-            } else {
-                let step_start = Duration::from_secs_f64(step as f64 * self.trace.step_seconds);
-                for (cell, &util) in row.iter().enumerate() {
-                    match placement.assignment[cell] {
-                        Some(s) if alive[s] => {
-                            let service_ns =
-                                service_ns_by_prb[(prbs_f * util.clamp(0.0, 1.0)).round() as usize];
-                            let batch = &mut batches[s];
-                            for tti in 0..ttis {
-                                metrics.tasks_total += 1;
-                                // The subframe report crosses the cell's
-                                // fronthaul link first; its bucket refills
-                                // on absolute simulated time.
-                                let base = TTI * tti as u32;
-                                let link = &mut links[cell];
-                                link.advance_to(step_start + base);
-                                match link.offer(Bytes::from_static(&[0u8; 32])) {
-                                    Outcome::Delivered { extra_delay, .. } => {
-                                        // Jitter delays arrival but the HARQ
-                                        // deadline stays pinned to the TTI,
-                                        // so jitter eats compute slack.
-                                        batch.push(
-                                            cell as u32,
-                                            tti_release_ns[tti] + extra_delay.as_nanos() as u64,
-                                            tti_deadline_ns[tti],
-                                            service_ns,
-                                        );
-                                    }
-                                    Outcome::Dropped | Outcome::RateLimited => {
-                                        metrics.tasks_lost += 1;
-                                        metrics.reports_lost += 1;
-                                    }
+            }
+        } else {
+            let step_start = Duration::from_secs_f64(step as f64 * step_seconds);
+            for (cell, &util) in row.iter().enumerate() {
+                match placement.assignment[cell] {
+                    Some(s) if alive[s] => {
+                        let service_ns =
+                            service_ns_by_prb[(prbs_f * util.clamp(0.0, 1.0)).round() as usize];
+                        let batch = &mut batches[s];
+                        for tti in 0..ttis {
+                            metrics.tasks_total += 1;
+                            // The subframe report crosses the cell's
+                            // fronthaul link first; its bucket refills
+                            // on absolute simulated time.
+                            let base = TTI * tti as u32;
+                            let link = &mut links[cell];
+                            link.advance_to(step_start + base);
+                            match link.offer(Bytes::from_static(&[0u8; 32])) {
+                                Outcome::Delivered { extra_delay, .. } => {
+                                    // Jitter delays arrival but the HARQ
+                                    // deadline stays pinned to the TTI,
+                                    // so jitter eats compute slack.
+                                    batch.push(
+                                        cell as u32,
+                                        tti_release_ns[tti] + extra_delay.as_nanos() as u64,
+                                        tti_deadline_ns[tti],
+                                        service_ns,
+                                    );
+                                }
+                                Outcome::Dropped | Outcome::RateLimited => {
+                                    metrics.tasks_lost += 1;
+                                    metrics.reports_lost += 1;
                                 }
                             }
                         }
-                        _ => {
-                            metrics.tasks_total += ttis as u64;
-                            metrics.tasks_lost += ttis as u64;
-                        }
+                    }
+                    _ => {
+                        metrics.tasks_total += ttis as u64;
+                        metrics.tasks_lost += ttis as u64;
                     }
                 }
             }
-            for (s, batch) in batches.iter().enumerate() {
-                if batch.is_empty() || !alive[s] {
-                    continue;
-                }
-                match executor.as_ref() {
-                    Some(ex) => {
-                        // The executor consumes array-of-structs tasks;
-                        // materialize into the run-scoped buffer.
-                        par_tasks.clear();
-                        for i in 0..batch.len() {
-                            par_tasks.push(RtTask {
-                                id: i,
-                                cell: batch.cell[i] as usize,
-                                release: Duration::from_nanos(batch.release_ns[i]),
-                                deadline: Duration::from_nanos(batch.deadline_ns[i]),
-                                service: Duration::from_nanos(batch.service_ns[i]),
-                            });
-                        }
-                        ex.execute_into(par_tasks, par_out);
-                        metrics.deadline_misses += par_out.misses() as u64;
-                        metrics.steals += par_out.steals;
-                        for r in &par_out.tasks {
+        }
+        for (s, batch) in batches.iter().enumerate() {
+            peak_depth = peak_depth.max(batch.len() as u64);
+            if batch.is_empty() || !alive[s] {
+                continue;
+            }
+            match executor.as_ref() {
+                Some(ex) => {
+                    // The executor consumes array-of-structs tasks;
+                    // materialize into the run-scoped buffer.
+                    par_tasks.clear();
+                    for i in 0..batch.len() {
+                        par_tasks.push(RtTask {
+                            id: i,
+                            cell: batch.cell[i] as usize,
+                            release: Duration::from_nanos(batch.release_ns[i]),
+                            deadline: Duration::from_nanos(batch.deadline_ns[i]),
+                            service: Duration::from_nanos(batch.service_ns[i]),
+                        });
+                    }
+                    ex.execute_into(par_tasks, par_out);
+                    metrics.deadline_misses += par_out.misses() as u64;
+                    metrics.steals += par_out.steals;
+                    for r in &par_out.tasks {
+                        metrics
+                            .response_times
+                            .record(r.finish.saturating_sub(par_tasks[r.id].release));
+                        if r.slack_us >= 0 {
                             metrics
-                                .response_times
-                                .record(r.finish.saturating_sub(par_tasks[r.id].release));
-                            if r.slack_us >= 0 {
-                                metrics
-                                    .deadline_slack
-                                    .record(Duration::from_micros(r.slack_us as u64));
-                            }
+                                .deadline_slack
+                                .record(Duration::from_micros(r.slack_us as u64));
                         }
                     }
-                    None => {
-                        simulate_into(batch, cfg.cores_per_server, cfg.scheduler, scratch, outcome);
-                        metrics.deadline_misses += outcome.misses() as u64;
-                        for i in 0..batch.len() {
-                            let finish_ns = outcome.finish_ns[i];
+                }
+                None => {
+                    simulate_into(batch, cfg.cores_per_server, cfg.scheduler, scratch, outcome);
+                    metrics.deadline_misses += outcome.misses() as u64;
+                    for i in 0..batch.len() {
+                        let finish_ns = outcome.finish_ns[i];
+                        metrics
+                            .response_times
+                            .record_us((finish_ns - batch.release_ns[i]) / 1_000);
+                        if !outcome.missed[i] {
                             metrics
-                                .response_times
-                                .record_us((finish_ns - batch.release_ns[i]) / 1_000);
-                            if !outcome.missed[i] {
-                                metrics
-                                    .deadline_slack
-                                    .record_us((batch.deadline_ns[i] - finish_ns) / 1_000);
-                            }
+                                .deadline_slack
+                                .record_us((batch.deadline_ns[i] - finish_ns) / 1_000);
                         }
                     }
                 }
             }
         }
     }
+    peak_depth
 }
 
 #[cfg(test)]

@@ -1,0 +1,594 @@
+//! Resident (long-running) metro simulation for soak services.
+//!
+//! The batch [`MetroSimulator`](crate::MetroSimulator) is run-to-completion:
+//! it materializes every shard's whole trace, runs all epochs, and returns
+//! one merged report. A *resident* deployment — ROADMAP item 1's live
+//! observability plane — needs the opposite shape: epochs processed one at
+//! a time against streamed trace generation, with per-epoch metrics
+//! published to scrapers while the simulation keeps running indefinitely.
+//!
+//! [`ResidentMetro`] provides that shape without forking the simulation
+//! itself: each shard holds a [`TraceStream`] (bit-exact with the batch
+//! generator), the placement loop reuses the exact epoch arm of
+//! `PoolSimulator::run` (same demand table, same warm placer, same
+//! `simulate_steps_hot` execution engine), and per-epoch metrics
+//! accumulate into a cumulative [`PoolMetrics`] that is **byte-identical**
+//! to what a batch [`MetroSimulator::run`](crate::MetroSimulator::run)
+//! over the same configuration produces — `tests/soak_service.rs` pins
+//! this differentially.
+//!
+//! Per epoch the caller gets an [`EpochStatus`]: a compact, fully
+//! deterministic [`EpochRecord`] (what the flight recorder rings), any SLO
+//! [`Alert`]s raised, and wall-clock phase timings
+//! (ingest / dispatch / execute / merge) for self-profiling.
+
+use std::time::{Duration, Instant};
+
+use pran_fronthaul::fault::FaultInjector;
+use pran_insight::slo::{Alert, EpochSample, SloMetric, SloMonitor, SloPolicy};
+use pran_phy::compute::ComputeModel;
+use pran_sched::placement::migration::incremental_repack;
+use pran_sched::placement::warm::WarmPlacer;
+use pran_sched::placement::{Allowed, CellDemand, Placement, PlacementInstance, ServerSpec};
+use pran_traces::{TraceConfig, TraceStream};
+use serde::{Deserialize, Serialize};
+
+use crate::metrics::PoolMetrics;
+use crate::metro::{MetroConfig, MetroError};
+use crate::pool::{gops_by_prb_table, simulate_steps_hot, HotBuffers, PoolConfig};
+
+/// One epoch's deterministic summary — the flight recorder's ring element.
+///
+/// Every field is a pure function of the simulation configuration (no
+/// wall-clock timings, no host state), so recorder dumps are byte-identical
+/// across worker counts and runs; `tests/soak_service.rs` pins 1-worker vs
+/// 8-worker dumps.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EpochRecord {
+    /// Epoch index (0-based, monotonically increasing over the soak).
+    pub epoch: u64,
+    /// Simulated-clock timestamp of the epoch start, microseconds.
+    pub at_us: u64,
+    /// Subframe tasks generated this epoch (all shards).
+    pub tasks: u64,
+    /// Deadline misses this epoch.
+    pub misses: u64,
+    /// Tasks lost this epoch (dead/unplaced servers + fronthaul drops).
+    pub lost: u64,
+    /// Fronthaul-dropped uplink reports this epoch.
+    pub reports_lost: u64,
+    /// Epoch-local miss ratio (misses + lost over tasks).
+    pub miss_ratio: f64,
+    /// Cumulative miss ratio since the soak started.
+    pub cum_miss_ratio: f64,
+    /// p99 of this epoch's positive deadline slack, microseconds (0 when
+    /// no task finished on time — e.g. every task lost).
+    pub slack_p99_us: u64,
+    /// Peak per-server task backlog in any single step of the epoch.
+    pub peak_queue_depth: u64,
+    /// Servers the placement actually used (all shards).
+    pub servers_used: u64,
+    /// Servers alive across the metro.
+    pub alive_servers: u64,
+    /// Liveness bitmask of the first ≤ 64 servers, shard-major order
+    /// (bit *i* set = server *i* alive); wider pools truncate.
+    pub alive_mask: u64,
+    /// Placed demand over alive capacity (0 when no server is alive).
+    pub utilization: f64,
+    /// Cells the placement left unserved this epoch.
+    pub unplaced: u64,
+    /// Bitmask of [`SloMetric`]s that raised an alert this epoch
+    /// (bit = position in [`SloMetric::all`]).
+    pub alert_mask: u32,
+    /// Whether this epoch breached the chaos-aligned safety envelope
+    /// (epoch-local miss ratio or unplaced cells past the SLO policy
+    /// bounds), independent of the monitor's edge-trigger state.
+    pub violation: bool,
+}
+
+/// What [`ResidentMetro::step_epoch`] hands back: the deterministic record,
+/// the alerts it raised, and the wall-clock self-profile of the epoch.
+#[derive(Debug, Clone)]
+pub struct EpochStatus {
+    /// The deterministic epoch summary (rung into the flight recorder).
+    pub record: EpochRecord,
+    /// SLO alerts the monitor raised this epoch (edge-triggered).
+    pub alerts: Vec<Alert>,
+    /// Wall-clock nanoseconds streaming this epoch's trace rows (summed
+    /// across shards).
+    pub ingest_ns: u64,
+    /// Wall-clock nanoseconds predicting demand and (re)placing cells.
+    pub dispatch_ns: u64,
+    /// Wall-clock nanoseconds executing the per-TTI task simulation.
+    pub execute_ns: u64,
+    /// Wall-clock nanoseconds merging shard metrics and folding the
+    /// cumulative state.
+    pub merge_ns: u64,
+}
+
+/// Per-epoch deterministic outputs of one shard's step.
+#[derive(Debug, Clone, Copy, Default)]
+struct ShardDelta {
+    peak_queue_depth: u64,
+    unplaced: u64,
+    ingest_ns: u64,
+    dispatch_ns: u64,
+    execute_ns: u64,
+}
+
+/// One shard of the resident metro: a streamed trace plus the pool epoch
+/// state (`PoolSimulator::run`'s locals, lifted into fields so epochs can
+/// be stepped one at a time).
+struct ResidentShard {
+    cfg: PoolConfig,
+    stream: TraceStream,
+    /// The current epoch's rows (`epoch_steps` buffers, reused).
+    rows: Vec<Vec<f64>>,
+    hot: HotBuffers,
+    gops_by_prb: Vec<f64>,
+    prbs_f: f64,
+    placement: Placement,
+    warm: Option<WarmPlacer>,
+    alive: Vec<bool>,
+    links: Vec<FaultInjector>,
+    /// Epoch-local metrics, reset at the top of every step.
+    scratch: PoolMetrics,
+    delta: ShardDelta,
+}
+
+impl ResidentShard {
+    fn new(cfg: PoolConfig, trace_cfg: &TraceConfig) -> Self {
+        let model = ComputeModel::calibrated();
+        let stream = TraceStream::new(trace_cfg);
+        let num_cells = stream.num_cells();
+        let rows = (0..cfg.epoch_steps)
+            .map(|_| Vec::with_capacity(num_cells))
+            .collect();
+        let links = match &cfg.fronthaul {
+            Some(lf) => (0..num_cells)
+                .map(|c| FaultInjector::new(lf.config, lf.seed.wrapping_add(c as u64)))
+                .collect(),
+            None => Vec::new(),
+        };
+        let hot = HotBuffers::new(&cfg, &model);
+        let gops_by_prb = gops_by_prb_table(&cfg, &model);
+        let prbs_f = f64::from(cfg.bandwidth.prbs());
+        ResidentShard {
+            stream,
+            rows,
+            hot,
+            gops_by_prb,
+            prbs_f,
+            placement: Placement::empty(num_cells),
+            warm: cfg.warm.map(WarmPlacer::new),
+            alive: vec![true; cfg.servers],
+            links,
+            scratch: PoolMetrics::default(),
+            delta: ShardDelta::default(),
+            cfg,
+        }
+    }
+
+    /// Step one epoch: stream `epoch_steps` rows, (re)place, execute.
+    /// Mirrors `PoolSimulator::run`'s `EpochStart` arm exactly — same
+    /// demand table, same warm/cold placement, same hot execution engine.
+    fn step_epoch(&mut self) {
+        self.scratch.reset();
+        let cfg = &self.cfg;
+        let num_cells = self.stream.num_cells();
+
+        // Ingest: stream this epoch's utilization rows.
+        let t0 = Instant::now();
+        let first_step = self.stream.step_index();
+        for row in self.rows.iter_mut() {
+            self.stream.next_step_into(row);
+        }
+        let t1 = Instant::now();
+
+        // Dispatch: epoch-peak demand prediction with headroom, then the
+        // warm (or cold incremental) placement — as in the batch path.
+        let demands: Vec<CellDemand> = (0..num_cells)
+            .map(|c| {
+                let peak = self.rows.iter().map(|r| r[c]).fold(0.0f64, f64::max);
+                CellDemand {
+                    id: c,
+                    gops: self.gops_by_prb[(self.prbs_f * peak.clamp(0.0, 1.0)).round() as usize]
+                        * cfg.headroom,
+                }
+            })
+            .collect();
+        let instance = PlacementInstance {
+            cells: demands,
+            servers: (0..cfg.servers)
+                .map(|id| ServerSpec {
+                    id,
+                    capacity_gops: cfg.server_capacity_gops,
+                    cost: 1.0,
+                })
+                .collect(),
+            allowed: Allowed::Uniform(self.alive.clone()),
+        };
+        let (new_placement, plan) = match self.warm.as_mut() {
+            Some(w) => {
+                let (p, plan, _stats) = w.epoch(&instance);
+                (p, plan)
+            }
+            None => incremental_repack(&instance, &self.placement),
+        };
+        self.scratch.migrations += plan.len() as u64;
+        self.scratch.epochs = 1;
+        self.scratch
+            .servers_used
+            .push(instance.servers_used(&new_placement));
+        self.scratch.demand_gops.push(instance.total_gops());
+        self.placement = new_placement;
+        self.delta.unplaced = self
+            .placement
+            .assignment
+            .iter()
+            .filter(|a| a.is_none())
+            .count() as u64;
+        let t2 = Instant::now();
+
+        // Execute: the shared hot step engine, accumulating into the
+        // epoch-local scratch.
+        self.delta.peak_queue_depth = simulate_steps_hot(
+            cfg,
+            &self.rows,
+            first_step,
+            self.stream.step_seconds(),
+            &self.placement,
+            &self.alive,
+            &mut self.links,
+            &mut self.scratch,
+            &mut self.hot,
+        );
+        let t3 = Instant::now();
+
+        self.delta.ingest_ns = (t1 - t0).as_nanos() as u64;
+        self.delta.dispatch_ns = (t2 - t1).as_nanos() as u64;
+        self.delta.execute_ns = (t3 - t2).as_nanos() as u64;
+    }
+}
+
+/// The resident metro simulator: every shard of a [`MetroConfig`] stepped
+/// one epoch at a time, with cumulative metrics that match the batch
+/// [`MetroSimulator::run`](crate::MetroSimulator::run) byte for byte.
+pub struct ResidentMetro {
+    config: MetroConfig,
+    shards: Vec<ResidentShard>,
+    epoch: u64,
+    epoch_steps: usize,
+    step_seconds: f64,
+    /// Cumulative metrics over the whole soak.
+    cum: PoolMetrics,
+    /// Reused epoch-merge scratch.
+    em: PoolMetrics,
+    monitor: Option<SloMonitor>,
+    /// Safety bounds for the `violation` flag (chaos-aligned).
+    policy: SloPolicy,
+}
+
+impl ResidentMetro {
+    /// Build with the evaluation defaults of
+    /// [`MetroSimulator::try_new`](crate::MetroSimulator::try_new): warm
+    /// placement, a diurnal day trace per shard, and the online SLO
+    /// monitor armed with [`SloPolicy::default_eval`].
+    pub fn try_new(config: MetroConfig) -> Result<Self, MetroError> {
+        let mut pool = PoolConfig::default_eval(config.servers_per_shard.max(1));
+        pool.warm = Some(pran_sched::placement::WarmConfig::default_eval());
+        pool.slo = Some(SloPolicy::default_eval());
+        let trace = TraceConfig::default_day(config.cells.max(1), config.seed);
+        Self::with_pool(config, pool, trace)
+    }
+
+    /// Build over an explicit per-shard pool configuration and trace
+    /// template, mirroring
+    /// [`MetroSimulator::with_pool`](crate::MetroSimulator::with_pool):
+    /// the template's `num_cells` and `seed` are overridden per shard
+    /// ([`MetroConfig::shard_cells`] / [`MetroConfig::shard_seed`]) and
+    /// `fronthaul.seed` is re-derived per shard.
+    pub fn with_pool(
+        config: MetroConfig,
+        pool: PoolConfig,
+        trace: TraceConfig,
+    ) -> Result<Self, MetroError> {
+        config.validate().map_err(MetroError::Metro)?;
+        pool.validate().map_err(MetroError::Pool)?;
+        let monitor = pool.slo.map(SloMonitor::new);
+        let policy = pool.slo.unwrap_or_else(SloPolicy::default_eval);
+        let shards = (0..config.shards)
+            .map(|s| {
+                let mut trace_cfg = trace.clone();
+                trace_cfg.num_cells = config.shard_cells(s);
+                trace_cfg.seed = config.shard_seed(s);
+                let mut pool_cfg = pool.clone();
+                if let Some(lf) = pool_cfg.fronthaul.as_mut() {
+                    // Per-shard fault streams, as in the batch metro.
+                    lf.seed ^= trace_cfg.seed;
+                }
+                ResidentShard::new(pool_cfg, &trace_cfg)
+            })
+            .collect();
+        Ok(ResidentMetro {
+            config,
+            epoch: 0,
+            epoch_steps: pool.epoch_steps,
+            step_seconds: trace.step_seconds,
+            shards,
+            cum: PoolMetrics::default(),
+            em: PoolMetrics::default(),
+            monitor,
+            policy,
+        })
+    }
+
+    /// The metro configuration.
+    pub fn config(&self) -> MetroConfig {
+        self.config
+    }
+
+    /// Epochs stepped so far.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Cumulative metrics since the soak started — byte-identical to a
+    /// batch metro run over the same number of epochs.
+    pub fn cumulative(&self) -> &PoolMetrics {
+        &self.cum
+    }
+
+    /// Kill the first `n` currently-alive servers of `shard` (a forced
+    /// degradation hook for alert/recorder testing: the next epoch's
+    /// placement loses their capacity, and displaced demand that no longer
+    /// fits turns into lost tasks and unplaced cells). Returns how many
+    /// servers were actually killed.
+    pub fn kill_servers(&mut self, shard: usize, n: usize) -> usize {
+        let mut killed = 0;
+        if let Some(sh) = self.shards.get_mut(shard) {
+            for a in sh.alive.iter_mut() {
+                if killed == n {
+                    break;
+                }
+                if *a {
+                    *a = false;
+                    killed += 1;
+                }
+            }
+        }
+        killed
+    }
+
+    /// Revive every server in every shard.
+    pub fn revive_all(&mut self) {
+        for sh in self.shards.iter_mut() {
+            sh.alive.fill(true);
+        }
+    }
+
+    /// Step every shard one epoch (in parallel across up to
+    /// `config.workers` threads), merge in shard-index order, fold the
+    /// cumulative state, and feed the SLO monitor.
+    pub fn step_epoch(&mut self) -> EpochStatus {
+        let workers = self.config.workers.min(self.shards.len()).max(1);
+        if workers == 1 {
+            for sh in self.shards.iter_mut() {
+                sh.step_epoch();
+            }
+        } else {
+            let chunk = self.shards.len().div_ceil(workers);
+            std::thread::scope(|scope| {
+                for batch in self.shards.chunks_mut(chunk) {
+                    scope.spawn(|| {
+                        for sh in batch {
+                            sh.step_epoch();
+                        }
+                    });
+                }
+            });
+        }
+
+        // Merge phase: fold shard scratches in shard-index order (exactly
+        // the batch metro's merge discipline), then accumulate the
+        // cumulative state manually — `PoolMetrics::merge` treats `epochs`
+        // as max and the per-epoch series element-wise, which is the
+        // cross-shard semantic, not the across-epochs one.
+        let m0 = Instant::now();
+        self.em.reset();
+        let mut ingest_ns = 0u64;
+        let mut dispatch_ns = 0u64;
+        let mut execute_ns = 0u64;
+        let mut peak_queue_depth = 0u64;
+        let mut unplaced = 0u64;
+        let mut alive_servers = 0u64;
+        let mut alive_mask = 0u64;
+        let mut mask_bit = 0u32;
+        for sh in &self.shards {
+            self.em.merge(&sh.scratch);
+            ingest_ns += sh.delta.ingest_ns;
+            dispatch_ns += sh.delta.dispatch_ns;
+            execute_ns += sh.delta.execute_ns;
+            peak_queue_depth = peak_queue_depth.max(sh.delta.peak_queue_depth);
+            unplaced += sh.delta.unplaced;
+            for &a in &sh.alive {
+                if a {
+                    alive_servers += 1;
+                    if mask_bit < 64 {
+                        alive_mask |= 1u64 << mask_bit;
+                    }
+                }
+                mask_bit = mask_bit.saturating_add(1);
+            }
+        }
+        let em = &self.em;
+        self.cum.tasks_total += em.tasks_total;
+        self.cum.deadline_misses += em.deadline_misses;
+        self.cum.tasks_lost += em.tasks_lost;
+        self.cum.reports_lost += em.reports_lost;
+        self.cum.migrations += em.migrations;
+        self.cum.steals += em.steals;
+        self.cum.epochs += 1;
+        self.cum
+            .servers_used
+            .push(em.servers_used.first().copied().unwrap_or(0));
+        self.cum
+            .demand_gops
+            .push(em.demand_gops.first().copied().unwrap_or(0.0));
+        self.cum.outages.merge(&em.outages);
+        self.cum.response_times.merge(&em.response_times);
+        self.cum.deadline_slack.merge(&em.deadline_slack);
+
+        let epoch = self.epoch;
+        self.epoch += 1;
+        let at_us =
+            Duration::from_secs_f64(epoch as f64 * self.epoch_steps as f64 * self.step_seconds)
+                .as_micros() as u64;
+        let demand_gops = em.demand_gops.first().copied().unwrap_or(0.0);
+        let alive_capacity = self
+            .shards
+            .first()
+            .map(|sh| sh.cfg.server_capacity_gops)
+            .unwrap_or(0.0)
+            * alive_servers as f64;
+        let utilization = if alive_capacity > 0.0 {
+            demand_gops / alive_capacity
+        } else {
+            0.0
+        };
+        let slack_p99_us = em
+            .deadline_slack
+            .try_quantile(0.99)
+            .map(|d| d.as_micros() as u64)
+            .unwrap_or(0);
+        let record_base = EpochRecord {
+            epoch,
+            at_us,
+            tasks: em.tasks_total,
+            misses: em.deadline_misses,
+            lost: em.tasks_lost,
+            reports_lost: em.reports_lost,
+            miss_ratio: em.miss_ratio(),
+            cum_miss_ratio: self.cum.miss_ratio(),
+            slack_p99_us,
+            peak_queue_depth,
+            servers_used: em.servers_used.first().copied().unwrap_or(0) as u64,
+            alive_servers,
+            alive_mask,
+            utilization,
+            unplaced,
+            alert_mask: 0,
+            violation: false,
+        };
+        let merge_ns = m0.elapsed().as_nanos() as u64;
+
+        // Telemetry / SLO phase: feed the monitor an *epoch-local* sample
+        // so a resident soak alerts on what just happened, not on the
+        // diluted lifetime average.
+        let mut alerts = Vec::new();
+        if let Some(monitor) = self.monitor.as_mut() {
+            monitor.observe_epoch(&EpochSample {
+                epoch,
+                at_us,
+                miss_ratio: Some(record_base.miss_ratio),
+                utilization: Some(utilization),
+                outage_p99: em.outages.try_quantile(0.99),
+                reports_lost: Some(em.reports_lost),
+                unplaced: Some(unplaced),
+            });
+            alerts = monitor.take_alerts();
+        }
+        let mut alert_mask = 0u32;
+        for a in &alerts {
+            if let Some(i) = SloMetric::all().iter().position(|m| *m == a.metric) {
+                alert_mask |= 1 << i;
+            }
+        }
+        let violation = record_base.miss_ratio > self.policy.miss_ratio_max
+            || unplaced > self.policy.unplaced_max;
+        let record = EpochRecord {
+            alert_mask,
+            violation,
+            ..record_base
+        };
+
+        EpochStatus {
+            record,
+            alerts,
+            ingest_ns,
+            dispatch_ns,
+            execute_ns,
+            merge_ns,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_resident(cells: usize, shards: usize) -> ResidentMetro {
+        let mut cfg = MetroConfig::default_eval(cells, shards);
+        cfg.seed = 42;
+        let mut pool = PoolConfig::default_eval(cfg.servers_per_shard.max(1));
+        pool.warm = Some(pran_sched::placement::WarmConfig::default_eval());
+        pool.slo = Some(SloPolicy::default_eval());
+        let mut trace = TraceConfig::default_day(cells, cfg.seed);
+        trace.duration_seconds = 2.0 * 3600.0;
+        trace.step_seconds = 120.0;
+        ResidentMetro::with_pool(cfg, pool, trace).unwrap()
+    }
+
+    #[test]
+    fn epochs_advance_and_accumulate() {
+        let mut m = small_resident(24, 2);
+        let s0 = m.step_epoch();
+        assert_eq!(s0.record.epoch, 0);
+        assert!(s0.record.tasks > 0);
+        let s1 = m.step_epoch();
+        assert_eq!(s1.record.epoch, 1);
+        assert_eq!(m.epoch(), 2);
+        assert_eq!(
+            m.cumulative().tasks_total,
+            s0.record.tasks + s1.record.tasks
+        );
+        assert_eq!(m.cumulative().epochs, 2);
+        assert_eq!(m.cumulative().servers_used.len(), 2);
+    }
+
+    #[test]
+    fn records_are_deterministic_across_worker_counts() {
+        let mut one = small_resident(24, 2);
+        one.config.workers = 1;
+        let mut eight = small_resident(24, 2);
+        eight.config.workers = 8;
+        for _ in 0..5 {
+            let a = one.step_epoch().record;
+            let b = eight.step_epoch().record;
+            assert_eq!(a, b);
+        }
+        assert_eq!(one.cumulative(), eight.cumulative());
+    }
+
+    #[test]
+    fn killing_all_servers_forces_losses_and_a_violation() {
+        let mut m = small_resident(24, 2);
+        let healthy = m.step_epoch();
+        assert!(!healthy.record.violation);
+        assert_eq!(healthy.record.lost, 0);
+        let servers = m.shards[0].cfg.servers;
+        assert_eq!(m.kill_servers(0, servers), servers);
+        let degraded = m.step_epoch();
+        assert!(degraded.record.lost > 0, "dead shard must lose tasks");
+        assert!(degraded.record.violation);
+        assert!(degraded.record.unplaced > 0);
+        assert!(
+            degraded.record.alert_mask != 0,
+            "the SLO monitor must raise at least one alert"
+        );
+        assert!(degraded.record.alive_servers < healthy.record.alive_servers);
+        m.revive_all();
+        let recovered = m.step_epoch();
+        assert_eq!(recovered.record.alive_servers, healthy.record.alive_servers);
+    }
+}

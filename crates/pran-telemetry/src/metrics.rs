@@ -159,6 +159,17 @@ impl LogHistogram {
         self.max()
     }
 
+    /// Reset to empty while keeping the bucket allocation, so epoch-scoped
+    /// histograms on resident-service hot paths can be reused without
+    /// touching the heap (`tests/zero_alloc.rs` relies on this).
+    pub fn reset(&mut self) {
+        self.buckets.fill(0);
+        self.count = 0;
+        self.sum_us = 0;
+        self.max_us = 0;
+        self.min_us = 0;
+    }
+
     /// Merge another histogram into this one.
     pub fn merge(&mut self, other: &LogHistogram) {
         if other.count == 0 {

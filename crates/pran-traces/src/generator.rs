@@ -13,13 +13,10 @@
 //! All randomness flows from a caller-supplied seed, so traces are fully
 //! reproducible.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
-use crate::arrivals::standard_normal;
-use crate::diurnal::{CellClass, DiurnalProfile};
-use crate::trace::{CellMeta, Point, Trace};
+use crate::diurnal::CellClass;
+use crate::trace::{Point, Trace};
 
 /// A flash-crowd event: cells near `epicenter` see up to `boost` extra
 /// utilization during `[start_s, start_s + duration_s)`.
@@ -144,113 +141,25 @@ impl TraceConfig {
 }
 
 /// Generate a trace from a configuration.
+///
+/// A thin batch wrapper over [`TraceStream`](crate::TraceStream): the stream
+/// owns the cell-draw and per-step RNG order, so incremental (resident soak)
+/// and batch generation cannot drift apart.
 pub fn generate(cfg: &TraceConfig) -> Trace {
-    assert!(cfg.num_cells > 0, "need at least one cell");
-    assert!(cfg.step_seconds > 0.0 && cfg.duration_seconds > 0.0);
     let gen_span = pran_telemetry::trace::span("traces.generate");
-    let mut rng = SmallRng::seed_from_u64(cfg.seed);
-
-    // Cells: positions, classes, scales.
-    let cells: Vec<CellMeta> = (0..cfg.num_cells)
-        .map(|id| {
-            let class = cfg.class_mix.pick(rng.gen::<f64>());
-            let position = Point {
-                x: rng.gen_range(0.0..cfg.area_side_m),
-                y: rng.gen_range(0.0..cfg.area_side_m),
-            };
-            let peak_utilization = rng.gen_range(cfg.peak_utilization.0..=cfg.peak_utilization.1);
-            CellMeta {
-                id,
-                class,
-                position,
-                peak_utilization,
-            }
-        })
-        .collect();
-    let profiles: Vec<DiurnalProfile> = cells
-        .iter()
-        .map(|c| DiurnalProfile::for_class(c.class))
-        .collect();
+    let mut stream = crate::stream::TraceStream::new(cfg);
 
     let steps = (cfg.duration_seconds / cfg.step_seconds).round() as usize;
     let mut samples = Vec::with_capacity(steps);
-
-    // AR(1) noise states.
-    let mut regional = 0.0f64;
-    let mut cell_noise = vec![0.0f64; cfg.num_cells];
-    let a = cfg.noise_smoothing;
-    // Scale innovations so the stationary std-dev matches the config.
-    let innov_scale = (1.0 - a * a).sqrt();
-
-    // `DiurnalProfile::at` and the weekly factor depend only on the cell
-    // *class* (for_class profiles are shared), so evaluate each once per
-    // step instead of once per cell — the bump Gaussians dominate the
-    // per-cell cost at metro scale. Same expressions, same f64 results.
-    const CLASSES: [CellClass; 4] = [
-        CellClass::Residential,
-        CellClass::Office,
-        CellClass::Transport,
-        CellClass::Entertainment,
-    ];
-    let class_profiles: Vec<DiurnalProfile> = CLASSES
-        .iter()
-        .map(|&class| DiurnalProfile::for_class(class))
-        .collect();
-    let class_of: Vec<usize> = cells
-        .iter()
-        .map(|meta| CLASSES.iter().position(|&k| k == meta.class).unwrap())
-        .collect();
-    debug_assert!(cells
-        .iter()
-        .zip(&class_of)
-        .all(|(meta, &k)| profiles[meta.id] == class_profiles[k]));
-
-    for t in 0..steps {
-        let t_s = t as f64 * cfg.step_seconds;
-        let hour = (t_s / 3600.0) % 24.0;
-        let day = ((t_s / 86_400.0) as u64) % 7;
-        let weekend = day >= 5;
-        regional = a * regional + innov_scale * cfg.regional_sigma * standard_normal(&mut rng);
-        let regional_factor = (1.0 + regional).max(0.0);
-
-        let mut envelope_at: [f64; 4] = [0.0; 4];
-        let mut weekly_of: [f64; 4] = [1.0; 4];
-        for (k, &class) in CLASSES.iter().enumerate() {
-            envelope_at[k] = class_profiles[k].at(hour);
-            // Weekly seasonality: offices/commutes empty out on weekends,
-            // homes and venues pick up part of the slack.
-            weekly_of[k] = if weekend && cfg.weekend_factor != 1.0 {
-                match class {
-                    CellClass::Office | CellClass::Transport => cfg.weekend_factor,
-                    CellClass::Residential | CellClass::Entertainment => {
-                        1.0 + (1.0 - cfg.weekend_factor) * 0.5
-                    }
-                }
-            } else {
-                1.0
-            };
-        }
-
+    for _ in 0..steps {
         let mut row = Vec::with_capacity(cfg.num_cells);
-        for (c, meta) in cells.iter().enumerate() {
-            cell_noise[c] =
-                a * cell_noise[c] + innov_scale * cfg.cell_noise_sigma * standard_normal(&mut rng);
-            let k = class_of[c];
-            let envelope = envelope_at[k] * meta.peak_utilization * weekly_of[k];
-            let crowd: f64 = cfg
-                .flash_crowds
-                .iter()
-                .map(|fc| fc.boost_at(meta.position, t_s))
-                .sum();
-            let u = (envelope * regional_factor + cell_noise[c] + crowd).clamp(0.0, 1.0);
-            row.push(u);
-        }
+        stream.next_step_into(&mut row);
         samples.push(row);
     }
 
     let trace = Trace {
         step_seconds: cfg.step_seconds,
-        cells,
+        cells: stream.cells().to_vec(),
         samples,
     };
     debug_assert!(trace.validate().is_ok());

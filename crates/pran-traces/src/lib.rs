@@ -14,7 +14,9 @@
 //! * [`trace`] — the [`Trace`] container plus the pooling statistics
 //!   (sum-of-peaks, peak-of-sum, multiplexing gain) and JSON/CSV I/O;
 //! * [`generator`] — composition of all of the above with reproducible
-//!   seeding and flash-crowd injection.
+//!   seeding and flash-crowd injection;
+//! * [`stream`] — the incremental twin of [`generate`], yielding rows one
+//!   step at a time (bit-exact) for resident soak services.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -22,9 +24,11 @@
 pub mod arrivals;
 pub mod diurnal;
 pub mod generator;
+pub mod stream;
 pub mod trace;
 
 pub use arrivals::{exponential, poisson, standard_normal, Mmpp2, SessionPool};
 pub use diurnal::{CellClass, DiurnalProfile};
 pub use generator::{generate, ClassMix, FlashCrowd, TraceConfig};
+pub use stream::TraceStream;
 pub use trace::{pearson, CellMeta, Point, Trace};

@@ -1,0 +1,221 @@
+//! Incremental trace generation for resident (long-running) simulations.
+//!
+//! [`TraceStream`] produces the *same* utilization rows as
+//! [`generate`](crate::generate) — bit-exact, same RNG draw order — but one
+//! step at a time into a caller-owned buffer, so a soak service can run
+//! indefinitely without materializing a whole [`Trace`](crate::Trace) up
+//! front. `generate` itself is a thin wrapper over this type, which is what
+//! keeps the two paths from drifting.
+//!
+//! The diurnal/weekly envelopes depend only on wall-clock time, so a stream
+//! can run arbitrarily far past `cfg.duration_seconds`; the duration only
+//! matters to the batch wrapper.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::arrivals::standard_normal;
+use crate::diurnal::{CellClass, DiurnalProfile};
+use crate::generator::TraceConfig;
+use crate::trace::{CellMeta, Point};
+
+const CLASSES: [CellClass; 4] = [
+    CellClass::Residential,
+    CellClass::Office,
+    CellClass::Transport,
+    CellClass::Entertainment,
+];
+
+/// Streaming twin of [`generate`](crate::generate): yields utilization rows
+/// one step at a time, bit-exact with the batch generator.
+#[derive(Debug, Clone)]
+pub struct TraceStream {
+    cfg: TraceConfig,
+    cells: Vec<CellMeta>,
+    class_profiles: Vec<DiurnalProfile>,
+    class_of: Vec<usize>,
+    rng: SmallRng,
+    regional: f64,
+    cell_noise: Vec<f64>,
+    step: usize,
+}
+
+impl TraceStream {
+    /// Build a stream: draws the per-cell metadata (classes, positions,
+    /// peaks) exactly as the batch generator does, then parks the RNG at
+    /// the first step.
+    pub fn new(cfg: &TraceConfig) -> Self {
+        assert!(cfg.num_cells > 0, "need at least one cell");
+        assert!(cfg.step_seconds > 0.0 && cfg.duration_seconds > 0.0);
+        let mut rng = SmallRng::seed_from_u64(cfg.seed);
+
+        // Cells: positions, classes, scales — identical draw order to
+        // `generate`.
+        let cells: Vec<CellMeta> = (0..cfg.num_cells)
+            .map(|id| {
+                let class = cfg.class_mix.pick(rng.gen::<f64>());
+                let position = Point {
+                    x: rng.gen_range(0.0..cfg.area_side_m),
+                    y: rng.gen_range(0.0..cfg.area_side_m),
+                };
+                let peak_utilization =
+                    rng.gen_range(cfg.peak_utilization.0..=cfg.peak_utilization.1);
+                CellMeta {
+                    id,
+                    class,
+                    position,
+                    peak_utilization,
+                }
+            })
+            .collect();
+
+        // Memoized per-class profiles (shared by every cell of a class).
+        let class_profiles: Vec<DiurnalProfile> = CLASSES
+            .iter()
+            .map(|&class| DiurnalProfile::for_class(class))
+            .collect();
+        let class_of: Vec<usize> = cells
+            .iter()
+            .map(|meta| CLASSES.iter().position(|&k| k == meta.class).unwrap())
+            .collect();
+
+        TraceStream {
+            cfg: cfg.clone(),
+            class_profiles,
+            class_of,
+            rng,
+            regional: 0.0,
+            cell_noise: vec![0.0; cfg.num_cells],
+            step: 0,
+            cells,
+        }
+    }
+
+    /// Per-cell metadata, in cell-id order.
+    pub fn cells(&self) -> &[CellMeta] {
+        &self.cells
+    }
+
+    /// Number of cells per row.
+    pub fn num_cells(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Index of the next step this stream will produce.
+    pub fn step_index(&self) -> usize {
+        self.step
+    }
+
+    /// Sampling step in seconds (from the config).
+    pub fn step_seconds(&self) -> f64 {
+        self.cfg.step_seconds
+    }
+
+    /// Produce the next step's utilization row into `row` (cleared first).
+    /// Allocation-free once `row` has capacity for `num_cells` values.
+    pub fn next_step_into(&mut self, row: &mut Vec<f64>) {
+        let cfg = &self.cfg;
+        let a = cfg.noise_smoothing;
+        let innov_scale = (1.0 - a * a).sqrt();
+
+        let t_s = self.step as f64 * cfg.step_seconds;
+        let hour = (t_s / 3600.0) % 24.0;
+        let day = ((t_s / 86_400.0) as u64) % 7;
+        let weekend = day >= 5;
+        self.regional =
+            a * self.regional + innov_scale * cfg.regional_sigma * standard_normal(&mut self.rng);
+        let regional_factor = (1.0 + self.regional).max(0.0);
+
+        let mut envelope_at: [f64; 4] = [0.0; 4];
+        let mut weekly_of: [f64; 4] = [1.0; 4];
+        for (k, &class) in CLASSES.iter().enumerate() {
+            envelope_at[k] = self.class_profiles[k].at(hour);
+            // Weekly seasonality: offices/commutes empty out on weekends,
+            // homes and venues pick up part of the slack.
+            weekly_of[k] = if weekend && cfg.weekend_factor != 1.0 {
+                match class {
+                    CellClass::Office | CellClass::Transport => cfg.weekend_factor,
+                    CellClass::Residential | CellClass::Entertainment => {
+                        1.0 + (1.0 - cfg.weekend_factor) * 0.5
+                    }
+                }
+            } else {
+                1.0
+            };
+        }
+
+        row.clear();
+        row.reserve(self.cells.len());
+        for (c, meta) in self.cells.iter().enumerate() {
+            self.cell_noise[c] = a * self.cell_noise[c]
+                + innov_scale * cfg.cell_noise_sigma * standard_normal(&mut self.rng);
+            let k = self.class_of[c];
+            let envelope = envelope_at[k] * meta.peak_utilization * weekly_of[k];
+            let crowd: f64 = cfg
+                .flash_crowds
+                .iter()
+                .map(|fc| fc.boost_at(meta.position, t_s))
+                .sum();
+            let u = (envelope * regional_factor + self.cell_noise[c] + crowd).clamp(0.0, 1.0);
+            row.push(u);
+        }
+        self.step += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate;
+
+    #[test]
+    fn stream_matches_batch_generator_bit_exactly() {
+        let mut cfg = TraceConfig::default_day(24, 91);
+        cfg.weekend_factor = 0.4;
+        cfg.duration_seconds = 2.0 * 86_400.0;
+        cfg.flash_crowds.push(crate::FlashCrowd {
+            epicenter: Point {
+                x: 4000.0,
+                y: 6000.0,
+            },
+            radius_m: 3000.0,
+            start_s: 10.0 * 3600.0,
+            duration_s: 3600.0,
+            boost: 0.6,
+        });
+        let batch = generate(&cfg);
+        let mut stream = TraceStream::new(&cfg);
+        assert_eq!(stream.cells(), batch.cells.as_slice());
+        let mut row = Vec::new();
+        for (t, want) in batch.samples.iter().enumerate() {
+            assert_eq!(stream.step_index(), t);
+            stream.next_step_into(&mut row);
+            assert_eq!(&row, want, "row {t} diverged");
+        }
+    }
+
+    #[test]
+    fn stream_runs_past_configured_duration() {
+        let cfg = TraceConfig::default_day(4, 3);
+        let steps = (cfg.duration_seconds / cfg.step_seconds).round() as usize;
+        let mut stream = TraceStream::new(&cfg);
+        let mut row = Vec::new();
+        for _ in 0..steps + 10 {
+            stream.next_step_into(&mut row);
+            assert!(row.iter().all(|u| (0.0..=1.0).contains(u)));
+        }
+        assert_eq!(stream.step_index(), steps + 10);
+    }
+
+    #[test]
+    fn next_step_into_reuses_buffer_capacity() {
+        let cfg = TraceConfig::default_day(16, 5);
+        let mut stream = TraceStream::new(&cfg);
+        let mut row = Vec::with_capacity(16);
+        let ptr = row.as_ptr();
+        for _ in 0..50 {
+            stream.next_step_into(&mut row);
+        }
+        assert_eq!(row.as_ptr(), ptr, "row buffer must not reallocate");
+    }
+}

@@ -1,0 +1,184 @@
+//! Integration tests for the live observability plane (ISSUE 7
+//! tentpole): the resident soak service, its flight recorder, and the
+//! scrape endpoint — all checked against the batch simulator as the
+//! source of truth.
+
+use pran_insight::SloPolicy;
+use pran_obs::{http_get, validate_dump, SoakConfig, SoakRunner};
+use pran_sched::placement::WarmConfig;
+use pran_sim::{MetroConfig, MetroSimulator, PoolConfig, ResidentMetro};
+use pran_traces::TraceConfig;
+
+const CELLS: usize = 24;
+const SHARDS: usize = 2;
+const SEED: u64 = 77;
+
+fn resident(workers: usize) -> ResidentMetro {
+    let mut config = MetroConfig::default_eval(CELLS, SHARDS);
+    config.seed = SEED;
+    config.workers = workers;
+    ResidentMetro::try_new(config).expect("config validates")
+}
+
+fn runner(workers: usize, capacity: usize) -> SoakRunner {
+    SoakRunner::new(
+        resident(workers),
+        SoakConfig {
+            recorder_capacity: capacity,
+            dump_dir: None,
+            dump_prefix: "itest".to_string(),
+        },
+    )
+}
+
+/// Resident cumulative metrics over N epochs must equal a batch
+/// `MetroSimulator::run` over the identical workload, byte for byte —
+/// same streams, same placement decisions, same hot execution engine.
+#[test]
+fn resident_cumulative_equals_batch_metro() {
+    let epochs = 6u64;
+    let mut service = resident(1);
+    for _ in 0..epochs {
+        service.step_epoch();
+    }
+
+    let mut config = MetroConfig::default_eval(CELLS, SHARDS);
+    config.seed = SEED;
+    let mut pool = PoolConfig::default_eval(config.servers_per_shard.max(1));
+    pool.warm = Some(WarmConfig::default_eval());
+    pool.slo = Some(SloPolicy::default_eval());
+    let mut trace = TraceConfig::default_day(CELLS, SEED);
+    trace.duration_seconds = epochs as f64 * pool.epoch_steps as f64 * trace.step_seconds;
+    let batch = MetroSimulator::with_pool(config, pool, trace).expect("batch validates");
+    let report = batch.run();
+
+    assert_eq!(service.cumulative(), &report.metrics);
+    assert!(report.metrics.tasks_total > 0);
+}
+
+/// Capacity K fed K+7 epochs dumps exactly the last K, in epoch order.
+#[test]
+fn recorder_wraparound_keeps_exactly_last_k() {
+    let k = 5usize;
+    let mut r = runner(1, k);
+    let total = k as u64 + 7;
+    for _ in 0..total {
+        r.run_epoch();
+    }
+    let doc = r.recorder().dump("test", total - 1);
+    assert_eq!(validate_dump(&doc), Ok(k));
+    let serde_json::Value::Array(records) = doc.field("records").unwrap() else {
+        panic!("records must be an array");
+    };
+    let epochs: Vec<u64> = records
+        .iter()
+        .map(|rec| rec.field("epoch").unwrap().as_u64().unwrap())
+        .collect();
+    let want: Vec<u64> = (total - k as u64..total).collect();
+    assert_eq!(epochs, want, "dump must hold exactly the last {k} epochs");
+}
+
+/// The dump is a pure function of the simulation: 1 worker and 8 workers
+/// must produce byte-identical dump documents.
+#[test]
+fn recorder_dumps_are_byte_identical_across_worker_counts() {
+    let mut one = runner(1, 8);
+    let mut eight = runner(8, 8);
+    for _ in 0..12 {
+        one.run_epoch();
+        eight.run_epoch();
+    }
+    let a = one.recorder().dump_json("workers", 11);
+    let b = eight.recorder().dump_json("workers", 11);
+    assert_eq!(a, b, "dumps must not depend on the worker count");
+}
+
+/// The scrape endpoint serves `# EOF`-terminated OpenMetrics and the
+/// epoch counter advances between scrapes.
+#[test]
+fn scrape_endpoint_serves_openmetrics_with_advancing_epochs() {
+    let mut r = runner(1, 16);
+    let addr = r.serve("127.0.0.1:0").expect("ephemeral bind");
+    r.run_epoch();
+    let (code, first) = http_get(addr, "/metrics").expect("scrape 1");
+    assert_eq!(code, 200);
+    assert!(first.ends_with("# EOF\n"), "{first}");
+    assert!(first.contains("soak_epochs_total 1"), "{first}");
+
+    r.run_epoch();
+    r.run_epoch();
+    let (_, second) = http_get(addr, "/metrics").expect("scrape 2");
+    assert!(second.contains("soak_epochs_total 3"), "{second}");
+
+    let (code, health) = http_get(addr, "/healthz").expect("healthz");
+    assert_eq!(code, 200);
+    assert!(health.contains("epoch 3"), "{health}");
+}
+
+/// A forced SLO alert cuts a dump file whose last record matches the
+/// registry gauges for the same epoch.
+#[test]
+fn forced_alert_dump_file_matches_registry() {
+    let dir = std::env::temp_dir().join(format!("pran_soak_test_{}", std::process::id()));
+    let mut r = SoakRunner::new(
+        resident(1),
+        SoakConfig {
+            recorder_capacity: 16,
+            dump_dir: Some(dir.clone()),
+            dump_prefix: "forced".to_string(),
+        },
+    );
+    r.run_epoch();
+    let all = r.metro().config().servers_per_shard;
+    r.metro_mut().kill_servers(0, all);
+    let out = r.run_epoch();
+    let path = out.dumped.expect("killing a shard must dump");
+    assert!(
+        !out.status.alerts.is_empty(),
+        "the dump must ride an SLO alert"
+    );
+
+    let text = std::fs::read_to_string(&path).expect("dump file exists");
+    let doc: serde_json::Value = serde_json::from_str(&text).expect("dump parses");
+    assert!(validate_dump(&doc).is_ok());
+    let serde_json::Value::Array(records) = doc.field("records").unwrap() else {
+        panic!("records must be an array");
+    };
+    let last = records.last().expect("dump holds records");
+
+    let snap = r.registry().snapshot();
+    let gauge = |name: &str| -> f64 {
+        snap.instruments
+            .iter()
+            .find_map(|i| match &i.value {
+                pran_telemetry::metrics::InstrumentValue::Gauge(g) if i.name == name => Some(*g),
+                _ => None,
+            })
+            .unwrap_or_else(|| panic!("gauge {name} missing"))
+    };
+    for (field, metric) in [
+        ("epoch", "soak.epoch"),
+        ("miss_ratio", "soak.miss_ratio"),
+        ("utilization", "soak.utilization"),
+        ("alive_servers", "soak.alive_servers"),
+        ("unplaced", "soak.unplaced"),
+    ] {
+        assert_eq!(
+            last.field(field).unwrap().as_f64().unwrap(),
+            gauge(metric),
+            "dump field {field} must match registry gauge {metric}"
+        );
+    }
+
+    // The published /recorder document agrees with the on-disk dump's
+    // records (reason differs: scrape vs slo-alert).
+    let addr = r.serve("127.0.0.1:0").expect("bind");
+    // Re-publish by stepping once more; recorder gained one record.
+    r.run_epoch();
+    let (code, body) = http_get(addr, "/recorder").expect("recorder route");
+    assert_eq!(code, 200);
+    let live: serde_json::Value = serde_json::from_str(&body).expect("recorder json");
+    assert!(validate_dump(&live).is_ok());
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

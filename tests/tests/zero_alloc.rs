@@ -11,7 +11,9 @@
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use pran_obs::FlightRecorder;
 use pran_sched::realtime::{simulate_into, BatchOutcome, Policy, SimScratch, TaskBatch};
+use pran_sim::EpochRecord;
 use pran_telemetry::metrics::LogHistogram;
 
 struct CountingAlloc;
@@ -39,7 +41,9 @@ const TTI_NS: u64 = 1_000_000;
 const DEADLINE_NS: u64 = 2_000_000;
 
 /// One simulated trace step for one server: refill the batch from a
-/// cheap deterministic pattern, schedule it, record the outcomes.
+/// cheap deterministic pattern, schedule it, record the outcomes, and
+/// ring the armed flight recorder (the soak service does all of this
+/// every epoch — the whole loop must stay allocation-free).
 fn step(
     round: u64,
     batch: &mut TaskBatch,
@@ -47,6 +51,7 @@ fn step(
     out: &mut BatchOutcome,
     response: &mut LogHistogram,
     slack: &mut LogHistogram,
+    recorder: &mut FlightRecorder<EpochRecord>,
 ) {
     batch.clear();
     for cell in 0..40u32 {
@@ -59,13 +64,36 @@ fn step(
         }
     }
     simulate_into(batch, 4, Policy::GlobalEdf, scratch, out);
+    let mut misses = 0u64;
     for i in 0..batch.len() {
         let finish = out.finish_ns[i];
         response.record_us((finish - batch.release_ns[i]) / 1_000);
         if !out.missed[i] {
             slack.record_us((batch.deadline_ns[i] - finish) / 1_000);
+        } else {
+            misses += 1;
         }
     }
+    let tasks = batch.len() as u64;
+    recorder.push(EpochRecord {
+        epoch: round,
+        at_us: round * 1_000,
+        tasks,
+        misses,
+        lost: 0,
+        reports_lost: 0,
+        miss_ratio: misses as f64 / tasks as f64,
+        cum_miss_ratio: 0.0,
+        slack_p99_us: slack.quantile(0.99).as_micros() as u64,
+        peak_queue_depth: 4,
+        servers_used: 1,
+        alive_servers: 1,
+        alive_mask: 1,
+        utilization: 0.5,
+        unplaced: 0,
+        alert_mask: 0,
+        violation: false,
+    });
 }
 
 #[test]
@@ -79,6 +107,9 @@ fn hot_kernel_allocates_nothing_at_steady_state() {
     let mut out = BatchOutcome::default();
     let mut response = LogHistogram::default();
     let mut slack = LogHistogram::default();
+    // Armed flight recorder: the 247 steady rounds below span its fill
+    // phase AND several wraparounds — both must stay allocation-free.
+    let mut recorder = FlightRecorder::new(64);
 
     // Warm-up: grows every Vec/heap to its steady-state capacity.
     for round in 0..3 {
@@ -89,6 +120,7 @@ fn hot_kernel_allocates_nothing_at_steady_state() {
             &mut out,
             &mut response,
             &mut slack,
+            &mut recorder,
         );
     }
     assert!(response.count() > 0, "warm-up executed no tasks");
@@ -102,6 +134,7 @@ fn hot_kernel_allocates_nothing_at_steady_state() {
             &mut out,
             &mut response,
             &mut slack,
+            &mut recorder,
         );
     }
     let after = ALLOCATIONS.load(Ordering::SeqCst);
@@ -111,4 +144,6 @@ fn hot_kernel_allocates_nothing_at_steady_state() {
         "steady-state hot kernel allocated {} times over 247 steps",
         after - before
     );
+    assert_eq!(recorder.len(), 64, "the ring must have filled");
+    assert_eq!(recorder.total_pushed(), 250, "every step must have rung");
 }
