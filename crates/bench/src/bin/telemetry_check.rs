@@ -14,7 +14,9 @@
 //!   `pran-recorder/1` flight-recorder dumps (ring shape, capacity bound,
 //!   strictly increasing record epochs) and `pran-bench/1` envelopes
 //!   (E16's gets its `phases` / `overhead` / `alert` sections checked for
-//!   the soak self-profiling shape).
+//!   the soak self-profiling shape; E17's gets its exploration sections
+//!   checked for the model-checking headline — zero linearizable
+//!   violations, a found-and-reproduced stale counterexample).
 //!
 //! Exits non-zero when any file is missing or violates its schema. CI's
 //! smoke job runs this over the sample-mode trace and a chaos trace;
@@ -49,6 +51,11 @@ fn validate_json_doc(path: &str, text: &str) -> Result<String, String> {
             if experiment.starts_with("e16") {
                 validate_e16_sections(results)?;
                 Ok(format!("bench envelope ({experiment}), soak sections ok"))
+            } else if experiment.starts_with("e17") {
+                validate_e17_sections(results)?;
+                Ok(format!(
+                    "bench envelope ({experiment}), model-checking sections ok"
+                ))
             } else {
                 Ok(format!("bench envelope ({experiment})"))
             }
@@ -90,6 +97,69 @@ fn validate_e16_sections(results: &serde_json::Value) -> Result<(), String> {
         if alert.field(key).ok().and_then(|v| v.as_bool()) != Some(true) {
             return Err(format!("`alert.{key}` must be true"));
         }
+    }
+    Ok(())
+}
+
+/// E17 envelopes must carry the exploration shape for all three phases
+/// and a reproduced counterexample in the stale section: the headline
+/// claims (zero linearizable violations, stale hazard found and
+/// replayed) are structural facts of the document, so the validator can
+/// hold them.
+fn validate_e17_sections(results: &serde_json::Value) -> Result<(), String> {
+    let exploration_ok = |section: &serde_json::Value, label: &str| -> Result<u64, String> {
+        for key in ["states", "transitions", "dedup_hits", "conformance_checked"] {
+            if section.field(key).ok().and_then(|v| v.as_u64()).is_none() {
+                return Err(format!("`{label}` missing numeric `{key}`"));
+            }
+        }
+        let ratio = section
+            .field("dedup_ratio")
+            .ok()
+            .and_then(|v| v.as_f64())
+            .ok_or_else(|| format!("`{label}` missing numeric `dedup_ratio`"))?;
+        if !(0.0..=1.0).contains(&ratio) {
+            return Err(format!("`{label}.dedup_ratio` {ratio} outside [0,1]"));
+        }
+        section
+            .field("violations_total")
+            .ok()
+            .and_then(|v| v.as_u64())
+            .ok_or_else(|| format!("`{label}` missing numeric `violations_total`"))
+    };
+
+    for label in ["linearizable", "churn"] {
+        let section = results.field(label).map_err(|e| e.to_string())?;
+        let violations = exploration_ok(section, label)?;
+        if violations != 0 {
+            return Err(format!(
+                "`{label}` claims {violations} violation(s) — the envelope's \
+                 headline is zero"
+            ));
+        }
+    }
+
+    let stale = results.field("stale").map_err(|e| e.to_string())?;
+    let exploration = stale.field("exploration").map_err(|e| e.to_string())?;
+    let violations = exploration_ok(exploration, "stale.exploration")?;
+    if violations == 0 {
+        return Err("`stale.exploration` found no violations — the hazard must exist".to_string());
+    }
+    let cx = stale.field("counterexample").map_err(|e| e.to_string())?;
+    if cx.field("reproduced").ok().and_then(|v| v.as_bool()) != Some(true) {
+        return Err("`stale.counterexample.reproduced` must be true".to_string());
+    }
+    match cx.field("schedule").map_err(|e| e.to_string())? {
+        serde_json::Value::Array(a) if !a.is_empty() => {}
+        _ => return Err("`stale.counterexample.schedule` must be a non-empty array".to_string()),
+    }
+    if cx
+        .field("scenario")
+        .ok()
+        .and_then(|v| v.as_object())
+        .is_none()
+    {
+        return Err("`stale.counterexample.scenario` must carry the scenario object".to_string());
     }
     Ok(())
 }

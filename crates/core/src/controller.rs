@@ -25,7 +25,13 @@ use crate::api::{Action, ActionError, CellView, ControlApp, PoolEvent, PoolView,
 use crate::config::SystemConfig;
 
 /// Sliding window length (reports) for per-cell demand prediction.
-const PREDICT_WINDOW: usize = 8;
+///
+/// Public so exhaustive verification (`pran-mc`) can bound exploration
+/// depth to the regime where an abstract `(last, peak)` summary of the
+/// report history is exact: while a cell has received fewer than
+/// `PREDICT_WINDOW` reports the window never slides, so the predicted
+/// peak is simply the maximum report seen.
+pub const PREDICT_WINDOW: usize = 8;
 
 #[derive(Debug, Clone, Serialize, Deserialize)]
 struct CellState {
@@ -631,6 +637,27 @@ impl Controller {
     /// The system configuration.
     pub fn config(&self) -> &SystemConfig {
         &self.config
+    }
+
+    /// The controller's current notion of time (last `run_epoch` /
+    /// failure timestamp it was handed).
+    pub fn now(&self) -> Duration {
+        self.now
+    }
+
+    /// Whether the controller currently believes `server` is alive.
+    /// `None` if the server does not exist. This is the controller's
+    /// *belief*, which under delayed failure notification can differ from
+    /// physical liveness — exactly the gap `pran-mc`'s conformance layer
+    /// audits.
+    pub fn server_alive(&self, server: usize) -> Option<bool> {
+        self.servers.get(server).map(|s| s.alive)
+    }
+
+    /// Whether `cell` is registered and active. `None` if it was never
+    /// registered.
+    pub fn cell_active(&self, cell: usize) -> Option<bool> {
+        self.cells.get(cell).map(|c| c.active)
     }
 
     /// SLO alerts the per-epoch monitor has raised so far (see

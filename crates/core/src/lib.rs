@@ -60,6 +60,7 @@ pub use api::{Action, ActionError, CellView, ControlApp, PoolEvent, PoolView, Se
 pub use config::{ChaosConfig, PoolSpec, SystemConfig};
 pub use controller::{
     AuditEntry, Controller, ControllerStats, EpochReport, FailureReport, Snapshot, SnapshotError,
+    PREDICT_WINDOW,
 };
 
 pub use pran_fronthaul as fronthaul;

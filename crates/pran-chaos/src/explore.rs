@@ -18,7 +18,43 @@ use pran::SystemConfig;
 
 use crate::inject::{run_scenario, HarnessReport};
 use crate::invariants::InvariantKind;
-use crate::scenario::{ChaosEvent, Scenario, TimedEvent};
+use crate::scenario::{ChaosEvent, Scenario, ScenarioError, TimedEvent};
+
+/// Why an exploration sweep or a replay failed to run — as opposed to
+/// running and finding violations, which is a successful outcome. Follows
+/// the typed-error convention of `ScenarioError`/`PoolConfigError`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExploreError {
+    /// A sampled schedule failed scenario validation (a sampler bug, since
+    /// [`sample_scenario`] is supposed to emit only valid scenarios).
+    Schedule {
+        /// Index of the offending schedule in the sweep.
+        index: usize,
+        /// What was wrong with it.
+        source: ScenarioError,
+    },
+    /// A replay artifact failed to parse or validate.
+    Artifact(ScenarioError),
+}
+
+impl std::fmt::Display for ExploreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExploreError::Schedule { index, source } => {
+                write!(f, "sampled schedule {index} is invalid: {source}")
+            }
+            ExploreError::Artifact(source) => write!(f, "{source}"),
+        }
+    }
+}
+
+impl std::error::Error for ExploreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ExploreError::Schedule { source, .. } | ExploreError::Artifact(source) => Some(source),
+        }
+    }
+}
 
 /// Stream-splitting constant (golden-ratio increment, as in SplitMix64):
 /// schedule `i` draws from an RNG seeded `seed + i·PHI`, so schedules are
@@ -201,11 +237,12 @@ pub fn sample_scenario(cfg: &ExploreConfig, index: usize) -> Scenario {
 }
 
 /// Run `cfg.schedules` sampled schedules and collect the failures.
-pub fn explore(cfg: &ExploreConfig, sys: &SystemConfig) -> Result<ExploreReport, String> {
+pub fn explore(cfg: &ExploreConfig, sys: &SystemConfig) -> Result<ExploreReport, ExploreError> {
     let mut failures = Vec::new();
     for index in 0..cfg.schedules {
         let scenario = sample_scenario(cfg, index);
-        let report = run_scenario(&scenario, sys)?;
+        let report = run_scenario(&scenario, sys)
+            .map_err(|source| ExploreError::Schedule { index, source })?;
         if !report.ok() {
             failures.push(Failure {
                 index,
@@ -273,9 +310,9 @@ pub fn shrink(scenario: &Scenario, sys: &SystemConfig, kind: InvariantKind) -> S
 ///
 /// This is the CI determinism check: two replays of the same JSON must
 /// produce identical violation lists.
-pub fn replay(json: &str, sys: &SystemConfig) -> Result<(Scenario, HarnessReport), String> {
-    let scenario = Scenario::from_json(json).map_err(|e| e.to_string())?;
-    let report = run_scenario(&scenario, sys)?;
+pub fn replay(json: &str, sys: &SystemConfig) -> Result<(Scenario, HarnessReport), ExploreError> {
+    let scenario = Scenario::from_json(json).map_err(ExploreError::Artifact)?;
+    let report = run_scenario(&scenario, sys).map_err(ExploreError::Artifact)?;
     Ok((scenario, report))
 }
 
@@ -390,6 +427,23 @@ mod tests {
             .violations
             .iter()
             .any(|v| v.kind == InvariantKind::OutageExceeded));
+    }
+
+    #[test]
+    fn replay_errors_are_typed() {
+        let sys = SystemConfig::default_eval(8);
+        let err = replay("{", &sys).unwrap_err();
+        assert!(matches!(
+            err,
+            ExploreError::Artifact(ScenarioError::Parse(_))
+        ));
+
+        let mut invalid = Scenario::baseline("bad", 1, 6, 8);
+        invalid.cells = 0;
+        let err = replay(&invalid.to_json(), &sys).unwrap_err();
+        assert_eq!(err, ExploreError::Artifact(ScenarioError::NoCells));
+        assert_eq!(err.to_string(), "scenario needs at least one cell");
+        assert!(std::error::Error::source(&err).is_some());
     }
 
     #[test]

@@ -25,7 +25,7 @@ use pran_traces::{generate, TraceConfig};
 use serde_json::{Number, Value};
 
 use crate::invariants::{InvariantChecker, InvariantKind, Violation};
-use crate::scenario::{ChaosEvent, Scenario};
+use crate::scenario::{ChaosEvent, Scenario, ScenarioError};
 
 /// Salt separating the fronthaul RNG stream from the trace stream.
 const LINK_SEED_SALT: u64 = 0x6c69_6e6b_7365_6564;
@@ -55,14 +55,19 @@ pub trait FaultTarget {
 impl FaultTarget for Controller {
     fn apply_chaos(&mut self, at: Duration, event: &ChaosEvent) -> Applied {
         match *event {
-            ChaosEvent::ServerCrash { server } => match self.server_failed(server, at) {
-                Ok(_) => Applied::Applied,
-                Err(_) => Applied::Ignored,
-            },
-            ChaosEvent::ServerRecover { server } => match self.server_recovered(server, at) {
-                Ok(()) => Applied::Applied,
-                Err(_) => Applied::Ignored,
-            },
+            ChaosEvent::ServerCrash { server } | ChaosEvent::ServerNotifyCrash { server } => {
+                match self.server_failed(server, at) {
+                    Ok(_) => Applied::Applied,
+                    Err(_) => Applied::Ignored,
+                }
+            }
+            ChaosEvent::ServerRecover { server } | ChaosEvent::ServerNotifyRecover { server } => {
+                match self.server_recovered(server, at) {
+                    Ok(()) => Applied::Applied,
+                    Err(_) => Applied::Ignored,
+                }
+            }
+            // Silent events never reach the controller — that is the point.
             _ => Applied::Ignored,
         }
     }
@@ -75,7 +80,7 @@ impl FaultTarget for PoolSimulator {
     /// `ServerRecover` is ignored here.
     fn apply_chaos(&mut self, at: Duration, event: &ChaosEvent) -> Applied {
         match *event {
-            ChaosEvent::ServerCrash { server } => {
+            ChaosEvent::ServerCrash { server } | ChaosEvent::ServerCrashSilent { server } => {
                 self.inject_failure(FailureSpec {
                     server,
                     at,
@@ -90,22 +95,31 @@ impl FaultTarget for PoolSimulator {
 
 /// Compile a scenario's crash/recover pairs into data-plane
 /// [`FailureSpec`]s (each crash matched with the next recovery of the
-/// same server, if any).
+/// same server, if any). Silent variants are *physical* events, so the
+/// data plane treats them exactly like their loud counterparts; the
+/// notify-only variants are control-plane messages and are ignored here.
 pub fn failure_specs(scenario: &Scenario) -> Vec<FailureSpec> {
     let evs = scenario.sorted_events();
     let mut specs = Vec::new();
     for (i, te) in evs.iter().enumerate() {
-        if let ChaosEvent::ServerCrash { server } = te.event {
-            let recover_after = evs[i + 1..].iter().find_map(|later| match later.event {
-                ChaosEvent::ServerRecover { server: s } if s == server => Some(later.at - te.at),
-                _ => None,
-            });
-            specs.push(FailureSpec {
-                server,
-                at: te.at,
-                recover_after,
-            });
-        }
+        let server = match te.event {
+            ChaosEvent::ServerCrash { server } | ChaosEvent::ServerCrashSilent { server } => server,
+            _ => continue,
+        };
+        let recover_after = evs[i + 1..].iter().find_map(|later| match later.event {
+            ChaosEvent::ServerRecover { server: s }
+            | ChaosEvent::ServerRecoverSilent { server: s }
+                if s == server =>
+            {
+                Some(later.at - te.at)
+            }
+            _ => None,
+        });
+        specs.push(FailureSpec {
+            server,
+            at: te.at,
+            recover_after,
+        });
     }
     specs
 }
@@ -271,8 +285,18 @@ fn next_epoch_after(now: Duration, epoch: Duration, horizon: Duration) -> Durati
 /// [`PoolSimulator`] (crash schedule from [`failure_specs`], fronthaul
 /// from the scenario's first `LinkDegrade` for the whole run) to measure
 /// the deadline-miss ratio under per-TTI execution.
-pub fn run_scenario(scenario: &Scenario, sys: &SystemConfig) -> Result<HarnessReport, String> {
-    scenario.validate().map_err(|e| e.to_string())?;
+///
+/// Stale-view events split the two planes: `ServerCrashSilent` /
+/// `ServerRecoverSilent` change *physical* liveness only, while the
+/// matching notify events deliver the (delayed) news to the controller.
+/// The harness tracks physical truth alongside the controller's belief
+/// and flags a `PlacementValid` violation whenever an epoch leaves a cell
+/// on a server that is physically dead but still believed alive.
+pub fn run_scenario(
+    scenario: &Scenario,
+    sys: &SystemConfig,
+) -> Result<HarnessReport, ScenarioError> {
+    scenario.validate()?;
     let span = pran_telemetry::trace::span("chaos.scenario");
 
     // Shared substrate: the seeded trace with flash crowds compiled in.
@@ -319,6 +343,9 @@ pub fn run_scenario(scenario: &Scenario, sys: &SystemConfig) -> Result<HarnessRe
     let mut displaced_cells = 0u64;
     let mut reports_dropped = 0u64;
     let mut max_outage = Duration::ZERO;
+    // Physical server liveness, which silent events can decouple from the
+    // controller's belief.
+    let mut truth = vec![true; scenario.servers];
 
     while let Some((t, ev)) = engine.next() {
         let now = t.to_duration();
@@ -336,12 +363,34 @@ pub fn run_scenario(scenario: &Scenario, sys: &SystemConfig) -> Result<HarnessRe
                 }
                 ctl.run_epoch(now);
                 epochs += 1;
-                checker.check_view(now, &ctl.view());
+                let view = ctl.view();
+                checker.check_view(now, &view);
+                // The stale-view hazard: the epoch left a cell on a server
+                // that is physically dead but still believed alive, so the
+                // believed-liveness check above cannot see it.
+                for cell in &view.cells {
+                    if let Some(s) = cell.server {
+                        if !truth[s] && view.servers[s].alive {
+                            checker.flag(
+                                InvariantKind::PlacementValid,
+                                now,
+                                format!(
+                                    "cell {} placed on silently-failed server {s} (stale view)",
+                                    cell.id
+                                ),
+                            );
+                        }
+                    }
+                }
             }
             HarnessEvent::Fault(i) => {
                 let te = &schedule[i];
                 match te.event {
-                    ChaosEvent::ServerCrash { server } => {
+                    ChaosEvent::ServerCrash { server }
+                    | ChaosEvent::ServerNotifyCrash { server } => {
+                        if let ChaosEvent::ServerCrash { .. } = te.event {
+                            truth[server] = false;
+                        }
                         let hosted: Vec<usize> = ctl
                             .placement()
                             .assignment
@@ -367,7 +416,20 @@ pub fn run_scenario(scenario: &Scenario, sys: &SystemConfig) -> Result<HarnessRe
                             }
                         }
                     }
-                    ChaosEvent::ServerRecover { .. } => {
+                    ChaosEvent::ServerCrashSilent { server } => {
+                        // Physical death only; the controller learns
+                        // nothing until a notify event (failure_specs
+                        // already feeds the data plane).
+                        truth[server] = false;
+                    }
+                    ChaosEvent::ServerRecover { server } => {
+                        truth[server] = true;
+                        ctl.apply_chaos(now, &te.event);
+                    }
+                    ChaosEvent::ServerRecoverSilent { server } => {
+                        truth[server] = true;
+                    }
+                    ChaosEvent::ServerNotifyRecover { .. } => {
                         ctl.apply_chaos(now, &te.event);
                     }
                     ChaosEvent::LinkDegrade { .. } | ChaosEvent::LinkRestore => {
@@ -549,6 +611,64 @@ mod tests {
             .violations
             .iter()
             .any(|v| v.kind == InvariantKind::OutageExceeded));
+    }
+
+    #[test]
+    fn silent_crash_flags_stale_placement_at_next_epoch() {
+        let mut s = base_scenario();
+        s.events = vec![TimedEvent {
+            at: Duration::from_secs(90),
+            event: ChaosEvent::ServerCrashSilent { server: 0 },
+        }];
+        let report = run_scenario(&s, &SystemConfig::default_eval(8)).unwrap();
+        // Server 0 hosts at least one best-fit-placed cell; with the crash
+        // silent, every later epoch keeps cells on the believed-alive
+        // corpse and the truth-vs-belief check must catch it.
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| v.kind == InvariantKind::PlacementValid && v.detail.contains("stale view")));
+        assert_eq!(report.failovers, 0, "the controller was never told");
+    }
+
+    #[test]
+    fn notified_crash_behaves_like_a_loud_one() {
+        let mut s = base_scenario();
+        s.events = vec![
+            TimedEvent {
+                at: Duration::from_secs(90),
+                event: ChaosEvent::ServerCrashSilent { server: 1 },
+            },
+            TimedEvent {
+                at: Duration::from_secs(100),
+                event: ChaosEvent::ServerNotifyCrash { server: 1 },
+            },
+        ];
+        let report = run_scenario(&s, &SystemConfig::default_eval(8)).unwrap();
+        assert_eq!(report.failovers, 1, "notification reached the controller");
+        // Between notification (100 s) and the next epoch (120 s) the
+        // failover app has already moved the cells, so no epoch ever sees
+        // a stale placement.
+        assert!(report.ok(), "{:?}", report.violations);
+    }
+
+    #[test]
+    fn silent_pairs_reach_the_data_plane_as_failure_specs() {
+        let mut s = base_scenario();
+        s.events = vec![
+            TimedEvent {
+                at: Duration::from_secs(100),
+                event: ChaosEvent::ServerCrashSilent { server: 2 },
+            },
+            TimedEvent {
+                at: Duration::from_secs(220),
+                event: ChaosEvent::ServerRecoverSilent { server: 2 },
+            },
+        ];
+        let specs = failure_specs(&s);
+        assert_eq!(specs.len(), 1);
+        assert_eq!(specs[0].server, 2);
+        assert_eq!(specs[0].recover_after, Some(Duration::from_secs(120)));
     }
 
     #[test]

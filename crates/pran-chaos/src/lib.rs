@@ -33,7 +33,7 @@ pub mod invariants;
 pub mod scenario;
 
 pub use explore::{
-    explore, replay, sample_scenario, shrink, ExploreConfig, ExploreReport, Failure,
+    explore, replay, sample_scenario, shrink, ExploreConfig, ExploreError, ExploreReport, Failure,
 };
 pub use inject::{failure_specs, run_scenario, Applied, FaultTarget, HarnessReport, LinkBank};
 pub use invariants::{InvariantChecker, InvariantKind, Violation};

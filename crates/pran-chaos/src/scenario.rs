@@ -32,6 +32,35 @@ pub enum ChaosEvent {
         /// The server to revive.
         server: usize,
     },
+    /// Kill a server on the data plane *without* telling the controller —
+    /// the stale-view failure mode a distributed deployment hits when the
+    /// liveness monitor lags. The controller keeps believing the server is
+    /// alive until a matching [`ChaosEvent::ServerNotifyCrash`] delivers
+    /// the notification.
+    ServerCrashSilent {
+        /// The server that physically dies.
+        server: usize,
+    },
+    /// Deliver a delayed crash notification to the controller
+    /// (`Controller::server_failed`) for a server that already died via
+    /// [`ChaosEvent::ServerCrashSilent`].
+    ServerNotifyCrash {
+        /// The server the controller now learns is dead.
+        server: usize,
+    },
+    /// Physically revive a server without telling the controller (the
+    /// recovery-side stale view: the controller keeps routing around a
+    /// server that is actually back).
+    ServerRecoverSilent {
+        /// The server that physically comes back.
+        server: usize,
+    },
+    /// Deliver a delayed recovery notification to the controller
+    /// (`Controller::server_recovered`).
+    ServerNotifyRecover {
+        /// The server the controller now learns is back.
+        server: usize,
+    },
     /// Degrade every cell's fronthaul link from this instant on
     /// (loss / jitter / token-bucket rate limit, per
     /// `pran-fronthaul::fault::FaultConfig`).
@@ -79,6 +108,10 @@ impl ChaosEvent {
         match self {
             ChaosEvent::ServerCrash { .. } => "server_crash",
             ChaosEvent::ServerRecover { .. } => "server_recover",
+            ChaosEvent::ServerCrashSilent { .. } => "server_crash_silent",
+            ChaosEvent::ServerNotifyCrash { .. } => "server_notify_crash",
+            ChaosEvent::ServerRecoverSilent { .. } => "server_recover_silent",
+            ChaosEvent::ServerNotifyRecover { .. } => "server_notify_recover",
             ChaosEvent::LinkDegrade { .. } => "link_degrade",
             ChaosEvent::LinkRestore => "link_restore",
             ChaosEvent::FlashCrowd { .. } => "flash_crowd",
@@ -172,7 +205,12 @@ impl Scenario {
                 });
             }
             match &te.event {
-                ChaosEvent::ServerCrash { server } | ChaosEvent::ServerRecover { server } => {
+                ChaosEvent::ServerCrash { server }
+                | ChaosEvent::ServerRecover { server }
+                | ChaosEvent::ServerCrashSilent { server }
+                | ChaosEvent::ServerNotifyCrash { server }
+                | ChaosEvent::ServerRecoverSilent { server }
+                | ChaosEvent::ServerNotifyRecover { server } => {
                     if *server >= self.servers {
                         return Err(ScenarioError::ServerOutOfRange {
                             index: i,
@@ -521,6 +559,54 @@ mod tests {
             Scenario::from_json(&s.to_json()),
             Err(ScenarioError::NoCells)
         );
+    }
+
+    #[test]
+    fn stale_view_events_round_trip_and_validate() {
+        let mut s = sample();
+        s.events = vec![
+            TimedEvent {
+                at: Duration::from_secs(90),
+                event: ChaosEvent::ServerCrashSilent { server: 1 },
+            },
+            TimedEvent {
+                at: Duration::from_secs(150),
+                event: ChaosEvent::ServerNotifyCrash { server: 1 },
+            },
+            TimedEvent {
+                at: Duration::from_secs(200),
+                event: ChaosEvent::ServerRecoverSilent { server: 1 },
+            },
+            TimedEvent {
+                at: Duration::from_secs(260),
+                event: ChaosEvent::ServerNotifyRecover { server: 1 },
+            },
+        ];
+        let back = Scenario::from_json(&s.to_json()).unwrap();
+        assert_eq!(back, s);
+        assert_eq!(s.events[0].event.label(), "server_crash_silent");
+        assert_eq!(s.events[1].event.label(), "server_notify_crash");
+        assert_eq!(s.events[2].event.label(), "server_recover_silent");
+        assert_eq!(s.events[3].event.label(), "server_notify_recover");
+
+        // Out-of-range servers are rejected for every stale-view variant.
+        for event in [
+            ChaosEvent::ServerCrashSilent { server: 99 },
+            ChaosEvent::ServerNotifyCrash { server: 99 },
+            ChaosEvent::ServerRecoverSilent { server: 99 },
+            ChaosEvent::ServerNotifyRecover { server: 99 },
+        ] {
+            let mut bad = s.clone();
+            bad.events[0].event = event;
+            assert!(matches!(
+                bad.validate().unwrap_err(),
+                ScenarioError::ServerOutOfRange {
+                    index: 0,
+                    server: 99,
+                    ..
+                }
+            ));
+        }
     }
 
     #[test]

@@ -1,0 +1,237 @@
+//! Conformance: replaying abstract paths against the concrete
+//! [`pran::Controller`] and asserting exact agreement.
+//!
+//! The model was built to be a bitwise-faithful projection of the
+//! controller; this module is where that claim is *checked* rather than
+//! assumed. For each replayed path it drives a real controller (with the
+//! real [`FailoverApp`] installed) through the same operations, then
+//! compares the concrete `view()` against the view reconstructed from
+//! abstract state — cells and servers, with `==` on every `f64`, no
+//! tolerance. It also performs the concrete half of every
+//! [`Operation::Drill`]: snapshot → JSON → `try_restore` → view
+//! equality, which is the restore-fidelity invariant exercised at every
+//! replayed state rather than at sampled instants.
+
+use std::time::Duration;
+
+use pran::apps::FailoverApp;
+use pran::{Action, Controller};
+
+use crate::model::{Model, Operation};
+use crate::view::ViewSemantics;
+
+/// How much of the discovered state space gets a concrete replay.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Conformance {
+    /// No replays (exploration only).
+    Off,
+    /// Replay every `stride`-th newly discovered state.
+    Sample {
+        /// Replay when `discovered_index % stride == 0`.
+        stride: usize,
+    },
+    /// Replay the path to every newly discovered state.
+    Every,
+}
+
+impl Conformance {
+    /// Whether the `index`-th discovered state should be replayed.
+    pub fn should_check(&self, index: usize) -> bool {
+        match *self {
+            Conformance::Off => false,
+            Conformance::Sample { stride } => stride != 0 && index.is_multiple_of(stride),
+            Conformance::Every => true,
+        }
+    }
+}
+
+/// Replay `path` from the initial state on a concrete controller and
+/// check agreement with the model at every step where the two can be
+/// compared. Returns a description of the first divergence, if any.
+///
+/// Step-level checks:
+/// * `Migrate` — accept/reject verdicts must match
+///   ([`Model::mirror_migrate`] vs `Controller::apply_action`);
+/// * `Drill` — full snapshot/serialize/restore round-trip; the restored
+///   view must equal the pre-snapshot view, and the replay *continues on
+///   the restored controller* so any restore drift would surface in the
+///   final comparison too;
+/// * under [`ViewSemantics::Stale`], `Fail`/`Recover` are physical-only
+///   events the controller has not heard about, so nothing is driven
+///   into it until the matching `Deliver`.
+///
+/// Path-level check: after the last operation, the concrete `view()`
+/// must equal the abstract view field-for-field (cells and servers;
+/// `now` is excluded — the model does not track time).
+pub fn replay_path(model: &Model, path: &[Operation]) -> Result<(), String> {
+    let cfg = model.config();
+    let stale = matches!(cfg.semantics, ViewSemantics::Stale { .. });
+    let mut ctl = Controller::new(cfg.sys.clone());
+    ctl.install_app(Box::new(FailoverApp::new()));
+    for _ in 0..cfg.cells {
+        ctl.register_cell();
+    }
+    let mut state = model.initial_state();
+    for (i, &op) in path.iter().enumerate() {
+        // Synthetic monotone clock: the controller never branches on
+        // time, it only stamps it.
+        let now = Duration::from_secs(i as u64 + 1);
+        match op {
+            Operation::Report { cell, level } => {
+                ctl.report_load(cell, cfg.levels[level])
+                    .map_err(|e| format!("step {i} report({cell}): {e}"))?;
+            }
+            Operation::Epoch => {
+                ctl.run_epoch(now);
+            }
+            Operation::Fail { server } => {
+                if !stale {
+                    ctl.server_failed(server, now)
+                        .map_err(|e| format!("step {i} fail({server}): {e}"))?;
+                }
+            }
+            Operation::Recover { server } => {
+                if !stale {
+                    ctl.server_recovered(server, now)
+                        .map_err(|e| format!("step {i} recover({server}): {e}"))?;
+                }
+            }
+            Operation::Deliver => {
+                let notice = *state
+                    .pending
+                    .front()
+                    .ok_or_else(|| format!("step {i}: Deliver with empty backlog"))?;
+                if notice.up {
+                    ctl.server_recovered(notice.server, now)
+                        .map_err(|e| format!("step {i} deliver-recover: {e}"))?;
+                } else {
+                    ctl.server_failed(notice.server, now)
+                        .map_err(|e| format!("step {i} deliver-fail: {e}"))?;
+                }
+            }
+            Operation::Migrate { cell, to } => {
+                let concrete = ctl.apply_action(Action::Migrate { cell, to }).is_ok();
+                let abstract_ok = {
+                    let mut probe = state.clone();
+                    model.mirror_migrate(&mut probe, cell, to)
+                };
+                if concrete != abstract_ok {
+                    return Err(format!(
+                        "step {i} migrate(c{cell}→s{to}): controller said {concrete}, \
+                         model said {abstract_ok}"
+                    ));
+                }
+            }
+            Operation::Drill => {
+                ctl = drill(ctl, i)?;
+            }
+            Operation::Register => {
+                ctl.register_cell();
+            }
+            Operation::Deregister { cell } => {
+                ctl.deregister_cell(cell)
+                    .map_err(|e| format!("step {i} deregister({cell}): {e}"))?;
+            }
+        }
+        state = model.apply(&state, op).next;
+    }
+    let concrete = ctl.view();
+    let abstracted = model.view(&state);
+    if concrete.cells != abstracted.cells {
+        return Err(format!(
+            "cell views diverge after {path:?}: concrete {:?} vs model {:?}",
+            concrete.cells, abstracted.cells
+        ));
+    }
+    if concrete.servers != abstracted.servers {
+        return Err(format!(
+            "server views diverge after {path:?}: concrete {:?} vs model {:?}",
+            concrete.servers, abstracted.servers
+        ));
+    }
+    // Every replayed state doubles as a restore-fidelity probe.
+    drill(ctl, path.len())?;
+    Ok(())
+}
+
+/// The concrete half of a drill: snapshot, serialize, restore, compare,
+/// and hand back the *restored* controller (apps reinstalled) so the
+/// replay continues on it.
+fn drill(ctl: Controller, step: usize) -> Result<Controller, String> {
+    let before = ctl.view();
+    let snapshot = ctl.snapshot();
+    let json = serde_json::to_string(&snapshot)
+        .map_err(|e| format!("step {step} drill: snapshot failed to serialize: {e}"))?;
+    let parsed = serde_json::from_str(&json)
+        .map_err(|e| format!("step {step} drill: snapshot failed to re-parse: {e}"))?;
+    let mut restored = Controller::try_restore(parsed)
+        .map_err(|e| format!("step {step} drill: intact snapshot rejected: {e}"))?;
+    if restored.view() != before {
+        return Err(format!(
+            "step {step} drill: restored view diverges from pre-snapshot view"
+        ));
+    }
+    restored.install_app(Box::new(FailoverApp::new()));
+    Ok(restored)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::McConfig;
+
+    #[test]
+    fn sampling_policies() {
+        assert!(!Conformance::Off.should_check(0));
+        assert!(Conformance::Every.should_check(7));
+        let s = Conformance::Sample { stride: 4 };
+        assert!(s.should_check(0));
+        assert!(!s.should_check(3));
+        assert!(s.should_check(8));
+        assert!(!Conformance::Sample { stride: 0 }.should_check(0));
+    }
+
+    #[test]
+    fn a_busy_linearizable_path_conforms() {
+        let model = Model::new(McConfig::headline());
+        let path = vec![
+            Operation::Report { cell: 0, level: 1 },
+            Operation::Report { cell: 1, level: 0 },
+            Operation::Epoch,
+            Operation::Fail { server: 0 },
+            Operation::Drill,
+            Operation::Report { cell: 2, level: 1 },
+            Operation::Epoch,
+            Operation::Recover { server: 0 },
+            Operation::Epoch,
+        ];
+        replay_path(&model, &path).expect("model must conform to the controller");
+    }
+
+    #[test]
+    fn a_stale_path_with_delivery_conforms() {
+        let model = Model::new(McConfig::headline_stale(2));
+        let path = vec![
+            Operation::Report { cell: 0, level: 1 },
+            Operation::Epoch,
+            Operation::Fail { server: 0 },
+            Operation::Epoch,
+            Operation::Deliver,
+            Operation::Epoch,
+        ];
+        replay_path(&model, &path).expect("stale replay must conform");
+    }
+
+    #[test]
+    fn churn_paths_conform() {
+        let model = Model::new(McConfig::churn());
+        let path = vec![
+            Operation::Report { cell: 0, level: 0 },
+            Operation::Register,
+            Operation::Epoch,
+            Operation::Deregister { cell: 1 },
+            Operation::Epoch,
+        ];
+        replay_path(&model, &path).expect("churn replay must conform");
+    }
+}

@@ -634,6 +634,26 @@ impl PoolSimulator {
                     for _ in 0..replaced {
                         metrics.outages.record(outage);
                     }
+                    // Cells the repack could not re-place stay dark until
+                    // the next epoch re-solves placement; their outage is
+                    // the failover price plus that wait. Without these
+                    // samples the outage histogram — and the online SLO
+                    // monitor reading it — is blind to exactly the
+                    // failures that hurt most.
+                    let stranded = displaced.len() - replaced;
+                    if stranded > 0 {
+                        let now_d = engine.now().to_duration();
+                        let epoch_len =
+                            Duration::from_secs_f64(cfg.epoch_steps as f64 * step_seconds);
+                        let next_epoch = {
+                            let k = (now_d.as_nanos() / epoch_len.as_nanos() + 1) as u32;
+                            epoch_len.saturating_mul(k)
+                        };
+                        let stranded_outage = outage + next_epoch.saturating_sub(now_d);
+                        for _ in 0..stranded {
+                            metrics.outages.record(stranded_outage);
+                        }
+                    }
                     failovers.push(FailoverRecord {
                         server: s,
                         displaced: displaced.len(),
@@ -1053,7 +1073,8 @@ mod tests {
             "spare capacity must absorb the failure"
         );
         if f.displaced > 0 {
-            assert_eq!(report.metrics.outages.count(), f.replaced as u64);
+            // One sample per displaced cell (all replaced here).
+            assert_eq!(report.metrics.outages.count(), f.displaced as u64);
             // Outage = detection + replan + migration.
             assert_eq!(f.outage, Duration::from_millis(50));
         }
@@ -1075,6 +1096,44 @@ mod tests {
         assert!(
             report.metrics.tasks_lost > 0,
             "halving an adequate pool must strand some cells"
+        );
+    }
+
+    #[test]
+    fn stranded_cells_record_epoch_wait_outages() {
+        // Kill one of two servers with capacity tight enough that the
+        // repack cannot re-place every displaced cell. The stranded
+        // (displaced-but-unreplaced) cells must show up in the outage
+        // histogram: one sample per displaced cell, and the stranded
+        // ones carry the wait until the next epoch re-solve on top of
+        // the 50ms failover price.
+        let trace = small_trace(16, 4);
+        let mut cfg = PoolConfig::default_eval(2);
+        cfg.server_capacity_gops = 320.0;
+        let mut s = PoolSimulator::new(trace, cfg);
+        s.inject_failure(FailureSpec {
+            server: 1,
+            at: Duration::from_secs(600),
+            recover_after: None,
+        });
+        let report = s.run();
+        assert_eq!(report.failovers.len(), 1);
+        let f = &report.failovers[0];
+        assert!(
+            f.displaced > f.replaced,
+            "displaced {} vs replaced {}: this scenario must leave cells unreplaced",
+            f.displaced,
+            f.replaced
+        );
+        assert_eq!(report.metrics.outages.count(), f.displaced as u64);
+        let worst = report
+            .metrics
+            .outages
+            .try_quantile(1.0)
+            .expect("displaced cells recorded outages");
+        assert!(
+            worst > Duration::from_millis(50),
+            "stranded outage {worst:?} must exceed the bare failover price"
         );
     }
 

@@ -1,12 +1,12 @@
 #!/usr/bin/env bash
-# Regenerate every reconstructed table/figure (E1–E16).
+# Regenerate every reconstructed table/figure (E1–E17).
 # Human-readable tables go to stdout; machine-readable JSON to results/.
 set -euo pipefail
 cd "$(dirname "$0")"
 for exp in e1_compute_table e2_proc_time e3_traces e4_multiplexing \
            e5_ilp_vs_heuristic e6_deadlines e7_fronthaul e8_failover \
            e9_predictors e10_ablations e11_deployment e12_admission \
-           e13_chaos e14_insight e15_metro e16_soak; do
+           e13_chaos e14_insight e15_metro e16_soak e17_mc; do
     echo "================================================================"
     cargo run --release -q -p bench --bin "$exp"
     echo

@@ -1,0 +1,152 @@
+//! Snapshot/restore round-trips taken *mid-failure*: a server is down,
+//! displaced cells may be waiting for the next epoch, and the snapshot
+//! must capture that exact degraded state — not a cleaned-up version of
+//! it. The restored controller then has to finish the recovery the
+//! original was in the middle of.
+
+use std::time::Duration;
+
+use pran::apps::FailoverApp;
+use pran::{Controller, SystemConfig};
+
+/// A controller mid-incident: 10 cells on 8 servers, one epoch run, one
+/// hosting server failed. Returns the controller and the dead server id.
+fn controller_mid_failure(with_app: bool) -> (Controller, usize) {
+    let mut cfg = SystemConfig::default_eval(8);
+    cfg.headroom = 1.05;
+    let mut ctl = Controller::new(cfg);
+    if with_app {
+        ctl.install_app(Box::new(FailoverApp::new()));
+    }
+    let cells: Vec<usize> = (0..10).map(|_| ctl.register_cell()).collect();
+    for &c in &cells {
+        ctl.report_load(c, 0.45).unwrap();
+    }
+    ctl.run_epoch(Duration::from_secs(60));
+    let victim = ctl.placement().assignment[0].expect("cell 0 placed");
+    ctl.server_failed(victim, Duration::from_secs(61)).unwrap();
+    (ctl, victim)
+}
+
+fn restore_via_json(ctl: &Controller) -> Controller {
+    let json = serde_json::to_string(&ctl.snapshot()).expect("snapshot serializes");
+    let snap: pran::Snapshot = serde_json::from_str(&json).expect("snapshot parses");
+    Controller::try_restore(snap).expect("intact mid-failure snapshot restores")
+}
+
+#[test]
+fn mid_failure_snapshot_restores_the_degraded_state_exactly() {
+    // No failover app: displaced cells are parked unplaced, the dead
+    // server is still in the view — the ugliest state to round-trip.
+    let (ctl, victim) = controller_mid_failure(false);
+    let before = ctl.view();
+    assert!(!before.servers[victim].alive, "victim marked dead");
+    assert!(
+        ctl.placement().assignment.iter().any(|a| a.is_none()),
+        "displaced cells wait unplaced"
+    );
+
+    let restored = restore_via_json(&ctl);
+    assert_eq!(restored.view(), before, "restore reproduces the view");
+    assert_eq!(restored.placement(), ctl.placement());
+    assert_eq!(restored.stats().epochs, ctl.stats().epochs);
+}
+
+#[test]
+fn restored_controller_finishes_the_recovery_it_was_restored_into() {
+    let (ctl, victim) = controller_mid_failure(false);
+    let mut restored = restore_via_json(&ctl);
+
+    // The next epoch on the *restored* controller must re-place every
+    // displaced cell away from the still-dead server.
+    let report = restored.run_epoch(Duration::from_secs(120));
+    assert_eq!(report.unplaced, 0, "epoch after restore re-places everyone");
+    assert!(restored
+        .placement()
+        .assignment
+        .iter()
+        .all(|a| *a != Some(victim)));
+
+    // And recovery of the dead server round-trips too.
+    restored
+        .server_recovered(victim, Duration::from_secs(121))
+        .unwrap();
+    assert!(restored.view().servers[victim].alive);
+}
+
+#[test]
+fn failover_app_survives_restore_and_handles_the_next_failure() {
+    // Apps are not serialized — restore hands back a bare controller —
+    // so the operational recipe is restore + reinstall. A second
+    // failure after that must get the same immediate re-placement the
+    // original would have delivered.
+    let (ctl, first_victim) = controller_mid_failure(true);
+    let mut restored = restore_via_json(&ctl);
+    restored.install_app(Box::new(FailoverApp::new()));
+
+    let second_victim = restored
+        .placement()
+        .assignment
+        .iter()
+        .flatten()
+        .copied()
+        .find(|&s| s != first_victim)
+        .expect("some other server hosts cells");
+    let rep = restored
+        .server_failed(second_victim, Duration::from_secs(122))
+        .unwrap();
+    assert_eq!(
+        rep.replaced,
+        rep.displaced.len(),
+        "reinstalled failover app must re-place everything"
+    );
+    assert!(restored
+        .placement()
+        .assignment
+        .iter()
+        .all(|a| *a != Some(first_victim) && *a != Some(second_victim)));
+}
+
+#[test]
+fn corrupt_mid_failure_snapshot_is_rejected_not_half_restored() {
+    let (ctl, _) = controller_mid_failure(false);
+    let mut value = serde_json::to_value(ctl.snapshot()).expect("snapshot serializes");
+    match &mut value {
+        serde_json::Value::Object(map) => match map.remove("placement") {
+            Some(serde_json::Value::Array(mut placement)) => {
+                placement.pop().expect("placement is non-empty");
+                map.insert("placement".to_string(), serde_json::Value::Array(placement));
+            }
+            other => panic!("placement should be an array, got {other:?}"),
+        },
+        other => panic!("snapshot should be an object, got {other:?}"),
+    }
+    let snap: pran::Snapshot = serde_json::from_value(value).expect("still parses");
+    assert!(
+        Controller::try_restore(snap).is_err(),
+        "truncated mid-failure snapshot must be rejected outright"
+    );
+}
+
+#[test]
+fn double_failure_snapshot_round_trips() {
+    // Two servers down at once, snapshot between the failures and after
+    // both — every intermediate state must restore exactly.
+    let (mut ctl, first) = controller_mid_failure(false);
+    let mid = restore_via_json(&ctl);
+    assert_eq!(mid.view(), ctl.view());
+
+    let second = ctl
+        .placement()
+        .assignment
+        .iter()
+        .flatten()
+        .copied()
+        .find(|&s| s != first)
+        .expect("another hosting server");
+    ctl.server_failed(second, Duration::from_secs(62)).unwrap();
+    let deep = restore_via_json(&ctl);
+    assert_eq!(deep.view(), ctl.view());
+    assert!(!deep.view().servers[first].alive);
+    assert!(!deep.view().servers[second].alive);
+}
